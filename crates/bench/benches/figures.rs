@@ -1,0 +1,123 @@
+//! One benchmark per paper table/figure pipeline.
+//!
+//! These measure how long each reproduction pipeline takes at a reduced
+//! horizon (the statistics themselves come from the `repro` binary at
+//! full horizons). Sample counts are kept small: each iteration runs a
+//! complete simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use experiments::{fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9and10, table1};
+use mntp::MntpConfig;
+use tuner::{emulate, grid_search, ParamGrid};
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("table1_scale50k", |b| b.iter(|| table1::run(black_box(1), 50_000)));
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig1_scale20k", |b| b.iter(|| fig1::run(black_box(1), 20_000)));
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig2_scale20k", |b| b.iter(|| fig2::run(black_box(1), 20_000)));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig4_10min", |b| b.iter(|| fig4::run(black_box(1), 600)));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig5_10min", |b| b.iter(|| fig5::run(black_box(1), 600)));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig6_10min", |b| b.iter(|| fig6::run(black_box(1), 600)));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig7_10min", |b| b.iter(|| fig7::run(black_box(1), 600)));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig8_10min", |b| b.iter(|| fig8::run(black_box(1), 600)));
+    g.finish();
+}
+
+fn bench_fig9_10(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9_10min", |b| b.iter(|| fig9and10::run(black_box(1), 600, true)));
+    g.bench_function("fig10_10min", |b| b.iter(|| fig9and10::run(black_box(1), 600, false)));
+    g.finish();
+}
+
+/// Figure 12 is the 4-hour run; bench a 20-minute slice of the same
+/// pipeline.
+fn bench_fig12_slice(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig12_20min_slice", |b| b.iter(|| fig8::run(black_box(1), 1200)));
+    g.finish();
+}
+
+/// Table 2 / Figure 11: trace recording is the expensive half; the
+/// emulator and grid search are the interesting half. Bench them
+/// separately over a synthetic trace.
+fn bench_table2(c: &mut Criterion) {
+    use netsim::testbed::TestbedConfig;
+    use netsim::Testbed;
+    use experiments::harness::{default_pool, ClockMode};
+
+    let mut tb = Testbed::wireless(TestbedConfig::default(), 9);
+    let mut pool = default_pool(10);
+    let mut clock = ClockMode::free_running_default().build(11);
+    let trace = tuner::record_trace(&mut tb, &mut pool, &mut clock, 1800, 5.0, 3);
+
+    let mut g = small(c);
+    g.bench_function("table2_emulate_one_config", |b| {
+        let cfg = MntpConfig::from_tuner_minutes(10.0, 0.25, 5.0, 240.0);
+        b.iter(|| emulate(black_box(&cfg), black_box(&trace)))
+    });
+    g.bench_function("table2_grid_search_24", |b| {
+        let grid = ParamGrid::paper_table2();
+        b.iter(|| grid_search(&MntpConfig::default(), black_box(&grid), black_box(&trace)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig1,
+    bench_fig2,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9_10,
+    bench_fig12_slice,
+    bench_table2
+);
+criterion_main!(figures);

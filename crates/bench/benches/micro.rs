@@ -1,0 +1,156 @@
+//! Hot-path microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clocksim::fit::{fit_line, fit_poly};
+use clocksim::rng::SimRng;
+use clocksim::time::{SimDuration, SimTime};
+use mntp::TrendFilter;
+use netsim::kernel::Sim;
+use netsim::wifi::{WifiChannel, WifiConfig};
+use ntp_wire::{sntp_profile, Exchange, NtpPacket, NtpTimestamp};
+use ntpd_sim::select::{select_survivors, PeerCandidate};
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let packet = sntp_profile::client_request(NtpTimestamp::from_parts(1000, 42));
+    let bytes = packet.serialize();
+    c.bench_function("packet_serialize", |b| {
+        b.iter(|| black_box(&packet).serialize())
+    });
+    c.bench_function("packet_parse", |b| {
+        b.iter(|| NtpPacket::parse(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_clock_algebra(c: &mut Criterion) {
+    let e = Exchange {
+        t1: NtpTimestamp::from_parts(100, 0),
+        t2: NtpTimestamp::from_parts(100, 1 << 30),
+        t3: NtpTimestamp::from_parts(100, 1 << 31),
+        t4: NtpTimestamp::from_parts(101, 0),
+    };
+    c.bench_function("exchange_offset_delay", |b| {
+        b.iter(|| (black_box(&e).offset(), black_box(&e).delay()))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| rng.next_u64())
+    });
+    c.bench_function("rng_gauss", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| rng.gauss())
+    });
+    c.bench_function("rng_pareto", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| rng.pareto(40.0, 1.5))
+    });
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> =
+        (0..512).map(|i| (i as f64, 0.03 * i as f64 + ((i * 7 % 13) as f64 - 6.0))).collect();
+    c.bench_function("fit_line_512", |b| b.iter(|| fit_line(black_box(&points)).unwrap()));
+    c.bench_function("fit_poly2_512", |b| b.iter(|| fit_poly(black_box(&points), 2).unwrap()));
+}
+
+fn bench_trend_filter(c: &mut Criterion) {
+    c.bench_function("trend_filter_offer_stream", |b| {
+        b.iter(|| {
+            let mut f = TrendFilter::new(1.0, true);
+            for i in 0..256 {
+                let t = i as f64 * 5.0;
+                let spike = if i % 17 == 16 { 200.0 } else { 0.0 };
+                f.offer(t, -0.03 * t + spike);
+            }
+            f.counts()
+        })
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    let cands: Vec<PeerCandidate> = (0..16)
+        .map(|i| PeerCandidate {
+            peer_id: i,
+            offset: if i == 7 { 0.5 } else { 0.001 * i as f64 },
+            root_distance: 0.02,
+            jitter: 0.001,
+        })
+        .collect();
+    c.bench_function("marzullo_select_16", |b| {
+        b.iter(|| select_survivors(black_box(&cands)))
+    });
+}
+
+fn bench_des_kernel(c: &mut Criterion) {
+    c.bench_function("des_kernel_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut world = 0u64;
+            fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+                *w += 1;
+                if !(*w).is_multiple_of(10) {
+                    sim.schedule_in(SimDuration::from_millis(1), tick);
+                }
+            }
+            for i in 0..1000 {
+                sim.schedule_at(SimTime::from_millis(i), tick);
+            }
+            sim.run_to_completion(&mut world);
+            world
+        })
+    });
+}
+
+fn bench_wifi_channel(c: &mut Criterion) {
+    c.bench_function("wifi_transmit_down", |b| {
+        let mut ch = WifiChannel::new(WifiConfig::default(), SimRng::new(4));
+        ch.set_utilization_now(0.6);
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 100;
+            ch.transmit_down(SimTime::from_millis(t))
+        })
+    });
+    c.bench_function("wifi_hints", |b| {
+        let mut ch = WifiChannel::new(WifiConfig::default(), SimRng::new(5));
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 100;
+            ch.hints(SimTime::from_millis(t))
+        })
+    });
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    use sntp::{perform_exchange, PoolConfig, ServerPool};
+    c.bench_function("full_exchange_wired", |b| {
+        let mut tb = netsim::Testbed::wired(6);
+        let mut pool = ServerPool::new(PoolConfig::default(), 7);
+        let osc = clocksim::OscillatorConfig::laptop().build(SimRng::new(8));
+        let mut clock = clocksim::SimClock::new(osc, SimTime::ZERO);
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 5;
+            let id = pool.pick();
+            perform_exchange(&mut tb, pool.server_mut(id), &mut clock, SimTime::from_secs(t))
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_packet_codec,
+    bench_clock_algebra,
+    bench_rng,
+    bench_fits,
+    bench_trend_filter,
+    bench_select,
+    bench_des_kernel,
+    bench_wifi_channel,
+    bench_exchange
+);
+criterion_main!(micro);

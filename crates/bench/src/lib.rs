@@ -1,0 +1,11 @@
+//! Bench-only crate: see `benches/` for the Criterion harnesses.
+//!
+//! * `figures` — one benchmark per paper table/figure pipeline (at
+//!   reduced horizons; the `repro` binary produces the full-horizon
+//!   numbers).
+//! * `micro` — hot-path microbenchmarks: packet codec, clock algebra,
+//!   RNG, least-squares fits, the trend filter, NTP mitigation stages,
+//!   the DES kernel, and the channel models.
+//! * `ablations` — runtime cost of each MNTP mechanism combination
+//!   (the corresponding *quality* numbers come from
+//!   `experiments::ablations` via the `repro` binary).

@@ -1,0 +1,480 @@
+//! Drifting local clocks and the control surface used to discipline them.
+//!
+//! [`SimClock`] is the simulated equivalent of a device's system clock: it
+//! advances at the rate its [`Oscillator`] dictates and can be corrected
+//! through the same three primitives a real kernel exposes to time daemons
+//! — instantaneous **step**, bounded-rate **slew**, and a persistent
+//! **frequency trim**. [`ReferenceClock`] is the cheap model used for NTP
+//! server clocks and for "NTP-corrected" baselines: true time plus a
+//! constant error and an optional mean-reverting wobble.
+
+use ntp_wire::{NtpDuration, NtpTimestamp};
+
+use crate::oscillator::Oscillator;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// The control surface a synchronization protocol sees. Nothing behind
+/// this trait reveals true time: protocols must infer it from exchanges.
+pub trait ClockControl {
+    /// Read the clock at true time `now` (the kernel passes `now`; the
+    /// protocol never sees it directly).
+    fn now(&mut self, now: SimTime) -> NtpTimestamp;
+
+    /// Instantaneously add `offset` to the clock (a step, like
+    /// `clock_settime`). Positive offset moves the clock forward.
+    fn step(&mut self, now: SimTime, offset: NtpDuration);
+
+    /// Gradually apply `offset` at the clock's bounded slew rate (like
+    /// `adjtime`). A new call replaces any outstanding slew, matching the
+    /// Unix semantics.
+    fn slew(&mut self, now: SimTime, offset: NtpDuration);
+
+    /// Add `ppm` to the persistent frequency trim (like the `freq` field of
+    /// `ntp_adjtime`). Used for drift correction.
+    fn trim_frequency_ppm(&mut self, now: SimTime, ppm: f64);
+
+    /// The latest true time this clock has been advanced to. Drivers use
+    /// it to keep event times monotone: a reading "at `t`" where
+    /// `t < position()` would silently return the clock's state at
+    /// `position()`, mis-timestamping the event.
+    fn position(&self) -> SimTime;
+}
+
+/// Maximum slew rate, ppm — the classic Unix `adjtime` rate of 0.5 ms/s.
+pub const DEFAULT_SLEW_RATE_PPM: f64 = 500.0;
+
+/// A clock correction decided by a protocol, to be applied by whoever owns
+/// the clock. Sans-io protocol state machines return these instead of
+/// touching the clock directly, which keeps them testable in isolation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClockCommand {
+    /// Step the clock by the given offset.
+    Step(NtpDuration),
+    /// Slew the clock by the given offset at the bounded rate.
+    Slew(NtpDuration),
+    /// Adjust the persistent frequency trim by `ppm`.
+    TrimFrequencyPpm(f64),
+}
+
+impl ClockCommand {
+    /// Apply this command to a clock at true time `now`.
+    pub fn apply(self, clock: &mut dyn ClockControl, now: SimTime) {
+        match self {
+            ClockCommand::Step(d) => clock.step(now, d),
+            ClockCommand::Slew(d) => clock.slew(now, d),
+            ClockCommand::TrimFrequencyPpm(ppm) => clock.trim_frequency_ppm(now, ppm),
+        }
+    }
+}
+
+/// A free-running local clock driven by an oscillator model.
+///
+/// ```
+/// use clocksim::{OscillatorConfig, SimClock, SimRng, ClockControl};
+/// use clocksim::time::SimTime;
+///
+/// // A crystal running 25 ppm fast accumulates 25 ms of error per 1000 s.
+/// let osc = OscillatorConfig::perfect().with_skew_ppm(25.0).build(SimRng::new(1));
+/// let mut clock = SimClock::new(osc, SimTime::ZERO);
+/// let err = clock.true_error(SimTime::from_secs(1000));
+/// assert!((err.as_millis_f64() - 25.0).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    osc: Oscillator,
+    last_true: SimTime,
+    /// Local reading at `last_true`, nanoseconds on the local timescale.
+    /// `f64` keeps sub-ns precision over multi-day runs (53-bit mantissa).
+    local_ns: f64,
+    /// Persistent frequency trim applied by discipline, ppm.
+    trim_ppm: f64,
+    /// Outstanding slew correction, ns (signed).
+    slew_remaining_ns: f64,
+    /// Bounded slew rate, ppm.
+    slew_rate_ppm: f64,
+    /// Count of steps applied (diagnostics).
+    steps_applied: u64,
+}
+
+impl SimClock {
+    /// Create a clock that reads exactly true time at `start` and drifts
+    /// from there.
+    pub fn new(osc: Oscillator, start: SimTime) -> Self {
+        SimClock {
+            osc,
+            last_true: start,
+            local_ns: start.as_nanos() as f64,
+            trim_ppm: 0.0,
+            slew_remaining_ns: 0.0,
+            slew_rate_ppm: DEFAULT_SLEW_RATE_PPM,
+            steps_applied: 0,
+        }
+    }
+
+    /// Create with an initial error: clock reads `true + initial_error`.
+    pub fn with_initial_error(osc: Oscillator, start: SimTime, initial_error: NtpDuration) -> Self {
+        let mut c = SimClock::new(osc, start);
+        c.local_ns += initial_error.as_nanos() as f64;
+        c
+    }
+
+    /// Advance internal state to true time `now`.
+    fn advance_to(&mut self, now: SimTime) {
+        let dt = now - self.last_true;
+        if dt.as_nanos() <= 0 {
+            return;
+        }
+        let dt_ns = dt.as_nanos() as f64;
+        let rate_err_ppm = self.osc.frequency_error_ppm(self.last_true) + self.trim_ppm;
+        let mut advance = dt_ns * (1.0 + rate_err_ppm * 1e-6);
+        // Apply outstanding slew at the bounded rate.
+        if self.slew_remaining_ns != 0.0 {
+            let max_slew = dt_ns * self.slew_rate_ppm * 1e-6;
+            let applied = self.slew_remaining_ns.clamp(-max_slew, max_slew);
+            advance += applied;
+            self.slew_remaining_ns -= applied;
+        }
+        self.local_ns += advance;
+        self.osc.advance(dt);
+        self.last_true = now;
+    }
+
+    /// The clock's current error relative to true time: `local − true`.
+    /// This is simulation-side ground truth; protocols cannot call it
+    /// (they don't hold the kernel's `SimTime`s in honest code paths —
+    /// experiments use it only for evaluation).
+    pub fn true_error(&mut self, now: SimTime) -> NtpDuration {
+        self.advance_to(now);
+        // The clock may already sit beyond `now` (an exchange read it at a
+        // packet-arrival instant). Error is always measured at the moment
+        // the clock is actually at, never against a stale `now`.
+        let at = self.last_true.max(now);
+        NtpDuration::from_nanos((self.local_ns - at.as_nanos() as f64).round() as i64)
+    }
+
+    /// Local reading in nanoseconds on the local timescale.
+    pub fn now_local_nanos(&mut self, now: SimTime) -> i64 {
+        self.advance_to(now);
+        self.local_ns.round() as i64
+    }
+
+    /// Current total oscillator frequency error (including trim), ppm —
+    /// ground truth for validating drift estimators.
+    pub fn effective_rate_error_ppm(&self, now: SimTime) -> f64 {
+        self.osc.frequency_error_ppm(now) + self.trim_ppm
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps_applied(&self) -> u64 {
+        self.steps_applied
+    }
+
+    /// Outstanding (not yet slewed-out) correction.
+    pub fn pending_slew(&self) -> NtpDuration {
+        NtpDuration::from_nanos(self.slew_remaining_ns.round() as i64)
+    }
+}
+
+impl ClockControl for SimClock {
+    fn now(&mut self, now: SimTime) -> NtpTimestamp {
+        self.advance_to(now);
+        let epoch_ns = crate::time::NTP_EPOCH_OFFSET_SECONDS as i128 * 1_000_000_000;
+        NtpTimestamp::from_era_nanos(epoch_ns + self.local_ns.round() as i128)
+    }
+
+    fn step(&mut self, now: SimTime, offset: NtpDuration) {
+        self.advance_to(now);
+        self.local_ns += offset.as_nanos() as f64;
+        self.steps_applied += 1;
+    }
+
+    fn slew(&mut self, now: SimTime, offset: NtpDuration) {
+        self.advance_to(now);
+        // adjtime semantics: a new adjustment cancels the remainder.
+        self.slew_remaining_ns = offset.as_nanos() as f64;
+    }
+
+    fn trim_frequency_ppm(&mut self, now: SimTime, ppm: f64) {
+        self.advance_to(now);
+        self.trim_ppm += ppm;
+    }
+
+    fn position(&self) -> SimTime {
+        self.last_true
+    }
+}
+
+/// A clock pinned to true time plus a constant error and an optional
+/// Ornstein–Uhlenbeck wobble. Used for stratum-server clocks (small fixed
+/// error each) and for the "system clock corrected by NTP" baseline in the
+/// paper's experiments (zero mean, a few ms of wobble).
+#[derive(Clone, Debug)]
+pub struct ReferenceClock {
+    error: NtpDuration,
+    wobble_sigma_ms: f64,
+    wobble_tau_secs: f64,
+    wobble_ms: f64,
+    last_true: SimTime,
+    rng: SimRng,
+}
+
+impl ReferenceClock {
+    /// A perfect reference (stratum-1 with GPS, effectively).
+    pub fn perfect() -> Self {
+        ReferenceClock {
+            error: NtpDuration::ZERO,
+            wobble_sigma_ms: 0.0,
+            wobble_tau_secs: 1.0,
+            wobble_ms: 0.0,
+            last_true: SimTime::ZERO,
+            rng: SimRng::new(0),
+        }
+    }
+
+    /// Constant error, no wobble.
+    pub fn with_error(error: NtpDuration) -> Self {
+        ReferenceClock { error, ..ReferenceClock::perfect() }
+    }
+
+    /// Constant error plus OU wobble with stationary σ `sigma_ms` and time
+    /// constant `tau_secs`.
+    pub fn with_wobble(error: NtpDuration, sigma_ms: f64, tau_secs: f64, rng: SimRng) -> Self {
+        ReferenceClock {
+            error,
+            wobble_sigma_ms: sigma_ms,
+            wobble_tau_secs: tau_secs,
+            wobble_ms: 0.0,
+            last_true: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        if self.wobble_sigma_ms == 0.0 {
+            self.last_true = now;
+            return;
+        }
+        let dt = (now - self.last_true).as_secs_f64().max(0.0);
+        if dt > 0.0 {
+            let a = (-dt / self.wobble_tau_secs).exp();
+            let sigma = self.wobble_sigma_ms * (1.0 - a * a).sqrt();
+            self.wobble_ms = self.wobble_ms * a + sigma * self.rng.gauss();
+            self.last_true = now;
+        }
+    }
+
+    /// Current error relative to true time.
+    pub fn true_error(&mut self, now: SimTime) -> NtpDuration {
+        self.advance_to(now);
+        self.error + NtpDuration::from_seconds_f64(self.wobble_ms / 1e3)
+    }
+}
+
+impl ClockControl for ReferenceClock {
+    fn now(&mut self, now: SimTime) -> NtpTimestamp {
+        let err = self.true_error(now);
+        now.to_ntp() + err
+    }
+
+    fn step(&mut self, _now: SimTime, offset: NtpDuration) {
+        self.error += offset;
+    }
+
+    fn slew(&mut self, _now: SimTime, offset: NtpDuration) {
+        // The reference model has no rate machinery; treat as step.
+        self.error += offset;
+    }
+
+    fn trim_frequency_ppm(&mut self, _now: SimTime, _ppm: f64) {}
+
+    fn position(&self) -> SimTime {
+        self.last_true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscillator::OscillatorConfig;
+
+    fn perfect_clock() -> SimClock {
+        SimClock::new(OscillatorConfig::perfect().build(SimRng::new(1)), SimTime::ZERO)
+    }
+
+    fn skewed_clock(ppm: f64) -> SimClock {
+        let cfg = OscillatorConfig::perfect().with_skew_ppm(ppm);
+        SimClock::new(cfg.build(SimRng::new(2)), SimTime::ZERO)
+    }
+
+    #[test]
+    fn perfect_clock_tracks_true_time() {
+        let mut c = perfect_clock();
+        for s in [1, 10, 100, 10_000] {
+            let err = c.true_error(SimTime::from_secs(s));
+            assert!(err.abs() < NtpDuration::from_micros(1), "err={err:?}");
+        }
+    }
+
+    #[test]
+    fn skew_accumulates_linearly() {
+        let mut c = skewed_clock(10.0); // 10 ppm fast
+        let err = c.true_error(SimTime::from_secs(1000));
+        // 10 ppm over 1000 s = 10 ms.
+        assert!((err.as_millis_f64() - 10.0).abs() < 0.01, "err={err:?}");
+    }
+
+    #[test]
+    fn negative_skew_runs_slow() {
+        let mut c = skewed_clock(-25.0);
+        let err = c.true_error(SimTime::from_secs(3600));
+        // -25 ppm over 1 h = -90 ms.
+        assert!((err.as_millis_f64() + 90.0).abs() < 0.05, "err={err:?}");
+    }
+
+    #[test]
+    fn step_is_instantaneous() {
+        let mut c = perfect_clock();
+        c.step(SimTime::from_secs(5), NtpDuration::from_millis(-300));
+        let err = c.true_error(SimTime::from_secs(5));
+        assert!((err.as_millis_f64() + 300.0).abs() < 0.001);
+        assert_eq!(c.steps_applied(), 1);
+    }
+
+    #[test]
+    fn slew_is_gradual_and_bounded() {
+        let mut c = perfect_clock();
+        // Ask for +100 ms at 500 ppm: needs 200 s to complete.
+        c.slew(SimTime::ZERO, NtpDuration::from_millis(100));
+        let err_mid = c.true_error(SimTime::from_secs(100));
+        assert!((err_mid.as_millis_f64() - 50.0).abs() < 0.1, "mid={err_mid:?}");
+        let err_done = c.true_error(SimTime::from_secs(300));
+        assert!((err_done.as_millis_f64() - 100.0).abs() < 0.1, "done={err_done:?}");
+        assert_eq!(c.pending_slew(), NtpDuration::ZERO);
+    }
+
+    #[test]
+    fn new_slew_replaces_old() {
+        let mut c = perfect_clock();
+        c.slew(SimTime::ZERO, NtpDuration::from_millis(100));
+        // After 20 s, 10 ms has been applied; replace with -5 ms.
+        c.slew(SimTime::from_secs(20), NtpDuration::from_millis(-5));
+        let err = c.true_error(SimTime::from_secs(100));
+        // 10 applied, then -5 more.
+        assert!((err.as_millis_f64() - 5.0).abs() < 0.1, "err={err:?}");
+    }
+
+    #[test]
+    fn frequency_trim_cancels_skew() {
+        let mut c = skewed_clock(10.0);
+        c.trim_frequency_ppm(SimTime::ZERO, -10.0);
+        let err = c.true_error(SimTime::from_secs(5000));
+        assert!(err.abs() < NtpDuration::from_micros(10), "err={err:?}");
+        assert!(c.effective_rate_error_ppm(SimTime::ZERO).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_error_preserved() {
+        let osc = OscillatorConfig::perfect().build(SimRng::new(3));
+        let mut c = SimClock::with_initial_error(osc, SimTime::ZERO, NtpDuration::from_millis(42));
+        let err = c.true_error(SimTime::from_secs(10));
+        assert!((err.as_millis_f64() - 42.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn now_matches_true_error() {
+        let mut c = skewed_clock(50.0);
+        let t = SimTime::from_secs(200);
+        let reported = c.now(t);
+        let ideal = t.to_ntp();
+        let diff = reported.wrapping_sub(ideal);
+        let err = c.true_error(t);
+        assert!((diff.as_millis_f64() - err.as_millis_f64()).abs() < 0.001);
+    }
+
+    #[test]
+    fn clock_never_reads_backwards_under_slew() {
+        let mut c = perfect_clock();
+        c.slew(SimTime::ZERO, NtpDuration::from_millis(-200));
+        let mut prev = c.now(SimTime::ZERO);
+        for i in 1..500 {
+            let t = SimTime::from_millis(i * 100);
+            let cur = c.now(t);
+            assert!(cur.wrapping_sub(prev).to_bits() > 0, "clock went backwards at {t:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn reference_clock_constant_error() {
+        let mut r = ReferenceClock::with_error(NtpDuration::from_millis(3));
+        let t = SimTime::from_secs(123);
+        let diff = r.now(t).wrapping_sub(t.to_ntp());
+        assert!((diff.as_millis_f64() - 3.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn reference_clock_wobble_stays_bounded() {
+        let mut r = ReferenceClock::with_wobble(NtpDuration::ZERO, 2.0, 60.0, SimRng::new(9));
+        let mut max_abs: f64 = 0.0;
+        for i in 0..5000 {
+            let e = r.true_error(SimTime::from_secs(i * 5)).as_millis_f64();
+            max_abs = max_abs.max(e.abs());
+        }
+        // 5 sigma bound with sigma = 2 ms.
+        assert!(max_abs < 10.0, "max wobble {max_abs} ms");
+        assert!(max_abs > 0.1, "wobble should actually move");
+    }
+
+    #[test]
+    fn reads_at_same_instant_are_stable() {
+        let mut c = skewed_clock(10.0);
+        let t = SimTime::from_secs(50);
+        assert_eq!(c.now(t), c.now(t));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::oscillator::OscillatorConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A constant-skew clock's error is linear in elapsed time, for
+        /// any skew and horizon.
+        #[test]
+        fn skew_error_is_linear(ppm in -200.0f64..200.0, secs in 1i64..50_000) {
+            let osc = OscillatorConfig::perfect().with_skew_ppm(ppm).build(SimRng::new(1));
+            let mut c = SimClock::new(osc, SimTime::ZERO);
+            let err = c.true_error(SimTime::from_secs(secs)).as_millis_f64();
+            let expected = ppm * 1e-3 * secs as f64; // ppm · s → ms
+            prop_assert!((err - expected).abs() < 0.01 + expected.abs() * 1e-6,
+                "err={err} expected={expected}");
+        }
+
+        /// step(x) then step(−x) is a no-op on the clock's error.
+        #[test]
+        fn step_roundtrip(ms in -10_000i64..10_000, at in 1i64..1000) {
+            let osc = OscillatorConfig::perfect().build(SimRng::new(2));
+            let mut c = SimClock::new(osc, SimTime::ZERO);
+            let t = SimTime::from_secs(at);
+            c.step(t, NtpDuration::from_millis(ms));
+            c.step(t, NtpDuration::from_millis(-ms));
+            let err = c.true_error(t).as_millis_f64();
+            prop_assert!(err.abs() < 0.001, "err={err}");
+        }
+
+        /// A slew, once fully played out, moves the clock by exactly the
+        /// requested amount.
+        #[test]
+        fn slew_total_is_exact(ms in -200i64..200) {
+            let osc = OscillatorConfig::perfect().build(SimRng::new(3));
+            let mut c = SimClock::new(osc, SimTime::ZERO);
+            c.slew(SimTime::ZERO, NtpDuration::from_millis(ms));
+            // 500 ppm clears 200 ms within 400 s; give it 10× margin.
+            let err = c.true_error(SimTime::from_secs(4_000)).as_millis_f64();
+            prop_assert!((err - ms as f64).abs() < 0.01, "err={err} want {ms}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Least-squares trend fitting for clock-drift estimation.
+//!
+//! MNTP's filter (paper §4.2) fits "a trend line using least squares
+//! polynomial fit with a first degree polynomial" through recorded
+//! `(time, offset)` samples; the slope is the drift estimate and the
+//! residual statistics drive the accept/reject decision. The same
+//! machinery, at degrees 0–2, backs the `ablation_fit_degree` bench.
+//!
+//! Coordinates are `f64` seconds / milliseconds; callers convert from the
+//! fixed-point protocol types at this boundary.
+
+/// A fitted degree-1 trend line `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Slope (e.g. ms of offset per second of time = drift in "ppk").
+    pub slope: f64,
+    /// Intercept at x = 0.
+    pub intercept: f64,
+}
+
+impl LineFit {
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit a straight line through `(x, y)` points by ordinary least squares.
+/// Returns `None` for fewer than two points or degenerate (all-equal) x.
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(x, y) in points {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some(LineFit { slope, intercept: mean_y - slope * mean_x })
+}
+
+/// Fit a polynomial of degree `degree` (0..=4) by solving the normal
+/// equations with Gaussian elimination and partial pivoting. Returns the
+/// coefficients lowest-order first, or `None` if the system is singular or
+/// there are too few points.
+pub fn fit_poly(points: &[(f64, f64)], degree: usize) -> Option<Vec<f64>> {
+    assert!(degree <= 4, "fit_poly supports degree <= 4");
+    let m = degree + 1;
+    if points.len() < m {
+        return None;
+    }
+    // Build the normal equations A·c = b where A[i][j] = Σ x^(i+j).
+    let mut pow_sums = vec![0.0f64; 2 * degree + 1];
+    let mut b = vec![0.0f64; m];
+    for &(x, y) in points {
+        let mut xp = 1.0;
+        for (k, slot) in pow_sums.iter_mut().enumerate() {
+            *slot += xp;
+            if k < m {
+                b[k] += y * xp;
+            }
+            xp *= x;
+        }
+    }
+    let mut a = vec![vec![0.0f64; m]; m];
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = pow_sums[i + j];
+        }
+    }
+    solve(&mut a, &mut b).then_some(b)
+}
+
+/// In-place Gaussian elimination with partial pivoting; solution lands in
+/// `b`. Returns false if singular.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> bool {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return false;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (cell, pv) in lower[0].iter_mut().zip(pivot_row).skip(col) {
+                *cell -= f * pv;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for k in col + 1..n {
+            v -= a[col][k] * b[k];
+        }
+        b[col] = v / a[col][col];
+    }
+    true
+}
+
+/// Evaluate a polynomial (coefficients lowest-order first) at `x`.
+pub fn eval_poly(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Root-mean-square error of `ys` against a predictor.
+pub fn rmse(points: &[(f64, f64)], predict: impl Fn(f64) -> f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points.iter().map(|&(x, y)| (y - predict(x)).powi(2)).sum();
+    (sum / points.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        let f = fit_line(&pts).unwrap();
+        assert!((f.slope - 0.5).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.predict(40.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 37 % 17) as f64 - 8.0) / 8.0; // in [-1, 1]
+                (x, 10.0 - 0.25 * x + noise)
+            })
+            .collect();
+        let f = fit_line(&pts).unwrap();
+        assert!((f.slope + 0.25).abs() < 0.01, "slope={}", f.slope);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0), (1.0, 4.0)]).is_none());
+    }
+
+    #[test]
+    fn poly_degree0_is_mean() {
+        let pts = [(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)];
+        let c = fit_poly(&pts, 0).unwrap();
+        assert!((c[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poly_degree1_matches_fit_line() {
+        let pts: Vec<(f64, f64)> = (0..30).map(|i| (i as f64, 1.0 + 2.0 * i as f64)).collect();
+        let c = fit_poly(&pts, 1).unwrap();
+        let l = fit_line(&pts).unwrap();
+        assert!((c[0] - l.intercept).abs() < 1e-9);
+        assert!((c[1] - l.slope).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poly_degree2_exact() {
+        let pts: Vec<(f64, f64)> =
+            (-10..=10).map(|i| (i as f64, 2.0 - 3.0 * i as f64 + 0.5 * (i * i) as f64)).collect();
+        let c = fit_poly(&pts, 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] + 3.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-8);
+        assert!((eval_poly(&c, 4.0) - (2.0 - 12.0 + 8.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn poly_insufficient_points() {
+        assert!(fit_poly(&[(0.0, 1.0)], 1).is_none());
+        assert!(fit_poly(&[(0.0, 1.0), (1.0, 2.0)], 2).is_none());
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_fit() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        assert_eq!(rmse(&pts, |x| 2.0 * x), 0.0);
+        assert!((rmse(&pts, |x| 2.0 * x + 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], |_| 0.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// fit_line exactly recovers any non-degenerate line.
+        #[test]
+        fn recovers_any_line(slope in -100.0f64..100.0, intercept in -1000.0f64..1000.0) {
+            let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, intercept + slope * i as f64)).collect();
+            let f = fit_line(&pts).unwrap();
+            prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+            prop_assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        }
+
+        /// The fitted line's RMSE is never larger than the RMSE of any other
+        /// candidate line (least-squares optimality, spot-checked against
+        /// perturbations).
+        #[test]
+        fn least_squares_optimality(
+            ys in proptest::collection::vec(-100.0f64..100.0, 5..20),
+            ds in -1.0f64..1.0,
+            di in -5.0f64..5.0,
+        ) {
+            let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+            let f = fit_line(&pts).unwrap();
+            let best = rmse(&pts, |x| f.predict(x));
+            let perturbed = rmse(&pts, |x| (f.intercept + di) + (f.slope + ds) * x);
+            prop_assert!(best <= perturbed + 1e-9);
+        }
+    }
+}

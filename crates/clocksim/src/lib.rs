@@ -1,0 +1,41 @@
+//! # clocksim
+//!
+//! The simulated time substrate for the MNTP reproduction.
+//!
+//! Everything in the workspace that "keeps time" is built from four pieces
+//! defined here:
+//!
+//! * [`time`] — [`SimTime`]/[`SimDuration`]: the simulator's *true* time
+//!   axis, a nanosecond counter only the simulation kernel can read.
+//! * [`rng`] — [`rng::SimRng`]: a self-contained xoshiro256\*\* generator
+//!   (seeded via SplitMix64) plus the distribution samplers the channel
+//!   and workload models need. Implemented in-repo so every experiment is
+//!   bit-reproducible across platforms and crate upgrades.
+//! * [`oscillator`] — frequency-error models for crystal oscillators:
+//!   constant skew, random-walk wander, and temperature sensitivity, which
+//!   together give the "dominant constant skew plus small variable
+//!   component" structure the paper's filter assumes (§4.2, citing
+//!   Murdoch 2006).
+//! * [`clock`] — [`SimClock`]: a local clock driven by an oscillator, with
+//!   `step`/`slew`/frequency-trim controls mirroring what `adjtime(2)`-like
+//!   interfaces give a real SNTP/NTP implementation.
+//!
+//! [`fit`] holds the least-squares drift estimation shared by MNTP's filter
+//! and the tuner, and [`stats`] small summary-statistics helpers used by
+//! every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod fit;
+pub mod oscillator;
+pub mod rng;
+pub mod stats;
+pub mod temperature;
+pub mod time;
+
+pub use clock::{ClockCommand, ClockControl, ReferenceClock, SimClock};
+pub use oscillator::{Oscillator, OscillatorConfig};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime, NTP_EPOCH_OFFSET_SECONDS};

@@ -1,0 +1,184 @@
+//! Summary statistics shared by every experiment and the log-analysis
+//! pipeline: mean, standard deviation, percentiles, and a one-shot
+//! [`Summary`] used when rendering the paper's tables.
+
+/// Mean of a slice; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root mean square of a slice (used for RMSE against a zero target).
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]` of an unsorted slice.
+/// Returns 0.0 for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile over an already-sorted slice (avoids repeated sorting when
+/// computing many quantiles of one dataset).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// One-pass descriptive summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary; all fields zero for empty input.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, p25: 0.0, median: 0.0, p75: 0.0, p95: 0.0, max: 0.0 };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std: stddev(xs),
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Maximum absolute value of the sample (the paper reports "maximum
+    /// offset" as a magnitude).
+    pub fn max_abs(&self) -> f64 {
+        self.max.abs().max(self.min.abs())
+    }
+}
+
+/// Empirical CDF: returns `(value, cumulative_fraction)` points, one per
+/// sample, suitable for rendering the paper's CDF figures.
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn rms_known() {
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p95);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let s = Summary::of(&[-10.0, 1.0, 2.0]);
+        assert_eq!(s.max_abs(), 10.0);
+    }
+
+    #[test]
+    fn ecdf_monotone_ending_at_one() {
+        let points = ecdf(&[5.0, 1.0, 3.0]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].0, 1.0);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Ambient-temperature profiles driving the oscillator's thermal term.
+//!
+//! The paper notes (§3.2) that on a wired network with clock correction
+//! suspended "the drift is steady and is dependent on the temperature of
+//! the vendor-specific oscillator present in the device." These profiles
+//! let experiments reproduce both the steady case (constant temperature)
+//! and environment changes a mobile device actually sees (pocket → desk →
+//! outdoors), which shift the oscillator frequency through its thermal
+//! coefficient.
+
+use crate::time::SimTime;
+
+/// A deterministic ambient-temperature trajectory, °C as a function of
+/// true time.
+#[derive(Clone, Debug)]
+pub enum TemperatureProfile {
+    /// Constant ambient temperature.
+    Constant(f64),
+    /// Sinusoid: `mean + amplitude * sin(2πt/period + phase)` — a cheap
+    /// model of diurnal or HVAC cycling.
+    Sinusoid {
+        /// Mean temperature, °C.
+        mean: f64,
+        /// Peak deviation from the mean, °C.
+        amplitude: f64,
+        /// Cycle period, seconds.
+        period_secs: f64,
+        /// Phase at t=0, radians.
+        phase: f64,
+    },
+    /// Piecewise-constant steps: `(start_time_secs, temperature)` pairs,
+    /// sorted by time. Models a device moving between environments.
+    Steps(Vec<(f64, f64)>),
+}
+
+impl TemperatureProfile {
+    /// Room temperature, never changing — the default for lab experiments.
+    pub fn room() -> Self {
+        TemperatureProfile::Constant(22.0)
+    }
+
+    /// Temperature at true time `t`.
+    pub fn at(&self, t: SimTime) -> f64 {
+        let secs = t.as_secs_f64();
+        match self {
+            TemperatureProfile::Constant(c) => *c,
+            TemperatureProfile::Sinusoid { mean, amplitude, period_secs, phase } => {
+                mean + amplitude
+                    * (2.0 * std::f64::consts::PI * secs / period_secs + phase).sin()
+            }
+            TemperatureProfile::Steps(steps) => {
+                let mut temp = steps.first().map(|s| s.1).unwrap_or(22.0);
+                for &(start, value) in steps {
+                    if secs >= start {
+                        temp = value;
+                    } else {
+                        break;
+                    }
+                }
+                temp
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = TemperatureProfile::room();
+        assert_eq!(p.at(SimTime::ZERO), 22.0);
+        assert_eq!(p.at(SimTime::from_secs(99999)), 22.0);
+    }
+
+    #[test]
+    fn sinusoid_hits_extremes() {
+        let p = TemperatureProfile::Sinusoid {
+            mean: 20.0,
+            amplitude: 5.0,
+            period_secs: 100.0,
+            phase: 0.0,
+        };
+        // Quarter period: sin = 1.
+        assert!((p.at(SimTime::from_secs(25)) - 25.0).abs() < 1e-9);
+        // Three quarters: sin = -1.
+        assert!((p.at(SimTime::from_secs(75)) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steps_select_correct_segment() {
+        let p = TemperatureProfile::Steps(vec![(0.0, 20.0), (60.0, 30.0), (120.0, 10.0)]);
+        assert_eq!(p.at(SimTime::from_secs(0)), 20.0);
+        assert_eq!(p.at(SimTime::from_secs(59)), 20.0);
+        assert_eq!(p.at(SimTime::from_secs(60)), 30.0);
+        assert_eq!(p.at(SimTime::from_secs(500)), 10.0);
+    }
+
+    #[test]
+    fn empty_steps_default() {
+        let p = TemperatureProfile::Steps(vec![]);
+        assert_eq!(p.at(SimTime::from_secs(10)), 22.0);
+    }
+}

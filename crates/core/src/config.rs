@@ -1,0 +1,147 @@
+//! MNTP configuration: the four tunable parameters of Algorithm 1 plus
+//! the baseline wireless-hint thresholds of §4.2.
+
+/// How (and whether) MNTP applies accepted offsets to the system clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Record offsets only; never touch the clock. This is the
+    /// measurement configuration of the paper's §5.1/§5.2 comparisons,
+    /// where reported offsets are the metric.
+    RecordOnly,
+    /// Step the clock by each accepted offset.
+    Step,
+    /// Slew the clock by each accepted offset (bounded rate).
+    Slew,
+}
+
+/// Full MNTP configuration.
+#[derive(Clone, Debug)]
+pub struct MntpConfig {
+    // ---- wireless-hint thresholds (paper §4.2, "not arbitrary") ----
+    /// Minimum acceptable RSSI, dBm. Paper: −75.
+    pub rssi_min_dbm: f64,
+    /// Maximum acceptable noise, dBm. Paper: −70.
+    pub noise_max_dbm: f64,
+    /// Minimum acceptable SNR margin (RSSI − noise), dB. Paper: 20.
+    pub snr_margin_min_db: f64,
+
+    // ---- the four Algorithm 1 parameters ----
+    /// `warmupPeriod`: duration of the warmup phase, seconds.
+    pub warmup_period_secs: f64,
+    /// `warmupWaitTime`: interval between warmup requests, seconds.
+    pub warmup_wait_secs: f64,
+    /// `regularWaitTime`: interval between regular requests, seconds.
+    pub regular_wait_secs: f64,
+    /// `resetPeriod`: warmup + regular duration before a full restart,
+    /// seconds.
+    pub reset_period_secs: f64,
+
+    // ---- structural knobs ----
+    /// Sources queried in parallel during warmup (paper: 3 — the
+    /// 0/1/3.pool.ntp.org references).
+    pub warmup_sources: usize,
+    /// Minimum recorded offsets before the drift trend is trusted
+    /// (paper: 10).
+    pub min_warmup_samples: usize,
+    /// σ multiplier of the squared-error accept band (paper: 1).
+    pub filter_sigma: f64,
+    /// Re-estimate drift with every accepted sample — the §5.3 fix
+    /// discovered with the tuner. Disable only for the ablation that
+    /// reproduces the pre-fix failure mode.
+    pub reestimate_drift: bool,
+    /// Correct the clock's frequency by the estimated drift at the
+    /// warmup → regular transition (Algorithm 1 step 16).
+    pub drift_correction: bool,
+    /// What to do with accepted offsets.
+    pub apply_mode: ApplyMode,
+}
+
+impl Default for MntpConfig {
+    /// The paper's §5.2 long-experiment configuration: hint thresholds as
+    /// published, warmup 30 min with requests every 15 s, regular
+    /// requests every 15 min, reset every 4 h.
+    fn default() -> Self {
+        MntpConfig {
+            rssi_min_dbm: -75.0,
+            noise_max_dbm: -70.0,
+            snr_margin_min_db: 20.0,
+            warmup_period_secs: 30.0 * 60.0,
+            warmup_wait_secs: 15.0,
+            regular_wait_secs: 15.0 * 60.0,
+            reset_period_secs: 240.0 * 60.0,
+            warmup_sources: 3,
+            min_warmup_samples: 10,
+            filter_sigma: 1.0,
+            reestimate_drift: true,
+            drift_correction: true,
+            apply_mode: ApplyMode::RecordOnly,
+        }
+    }
+}
+
+impl MntpConfig {
+    /// The §5.1 head-to-head baseline: "we do not consider warmup and
+    /// regular periods, and we switched off the drift correction feature"
+    /// — requests every `poll_secs` (the paper used 5 s), gate + filter
+    /// only.
+    pub fn baseline(poll_secs: f64) -> Self {
+        MntpConfig {
+            warmup_wait_secs: poll_secs,
+            regular_wait_secs: poll_secs,
+            drift_correction: false,
+            ..Default::default()
+        }
+    }
+
+    /// Construct from the four tuner parameters, everything else default.
+    /// Arguments in **minutes**, matching the units of the paper's
+    /// Table 2.
+    pub fn from_tuner_minutes(
+        warmup_period_min: f64,
+        warmup_wait_min: f64,
+        regular_wait_min: f64,
+        reset_period_min: f64,
+    ) -> Self {
+        MntpConfig {
+            warmup_period_secs: warmup_period_min * 60.0,
+            warmup_wait_secs: warmup_wait_min * 60.0,
+            regular_wait_secs: regular_wait_min * 60.0,
+            reset_period_secs: reset_period_min * 60.0,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_thresholds() {
+        let c = MntpConfig::default();
+        assert_eq!(c.rssi_min_dbm, -75.0);
+        assert_eq!(c.noise_max_dbm, -70.0);
+        assert_eq!(c.snr_margin_min_db, 20.0);
+        assert_eq!(c.warmup_sources, 3);
+        assert_eq!(c.min_warmup_samples, 10);
+        assert_eq!(c.filter_sigma, 1.0);
+        assert!(c.reestimate_drift);
+    }
+
+    #[test]
+    fn tuner_units_are_minutes() {
+        let c = MntpConfig::from_tuner_minutes(30.0, 0.25, 15.0, 240.0);
+        assert_eq!(c.warmup_period_secs, 1800.0);
+        assert_eq!(c.warmup_wait_secs, 15.0);
+        assert_eq!(c.regular_wait_secs, 900.0);
+        assert_eq!(c.reset_period_secs, 14_400.0);
+    }
+
+    #[test]
+    fn baseline_disables_phasing_machinery() {
+        let c = MntpConfig::baseline(5.0);
+        assert!(!c.drift_correction);
+        assert_eq!(c.warmup_wait_secs, 5.0);
+        assert_eq!(c.regular_wait_secs, 5.0);
+    }
+}

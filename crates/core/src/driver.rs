@@ -1,0 +1,421 @@
+//! Drivers that run MNTP against a simulated testbed.
+//!
+//! [`run_full`] drives the complete Algorithm 1 engine ([`crate::Mntp`]);
+//! [`run_baseline`] drives the §5.1 head-to-head configuration (no
+//! phases, no drift correction — hint gate plus trend filter over a
+//! fixed poll interval). Both produce a list of [`MntpRunRecord`]s (one
+//! per query attempt, including deferrals) plus a sampled trace of the
+//! client clock's *true* error, which is evaluation-only ground truth.
+
+use clocksim::time::{SimDuration, SimTime};
+use clocksim::{ClockControl, SimClock};
+use netsim::{Testbed, WirelessHints};
+use sntp::{perform_exchange, ServerPool};
+
+use crate::config::MntpConfig;
+use crate::engine::{Mntp, MntpAction, SampleVerdict};
+use crate::filter::TrendFilter;
+use crate::gate::HintGate;
+
+/// What happened at one query instant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// The hint gate deferred the request.
+    Deferred,
+    /// The query was sent but every packet was lost.
+    Failed,
+    /// A warmup round completed with these per-source offsets (ms) and
+    /// this many of them rejected as false tickers.
+    WarmupRound {
+        /// Offset reported by each responding source, ms.
+        offsets_ms: Vec<f64>,
+        /// How many of them the mean+1σ test rejected.
+        false_tickers: usize,
+    },
+    /// A sample was accepted by the filter.
+    Accepted {
+        /// The accepted offset, ms.
+        offset_ms: f64,
+    },
+    /// A sample was rejected by the filter.
+    Rejected {
+        /// The rejected offset, ms.
+        offset_ms: f64,
+    },
+}
+
+/// One record of an MNTP run.
+#[derive(Clone, Debug)]
+pub struct MntpRunRecord {
+    /// True time of the event, seconds since run start.
+    pub t_secs: f64,
+    /// Wireless hints at the event (None on wired/cellular hops).
+    pub hints: Option<WirelessHints>,
+    /// What happened.
+    pub outcome: QueryOutcome,
+}
+
+/// A completed run: per-event records plus ground-truth clock error.
+#[derive(Clone, Debug, Default)]
+pub struct MntpRun {
+    /// Per-query-instant records.
+    pub records: Vec<MntpRunRecord>,
+    /// `(t_secs, clock true error ms)` sampled every few seconds —
+    /// evaluation-only.
+    pub true_error_ms: Vec<(f64, f64)>,
+}
+
+impl MntpRun {
+    /// All accepted offsets, ms.
+    pub fn accepted_offsets(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                QueryOutcome::Accepted { offset_ms } => Some(*offset_ms),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All rejected offsets, ms.
+    pub fn rejected_offsets(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                QueryOutcome::Rejected { offset_ms } => Some(*offset_ms),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of deferred query instants.
+    pub fn deferrals(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome == QueryOutcome::Deferred).count()
+    }
+}
+
+/// Run the full Algorithm 1 engine for `duration_secs` of simulated time.
+///
+/// The engine is ticked once per `tick_secs` (1 s is the paper-faithful
+/// choice: `wait(favorableSNRCondition())` re-checks the channel each
+/// second). Clock commands are applied to `clock` as they are emitted.
+pub fn run_full(
+    cfg: MntpConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    duration_secs: u64,
+    tick_secs: f64,
+) -> MntpRun {
+    let mut engine = Mntp::new(cfg);
+    let mut run = MntpRun::default();
+    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
+    for i in 0..=ticks {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
+        let hints = testbed.hints(t);
+        let now_local = clock.now(t);
+        let deferred_before = engine.stats.deferred;
+        let action = engine.on_tick(now_local, hints.as_ref());
+        match action {
+            MntpAction::Wait => {
+                if engine.stats.deferred > deferred_before {
+                    run.records.push(MntpRunRecord {
+                        t_secs: t.as_secs_f64(),
+                        hints,
+                        outcome: QueryOutcome::Deferred,
+                    });
+                }
+            }
+            MntpAction::QueryMultiple(n) => {
+                let ids = pool.pick_distinct(n);
+                let mut offsets = Vec::new();
+                for id in ids {
+                    if let Ok(done) = perform_exchange(testbed, pool.server_mut(id), clock, t) {
+                        offsets.push(done.sample.offset.as_millis_f64());
+                    }
+                }
+                let outcome = if offsets.is_empty() {
+                    engine.on_query_failed(clock.now(t));
+                    QueryOutcome::Failed
+                } else {
+                    let before = engine.stats.false_tickers_rejected;
+                    engine.on_warmup_round(clock.now(t), &offsets);
+                    QueryOutcome::WarmupRound {
+                        offsets_ms: offsets,
+                        false_tickers: (engine.stats.false_tickers_rejected - before) as usize,
+                    }
+                };
+                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+            }
+            MntpAction::QuerySingle => {
+                let id = pool.pick();
+                let outcome = match perform_exchange(testbed, pool.server_mut(id), clock, t) {
+                    Ok(done) => {
+                        let ms = done.sample.offset.as_millis_f64();
+                        match engine.on_regular_sample(clock.now(t), ms) {
+                            SampleVerdict::Accepted { offset_ms } => {
+                                QueryOutcome::Accepted { offset_ms }
+                            }
+                            SampleVerdict::Rejected { offset_ms } => {
+                                QueryOutcome::Rejected { offset_ms }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        engine.on_query_failed(clock.now(t));
+                        QueryOutcome::Failed
+                    }
+                };
+                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+            }
+        }
+        for cmd in engine.take_commands() {
+            cmd.apply(clock, t);
+        }
+        // Ground-truth sampling every ~5 s.
+        if (i as f64 * tick_secs) % 5.0 < tick_secs {
+            run.true_error_ms
+                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
+        }
+    }
+    run
+}
+
+/// Run the full engine with the AIMD self-tuner adjusting the
+/// regular-phase wait online (the paper's §7 future work). Identical to
+/// [`run_full`] otherwise.
+pub fn run_full_autotuned(
+    cfg: MntpConfig,
+    tune: crate::autotune::AutoTuneConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    duration_secs: u64,
+    tick_secs: f64,
+) -> (MntpRun, crate::autotune::AutoTuner) {
+    let mut engine = Mntp::new(cfg);
+    let mut tuner = crate::autotune::AutoTuner::new(tune);
+    let mut run = MntpRun::default();
+    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
+    for i in 0..=ticks {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
+        let hints = testbed.hints(t);
+        let now_local = clock.now(t);
+        let deferred_before = engine.stats.deferred;
+        match engine.on_tick(now_local, hints.as_ref()) {
+            MntpAction::Wait => {
+                if engine.stats.deferred > deferred_before {
+                    run.records.push(MntpRunRecord {
+                        t_secs: t.as_secs_f64(),
+                        hints,
+                        outcome: QueryOutcome::Deferred,
+                    });
+                }
+            }
+            MntpAction::QueryMultiple(n) => {
+                let ids = pool.pick_distinct(n);
+                let mut offsets = Vec::new();
+                for id in ids {
+                    if let Ok(done) = perform_exchange(testbed, pool.server_mut(id), clock, t) {
+                        offsets.push(done.sample.offset.as_millis_f64());
+                    }
+                }
+                let outcome = if offsets.is_empty() {
+                    engine.on_query_failed(clock.now(t));
+                    QueryOutcome::Failed
+                } else {
+                    engine.on_warmup_round(clock.now(t), &offsets);
+                    QueryOutcome::WarmupRound { offsets_ms: offsets, false_tickers: 0 }
+                };
+                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+            }
+            MntpAction::QuerySingle => {
+                let id = pool.pick();
+                let outcome = match perform_exchange(testbed, pool.server_mut(id), clock, t) {
+                    Ok(done) => {
+                        let ms = done.sample.offset.as_millis_f64();
+                        let verdict = engine.on_regular_sample(clock.now(t), ms);
+                        engine.set_regular_wait_secs(tuner.on_verdict(&verdict));
+                        match verdict {
+                            SampleVerdict::Accepted { offset_ms } => {
+                                QueryOutcome::Accepted { offset_ms }
+                            }
+                            SampleVerdict::Rejected { offset_ms } => {
+                                QueryOutcome::Rejected { offset_ms }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        engine.on_query_failed(clock.now(t));
+                        engine.set_regular_wait_secs(tuner.on_failure());
+                        QueryOutcome::Failed
+                    }
+                };
+                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+            }
+        }
+        for cmd in engine.take_commands() {
+            cmd.apply(clock, t);
+        }
+        if (i as f64 * tick_secs) % 5.0 < tick_secs {
+            run.true_error_ms
+                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
+        }
+    }
+    (run, tuner)
+}
+
+/// Run the §5.1 baseline: poll every `poll_secs`, gate + filter only, no
+/// phases, no drift correction, clock untouched.
+pub fn run_baseline(
+    cfg: MntpConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    duration_secs: u64,
+    poll_secs: f64,
+) -> MntpRun {
+    let mut gate = HintGate::new(&cfg);
+    let mut filter = TrendFilter::new(cfg.filter_sigma, cfg.reestimate_drift);
+    let mut run = MntpRun::default();
+    let polls = (duration_secs as f64 / poll_secs).floor() as u64;
+    for i in 0..=polls {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * poll_secs);
+        let hints = testbed.hints(t);
+        let outcome = if !gate.favorable(hints.as_ref()) {
+            QueryOutcome::Deferred
+        } else {
+            let id = pool.pick();
+            match perform_exchange(testbed, pool.server_mut(id), clock, t) {
+                Ok(done) => {
+                    let ms = done.sample.offset.as_millis_f64();
+                    if filter.offer(t.as_secs_f64(), ms) {
+                        QueryOutcome::Accepted { offset_ms: ms }
+                    } else {
+                        QueryOutcome::Rejected { offset_ms: ms }
+                    }
+                }
+                Err(_) => QueryOutcome::Failed,
+            }
+        };
+        run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+        run.true_error_ms.push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksim::{OscillatorConfig, SimRng};
+    use netsim::testbed::TestbedConfig;
+    use sntp::PoolConfig;
+
+    fn clock(skew_ppm: f64, seed: u64) -> SimClock {
+        let osc = OscillatorConfig::laptop().with_skew_ppm(skew_ppm).build(SimRng::new(seed));
+        SimClock::new(osc, SimTime::ZERO)
+    }
+
+    #[test]
+    fn baseline_run_on_wireless_rejects_spikes() {
+        let mut tb = Testbed::wireless(TestbedConfig::default(), 1);
+        let mut pool = ServerPool::new(PoolConfig::default(), 2);
+        let mut c = clock(0.0, 3);
+        let cfg = MntpConfig::baseline(5.0);
+        let run = run_baseline(cfg, &mut tb, &mut pool, &mut c, 1800, 5.0);
+        let accepted = run.accepted_offsets();
+        let rejected = run.rejected_offsets();
+        assert!(!accepted.is_empty());
+        assert!(run.deferrals() > 0, "gate should defer sometimes");
+        // Accepted spread must be far tighter than what rejection removed.
+        if !rejected.is_empty() {
+            let max_acc = accepted.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            let max_rej = rejected.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            assert!(max_rej > max_acc, "rejected {max_rej} vs accepted {max_acc}");
+        }
+    }
+
+    #[test]
+    fn full_run_reaches_regular_phase_and_records() {
+        let mut tb = Testbed::wireless(TestbedConfig::default(), 4);
+        let mut pool = ServerPool::new(PoolConfig::default(), 5);
+        let mut c = clock(10.0, 6);
+        let cfg = MntpConfig {
+            warmup_period_secs: 300.0,
+            warmup_wait_secs: 15.0,
+            regular_wait_secs: 60.0,
+            reset_period_secs: 100_000.0,
+            ..Default::default()
+        };
+        let run = run_full(cfg, &mut tb, &mut pool, &mut c, 3600, 1.0);
+        let warmup_rounds = run
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, QueryOutcome::WarmupRound { .. }))
+            .count();
+        assert!(warmup_rounds >= 10, "warmup rounds {warmup_rounds}");
+        let regular = run
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    QueryOutcome::Accepted { .. } | QueryOutcome::Rejected { .. }
+                )
+            })
+            .count();
+        assert!(regular >= 10, "regular samples {regular}");
+        assert!(!run.true_error_ms.is_empty());
+    }
+
+    #[test]
+    fn autotuned_driver_stretches_pacing_and_still_tracks() {
+        let mut tb = Testbed::wireless(netsim::testbed::TestbedConfig::default(), 21);
+        let mut pool = ServerPool::new(sntp::PoolConfig::default(), 22);
+        let osc =
+            clocksim::OscillatorConfig::laptop().with_skew_ppm(25.0).build(SimRng::new(23));
+        let mut c = SimClock::new(osc, SimTime::ZERO);
+        let cfg = MntpConfig {
+            warmup_period_secs: 300.0,
+            warmup_wait_secs: 10.0,
+            regular_wait_secs: 30.0,
+            reset_period_secs: 1e9,
+            apply_mode: crate::config::ApplyMode::Step,
+            ..Default::default()
+        };
+        let (run, tuner) = run_full_autotuned(
+            cfg,
+            crate::autotune::AutoTuneConfig::default(),
+            &mut tb,
+            &mut pool,
+            &mut c,
+            3600,
+            1.0,
+        );
+        // The tuner must have stretched the wait beyond its floor…
+        assert!(tuner.wait_secs() > 15.0, "wait {}", tuner.wait_secs());
+        assert!(tuner.increases > 0);
+        // …while the clock stays disciplined after warmup.
+        let late: Vec<f64> = run
+            .true_error_ms
+            .iter()
+            .filter(|(t, _)| *t > 1200.0)
+            .map(|(_, e)| e.abs())
+            .collect();
+        let worst = late.iter().cloned().fold(0.0, f64::max);
+        assert!(worst < 120.0, "worst disciplined error {worst}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let go = || {
+            let mut tb = Testbed::wireless(TestbedConfig::default(), 7);
+            let mut pool = ServerPool::new(PoolConfig::default(), 8);
+            let mut c = clock(5.0, 9);
+            let run =
+                run_baseline(MntpConfig::baseline(5.0), &mut tb, &mut pool, &mut c, 600, 5.0);
+            run.accepted_offsets()
+        };
+        assert_eq!(go(), go());
+    }
+}

@@ -1,0 +1,509 @@
+//! Algorithm 1: the MNTP two-phase clock-synchronization engine.
+//!
+//! Sans-io: the engine never touches a socket or a clock. The driver
+//! calls [`Mntp::on_tick`] with the current *local* time and the current
+//! wireless hints; the engine answers with what to do
+//! ([`MntpAction::QueryMultiple`] during warmup,
+//! [`MntpAction::QuerySingle`] during the regular phase, or
+//! [`MntpAction::Wait`] when the gate defers or nothing is due). The
+//! driver performs the exchanges and feeds results back through
+//! [`Mntp::on_warmup_round`] / [`Mntp::on_regular_sample`]; clock
+//! corrections accumulate in a command queue drained with
+//! [`Mntp::take_commands`].
+//!
+//! Phase logic follows the paper exactly:
+//!
+//! * **Warmup** (steps 4–14): gate on hints; query `warmup_sources` pool
+//!   references in parallel every `warmupWaitTime`; reject false tickers
+//!   (mean + 1σ); record until `warmupPeriod` has elapsed *and* at least
+//!   `min_warmup_samples` offsets are recorded (the trend needs 10
+//!   points, §4.2); then estimate drift by least squares.
+//! * **Regular** (steps 16–26): correct clock drift; gate on hints;
+//!   query a single source every `regularWaitTime`; accept/reject each
+//!   sample against the extended trend line; accepted samples correct
+//!   the clock and (per the §5.3 fix) re-estimate the drift.
+//! * **Reset** (steps 23–24): after `resetPeriod`, restart from warmup.
+
+use clocksim::ClockCommand;
+use netsim::WirelessHints;
+use ntp_wire::{NtpDuration, NtpTimestamp};
+
+use crate::config::{ApplyMode, MntpConfig};
+use crate::filter::{combine_round, reject_false_tickers, TrendFilter};
+use crate::gate::HintGate;
+
+/// Which phase of Algorithm 1 the engine is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Steps 4–14: multi-source sampling, trend construction.
+    Warmup,
+    /// Steps 16–26: single-source sampling, clock correction.
+    Regular,
+}
+
+/// What the driver should do right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MntpAction {
+    /// Nothing due, or the gate deferred the request.
+    Wait,
+    /// Query this many distinct pool sources in parallel (warmup).
+    QueryMultiple(usize),
+    /// Query one source (regular phase).
+    QuerySingle,
+}
+
+/// The engine's verdict on a regular-phase sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleVerdict {
+    /// Consistent with the trend: recorded (and clock corrected, if an
+    /// apply mode is on).
+    Accepted {
+        /// The sample's offset, ms.
+        offset_ms: f64,
+    },
+    /// Outlier: discarded.
+    Rejected {
+        /// The discarded offset, ms.
+        offset_ms: f64,
+    },
+}
+
+/// Counters exposed for evaluation and the signals/selection plot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MntpStats {
+    /// Warmup rounds completed.
+    pub warmup_rounds: u64,
+    /// Individual source offsets rejected as false tickers.
+    pub false_tickers_rejected: u64,
+    /// Regular samples accepted.
+    pub accepted: u64,
+    /// Regular samples rejected by the trend filter.
+    pub rejected: u64,
+    /// Queries deferred by the hint gate.
+    pub deferred: u64,
+    /// Full resets performed.
+    pub resets: u64,
+    /// Query rounds that failed (all losses).
+    pub failures: u64,
+}
+
+/// The MNTP engine.
+#[derive(Clone, Debug)]
+pub struct Mntp {
+    cfg: MntpConfig,
+    gate: HintGate,
+    filter: TrendFilter,
+    phase: Phase,
+    /// Local time the current cycle (warmup start) began.
+    cycle_start: Option<NtpTimestamp>,
+    /// Local time before which no request is due.
+    next_request: Option<NtpTimestamp>,
+    /// Drift (ppm) already compensated via frequency trim.
+    applied_trim_ppm: f64,
+    pending: Vec<ClockCommand>,
+    /// Public counters.
+    pub stats: MntpStats,
+}
+
+impl Mntp {
+    /// New engine in warmup.
+    pub fn new(cfg: MntpConfig) -> Self {
+        let gate = HintGate::new(&cfg);
+        let filter = TrendFilter::new(cfg.filter_sigma, cfg.reestimate_drift);
+        Mntp {
+            cfg,
+            gate,
+            filter,
+            phase: Phase::Warmup,
+            cycle_start: None,
+            next_request: None,
+            applied_trim_ppm: 0.0,
+            pending: Vec::new(),
+            stats: MntpStats::default(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Current drift estimate in ppm, once a trend exists.
+    pub fn drift_ppm(&self) -> Option<f64> {
+        self.filter.drift_ppm()
+    }
+
+    /// Predicted trend offset (ms) at local time `now` — the blue
+    /// "corrected drift" line of the paper's Figure 12.
+    pub fn predicted_offset_ms(&self, now: NtpTimestamp) -> Option<f64> {
+        let start = self.cycle_start?;
+        self.filter.predict(elapsed_secs(start, now))
+    }
+
+    /// Drain the clock commands produced since the last call.
+    pub fn take_commands(&mut self) -> Vec<ClockCommand> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Read-only access to the trend filter (tuner / diagnostics).
+    pub fn filter(&self) -> &TrendFilter {
+        &self.filter
+    }
+
+    /// Adjust the regular-phase wait at runtime (the self-tuning hook,
+    /// [`crate::autotune`]). Takes effect from the next scheduling
+    /// decision.
+    pub fn set_regular_wait_secs(&mut self, secs: f64) {
+        self.cfg.regular_wait_secs = secs.max(1.0);
+    }
+
+    /// The current regular-phase wait, seconds.
+    pub fn regular_wait_secs(&self) -> f64 {
+        self.cfg.regular_wait_secs
+    }
+
+    fn reset(&mut self, now: NtpTimestamp) {
+        self.phase = Phase::Warmup;
+        self.cycle_start = Some(now);
+        self.next_request = Some(now);
+        self.filter = TrendFilter::new(self.cfg.filter_sigma, self.cfg.reestimate_drift);
+        // The applied frequency trim persists — the clock really is
+        // better; the new warmup estimates the *residual* drift.
+        self.stats.resets += 1;
+    }
+
+    /// Step the engine at local time `now` with the current hints.
+    pub fn on_tick(&mut self, now: NtpTimestamp, hints: Option<&WirelessHints>) -> MntpAction {
+        let start = *self.cycle_start.get_or_insert(now);
+        if self.next_request.is_none() {
+            self.next_request = Some(now);
+        }
+        // Step 23: reset after resetPeriod.
+        if elapsed_secs(start, now) >= self.cfg.reset_period_secs {
+            self.reset(now);
+        }
+
+        // Warmup → regular transition (steps 11–13 + 16).
+        if self.phase == Phase::Warmup
+            && elapsed_secs(self.cycle_start.unwrap(), now) >= self.cfg.warmup_period_secs
+            && self.filter.len() >= self.cfg.min_warmup_samples
+        {
+            self.filter.refit();
+            self.phase = Phase::Regular;
+            if self.cfg.drift_correction {
+                self.emit_trim_update(now);
+            }
+        }
+
+        let due = self.next_request.expect("set above");
+        if now.wrapping_sub(due).is_negative() {
+            return MntpAction::Wait;
+        }
+        // Steps 5 / 17: acquire offset only when the channel is stable.
+        if !self.gate.favorable(hints) {
+            self.stats.deferred += 1;
+            return MntpAction::Wait;
+        }
+        match self.phase {
+            Phase::Warmup => MntpAction::QueryMultiple(self.cfg.warmup_sources),
+            Phase::Regular => MntpAction::QuerySingle,
+        }
+    }
+
+    /// Maintain the frequency trim so the clock runs at the estimated
+    /// true rate (step 16, re-run each regular round).
+    fn emit_trim_update(&mut self, _now: NtpTimestamp) {
+        if self.cfg.apply_mode == ApplyMode::RecordOnly {
+            return;
+        }
+        let Some(drift) = self.filter.drift_ppm() else { return };
+        let delta = drift - self.applied_trim_ppm;
+        if delta.abs() > 0.1 {
+            self.pending.push(ClockCommand::TrimFrequencyPpm(delta));
+            self.applied_trim_ppm = drift;
+            // Future offsets will flatten by `delta`; shear history so the
+            // trend keeps predicting what will actually be measured.
+            if let Some(start) = self.cycle_start {
+                let pivot = elapsed_secs(start, _now);
+                self.filter.apply_rate_change(-delta * 1e-3, pivot);
+            }
+        }
+    }
+
+    /// Feed back a completed warmup round: one offset (ms) per source
+    /// that answered. Schedules the next warmup request. Returns the
+    /// combined (post-false-ticker) offset and whether the trend filter
+    /// recorded it, or `None` when the round was empty.
+    pub fn on_warmup_round(
+        &mut self,
+        now: NtpTimestamp,
+        offsets_ms: &[f64],
+    ) -> Option<(f64, bool)> {
+        self.schedule_next(now, self.cfg.warmup_wait_secs);
+        if offsets_ms.is_empty() {
+            self.stats.failures += 1;
+            return None;
+        }
+        self.stats.warmup_rounds += 1;
+        let verdicts = reject_false_tickers(offsets_ms, self.cfg.filter_sigma);
+        self.stats.false_tickers_rejected += verdicts
+            .iter()
+            .filter(|v| **v == crate::filter::FalseTickerVerdict::FalseTicker)
+            .count() as u64;
+        let combined = combine_round(offsets_ms, &verdicts);
+        let t = elapsed_secs(self.cycle_start.expect("cycle started"), now);
+        // Steps 7–9: bootstrap the first min_warmup_samples unchecked,
+        // then run the trend accept test on later warmup samples too.
+        let recorded = if self.filter.len() < self.cfg.min_warmup_samples {
+            self.filter.record_unchecked(t, combined);
+            true
+        } else {
+            self.filter.offer(t, combined)
+        };
+        Some((combined, recorded))
+    }
+
+    /// Feed back a regular-phase sample (offset in ms). Returns the
+    /// verdict; accepted samples enqueue clock corrections per the apply
+    /// mode.
+    pub fn on_regular_sample(&mut self, now: NtpTimestamp, offset_ms: f64) -> SampleVerdict {
+        self.schedule_next(now, self.cfg.regular_wait_secs);
+        // Step 16 re-runs drift correction each round.
+        if self.cfg.drift_correction {
+            self.emit_trim_update(now);
+        }
+        let t = elapsed_secs(self.cycle_start.expect("cycle started"), now);
+        if self.filter.offer(t, offset_ms) {
+            self.stats.accepted += 1;
+            let offset = NtpDuration::from_seconds_f64(offset_ms / 1e3);
+            match self.cfg.apply_mode {
+                ApplyMode::RecordOnly => {}
+                ApplyMode::Step => {
+                    self.pending.push(ClockCommand::Step(offset));
+                    self.filter.translate(-offset_ms);
+                }
+                ApplyMode::Slew => {
+                    self.pending.push(ClockCommand::Slew(offset));
+                    self.filter.translate(-offset_ms);
+                }
+            }
+            SampleVerdict::Accepted { offset_ms }
+        } else {
+            self.stats.rejected += 1;
+            SampleVerdict::Rejected { offset_ms }
+        }
+    }
+
+    /// Report a failed query round (every request lost).
+    pub fn on_query_failed(&mut self, now: NtpTimestamp) {
+        self.stats.failures += 1;
+        let wait = match self.phase {
+            Phase::Warmup => self.cfg.warmup_wait_secs,
+            Phase::Regular => self.cfg.regular_wait_secs,
+        };
+        self.schedule_next(now, wait);
+    }
+
+    fn schedule_next(&mut self, now: NtpTimestamp, wait_secs: f64) {
+        self.next_request =
+            Some(now.wrapping_add_duration(NtpDuration::from_seconds_f64(wait_secs)));
+    }
+}
+
+fn elapsed_secs(start: NtpTimestamp, now: NtpTimestamp) -> f64 {
+    now.wrapping_sub(start).as_seconds_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(secs: f64) -> NtpTimestamp {
+        NtpTimestamp::from_parts(1000, 0)
+            .wrapping_add_duration(NtpDuration::from_seconds_f64(secs))
+    }
+
+    fn good_hints() -> WirelessHints {
+        WirelessHints { rssi_dbm: -60.0, noise_dbm: -92.0 }
+    }
+
+    fn bad_hints() -> WirelessHints {
+        WirelessHints { rssi_dbm: -80.0, noise_dbm: -65.0 }
+    }
+
+    fn fast_cfg() -> MntpConfig {
+        MntpConfig {
+            warmup_period_secs: 100.0,
+            warmup_wait_secs: 10.0,
+            regular_wait_secs: 20.0,
+            reset_period_secs: 10_000.0,
+            min_warmup_samples: 5,
+            ..Default::default()
+        }
+    }
+
+    /// Drive a full warmup with clean samples; returns the engine in the
+    /// regular phase at the given time.
+    fn warmed_up() -> (Mntp, f64) {
+        let mut m = Mntp::new(fast_cfg());
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup {
+            match m.on_tick(ts(t), Some(&good_hints())) {
+                MntpAction::QueryMultiple(n) => {
+                    assert_eq!(n, 3);
+                    m.on_warmup_round(ts(t), &[1.0, 1.1, 0.9]);
+                }
+                MntpAction::QuerySingle => break,
+                MntpAction::Wait => {}
+            }
+            t += 1.0;
+            assert!(t < 1000.0, "warmup never completed");
+        }
+        (m, t)
+    }
+
+    #[test]
+    fn starts_in_warmup_and_queries_multiple() {
+        let mut m = Mntp::new(fast_cfg());
+        assert_eq!(m.phase(), Phase::Warmup);
+        assert_eq!(m.on_tick(ts(0.0), Some(&good_hints())), MntpAction::QueryMultiple(3));
+    }
+
+    #[test]
+    fn gate_defers_queries() {
+        let mut m = Mntp::new(fast_cfg());
+        assert_eq!(m.on_tick(ts(0.0), Some(&bad_hints())), MntpAction::Wait);
+        assert_eq!(m.stats.deferred, 1);
+        // Channel recovers: query goes out.
+        assert_eq!(m.on_tick(ts(1.0), Some(&good_hints())), MntpAction::QueryMultiple(3));
+    }
+
+    #[test]
+    fn warmup_respects_wait_time() {
+        let mut m = Mntp::new(fast_cfg());
+        assert_eq!(m.on_tick(ts(0.0), Some(&good_hints())), MntpAction::QueryMultiple(3));
+        m.on_warmup_round(ts(0.0), &[1.0, 1.0, 1.0]);
+        // Next request only after warmup_wait_secs = 10.
+        assert_eq!(m.on_tick(ts(5.0), Some(&good_hints())), MntpAction::Wait);
+        assert_eq!(m.on_tick(ts(10.0), Some(&good_hints())), MntpAction::QueryMultiple(3));
+    }
+
+    #[test]
+    fn transitions_to_regular_after_period_and_samples() {
+        let (m, t) = warmed_up();
+        assert_eq!(m.phase(), Phase::Regular);
+        assert!(t >= 100.0, "period must elapse, t={t}");
+        assert!(m.stats.warmup_rounds >= 5);
+        assert!(m.drift_ppm().is_some());
+    }
+
+    #[test]
+    fn insufficient_samples_extend_warmup() {
+        let mut m = Mntp::new(fast_cfg());
+        // Never answer any query: no samples recorded.
+        for i in 0..30 {
+            let t = i as f64 * 10.0;
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_query_failed(ts(t));
+            }
+        }
+        // Way past warmup_period, but still warming up.
+        assert_eq!(m.phase(), Phase::Warmup);
+        assert!(m.stats.failures > 10);
+    }
+
+    #[test]
+    fn regular_phase_accepts_inliers_rejects_outliers() {
+        let (mut m, t0) = warmed_up();
+        let mut t = t0 + 20.0;
+        // On-trend sample (trend ≈ 1.0 ms flat).
+        assert_eq!(m.on_tick(ts(t), Some(&good_hints())), MntpAction::QuerySingle);
+        assert!(matches!(m.on_regular_sample(ts(t), 1.05), SampleVerdict::Accepted { .. }));
+        t += 20.0;
+        m.on_tick(ts(t), Some(&good_hints()));
+        assert!(matches!(m.on_regular_sample(ts(t), 350.0), SampleVerdict::Rejected { .. }));
+        assert_eq!(m.stats.rejected, 1);
+    }
+
+    #[test]
+    fn false_tickers_rejected_in_warmup() {
+        let mut m = Mntp::new(fast_cfg());
+        m.on_tick(ts(0.0), Some(&good_hints()));
+        m.on_warmup_round(ts(0.0), &[1.0, 1.2, 300.0]);
+        assert_eq!(m.stats.false_tickers_rejected, 1);
+        // Combined value excludes the false ticker: the recorded point is
+        // near 1.1, so a later 1.1-ish round keeps the trend near 1.
+        assert!(m.filter().points()[0].1 < 5.0);
+    }
+
+    #[test]
+    fn reset_after_reset_period() {
+        let cfg = MntpConfig { reset_period_secs: 500.0, ..fast_cfg() };
+        let mut m = Mntp::new(cfg);
+        // Warm up quickly.
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup && t < 400.0 {
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_warmup_round(ts(t), &[0.5, 0.6, 0.4]);
+            }
+            t += 1.0;
+        }
+        assert_eq!(m.phase(), Phase::Regular);
+        // Cross the reset boundary.
+        m.on_tick(ts(501.0), Some(&good_hints()));
+        assert_eq!(m.phase(), Phase::Warmup);
+        assert_eq!(m.stats.resets, 1);
+        assert!(m.filter().is_empty(), "trend cleared on reset");
+    }
+
+    #[test]
+    fn record_only_mode_emits_no_commands() {
+        let (mut m, t0) = warmed_up();
+        m.on_tick(ts(t0 + 20.0), Some(&good_hints()));
+        m.on_regular_sample(ts(t0 + 20.0), 1.0);
+        assert!(m.take_commands().is_empty());
+    }
+
+    #[test]
+    fn step_mode_emits_step_commands() {
+        let cfg = MntpConfig { apply_mode: crate::config::ApplyMode::Step, ..fast_cfg() };
+        let mut m = Mntp::new(cfg);
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup && t < 400.0 {
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_warmup_round(ts(t), &[2.0, 2.1, 1.9]);
+            }
+            t += 1.0;
+        }
+        m.on_tick(ts(t + 20.0), Some(&good_hints()));
+        m.on_regular_sample(ts(t + 20.0), 2.0);
+        let cmds = m.take_commands();
+        assert!(
+            cmds.iter().any(|c| matches!(c, ClockCommand::Step(_))),
+            "expected a step, got {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn missing_hints_still_work() {
+        // Wired/cellular host: gate passes, algorithm runs.
+        let mut m = Mntp::new(fast_cfg());
+        assert_eq!(m.on_tick(ts(0.0), None), MntpAction::QueryMultiple(3));
+    }
+
+    #[test]
+    fn predicted_offset_tracks_trend() {
+        let (m, t) = warmed_up();
+        let p = m.predicted_offset_ms(ts(t + 100.0)).unwrap();
+        assert!((p - 1.0).abs() < 0.5, "prediction {p} should sit near 1 ms");
+    }
+
+    #[test]
+    fn empty_warmup_round_counts_as_failure() {
+        let mut m = Mntp::new(fast_cfg());
+        m.on_tick(ts(0.0), Some(&good_hints()));
+        m.on_warmup_round(ts(0.0), &[]);
+        assert_eq!(m.stats.failures, 1);
+        assert_eq!(m.stats.warmup_rounds, 0);
+    }
+}

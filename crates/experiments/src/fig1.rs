@@ -1,0 +1,129 @@
+//! Figure 1: minimum OWDs of clients per service provider (box stats on
+//! the left of the paper's figure, CDFs on the right), for the three
+//! showcased servers AG1, JW2 and SU1.
+
+use loganalysis::model::SERVERS;
+use loganalysis::owd::OwdFilter;
+use loganalysis::synth::generate_server_log;
+use loganalysis::{figure1, Figure1Row, ProviderCategory, SynthConfig};
+
+use crate::render;
+
+/// One server's Figure 1 panel.
+#[derive(Clone, Debug)]
+pub struct Fig1Panel {
+    /// Server id (AG1 / JW2 / SU1).
+    pub server_id: &'static str,
+    /// Per-provider rows.
+    pub rows: Vec<Figure1Row>,
+}
+
+/// The full figure: three panels.
+#[derive(Clone, Debug)]
+pub struct Fig1Result {
+    /// Panels in paper order.
+    pub panels: Vec<Fig1Panel>,
+}
+
+/// Run the experiment. `scale` trades fidelity for runtime; 2_000 gives
+/// a few hundred clients per provider on AG1.
+pub fn run(seed: u64, scale: u64) -> Fig1Result {
+    let cfg = SynthConfig { scale, duration_secs: 86_400 };
+    let panels = ["AG1", "JW2", "SU1"]
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let server = SERVERS.iter().find(|s| s.id == *id).expect("known server");
+            let log = generate_server_log(server, &cfg, seed + i as u64 * 31);
+            Fig1Panel { server_id: id, rows: figure1(&log, &OwdFilter::default()) }
+        })
+        .collect();
+    Fig1Result { panels }
+}
+
+/// Median of providers' median min-OWDs within one category, over all
+/// panels (the summary statistic §3.1 quotes: 40/50/250/550 ms).
+pub fn category_median(r: &Fig1Result, cat: ProviderCategory) -> f64 {
+    let meds: Vec<f64> = r
+        .panels
+        .iter()
+        .flat_map(|p| p.rows.iter())
+        .filter(|row| row.category == cat && row.clients >= 3)
+        .map(|row| row.min_owd.median)
+        .collect();
+    clocksim::stats::median(&meds)
+}
+
+/// Render all panels.
+pub fn render(r: &Fig1Result) -> String {
+    let mut out = String::from("Figure 1 — per-provider minimum OWDs (ms)\n");
+    for panel in &r.panels {
+        out.push_str(&format!("\nserver {}\n", panel.server_id));
+        let rows: Vec<Vec<String>> = panel
+            .rows
+            .iter()
+            .filter(|row| row.clients > 0)
+            .map(|row| {
+                vec![
+                    row.provider.to_string(),
+                    format!("{:?}", row.category),
+                    row.clients.to_string(),
+                    render::f1(row.min_owd.p25),
+                    render::f1(row.min_owd.median),
+                    render::f1(row.min_owd.p75),
+                ]
+            })
+            .collect();
+        out.push_str(&render::table(
+            &["provider", "category", "clients", "p25", "median", "p75"],
+            &rows,
+        ));
+    }
+    out.push_str(&format!(
+        "\ncategory medians (paper: cloud≈40, isp≈50, broadband≈250, mobile≈550):\n\
+         cloud={:.0}  isp={:.0}  broadband={:.0}  mobile={:.0}\n",
+        category_median(r, ProviderCategory::CloudHosting),
+        category_median(r, ProviderCategory::Isp),
+        category_median(r, ProviderCategory::Broadband),
+        category_median(r, ProviderCategory::Mobile),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_ordering_holds() {
+        let r = run(1, 2_000);
+        let cloud = category_median(&r, ProviderCategory::CloudHosting);
+        let isp = category_median(&r, ProviderCategory::Isp);
+        let bb = category_median(&r, ProviderCategory::Broadband);
+        let mobile = category_median(&r, ProviderCategory::Mobile);
+        assert!(cloud < bb && isp < bb && bb < mobile, "{cloud} {isp} {bb} {mobile}");
+        // Rough magnitudes from §3.1.
+        assert!((20.0..90.0).contains(&cloud), "cloud={cloud}");
+        assert!((300.0..800.0).contains(&mobile), "mobile={mobile}");
+    }
+
+    #[test]
+    fn mobile_providers_have_wide_spread() {
+        let r = run(2, 2_000);
+        for panel in &r.panels {
+            for row in panel.rows.iter().filter(|x| x.clients >= 20) {
+                if row.category == ProviderCategory::Mobile {
+                    let iqr = row.min_owd.p75 - row.min_owd.p25;
+                    assert!(iqr > 100.0, "{}: iqr {iqr}", row.provider);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_panels() {
+        let r = run(3, 20_000);
+        let s = render(&r);
+        assert!(s.contains("AG1") && s.contains("JW2") && s.contains("SU1"));
+    }
+}

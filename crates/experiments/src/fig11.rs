@@ -1,0 +1,101 @@
+//! Figure 11: achievable clock offsets for the six Table 2 tuner
+//! configurations — the corrected-offset time series each configuration
+//! produces when replayed over the same 4-hour trace.
+
+use tuner::{emulate, EmulationResult};
+
+use crate::render;
+use crate::table2::{Table2Result, PAPER_CONFIGS};
+
+/// One configuration's achievable-offset series.
+#[derive(Clone, Debug)]
+pub struct Fig11Series {
+    /// Configuration index (1-based, paper numbering).
+    pub config_no: usize,
+    /// The emulation output.
+    pub result: EmulationResult,
+}
+
+/// The figure: six series.
+#[derive(Clone, Debug)]
+pub struct Fig11Result {
+    /// Series in paper order.
+    pub series: Vec<Fig11Series>,
+}
+
+/// Replay the six paper configurations over the Table 2 trace.
+pub fn run(t2: &Table2Result) -> Fig11Result {
+    let series = PAPER_CONFIGS
+        .iter()
+        .enumerate()
+        .map(|(i, &(wp, ww, rw, rp))| {
+            let cfg = mntp::MntpConfig::from_tuner_minutes(wp, ww, rw, rp);
+            Fig11Series { config_no: i + 1, result: emulate(&cfg, &t2.trace) }
+        })
+        .collect();
+    Fig11Result { series }
+}
+
+/// Render: corrected offsets per configuration.
+pub fn render(r: &Fig11Result) -> String {
+    let mut out = String::from(
+        "Figure 11 — achievable offsets for the six Table 2 configurations (ms)\n\n",
+    );
+    for s in &r.series {
+        let pts: Vec<(f64, f64)> =
+            s.result.accepted.iter().map(|(t, _, c)| (*t, *c)).collect();
+        let abs: Vec<f64> = pts.iter().map(|(_, c)| c.abs()).collect();
+        out.push_str(&format!(
+            "config {}: {} accepted, RMSE {:.2} ms, max|corrected| {:.1} ms\n",
+            s.config_no,
+            pts.len(),
+            s.result.rmse_ms(),
+            abs.iter().cloned().fold(0.0, f64::max)
+        ));
+    }
+    if let Some(last) = r.series.last() {
+        let pts: Vec<(f64, f64)> =
+            last.result.accepted.iter().map(|(t, _, c)| (*t, *c)).collect();
+        out.push('\n');
+        out.push_str(&render::scatter(
+            "config 6 corrected offsets over time (ms)",
+            &[("corrected", 'c', &pts)],
+            72,
+            10,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2;
+
+    #[test]
+    fn all_six_series_produce_offsets() {
+        let t2 = table2::run(91);
+        let r = run(&t2);
+        assert_eq!(r.series.len(), 6);
+        for s in &r.series {
+            assert!(
+                !s.result.accepted.is_empty(),
+                "config {} produced nothing",
+                s.config_no
+            );
+        }
+    }
+
+    #[test]
+    fn series_rmse_matches_table2_rows() {
+        let t2 = table2::run(92);
+        let r = run(&t2);
+        for (s, row) in r.series.iter().zip(&t2.paper_rows) {
+            assert!(
+                (s.result.rmse_ms() - row.rmse_ms).abs() < 1e-9,
+                "config {} rmse mismatch",
+                s.config_no
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 2: percentage of clients using SNTP vs NTP — per server
+//! (left) and per provider at one server (right).
+
+use loganalysis::model::SERVERS;
+use loganalysis::report::figure2_providers;
+use loganalysis::synth::generate_server_log;
+use loganalysis::{figure2, generate_all_logs, Figure2Row, SynthConfig};
+
+use crate::render;
+
+/// The reproduced Figure 2.
+#[derive(Clone, Debug)]
+pub struct Fig2Result {
+    /// Per-server SNTP shares (left panel).
+    pub per_server: Vec<Figure2Row>,
+    /// Per-provider SNTP shares at one large public server (right
+    /// panel; the paper uses SU1 — we use the largest population at the
+    /// configured scale for statistical weight).
+    pub per_provider: Vec<(&'static str, f64, usize)>,
+    /// Which server the provider panel used.
+    pub provider_panel_server: &'static str,
+}
+
+/// Run the experiment.
+pub fn run(seed: u64, scale: u64) -> Fig2Result {
+    let cfg = SynthConfig { scale, duration_secs: 86_400 };
+    let logs = generate_all_logs(&cfg, seed);
+    let per_server = figure2(&logs);
+    // Provider panel: MW2 has the largest client population, giving the
+    // per-provider split statistical meaning at reduced scale.
+    let mw2 = SERVERS.iter().find(|s| s.id == "MW2").expect("MW2 exists");
+    let log = generate_server_log(mw2, &cfg, seed ^ 0xF162);
+    Fig2Result {
+        per_server,
+        per_provider: figure2_providers(&log),
+        provider_panel_server: "MW2",
+    }
+}
+
+/// Render both panels.
+pub fn render(r: &Fig2Result) -> String {
+    let mut out = String::from("Figure 2 — SNTP vs NTP shares\n\nper server:\n");
+    let rows: Vec<Vec<String>> = r
+        .per_server
+        .iter()
+        .map(|row| {
+            vec![
+                row.server_id.to_string(),
+                row.clients.to_string(),
+                format!("{:.0}%", row.sntp_fraction * 100.0),
+                format!("{:.0}%", (1.0 - row.sntp_fraction) * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(&["server", "clients", "SNTP", "NTP"], &rows));
+    out.push_str(&format!("\nper provider (server {}):\n", r.provider_panel_server));
+    let rows: Vec<Vec<String>> = r
+        .per_provider
+        .iter()
+        .filter(|(_, _, n)| *n > 0)
+        .map(|(name, frac, n)| {
+            vec![name.to_string(), n.to_string(), format!("{:.0}%", frac * 100.0)]
+        })
+        .collect();
+    out.push_str(&render::table(&["provider", "clients", "SNTP"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loganalysis::{ProviderCategory, PROVIDERS};
+
+    #[test]
+    fn majority_sntp_except_isp_internal() {
+        let r = run(1, 5_000);
+        for row in r.per_server.iter().filter(|x| x.clients >= 30) {
+            let internal =
+                SERVERS.iter().find(|s| s.id == row.server_id).unwrap().isp_internal;
+            if internal {
+                assert!(row.sntp_fraction < 0.5, "{}", row.server_id);
+            } else {
+                assert!(row.sntp_fraction > 0.5, "{}", row.server_id);
+            }
+        }
+    }
+
+    #[test]
+    fn mobile_providers_over_95_percent_sntp() {
+        let r = run(2, 2_000);
+        let mut mobile_checked = 0;
+        for (name, frac, n) in &r.per_provider {
+            let cat = PROVIDERS.iter().find(|p| p.name == *name).unwrap().category;
+            if cat == ProviderCategory::Mobile && *n >= 50 {
+                assert!(*frac > 0.9, "{name}: {frac}");
+                mobile_checked += 1;
+            }
+        }
+        assert!(mobile_checked >= 2, "not enough mobile providers with data");
+    }
+
+    #[test]
+    fn render_has_percentages() {
+        let r = run(3, 20_000);
+        let s = render(&r);
+        assert!(s.contains('%'));
+        assert!(s.contains("MW2"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 4: SNTP clock offsets in wired vs wireless environments, with
+//! (left) and without (right) NTP clock correction.
+//!
+//! Paper shape targets: wireless+corrected μ≈31 ms σ≈47 ms with spikes
+//! to ≈600 ms; wireless+uncorrected μ≈118 ms σ≈133 ms with spikes past
+//! a second; wired+corrected μ≈4 ms σ≈7 ms; wired+uncorrected a steady
+//! temperature-dependent drift.
+
+use clocksim::stats::Summary;
+use netsim::testbed::TestbedConfig;
+use netsim::Testbed;
+
+use crate::harness::{default_pool, sntp_run, ClockMode, SntpRun};
+use crate::render;
+
+/// One of the four experimental arms.
+#[derive(Clone, Debug)]
+pub struct Fig4Arm {
+    /// Arm label.
+    pub label: &'static str,
+    /// The run.
+    pub run: SntpRun,
+    /// Summary of |offset| in ms.
+    pub abs_summary: Summary,
+    /// Summary of signed offsets in ms.
+    pub signed_summary: Summary,
+}
+
+/// All four arms.
+#[derive(Clone, Debug)]
+pub struct Fig4Result {
+    /// wired+corrected, wired+free, wireless+corrected, wireless+free.
+    pub arms: Vec<Fig4Arm>,
+}
+
+fn arm(label: &'static str, wireless: bool, mode: ClockMode, seed: u64, duration: u64) -> Fig4Arm {
+    let mut tb = if wireless {
+        Testbed::wireless(TestbedConfig::default(), seed)
+    } else {
+        Testbed::wired(seed)
+    };
+    let mut pool = default_pool(seed + 1000);
+    let mut clock = mode.build(seed + 2000);
+    let run = sntp_run(&mut tb, &mut pool, &mut clock, duration, 5.0);
+    let abs = run.abs_offsets();
+    let signed: Vec<f64> = run.offsets.iter().map(|(_, o)| *o).collect();
+    Fig4Arm { label, abs_summary: Summary::of(&abs), signed_summary: Summary::of(&signed), run }
+}
+
+/// Run all four arms for `duration` seconds (paper: one hour).
+pub fn run(seed: u64, duration: u64) -> Fig4Result {
+    Fig4Result {
+        arms: vec![
+            arm("wired + NTP-corrected", false, ClockMode::NtpCorrected, seed, duration),
+            arm("wired + free-running", false, ClockMode::free_running_default(), seed + 1, duration),
+            arm("wireless + NTP-corrected", true, ClockMode::NtpCorrected, seed + 2, duration),
+            arm(
+                "wireless + free-running",
+                true,
+                ClockMode::free_running_default(),
+                seed + 3,
+                duration,
+            ),
+        ],
+    }
+}
+
+/// Render the four arms' statistics and the wireless scatter.
+pub fn render(r: &Fig4Result) -> String {
+    let mut out = String::from(
+        "Figure 4 — SNTP offsets, wired vs wireless, ± NTP clock correction\n\
+         (paper: wireless+corr μ=31 σ=47; wireless+free μ=118 σ=133; wired+corr μ=4 σ=7)\n\n",
+    );
+    let rows: Vec<Vec<String>> = r
+        .arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.label.to_string(),
+                a.run.offsets.len().to_string(),
+                a.run.losses.to_string(),
+                render::f1(a.abs_summary.mean),
+                render::f1(a.signed_summary.std),
+                render::f1(a.abs_summary.max),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(
+        &["arm", "samples", "losses", "mean|offset|", "std", "max|offset|"],
+        &rows,
+    ));
+    let wireless = &r.arms[2].run;
+    out.push('\n');
+    out.push_str(&render::scatter(
+        "wireless + NTP-corrected offsets over time (ms)",
+        &[("sntp offset", 'o', &wireless.offsets)],
+        72,
+        16,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run(11, 3600);
+        let wired_corr = &r.arms[0];
+        let wired_free = &r.arms[1];
+        let wl_corr = &r.arms[2];
+        let wl_free = &r.arms[3];
+
+        // Wired corrected: single-digit mean, tight.
+        assert!(wired_corr.abs_summary.mean < 12.0, "{}", wired_corr.abs_summary.mean);
+        // Wireless corrected: an order of magnitude worse.
+        assert!(
+            wl_corr.abs_summary.mean > 3.0 * wired_corr.abs_summary.mean,
+            "wl {} vs wired {}",
+            wl_corr.abs_summary.mean,
+            wired_corr.abs_summary.mean
+        );
+        assert!(wl_corr.abs_summary.max > 200.0, "spikes: {}", wl_corr.abs_summary.max);
+        // Uncorrected wireless is worse still (drift adds in).
+        assert!(wl_free.abs_summary.mean > wl_corr.abs_summary.mean);
+        // Wired free-running shows steady drift: late |offsets| exceed
+        // early ones.
+        let early: Vec<f64> = wired_free
+            .run
+            .offsets
+            .iter()
+            .filter(|(t, _)| *t < 600.0)
+            .map(|(_, o)| o.abs())
+            .collect();
+        let late: Vec<f64> = wired_free
+            .run
+            .offsets
+            .iter()
+            .filter(|(t, _)| *t > 3000.0)
+            .map(|(_, o)| o.abs())
+            .collect();
+        assert!(
+            clocksim::stats::median(&late) > clocksim::stats::median(&early) + 40.0,
+            "early {} late {}",
+            clocksim::stats::median(&early),
+            clocksim::stats::median(&late)
+        );
+    }
+
+    #[test]
+    fn wireless_loses_packets_wired_mostly_does_not() {
+        let r = run(12, 1200);
+        // Wired still crosses the backbone (~0.2% loss per leg).
+        assert!(r.arms[0].run.losses < 10, "wired losses {}", r.arms[0].run.losses);
+        assert!(r.arms[2].run.losses > r.arms[0].run.losses * 2);
+    }
+
+    #[test]
+    fn render_has_all_arms() {
+        let r = run(13, 600);
+        let s = render(&r);
+        for label in ["wired + NTP-corrected", "wireless + free-running"] {
+            assert!(s.contains(label));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 7: the "signals and selection" plot — measured wireless hints
+//! (RSSI, noise, SNR margin) over time, annotated with MNTP's decisions
+//! (accepted / rejected / deferred), explaining *why* MNTP wins in
+//! Figure 6: requests are deferred whenever a hint breaches its
+//! threshold, and surviving outliers fall to the trend filter.
+
+use mntp::MntpConfig;
+use netsim::testbed::TestbedConfig;
+use netsim::Testbed;
+
+use crate::harness::{default_pool, paired_run, ClockMode, MntpEvent, PairedRun};
+use crate::render;
+
+/// The signals/selection data.
+#[derive(Clone, Debug)]
+pub struct Fig7Result {
+    /// The underlying paired run (same configuration as Figure 6).
+    pub run: PairedRun,
+}
+
+/// Run with the Figure 6 configuration.
+pub fn run(seed: u64, duration: u64) -> Fig7Result {
+    let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+    let mut pool = default_pool(seed + 1);
+    let mut clock = ClockMode::NtpCorrected.build(seed + 2);
+    let cfg = MntpConfig::baseline(5.0);
+    Fig7Result {
+        run: paired_run(&mut tb, None, &mut pool, &mut clock, duration, 5.0, &cfg),
+    }
+}
+
+/// Count events by kind: (accepted, rejected, deferred, failed).
+pub fn decision_counts(r: &Fig7Result) -> (usize, usize, usize, usize) {
+    let mut c = (0, 0, 0, 0);
+    for (_, _, e) in &r.run.mntp_events {
+        match e {
+            MntpEvent::Accepted { .. } => c.0 += 1,
+            MntpEvent::Rejected { .. } => c.1 += 1,
+            MntpEvent::Deferred => c.2 += 1,
+            MntpEvent::Failed => c.3 += 1,
+        }
+    }
+    c
+}
+
+/// Deferral consistency: fraction of deferred instants where at least
+/// one hint threshold is actually breached (should be 1.0 — the gate
+/// *is* the threshold check).
+pub fn deferral_consistency(r: &Fig7Result) -> f64 {
+    let deferred: Vec<_> = r
+        .run
+        .mntp_events
+        .iter()
+        .filter(|(_, _, e)| *e == MntpEvent::Deferred)
+        .collect();
+    if deferred.is_empty() {
+        return 1.0;
+    }
+    let consistent = deferred
+        .iter()
+        .filter(|(_, h, _)| {
+            h.as_ref().is_none_or(|h| {
+                h.rssi_dbm <= -75.0 || h.noise_dbm >= -70.0 || h.snr_margin_db() < 20.0
+            })
+        })
+        .count();
+    consistent as f64 / deferred.len() as f64
+}
+
+/// Render: three stacked signal traces plus the decision counts.
+pub fn render(r: &Fig7Result) -> String {
+    let mut out = String::from(
+        "Figure 7 — signals and selection (thresholds: RSSI > −75 dBm, noise < −70 dBm, SNR ≥ 20 dB)\n\n",
+    );
+    let rssi: Vec<(f64, f64)> = r
+        .run
+        .mntp_events
+        .iter()
+        .filter_map(|(t, h, _)| h.map(|h| (*t, h.rssi_dbm)))
+        .collect();
+    let noise: Vec<(f64, f64)> = r
+        .run
+        .mntp_events
+        .iter()
+        .filter_map(|(t, h, _)| h.map(|h| (*t, h.noise_dbm)))
+        .collect();
+    let snr: Vec<(f64, f64)> = r
+        .run
+        .mntp_events
+        .iter()
+        .filter_map(|(t, h, _)| h.map(|h| (*t, h.snr_margin_db())))
+        .collect();
+    out.push_str(&render::scatter("RSSI (dBm)", &[("rssi", 'r', &rssi)], 72, 8));
+    out.push_str(&render::scatter("noise (dBm)", &[("noise", 'n', &noise)], 72, 8));
+    out.push_str(&render::scatter("SNR margin (dB)", &[("snr", 's', &snr)], 72, 8));
+    let (a, rej, d, f) = decision_counts(r);
+    out.push_str(&format!(
+        "\ndecisions: accepted={a} rejected={rej} deferred={d} failed={f}\n\
+         deferral consistency (every deferral has a breached threshold): {:.0}%\n",
+        deferral_consistency(r) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_deferral_is_threshold_justified() {
+        let r = run(41, 1800);
+        assert!((deferral_consistency(&r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_decision_kinds_occur() {
+        let r = run(42, 3600);
+        let (a, rej, d, _f) = decision_counts(&r);
+        assert!(a > 0, "accepted");
+        assert!(rej > 0, "rejected");
+        assert!(d > 0, "deferred");
+    }
+
+    #[test]
+    fn hints_cross_thresholds_both_ways() {
+        let r = run(43, 3600);
+        let snrs: Vec<f64> = r
+            .run
+            .mntp_events
+            .iter()
+            .filter_map(|(_, h, _)| h.map(|h| h.snr_margin_db()))
+            .collect();
+        assert!(snrs.iter().any(|&s| s >= 20.0));
+        assert!(snrs.iter().any(|&s| s < 20.0));
+    }
+}

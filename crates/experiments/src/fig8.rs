@@ -1,0 +1,101 @@
+//! Figure 8: SNTP vs MNTP on wireless **without** NTP clock correction
+//! — the clock free-runs, so both clients see the drift trend plus path
+//! noise.
+//!
+//! Paper: SNTP offsets reach 450 ms; MNTP's offsets hug the fitted
+//! drift trend with a maximum of 24 ms and an average within 4.5 ms of
+//! the reference — "17 times more accurate than standard SNTP".
+
+use mntp::MntpConfig;
+use netsim::testbed::TestbedConfig;
+use netsim::Testbed;
+
+use crate::fig6::{render_with, summarize, HeadToHead};
+use crate::harness::{default_pool, paired_run, ClockMode};
+
+/// Run the Figure 8 configuration.
+pub fn run(seed: u64, duration: u64) -> HeadToHead {
+    let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+    let mut pool = default_pool(seed + 1);
+    let mut clock = ClockMode::free_running_default().build(seed + 2);
+    let cfg = MntpConfig::baseline(5.0);
+    let run = paired_run(&mut tb, None, &mut pool, &mut clock, duration, 5.0, &cfg);
+    summarize(run)
+}
+
+/// Render.
+pub fn render(r: &HeadToHead) -> String {
+    let mut s = render_with(
+        r,
+        "Figure 8 — SNTP vs MNTP on wireless, free-running clock",
+        "(paper: SNTP max 450 ms; MNTP max 24 ms, mean within 4.5 ms of trend; ≈17x)",
+    );
+    // The trend-residual view: corrected offsets should sit within a few
+    // ms even though raw offsets drift.
+    let corrected = r.run.mntp_corrected();
+    if !corrected.is_empty() {
+        let abs: Vec<f64> = corrected.iter().map(|c| c.abs()).collect();
+        s.push_str(&format!(
+            "trend residuals: mean|r|={:.2} ms, max|r|={:.2} ms over {} samples\n",
+            clocksim::stats::mean(&abs),
+            abs.iter().cloned().fold(0.0, f64::max),
+            abs.len()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mntp_tracks_the_drift_trend() {
+        let r = run(51, 3600);
+        // Raw MNTP offsets drift with the clock, so compare *residuals*
+        // to the trend — the paper's "always close to the fitted trend
+        // line".
+        let corrected = r.run.mntp_corrected();
+        assert!(corrected.len() > 20);
+        let abs: Vec<f64> = corrected.iter().map(|c| c.abs()).collect();
+        let mean = clocksim::stats::mean(&abs);
+        assert!(mean < 8.0, "mean residual {mean}");
+    }
+
+    #[test]
+    fn sntp_spikes_dwarf_mntp_residuals() {
+        let mut ratios = Vec::new();
+        for seed in [52, 53] {
+            let r = run(seed, 3600);
+            let corrected = r.run.mntp_corrected();
+            let max_resid = corrected.iter().map(|c| c.abs()).fold(0.0, f64::max);
+            let sntp_max = r.sntp_abs.max;
+            ratios.push(sntp_max / max_resid.max(1.0));
+        }
+        let mean_ratio = clocksim::stats::mean(&ratios);
+        assert!(mean_ratio > 5.0, "ratio {mean_ratio} ({ratios:?})");
+    }
+
+    #[test]
+    fn raw_offsets_show_the_drift() {
+        let r = run(54, 3600);
+        // Free-running at ~30 ppm: accepted offsets near the end differ
+        // from those at the start by ≈ the accumulated drift.
+        let accepted: Vec<(f64, f64)> = r
+            .run
+            .mntp_events
+            .iter()
+            .filter_map(|(t, _, e)| match e {
+                crate::harness::MntpEvent::Accepted { offset_ms, .. } => Some((*t, *offset_ms)),
+                _ => None,
+            })
+            .collect();
+        let early: Vec<f64> =
+            accepted.iter().filter(|(t, _)| *t < 900.0).map(|(_, o)| *o).collect();
+        let late: Vec<f64> =
+            accepted.iter().filter(|(t, _)| *t > 2700.0).map(|(_, o)| *o).collect();
+        assert!(!early.is_empty() && !late.is_empty());
+        let drift = clocksim::stats::mean(&late) - clocksim::stats::mean(&early);
+        assert!(drift.abs() > 40.0, "visible drift expected, got {drift}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain-text rendering for experiment outputs: fixed-width tables and
+//! a rough ASCII scatter for the time-series figures.
+
+/// Render a fixed-width table: header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// One scatter series: label, plot glyph, points.
+pub type Series<'a> = (&'a str, char, &'a [(f64, f64)]);
+
+/// Render one or more `(t, y)` series as an ASCII scatter plot. Each
+/// series gets the corresponding glyph. Useful for eyeballing the shape
+/// of the paper's time-series figures in a terminal.
+pub fn scatter(title: &str, series: &[Series<'_>], width: usize, height: usize) -> String {
+    let mut out = format!("{title}\n");
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, _, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        xmin = xmin.min(*x);
+        xmax = xmax.max(*x);
+        ymin = ymin.min(*y);
+        ymax = ymax.max(*y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    // Zero line, if visible.
+    if ymin < 0.0 && ymax > 0.0 {
+        let zr = ((ymax) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+        if zr < height {
+            for c in grid[zr].iter_mut() {
+                *c = '·';
+            }
+        }
+    }
+    for (_, glyph, pts) in series {
+        for (x, y) in pts.iter() {
+            let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let row = (((ymax - y) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            if row < height && col < width {
+                grid[row][col] = *glyph;
+            }
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:>9.1} |")
+        } else if r == height - 1 {
+            format!("{ymin:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9}  {}{}\n",
+        "",
+        format_args!("{xmin:<12.0}"),
+        format_args!("{:>w$.0}", xmax, w = width.saturating_sub(12))
+    ));
+    let legend: Vec<String> =
+        series.iter().map(|(name, g, _)| format!("{g} = {name}")).collect();
+    out.push_str(&format!("{:>9}  [{}]\n", "", legend.join(", ")));
+    out
+}
+
+/// Format a float with fixed precision, for table cells.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with('1'));
+    }
+
+    #[test]
+    fn scatter_renders_bounds_and_legend() {
+        let pts = [(0.0, 0.0), (10.0, 5.0), (20.0, -5.0)];
+        let s = scatter("demo", &[("series", 'x', &pts)], 40, 10);
+        assert!(s.contains("demo"));
+        assert!(s.contains("x = series"));
+        assert!(s.contains("5.0"));
+        assert!(s.matches('x').count() >= 3);
+    }
+
+    #[test]
+    fn scatter_empty_series() {
+        let s = scatter("empty", &[("none", 'o', &[])], 10, 5);
+        assert!(s.contains("(no data)"));
+    }
+}

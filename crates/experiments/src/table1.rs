@@ -1,0 +1,91 @@
+//! Table 1: summary of client statistics seen in the NTP logs.
+
+use loganalysis::{generate_all_logs, table1 as la_table1, SynthConfig, Table1Row};
+
+use crate::render;
+
+/// The reproduced Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Result {
+    /// One row per server.
+    pub rows: Vec<Table1Row>,
+    /// Scale divisor applied to the paper's counts.
+    pub scale: u64,
+}
+
+/// Run the experiment: generate all 19 synthetic logs and summarize.
+pub fn run(seed: u64, scale: u64) -> Table1Result {
+    let cfg = SynthConfig { scale, duration_secs: 86_400 };
+    let logs = generate_all_logs(&cfg, seed);
+    Table1Result { rows: la_table1(&logs), scale }
+}
+
+/// Render the paper-style table (paper counts alongside observed scaled
+/// counts).
+pub fn render(r: &Table1Result) -> String {
+    let mut out = format!(
+        "Table 1 — client statistics of the 19 NTP servers (scale 1/{})\n",
+        r.scale
+    );
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.server.id.to_string(),
+                row.server.stratum.to_string(),
+                row.server.ip_version.to_string(),
+                row.server.unique_clients.to_string(),
+                row.observed_clients.to_string(),
+                row.server.total_measurements.to_string(),
+                row.observed_measurements.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(
+        &["server", "stratum", "ip", "paper clients", "sim clients", "paper meas", "sim meas"],
+        &rows,
+    ));
+    let total_meas: u64 = r.rows.iter().map(|x| x.observed_measurements).sum();
+    let total_clients: u64 = r.rows.iter().map(|x| x.observed_clients).sum();
+    out.push_str(&format!(
+        "totals: {} clients, {} measurements (paper: 15,303,436 / 209,447,922 at full scale)\n",
+        total_clients, total_meas
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_track_table1() {
+        let r = run(1, 5_000);
+        assert_eq!(r.rows.len(), 19);
+        // Per-server measurement shares should roughly match the paper's.
+        let total_paper: f64 =
+            r.rows.iter().map(|x| x.server.total_measurements as f64).sum();
+        let total_sim: f64 = r.rows.iter().map(|x| x.observed_measurements as f64).sum();
+        for row in &r.rows {
+            let paper_share = row.server.total_measurements as f64 / total_paper;
+            let sim_share = row.observed_measurements as f64 / total_sim;
+            if paper_share > 0.02 {
+                assert!(
+                    (paper_share - sim_share).abs() < 0.02,
+                    "{}: paper {paper_share:.3} sim {sim_share:.3}",
+                    row.server.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_servers() {
+        let r = run(2, 20_000);
+        let s = render(&r);
+        for id in ["AG1", "MW2", "SU1", "PP1"] {
+            assert!(s.contains(id));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Table 2: MNTP tuner output — parameter combinations, the RMSE of the
+//! resulting offsets against a perfect clock, and the number of requests
+//! each configuration emits.
+//!
+//! Paper rows (warmupPeriod, warmupWaitTime, regularWaitTime,
+//! resetPeriod → RMSE, requests): (30, .25, 15, 240 → 13.08 ms, 239) …
+//! (240, .084, 15, 240 → 8.9 ms, 2913): more tuning requests buy lower
+//! RMSE, with diminishing returns — "MNTP performs well with only modest
+//! tuning".
+
+use mntp::MntpConfig;
+use netsim::testbed::TestbedConfig;
+use netsim::Testbed;
+use tuner::{grid_search, record_trace, ParamGrid, SearchResult, Trace};
+
+use crate::harness::ClockMode;
+use crate::render;
+
+/// The six configurations the paper's Table 2 prints.
+pub const PAPER_CONFIGS: [(f64, f64, f64, f64); 6] = [
+    (30.0, 0.25, 15.0, 240.0),
+    (40.0, 0.25, 15.0, 240.0),
+    (50.0, 0.25, 15.0, 240.0),
+    (70.0, 0.25, 30.0, 240.0),
+    (90.0, 0.084, 15.0, 240.0),
+    (240.0, 0.084, 15.0, 240.0),
+];
+
+/// The reproduced Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Result {
+    /// The recorded 4-hour trace the tuner analyzed.
+    pub trace: Trace,
+    /// Results for the paper's six configurations, in paper order.
+    pub paper_rows: Vec<SearchResult>,
+    /// Full grid-search results, best first.
+    pub search: Vec<SearchResult>,
+}
+
+/// Record a 4-hour trace on the wireless testbed (free-running clock,
+/// as in §5.2) and run the tuner over it.
+pub fn run(seed: u64) -> Table2Result {
+    let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+    let mut pool = crate::harness::default_pool(seed + 1);
+    let mut clock = ClockMode::free_running_default().build(seed + 2);
+    let trace = record_trace(&mut tb, &mut pool, &mut clock, 4 * 3600, 5.0, 3);
+
+    let base = MntpConfig::default();
+    let search = grid_search(&base, &ParamGrid::paper_table2(), &trace);
+    let paper_rows = PAPER_CONFIGS
+        .iter()
+        .map(|&(wp, ww, rw, rp)| {
+            search
+                .iter()
+                .find(|r| r.params == (wp, ww, rw, rp))
+                .cloned()
+                .expect("paper config in grid")
+        })
+        .collect();
+    Table2Result { trace, paper_rows, search }
+}
+
+/// Render the paper-style table.
+pub fn render(r: &Table2Result) -> String {
+    let mut out = String::from(
+        "Table 2 — tuner configurations (paper RMSE: 13.08 → 8.9 ms as requests grow 239 → 2913)\n\n",
+    );
+    let rows: Vec<Vec<String>> = r
+        .paper_rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            vec![
+                (i + 1).to_string(),
+                render::f1(row.params.0),
+                format!("{:.3}", row.params.1),
+                render::f1(row.params.2),
+                render::f1(row.params.3),
+                render::f2(row.rmse_ms),
+                row.requests.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&render::table(
+        &["cfg", "warmupPeriod", "warmupWait", "regularWait", "resetPeriod", "RMSE(ms)", "requests"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nbest grid config: {:?} → RMSE {:.2} ms ({} requests)\n",
+        r.search[0].params, r.search[0].rmse_ms, r.search[0].requests
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_trend_holds() {
+        let r = run(81);
+        // Requests grow with warmup length / shorter waits.
+        let reqs: Vec<u64> = r.paper_rows.iter().map(|x| x.requests).collect();
+        assert!(reqs[5] > reqs[0] * 4, "request growth: {reqs:?}");
+        // The heaviest configuration beats the lightest on RMSE.
+        let rmse: Vec<f64> = r.paper_rows.iter().map(|x| x.rmse_ms).collect();
+        assert!(
+            rmse[5] <= rmse[0] + 1.0,
+            "RMSE should improve (or hold) with budget: {rmse:?}"
+        );
+        // All RMSEs land in the paper's magnitude (single to low double
+        // digits of ms).
+        for (i, v) in rmse.iter().enumerate() {
+            assert!(*v < 40.0, "config {i} rmse {v}");
+            assert!(*v > 0.1, "config {i} rmse {v}");
+        }
+    }
+
+    #[test]
+    fn modest_tuning_already_good() {
+        // The paper's takeaway: config 1 is within ~50% of config 6.
+        let r = run(82);
+        let first = r.paper_rows[0].rmse_ms;
+        let best = r.paper_rows[5].rmse_ms;
+        assert!(first < best * 3.0 + 5.0, "first {first} best {best}");
+    }
+
+    #[test]
+    fn render_has_six_rows() {
+        let r = run(83);
+        let s = render(&r);
+        assert!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count() >= 6);
+        assert!(s.contains("RMSE"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # loganalysis
+//!
+//! The NTP-server-log measurement pipeline of the paper's §3.1, plus the
+//! synthetic log generator that stands in for the 19 production servers'
+//! tcpdump traces (see DESIGN.md for the substitution argument).
+//!
+//! * [`model`] — the study population: the paper's Table 1 server
+//!   profiles (stratum, IP version, client and measurement counts) and
+//!   25 service-provider profiles in the four latency categories of
+//!   Figure 1 (cloud/hosting, ISP, broadband, mobile).
+//! * [`synth`] — generate a server's worth of request/response records
+//!   as real 48-byte NTP packets with per-client clocks, protocols
+//!   (SNTP vs NTP shapes) and path latencies. Counts are scaled down
+//!   from Table 1 (default 1/1000) with proportions preserved.
+//! * [`protocol`] — classify each client as SNTP or NTP from packet
+//!   shape, the same heuristic the paper applies to tcpdump output.
+//! * [`classify`] — keyword-based service-provider classification from
+//!   reverse-DNS hostnames ("fairly rudimentary \[but\] sufficient",
+//!   §3.1) — validated against the generator's ground truth in tests.
+//! * [`owd`] — one-way-delay extraction with the synchronization-state
+//!   filtering heuristic of Durairajan et al. (HotNets'15), which the
+//!   paper uses to discard invalid latency samples.
+//! * [`pcap_input`] — parse libpcap captures (e.g. written by
+//!   `netsim::pcap`) into analyzable NTP datagrams: the tcpdump front
+//!   end the paper's tooling was built on.
+//! * [`report`] — assemble Table 1, Figure 1 (min-OWD distributions per
+//!   provider) and Figure 2 (SNTP vs NTP shares).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod model;
+pub mod owd;
+pub mod pcap_input;
+pub mod protocol;
+pub mod report;
+pub mod synth;
+
+pub use model::{ProviderCategory, ProviderProfile, ServerProfile, PROVIDERS, SERVERS};
+pub use report::{figure1, figure2, generate_all_logs, table1, Figure1Row, Figure2Row, Table1Row};
+pub use synth::{generate_server_log, LogRecord, ServerLog, SynthConfig};

@@ -1,0 +1,241 @@
+//! The study population: Table 1's nineteen NTP servers and the
+//! twenty-five service providers of Figure 1.
+//!
+//! Server identities and counts are transcribed from the paper's
+//! Table 1. Provider profiles encode the four latency regimes §3.1
+//! reports: cloud/hosting providers around 40 ms median minimum OWD,
+//! ISPs around 50 ms, broadband around 250 ms, and mobile providers
+//! around 550 ms with very large interquartile ranges and a near-linear
+//! (uniform-like) distribution across clients.
+
+/// Which latency/service category a provider belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProviderCategory {
+    /// Cloud & hosting (paper SP 1–3): tight, low-latency.
+    CloudHosting,
+    /// Internet service providers (SP 4–9).
+    Isp,
+    /// Residential broadband (SP 10–21).
+    Broadband,
+    /// Mobile carriers (SP 22–25).
+    Mobile,
+}
+
+impl ProviderCategory {
+    /// Median of per-client minimum OWD, ms (paper §3.1).
+    pub fn min_owd_median_ms(self) -> f64 {
+        match self {
+            ProviderCategory::CloudHosting => 40.0,
+            ProviderCategory::Isp => 50.0,
+            ProviderCategory::Broadband => 250.0,
+            ProviderCategory::Mobile => 550.0,
+        }
+    }
+
+    /// Hostname keywords that identify the category in reverse DNS.
+    pub fn hostname_keywords(self) -> &'static [&'static str] {
+        match self {
+            ProviderCategory::CloudHosting => &["cloud", "host", "aws", "compute"],
+            ProviderCategory::Isp => &["isp", "transit", "net", "fiber"],
+            ProviderCategory::Broadband => &["cable", "dsl", "res", "broadband"],
+            ProviderCategory::Mobile => &["mobile", "wireless", "cellular", "4g"],
+        }
+    }
+
+    /// Fraction of this category's clients that speak SNTP (vs full
+    /// NTP). Paper: >95% of mobile clients use SNTP; cloud hosts mostly
+    /// run ntpd; residential CPE boxes are mixed.
+    pub fn sntp_fraction(self) -> f64 {
+        match self {
+            ProviderCategory::CloudHosting => 0.25,
+            ProviderCategory::Isp => 0.55,
+            ProviderCategory::Broadband => 0.80,
+            ProviderCategory::Mobile => 0.97,
+        }
+    }
+}
+
+/// A service provider in the study.
+#[derive(Clone, Copy, Debug)]
+pub struct ProviderProfile {
+    /// Anonymized label, matching the paper's "SP n".
+    pub name: &'static str,
+    /// Latency/service category.
+    pub category: ProviderCategory,
+    /// Relative share of the client population.
+    pub client_weight: f64,
+}
+
+/// The 25 providers of Figure 1: SP 1–3 cloud, SP 4–9 ISP, SP 10–21
+/// broadband, SP 22–25 mobile. Weights skew toward broadband and mobile,
+/// matching the population mix of public pool servers.
+pub const PROVIDERS: [ProviderProfile; 25] = {
+    const fn p(name: &'static str, category: ProviderCategory, client_weight: f64) -> ProviderProfile {
+        ProviderProfile { name, category, client_weight }
+    }
+    use ProviderCategory::*;
+    [
+        p("SP 1", CloudHosting, 6.0),
+        p("SP 2", CloudHosting, 4.0),
+        p("SP 3", CloudHosting, 3.0),
+        p("SP 4", Isp, 5.0),
+        p("SP 5", Isp, 4.0),
+        p("SP 6", Isp, 4.0),
+        p("SP 7", Isp, 3.0),
+        p("SP 8", Isp, 3.0),
+        p("SP 9", Isp, 2.0),
+        p("SP 10", Broadband, 8.0),
+        p("SP 11", Broadband, 7.0),
+        p("SP 12", Broadband, 6.0),
+        p("SP 13", Broadband, 5.0),
+        p("SP 14", Broadband, 5.0),
+        p("SP 15", Broadband, 4.0),
+        p("SP 16", Broadband, 4.0),
+        p("SP 17", Broadband, 3.0),
+        p("SP 18", Broadband, 3.0),
+        p("SP 19", Broadband, 2.0),
+        p("SP 20", Broadband, 2.0),
+        p("SP 21", Broadband, 2.0),
+        p("SP 22", Mobile, 6.0),
+        p("SP 23", Mobile, 5.0),
+        p("SP 24", Mobile, 4.0),
+        p("SP 25", Mobile, 3.0),
+    ]
+};
+
+/// Whether a server answers IPv4 only or both families (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpVersion {
+    /// IPv4 only.
+    V4,
+    /// Dual stack.
+    V4V6,
+}
+
+impl std::fmt::Display for IpVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpVersion::V4 => write!(f, "v4"),
+            IpVersion::V4V6 => write!(f, "v4/v6"),
+        }
+    }
+}
+
+/// One of the 19 study servers, as listed in Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerProfile {
+    /// Server id (AG1, CI1, …).
+    pub id: &'static str,
+    /// Stratum (1 or 2).
+    pub stratum: u8,
+    /// Address families served.
+    pub ip_version: IpVersion,
+    /// Unique clients over the 24 h capture (full scale).
+    pub unique_clients: u64,
+    /// Total OWD measurements over the capture (full scale).
+    pub total_measurements: u64,
+    /// Whether the server is ISP-internal (CI*/EN*): its population is
+    /// dominated by the ISP's own infrastructure running full NTP.
+    pub isp_internal: bool,
+}
+
+/// Table 1, transcribed. (The paper prints some counts with Indian-style
+/// digit grouping, e.g. "7,63,847" = 763,847 and "1,77,957" = 177,957.)
+pub const SERVERS: [ServerProfile; 19] = {
+    const fn s(
+        id: &'static str,
+        stratum: u8,
+        ip_version: IpVersion,
+        unique_clients: u64,
+        total_measurements: u64,
+        isp_internal: bool,
+    ) -> ServerProfile {
+        ServerProfile { id, stratum, ip_version, unique_clients, total_measurements, isp_internal }
+    }
+    use IpVersion::*;
+    [
+        s("AG1", 2, V4, 639_704, 9_988_576, false),
+        s("CI1", 2, V4V6, 606, 1_480_571, true),
+        s("CI2", 2, V4V6, 359, 1_268_928, true),
+        s("CI3", 2, V4V6, 335, 812_104, true),
+        s("CI4", 2, V4V6, 262, 763_847, true),
+        s("EN1", 2, V4V6, 228, 411_253, true),
+        s("EN2", 2, V4V6, 232, 437_440, true),
+        s("JW1", 1, V4, 12_769, 354_530, false),
+        s("JW2", 1, V4, 35_548, 869_721, false),
+        s("MW1", 1, V4, 2_746, 197_900, false),
+        s("MW2", 2, V4, 9_482_918, 46_232_069, false),
+        s("MW3", 2, V4, 1_141_163, 10_948_402, false),
+        s("MW4", 2, V4, 2_525_072, 11_126_121, false),
+        s("MI1", 1, V4, 1_078_308, 63_907_095, false),
+        s("SU1", 1, V4V6, 21_101, 16_404_882, false),
+        s("UI1", 2, V4, 36_559, 18_426_282, false),
+        s("UI2", 2, V4, 18_925, 14_194_081, false),
+        s("UI3", 2, V4, 177_957, 9_254_843, false),
+        s("PP1", 2, V4V6, 128_644, 2_369_277, false),
+    ]
+};
+
+/// Sum of unique clients across all 19 servers (paper: 17,823,505 —
+/// the paper's total counts clients per server, so duplicates across
+/// servers are counted once per server, like here).
+pub fn total_unique_clients() -> u64 {
+    SERVERS.iter().map(|s| s.unique_clients).sum()
+}
+
+/// Sum of measurements across all 19 servers (paper: 209,447,922).
+pub fn total_measurements() -> u64 {
+    SERVERS.iter().map(|s| s.total_measurements).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_servers_five_stratum1() {
+        assert_eq!(SERVERS.len(), 19);
+        assert_eq!(SERVERS.iter().filter(|s| s.stratum == 1).count(), 5);
+        assert_eq!(SERVERS.iter().filter(|s| s.stratum == 2).count(), 14);
+    }
+
+    #[test]
+    fn totals_match_paper() {
+        assert_eq!(total_measurements(), 209_447_922);
+        // The paper's prose says 17,823,505 unique clients, but its own
+        // Table 1 column sums to 15,303,436 (the prose presumably counts
+        // something slightly different). We pin the table sum.
+        assert_eq!(total_unique_clients(), 15_303_436);
+    }
+
+    #[test]
+    fn twenty_five_providers_in_paper_groups() {
+        use ProviderCategory::*;
+        assert_eq!(PROVIDERS.len(), 25);
+        assert_eq!(PROVIDERS.iter().filter(|p| p.category == CloudHosting).count(), 3);
+        assert_eq!(PROVIDERS.iter().filter(|p| p.category == Isp).count(), 6);
+        assert_eq!(PROVIDERS.iter().filter(|p| p.category == Broadband).count(), 12);
+        assert_eq!(PROVIDERS.iter().filter(|p| p.category == Mobile).count(), 4);
+    }
+
+    #[test]
+    fn latency_ordering_matches_figure1() {
+        use ProviderCategory::*;
+        assert!(CloudHosting.min_owd_median_ms() < Isp.min_owd_median_ms());
+        assert!(Isp.min_owd_median_ms() < Broadband.min_owd_median_ms());
+        assert!(Broadband.min_owd_median_ms() < Mobile.min_owd_median_ms());
+    }
+
+    #[test]
+    fn mobile_is_sntp_dominated() {
+        assert!(ProviderCategory::Mobile.sntp_fraction() > 0.95);
+        assert!(ProviderCategory::CloudHosting.sntp_fraction() < 0.5);
+    }
+
+    #[test]
+    fn isp_internal_flags() {
+        let internal: Vec<&str> =
+            SERVERS.iter().filter(|s| s.isp_internal).map(|s| s.id).collect();
+        assert_eq!(internal, vec!["CI1", "CI2", "CI3", "CI4", "EN1", "EN2"]);
+    }
+}

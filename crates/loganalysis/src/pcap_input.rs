@@ -1,0 +1,233 @@
+//! Feed real capture files into the analysis pipeline.
+//!
+//! The paper's §3.1 pipeline was "a light-weight tool based on
+//! netdissect.h and print-ntp.c" — i.e. it consumed tcpdump captures.
+//! This module is that front end: parse a classic libpcap file
+//! (Ethernet/IPv4/UDP), pick out the NTP datagrams, and hand back
+//! `(timestamp, source, packet)` tuples the protocol classifier and OWD
+//! extractor understand. Together with `netsim::pcap::PcapWriter` the
+//! loop closes: simulate → capture → re-analyze with the same tools.
+
+use ntp_wire::NtpPacket;
+
+/// One NTP datagram recovered from a capture.
+#[derive(Clone, Debug)]
+pub struct CapturedNtp {
+    /// Capture timestamp, seconds (+ fractional) since the capture epoch.
+    pub at_secs: f64,
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source UDP port.
+    pub src_port: u16,
+    /// The parsed NTP packet.
+    pub packet: NtpPacket,
+}
+
+/// Errors while reading a capture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcapError {
+    /// File shorter than the global header, or bad magic.
+    BadHeader,
+    /// Only Ethernet (linktype 1) captures are supported.
+    UnsupportedLinkType(u32),
+    /// A record header ran past the end of the file.
+    Truncated,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::BadHeader => write!(f, "not a little-endian libpcap file"),
+            PcapError::UnsupportedLinkType(lt) => write!(f, "unsupported linktype {lt}"),
+            PcapError::Truncated => write!(f, "truncated capture"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Parse a libpcap byte stream, returning every UDP datagram on port 123
+/// (either direction) that carries a parseable NTP packet. Non-NTP and
+/// malformed frames are skipped, as tcpdump-based tooling would.
+pub fn read_ntp_packets(data: &[u8]) -> Result<Vec<CapturedNtp>, PcapError> {
+    if data.len() < 24 || u32le(&data[0..4]) != 0xa1b2_c3d4 {
+        return Err(PcapError::BadHeader);
+    }
+    let linktype = u32le(&data[20..24]);
+    if linktype != 1 {
+        return Err(PcapError::UnsupportedLinkType(linktype));
+    }
+    let mut out = Vec::new();
+    let mut pos = 24usize;
+    while pos < data.len() {
+        if pos + 16 > data.len() {
+            return Err(PcapError::Truncated);
+        }
+        let ts_sec = u32le(&data[pos..]) as f64;
+        let ts_usec = u32le(&data[pos + 4..]) as f64;
+        let incl = u32le(&data[pos + 8..]) as usize;
+        pos += 16;
+        if pos + incl > data.len() {
+            return Err(PcapError::Truncated);
+        }
+        let frame = &data[pos..pos + incl];
+        pos += incl;
+        if let Some(captured) = decode_frame(ts_sec + ts_usec / 1e6, frame) {
+            out.push(captured);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_frame(at_secs: f64, frame: &[u8]) -> Option<CapturedNtp> {
+    // Ethernet II, IPv4 only.
+    if frame.len() < 14 + 20 + 8 || frame[12..14] != [0x08, 0x00] {
+        return None;
+    }
+    let ip = &frame[14..];
+    if ip[0] >> 4 != 4 {
+        return None;
+    }
+    let ihl = ((ip[0] & 0x0F) as usize) * 4;
+    if ip[9] != 17 || ip.len() < ihl + 8 {
+        return None; // not UDP
+    }
+    let src_ip = [ip[12], ip[13], ip[14], ip[15]];
+    let dst_ip = [ip[16], ip[17], ip[18], ip[19]];
+    let udp = &ip[ihl..];
+    let src_port = u16::from_be_bytes([udp[0], udp[1]]);
+    let dst_port = u16::from_be_bytes([udp[2], udp[3]]);
+    if src_port != 123 && dst_port != 123 {
+        return None;
+    }
+    let payload = &udp[8..];
+    let packet = NtpPacket::parse(payload).ok()?;
+    Some(CapturedNtp { at_secs, src_ip, dst_ip, src_port, packet })
+}
+
+/// Share of captured *client requests* that are SNTP-shaped — the
+/// §3.1 protocol statistic, straight from a capture.
+pub fn sntp_request_share(packets: &[CapturedNtp]) -> f64 {
+    let requests: Vec<&CapturedNtp> = packets
+        .iter()
+        .filter(|p| p.packet.mode == ntp_wire::packet::Mode::Client)
+        .collect();
+    if requests.is_empty() {
+        return 0.0;
+    }
+    let sntp = requests.iter().filter(|p| p.packet.is_sntp_client_shape()).count();
+    sntp as f64 / requests.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksim::time::SimTime;
+    use netsim::pcap::{Endpoint, PcapWriter};
+    use ntp_wire::{sntp_profile, NtpTimestamp};
+
+    fn capture_with(n_sntp: usize, n_ntp: usize) -> Vec<u8> {
+        let client = Endpoint::of([10, 0, 0, 2], 40_000);
+        let server = Endpoint::of([203, 0, 113, 1], 123);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..n_sntp {
+            let req = sntp_profile::client_request(NtpTimestamp::from_parts(100 + i as u32, 0));
+            w.record_udp(SimTime::from_secs(i as i64), client, server, &req.serialize()).unwrap();
+        }
+        for i in 0..n_ntp {
+            let mut req = sntp_profile::client_request(NtpTimestamp::from_parts(200 + i as u32, 0));
+            req.poll = 6;
+            req.precision = -20;
+            req.stratum = 3;
+            w.record_udp(SimTime::from_secs(100 + i as i64), client, server, &req.serialize())
+                .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_writer_and_reader() {
+        let bytes = capture_with(3, 2);
+        let packets = read_ntp_packets(&bytes).unwrap();
+        assert_eq!(packets.len(), 5);
+        assert_eq!(packets[0].dst_ip, [203, 0, 113, 1]);
+        assert_eq!(packets[0].src_port, 40_000);
+        assert!((packets[3].at_secs - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn protocol_share_from_capture() {
+        let bytes = capture_with(8, 2);
+        let packets = read_ntp_packets(&bytes).unwrap();
+        let share = sntp_request_share(&packets);
+        assert!((share - 0.8).abs() < 1e-9, "share {share}");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(read_ntp_packets(&[]).unwrap_err(), PcapError::BadHeader);
+        assert_eq!(read_ntp_packets(&[0u8; 30]).unwrap_err(), PcapError::BadHeader);
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let mut bytes = capture_with(1, 0);
+        bytes.truncate(bytes.len() - 10);
+        assert_eq!(read_ntp_packets(&bytes).unwrap_err(), PcapError::Truncated);
+    }
+
+    #[test]
+    fn non_ntp_traffic_skipped() {
+        let a = Endpoint::of([10, 0, 0, 2], 40_000);
+        let b = Endpoint { port: 53, ..Endpoint::of([10, 0, 0, 3], 53) };
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record_udp(SimTime::from_secs(1), a, b, &[1, 2, 3]).unwrap(); // DNS-ish
+        let req = sntp_profile::client_request(NtpTimestamp::from_parts(1, 0));
+        w.record_udp(SimTime::from_secs(2), a, Endpoint::of([203, 0, 113, 1], 123), &req.serialize())
+            .unwrap();
+        let packets = read_ntp_packets(&w.finish().unwrap()).unwrap();
+        assert_eq!(packets.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_simulated_exchange_reanalyzed() {
+        // Simulate real exchanges, capture them, and recover the protocol
+        // mix from the capture alone.
+        use clocksim::{OscillatorConfig, SimClock, SimRng};
+        use netsim::Testbed;
+        use sntp::{perform_exchange_traced, PoolConfig, ServerPool};
+
+        let mut tb = Testbed::wired(9);
+        let mut pool = ServerPool::new(PoolConfig::default(), 10);
+        let osc = OscillatorConfig::laptop().build(SimRng::new(11));
+        let mut clock = SimClock::new(osc, SimTime::ZERO);
+        let client = Endpoint::of([192, 168, 0, 5], 51_000);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..20 {
+            let t = SimTime::from_secs(i * 5);
+            let id = pool.pick();
+            let server = Endpoint::of([203, 0, 113, id as u8 + 1], 123);
+            let mut cap = Vec::new();
+            let _ = perform_exchange_traced(&mut tb, pool.server_mut(id), &mut clock, t, &mut cap);
+            for pkt in cap {
+                let (s, d) = if pkt.outbound { (client, server) } else { (server, client) };
+                w.record_udp(pkt.at, s, d, &pkt.bytes).unwrap();
+            }
+        }
+        let packets = read_ntp_packets(&w.finish().unwrap()).unwrap();
+        assert!(packets.len() >= 38, "captured {}", packets.len());
+        // All requests in this run are SNTP-shaped.
+        assert!((sntp_request_share(&packets) - 1.0).abs() < 1e-9);
+        // Replies carry server stratum.
+        assert!(packets
+            .iter()
+            .filter(|p| p.packet.mode == ntp_wire::packet::Mode::Server)
+            .all(|p| p.packet.stratum >= 1));
+    }
+}

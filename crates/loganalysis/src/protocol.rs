@@ -1,0 +1,106 @@
+//! SNTP vs NTP detection from packet shape.
+//!
+//! "SNTP sets all fields in an NTP packet to zero except the first
+//! octet" (§2) — so a capture-side classifier can label each request by
+//! inspecting the header: zeroed stratum/poll/precision/root fields mean
+//! an SNTP client, populated ones mean a full NTP implementation. A
+//! client is labelled by majority vote over its requests (a client never
+//! legitimately flips implementations mid-capture, but captures can hold
+//! corrupt packets).
+
+use std::collections::HashMap;
+
+use ntp_wire::NtpPacket;
+
+use crate::synth::ServerLog;
+
+/// Protocol verdict for a client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// RFC 4330-shaped requests.
+    Sntp,
+    /// Full NTP implementation.
+    Ntp,
+}
+
+/// Classify one request.
+pub fn classify_packet(packet: &NtpPacket) -> Protocol {
+    if packet.is_sntp_client_shape() {
+        Protocol::Sntp
+    } else {
+        Protocol::Ntp
+    }
+}
+
+/// Classify every client in a log by majority vote over its requests.
+/// Unparseable requests are ignored.
+pub fn classify_clients(log: &ServerLog) -> HashMap<u32, Protocol> {
+    let mut votes: HashMap<u32, (u32, u32)> = HashMap::new();
+    for r in &log.records {
+        if let Ok(p) = NtpPacket::parse(&r.request) {
+            let e = votes.entry(r.client_id).or_insert((0, 0));
+            match classify_packet(&p) {
+                Protocol::Sntp => e.0 += 1,
+                Protocol::Ntp => e.1 += 1,
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(id, (s, n))| (id, if s >= n { Protocol::Sntp } else { Protocol::Ntp }))
+        .collect()
+}
+
+/// Fraction of a log's clients classified as SNTP.
+pub fn sntp_share(log: &ServerLog) -> f64 {
+    let classes = classify_clients(log);
+    if classes.is_empty() {
+        return 0.0;
+    }
+    classes.values().filter(|p| **p == Protocol::Sntp).count() as f64 / classes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SERVERS;
+    use crate::synth::{generate_server_log, SynthConfig};
+
+    fn cfg() -> SynthConfig {
+        SynthConfig { scale: 10_000, duration_secs: 86_400 }
+    }
+
+    #[test]
+    fn classification_matches_ground_truth() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &cfg(), 1);
+        let classes = classify_clients(&log);
+        for r in &log.records {
+            let got = classes[&r.client_id];
+            let want = if r.true_sntp { Protocol::Sntp } else { Protocol::Ntp };
+            assert_eq!(got, want, "client {}", r.client_id);
+        }
+    }
+
+    #[test]
+    fn public_server_is_sntp_majority() {
+        let mw2 = SERVERS.iter().find(|s| s.id == "MW2").unwrap();
+        let log = generate_server_log(mw2, &SynthConfig::default(), 2);
+        assert!(sntp_share(&log) > 0.5);
+    }
+
+    #[test]
+    fn isp_internal_server_is_ntp_majority() {
+        let en1 = SERVERS.iter().find(|s| s.id == "EN1").unwrap();
+        let log = generate_server_log(en1, &SynthConfig { scale: 10, duration_secs: 86_400 }, 3);
+        assert!(sntp_share(&log) < 0.5);
+    }
+
+    #[test]
+    fn empty_log_yields_zero_share() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let mut log = generate_server_log(ag1, &cfg(), 4);
+        log.records.clear();
+        assert_eq!(sntp_share(&log), 0.0);
+    }
+}

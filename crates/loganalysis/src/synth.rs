@@ -1,0 +1,380 @@
+//! Synthetic server-log generation.
+//!
+//! For each Table 1 server profile, generate a (scaled-down) day of
+//! client traffic as *real 48-byte NTP packets*: every record carries the
+//! request bytes as captured at the server, plus the capture-side
+//! metadata a tcpdump-based pipeline has (server receive time, client
+//! hostname from reverse DNS). Ground-truth fields (true provider, true
+//! protocol, true client clock error, true OWD) ride along so the
+//! analysis heuristics can be *validated*, which the paper could not do
+//! with production traces.
+
+use clocksim::rng::SimRng;
+use ntp_wire::{packet::Mode, sntp_profile, NtpDuration, NtpPacket, NtpTimestamp, Version};
+
+use crate::model::{ProviderCategory, ServerProfile, PROVIDERS};
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Scale divisor applied to Table 1 counts (default 1000).
+    pub scale: u64,
+    /// Capture duration, seconds (paper: 24 h).
+    pub duration_secs: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { scale: 1000, duration_secs: 86_400 }
+    }
+}
+
+/// One captured request as the analysis pipeline sees it, plus ground
+/// truth for validation.
+#[derive(Clone, Debug)]
+pub struct LogRecord {
+    /// Client identity (index into the synthetic population).
+    pub client_id: u32,
+    /// Reverse-DNS hostname of the client.
+    pub hostname: String,
+    /// Raw request bytes as captured.
+    pub request: Vec<u8>,
+    /// Server receive time (server clock ≈ true time), seconds into the
+    /// capture.
+    pub received_at_secs: f64,
+    // ---- ground truth (not available to heuristics; used by tests) ----
+    /// Which provider the client belongs to.
+    pub true_provider: usize,
+    /// Whether the client arrived over IPv6 (only on dual-stack servers).
+    pub true_ipv6: bool,
+    /// True protocol: `true` = SNTP.
+    pub true_sntp: bool,
+    /// True client→server OWD of this request, ms.
+    pub true_owd_ms: f64,
+    /// True client clock error at send time, ms.
+    pub true_clock_err_ms: f64,
+}
+
+/// A synthetic day of traffic at one server.
+#[derive(Clone, Debug)]
+pub struct ServerLog {
+    /// Which server this log belongs to.
+    pub server: ServerProfile,
+    /// Captured requests, in time order.
+    pub records: Vec<LogRecord>,
+    /// Unique clients generated.
+    pub unique_clients: u64,
+}
+
+struct ClientSpec {
+    provider: usize,
+    ipv6: bool,
+    hostname: String,
+    sntp: bool,
+    /// Minimum (propagation) OWD, ms.
+    min_owd_ms: f64,
+    /// Per-request jitter mean, ms.
+    jitter_mean_ms: f64,
+    /// Clock error at capture start, ms.
+    clock_err_ms: f64,
+    /// Clock skew, ppm.
+    skew_ppm: f64,
+    /// Number of requests in the capture.
+    requests: u32,
+    /// Whether the client's clock is well synchronized (drives the
+    /// Durairajan filter's ground truth).
+    synchronized: bool,
+}
+
+/// Draw a client's minimum OWD for a category. Cloud/ISP: tight
+/// lognormal. Broadband: wider. Mobile: near-uniform spread over a huge
+/// range — the "linear trend" of Figure 1's mobile CDFs.
+fn draw_min_owd(cat: ProviderCategory, rng: &mut SimRng) -> f64 {
+    match cat {
+        ProviderCategory::CloudHosting => rng.lognormal(40.0f64.ln(), 0.35),
+        ProviderCategory::Isp => rng.lognormal(50.0f64.ln(), 0.40),
+        ProviderCategory::Broadband => rng.lognormal(250.0f64.ln(), 0.55),
+        ProviderCategory::Mobile => rng.uniform_range(100.0, 1000.0),
+    }
+}
+
+fn pick_provider(rng: &mut SimRng, isp_internal: bool) -> usize {
+    if isp_internal {
+        // ISP-internal servers see mostly the ISP's own wired
+        // infrastructure (category Isp), some cloud monitoring.
+        if rng.chance(0.8) {
+            rng.int_range(3, 8) as usize
+        } else {
+            rng.int_range(0, 2) as usize
+        }
+    } else {
+        let total: f64 = PROVIDERS.iter().map(|p| p.client_weight).sum();
+        let mut x = rng.uniform() * total;
+        for (i, p) in PROVIDERS.iter().enumerate() {
+            x -= p.client_weight;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        PROVIDERS.len() - 1
+    }
+}
+
+fn hostname(provider: usize, client: u32, rng: &mut SimRng) -> String {
+    let p = &PROVIDERS[provider];
+    let kw = p.category.hostname_keywords();
+    let k = kw[rng.index(kw.len())];
+    let sp = p.name.replace(' ', "").to_lowercase();
+    format!(
+        "{}-{}-{}.{k}.{sp}.example.net",
+        rng.int_range(1, 254),
+        rng.int_range(1, 254),
+        client % 251
+    )
+}
+
+/// Generate one server's synthetic log.
+pub fn generate_server_log(server: &ServerProfile, cfg: &SynthConfig, seed: u64) -> ServerLog {
+    let mut rng = SimRng::new(seed ^ 0x5EED_1065);
+    let n_clients = (server.unique_clients / cfg.scale).max(5) as u32;
+    let total_requests = (server.total_measurements / cfg.scale).max(n_clients as u64);
+
+    // Build the client population.
+    let mut clients = Vec::with_capacity(n_clients as usize);
+    for c in 0..n_clients {
+        let provider = pick_provider(&mut rng, server.isp_internal);
+        let cat = PROVIDERS[provider].category;
+        // ISP-internal servers (CI*/EN*) serve the ISP's own
+        // infrastructure, which runs full ntpd regardless of category.
+        let sntp = if server.isp_internal {
+            rng.chance(0.15)
+        } else {
+            rng.chance(cat.sntp_fraction())
+        };
+        let min_owd_ms = draw_min_owd(cat, &mut rng);
+        // NTP clients are synchronized; SNTP clients often are not
+        // (their clocks can be off by seconds — §2's vendor policies).
+        let synchronized = if sntp { rng.chance(0.45) } else { rng.chance(0.97) };
+        let clock_err_ms = if synchronized {
+            rng.normal(0.0, 8.0)
+        } else {
+            // Up to several seconds of error, either sign.
+            rng.normal(0.0, 2_500.0)
+        };
+        // Dual-stack servers (Table 1's "v4/v6") see a minority of
+        // clients over IPv6; cloud/ISP infrastructure leads adoption.
+        let ipv6 = server.ip_version == crate::model::IpVersion::V4V6
+            && rng.chance(match cat {
+                ProviderCategory::CloudHosting => 0.45,
+                ProviderCategory::Isp => 0.30,
+                ProviderCategory::Broadband => 0.15,
+                ProviderCategory::Mobile => 0.25,
+            });
+        clients.push(ClientSpec {
+            provider,
+            ipv6,
+            hostname: hostname(provider, c, &mut rng),
+            sntp,
+            min_owd_ms,
+            jitter_mean_ms: match cat {
+                ProviderCategory::Mobile => 80.0,
+                ProviderCategory::Broadband => 25.0,
+                _ => 6.0,
+            },
+            clock_err_ms,
+            // Disciplined clients hold their rate near true; free-running
+            // ones drift at crystal tolerance.
+            skew_ppm: if synchronized { rng.normal(0.0, 0.1) } else { rng.normal(0.0, 15.0) },
+            requests: 1, // at least one; remainder distributed below
+            synchronized,
+        });
+    }
+    // Distribute the remaining request budget: NTP clients poll
+    // periodically and soak up most of the volume (a Zipf-ish skew).
+    let mut remaining = total_requests.saturating_sub(n_clients as u64);
+    while remaining > 0 {
+        let i = rng.index(clients.len());
+        let boost = if clients[i].sntp {
+            1
+        } else {
+            rng.int_range(5, 40) as u64
+        }
+        .min(remaining);
+        clients[i].requests += boost as u32;
+        remaining -= boost;
+    }
+
+    // Emit records.
+    let mut records = Vec::with_capacity(total_requests as usize);
+    for (ci, c) in clients.iter().enumerate() {
+        for _ in 0..c.requests {
+            let t_send = rng.uniform_range(0.0, cfg.duration_secs as f64);
+            let owd_ms = c.min_owd_ms + rng.exponential(c.jitter_mean_ms);
+            let clock_err = c.clock_err_ms + c.skew_ppm * 1e-3 * t_send; // ppm·s → ms
+            // T1 on the client's clock.
+            let t1 = ts_at(t_send).wrapping_add_duration(NtpDuration::from_seconds_f64(clock_err / 1e3));
+            let packet = if c.sntp {
+                sntp_profile::client_request(t1)
+            } else {
+                // Full ntpd-style request: poll/precision/stratum set,
+                // reference timestamp recent when synchronized.
+                let mut p = NtpPacket {
+                    version: Version::V4,
+                    mode: Mode::Client,
+                    stratum: 3,
+                    poll: 6 + rng.int_range(0, 4) as i8,
+                    precision: -20,
+                    transmit_ts: t1,
+                    ..Default::default()
+                };
+                p.reference_id = ntp_wire::RefId::ipv4(198, 51, 100, (ci % 250) as u8 + 1);
+                let ref_age = if c.synchronized {
+                    rng.uniform_range(1.0, 900.0)
+                } else {
+                    rng.uniform_range(100_000.0, 10_000_000.0)
+                };
+                p.reference_ts =
+                    t1.wrapping_add_duration(NtpDuration::from_seconds_f64(-ref_age));
+                p.root_delay = ntp_wire::NtpShort::from_millis(30);
+                p.root_dispersion = ntp_wire::NtpShort::from_millis(15);
+                p
+            };
+            records.push(LogRecord {
+                client_id: ci as u32,
+                hostname: c.hostname.clone(),
+                request: packet.serialize(),
+                received_at_secs: t_send + owd_ms / 1e3,
+                true_provider: c.provider,
+                true_ipv6: c.ipv6,
+                true_sntp: c.sntp,
+                true_owd_ms: owd_ms,
+                true_clock_err_ms: clock_err,
+            });
+        }
+    }
+    records.sort_by(|a, b| a.received_at_secs.partial_cmp(&b.received_at_secs).expect("no NaN"));
+    ServerLog { server: *server, records, unique_clients: n_clients as u64 }
+}
+
+/// NTP timestamp for `secs` into the capture (true timescale).
+pub fn ts_at(secs: f64) -> NtpTimestamp {
+    NtpTimestamp::from_parts(3_000_000, 0)
+        .wrapping_add_duration(NtpDuration::from_seconds_f64(secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SERVERS;
+
+    fn small_cfg() -> SynthConfig {
+        SynthConfig { scale: 10_000, duration_secs: 86_400 }
+    }
+
+    #[test]
+    fn counts_scale_with_table1() {
+        let su1 = SERVERS.iter().find(|s| s.id == "SU1").unwrap();
+        let log = generate_server_log(su1, &small_cfg(), 1);
+        // 21,101 clients / 10,000 → max(2,5) = 5; 16.4M / 10k = 1640 reqs.
+        assert_eq!(log.unique_clients, 5);
+        let expect = (su1.total_measurements / 10_000) as usize;
+        assert!(
+            (log.records.len() as i64 - expect as i64).abs() < expect as i64 / 5 + 10,
+            "records {} vs {expect}",
+            log.records.len()
+        );
+    }
+
+    #[test]
+    fn records_are_parseable_packets_in_time_order() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &small_cfg(), 2);
+        let mut prev = 0.0;
+        for r in &log.records {
+            let p = NtpPacket::parse(&r.request).expect("valid packet");
+            assert_eq!(p.mode, Mode::Client);
+            assert!(r.received_at_secs >= prev);
+            prev = r.received_at_secs;
+        }
+    }
+
+    #[test]
+    fn sntp_records_have_sntp_shape() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &small_cfg(), 3);
+        for r in &log.records {
+            let p = NtpPacket::parse(&r.request).unwrap();
+            assert_eq!(p.is_sntp_client_shape(), r.true_sntp, "host {}", r.hostname);
+        }
+    }
+
+    #[test]
+    fn mobile_clients_mostly_sntp() {
+        let mw2 = SERVERS.iter().find(|s| s.id == "MW2").unwrap();
+        let log = generate_server_log(mw2, &SynthConfig::default(), 4);
+        // Per *client*, as the paper counts: >95% of mobile clients SNTP.
+        let mut seen = std::collections::HashMap::new();
+        for r in &log.records {
+            if PROVIDERS[r.true_provider].category == ProviderCategory::Mobile {
+                seen.insert(r.client_id, r.true_sntp);
+            }
+        }
+        assert!(!seen.is_empty());
+        let sntp = seen.values().filter(|s| **s).count() as f64 / seen.len() as f64;
+        assert!(sntp > 0.9, "mobile SNTP client share {sntp}");
+    }
+
+    #[test]
+    fn isp_internal_servers_are_ntp_heavy() {
+        let ci1 = SERVERS.iter().find(|s| s.id == "CI1").unwrap();
+        // CI1 has few clients; use scale 1 for fidelity.
+        let log = generate_server_log(ci1, &SynthConfig { scale: 10, duration_secs: 86_400 }, 5);
+        let sntp = log.records.iter().filter(|r| r.true_sntp).count() as f64
+            / log.records.len() as f64;
+        assert!(sntp < 0.5, "ISP-internal server should be NTP-majority, sntp={sntp}");
+    }
+
+    #[test]
+    fn mobile_owds_exceed_cloud_owds() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &small_cfg(), 6);
+        let owds_of = |cat: ProviderCategory| -> Vec<f64> {
+            log.records
+                .iter()
+                .filter(|r| PROVIDERS[r.true_provider].category == cat)
+                .map(|r| r.true_owd_ms)
+                .collect()
+        };
+        let cloud = clocksim::stats::median(&owds_of(ProviderCategory::CloudHosting));
+        let mobile = clocksim::stats::median(&owds_of(ProviderCategory::Mobile));
+        assert!(mobile > cloud * 4.0, "cloud={cloud} mobile={mobile}");
+    }
+
+    #[test]
+    fn ipv6_only_on_dual_stack_servers() {
+        let cfg = SynthConfig { scale: 2_000, duration_secs: 86_400 };
+        // MW2 is v4-only: no IPv6 clients ever.
+        let mw2 = SERVERS.iter().find(|s| s.id == "MW2").unwrap();
+        let log = generate_server_log(mw2, &cfg, 11);
+        assert!(log.records.iter().all(|r| !r.true_ipv6));
+        // SU1 is dual-stack: a visible IPv6 minority.
+        let su1 = SERVERS.iter().find(|s| s.id == "SU1").unwrap();
+        let log = generate_server_log(su1, &SynthConfig { scale: 500, duration_secs: 86_400 }, 12);
+        let mut seen = std::collections::HashMap::new();
+        for r in &log.records {
+            seen.insert(r.client_id, r.true_ipv6);
+        }
+        let v6 = seen.values().filter(|v| **v).count();
+        assert!(v6 > 0, "dual-stack server should see some IPv6 clients");
+        assert!(v6 * 2 < seen.len(), "IPv6 stays a minority");
+    }
+
+    #[test]
+    fn deterministic() {
+        let jw1 = SERVERS.iter().find(|s| s.id == "JW1").unwrap();
+        let a = generate_server_log(jw1, &small_cfg(), 7);
+        let b = generate_server_log(jw1, &small_cfg(), 7);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records[0].request, b.records[0].request);
+    }
+}

@@ -1,0 +1,236 @@
+//! The 4G cellular last hop behind the paper's §3.3 experiment (Figure 5).
+//!
+//! A phone on a commercial LTE network sees three delay mechanisms that a
+//! lab WiFi link does not:
+//!
+//! * **RRC promotion** — after an idle period the radio drops to
+//!   `RRC_IDLE`; the first packet pays a promotion delay of several
+//!   hundred ms.
+//! * **High-variance base OWD** — the paper's log analysis (§3.1) found
+//!   mobile-provider clients with median minimum OWDs around 550 ms and
+//!   large interquartile ranges; the base delay here is lognormal with a
+//!   heavy shoulder.
+//! * **Downlink bufferbloat** — deep eNodeB buffers hold seconds of queue
+//!   under load, inflating the server→client leg far more than the
+//!   client→server leg. This asymmetry is what pushes SNTP offsets to the
+//!   ~200 ms regime of Figure 5.
+
+use clocksim::rng::SimRng;
+use clocksim::time::{SimDuration, SimTime};
+
+/// Configuration of the cellular model. Defaults land in the Figure 5
+/// regime: SNTP offset mean ≈ 190 ms, σ ≈ 55 ms, max ≈ 840 ms.
+#[derive(Clone, Debug)]
+pub struct CellularConfig {
+    /// Radio returns to idle after this much inactivity, s.
+    pub rrc_idle_timeout_secs: f64,
+    /// Promotion delay range when leaving idle, ms.
+    pub promotion_ms: (f64, f64),
+    /// Median uplink OWD, ms.
+    pub uplink_median_ms: f64,
+    /// Median downlink OWD before load, ms.
+    pub downlink_median_ms: f64,
+    /// Lognormal shape of the base OWDs.
+    pub owd_sigma: f64,
+    /// Mean of the load OU process (0..1).
+    pub load_mean: f64,
+    /// Stationary σ of the load process.
+    pub load_sigma: f64,
+    /// Time constant of the load process, s.
+    pub load_tau_secs: f64,
+    /// Mean extra downlink delay at full load, ms.
+    pub bloat_gain_ms: f64,
+    /// Exponent mapping load to bloat.
+    pub bloat_exp: f64,
+    /// Random packet loss probability.
+    pub loss_prob: f64,
+    /// Cap on any sampled delay, ms.
+    pub delay_cap_ms: f64,
+}
+
+impl Default for CellularConfig {
+    fn default() -> Self {
+        CellularConfig {
+            rrc_idle_timeout_secs: 10.0,
+            promotion_ms: (180.0, 550.0),
+            uplink_median_ms: 38.0,
+            downlink_median_ms: 45.0,
+            owd_sigma: 0.30,
+            load_mean: 0.55,
+            load_sigma: 0.18,
+            load_tau_secs: 90.0,
+            bloat_gain_ms: 900.0,
+            bloat_exp: 1.6,
+            loss_prob: 0.015,
+            delay_cap_ms: 2000.0,
+        }
+    }
+}
+
+/// Live cellular channel state.
+#[derive(Clone, Debug)]
+pub struct CellularChannel {
+    cfg: CellularConfig,
+    load: f64,
+    last_activity: SimTime,
+    last_update: SimTime,
+    rng: SimRng,
+}
+
+impl CellularChannel {
+    /// New channel; the radio starts idle.
+    pub fn new(cfg: CellularConfig, rng: SimRng) -> Self {
+        let load = cfg.load_mean;
+        CellularChannel {
+            cfg,
+            load,
+            last_activity: SimTime::from_secs(-3600),
+            last_update: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        let dt = (t - self.last_update).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        let a = (-dt / self.cfg.load_tau_secs).exp();
+        let noise = self.cfg.load_sigma * (1.0 - a * a).sqrt() * self.rng.gauss();
+        self.load = (self.cfg.load_mean + (self.load - self.cfg.load_mean) * a + noise)
+            .clamp(0.0, 1.0);
+        self.last_update = t;
+    }
+
+    /// Current cell load estimate (diagnostics).
+    pub fn load(&mut self, t: SimTime) -> f64 {
+        self.advance_to(t);
+        self.load
+    }
+
+    /// True if the radio would be idle at `t` (promotion needed).
+    pub fn is_idle(&self, t: SimTime) -> bool {
+        (t - self.last_activity).as_secs_f64() > self.cfg.rrc_idle_timeout_secs
+    }
+
+    /// Promotion delay if idle, else zero. Marks the radio active.
+    fn wake(&mut self, t: SimTime) -> f64 {
+        let promo = if self.is_idle(t) {
+            self.rng.uniform_range(self.cfg.promotion_ms.0, self.cfg.promotion_ms.1)
+        } else {
+            0.0
+        };
+        self.last_activity = t;
+        promo
+    }
+
+    /// Uplink (phone → Internet) packet at `t`.
+    pub fn transmit_up(&mut self, t: SimTime) -> Option<SimDuration> {
+        self.advance_to(t);
+        if self.rng.chance(self.cfg.loss_prob) {
+            return None;
+        }
+        let promo = self.wake(t);
+        let base = self.rng.lognormal(self.cfg.uplink_median_ms.ln(), self.cfg.owd_sigma);
+        Some(SimDuration::from_millis_f64((promo + base).min(self.cfg.delay_cap_ms)))
+    }
+
+    /// Downlink (Internet → phone) packet at `t`: base OWD plus
+    /// load-dependent bufferbloat.
+    pub fn transmit_down(&mut self, t: SimTime) -> Option<SimDuration> {
+        self.advance_to(t);
+        if self.rng.chance(self.cfg.loss_prob) {
+            return None;
+        }
+        self.last_activity = t;
+        let base = self.rng.lognormal(self.cfg.downlink_median_ms.ln(), self.cfg.owd_sigma);
+        let bloat = self.cfg.bloat_gain_ms * self.load.powf(self.cfg.bloat_exp)
+            * self.rng.exponential(1.0).min(3.0);
+        Some(SimDuration::from_millis_f64((base + bloat).min(self.cfg.delay_cap_ms)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_radio_pays_promotion() {
+        let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(1));
+        let t = SimTime::from_secs(100);
+        assert!(ch.is_idle(t));
+        let first = ch.transmit_up(t).unwrap();
+        // Next packet 1 s later: radio still connected.
+        let second = ch.transmit_up(t + SimDuration::from_secs(1)).unwrap();
+        assert!(
+            first.as_millis_f64() > second.as_millis_f64() + 100.0,
+            "first={first:?} second={second:?}"
+        );
+    }
+
+    #[test]
+    fn radio_reidles_after_timeout() {
+        let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(2));
+        let t0 = SimTime::from_secs(10);
+        ch.transmit_up(t0);
+        assert!(!ch.is_idle(t0 + SimDuration::from_secs(5)));
+        assert!(ch.is_idle(t0 + SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn downlink_dominates_uplink() {
+        let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(3));
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        for i in 0..5000 {
+            let t = SimTime::from_secs(i * 5);
+            if let Some(d) = ch.transmit_up(t) {
+                up.push(d.as_millis_f64());
+            }
+            if let Some(d) = ch.transmit_down(t) {
+                down.push(d.as_millis_f64());
+            }
+        }
+        // Uplink samples (after the first) should be fast except promotions.
+        let mean_up = up.iter().sum::<f64>() / up.len() as f64;
+        let mean_down = down.iter().sum::<f64>() / down.len() as f64;
+        assert!(mean_down > mean_up + 150.0, "up={mean_up} down={mean_down}");
+    }
+
+    #[test]
+    fn asymmetry_lands_in_figure5_regime() {
+        // SNTP offset error ≈ (fwd − back) / 2; with the client clock held
+        // at truth the observed offset is back-vs-fwd asymmetry / 2.
+        let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(4));
+        let mut offsets = Vec::new();
+        for i in 0..2000 {
+            let t = SimTime::from_secs(i * 5);
+            if let (Some(up), Some(down)) = (ch.transmit_up(t), ch.transmit_down(t)) {
+                offsets.push((down.as_millis_f64() - up.as_millis_f64()) / 2.0);
+            }
+        }
+        let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        let max = offsets.iter().cloned().fold(0.0, f64::max);
+        assert!((100.0..350.0).contains(&mean), "mean offset magnitude {mean}");
+        assert!(max > 500.0, "max {max}");
+    }
+
+    #[test]
+    fn loss_occurs_at_configured_rate() {
+        let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(5));
+        let lost = (0..20_000)
+            .filter(|i| ch.transmit_up(SimTime::from_secs(i * 2)).is_none())
+            .count() as f64
+            / 20_000.0;
+        assert!((lost - 0.015).abs() < 0.005, "loss={lost}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut ch = CellularChannel::new(CellularConfig::default(), SimRng::new(seed));
+            (0..50).map(|i| ch.transmit_down(SimTime::from_secs(i)).map(|d| d.as_nanos())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(6), run(6));
+    }
+}

@@ -1,0 +1,263 @@
+//! The discrete-event executor.
+//!
+//! [`Sim<W>`] owns a priority queue of `(time, closure)` entries over a
+//! caller-supplied world type `W`. Events fire in time order; events
+//! scheduled for the same instant fire in scheduling order (a monotone
+//! sequence number breaks ties), which makes runs bit-reproducible.
+//!
+//! The executor is deliberately synchronous and single-threaded: the
+//! workloads in this reproduction are hours of simulated time with a few
+//! events per second, where determinism and debuggability beat
+//! parallelism.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use clocksim::time::SimTime;
+
+/// Boxed event callback: receives the world and the simulator (so it can
+/// schedule follow-up events).
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        // Ties broken by sequence number: earlier-scheduled fires first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event simulator over world type `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<W>>,
+    fired: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A simulator positioned at the epoch with an empty queue.
+    pub fn new() -> Self {
+        Sim { now: SimTime::ZERO, seq: 0, heap: BinaryHeap::new(), fired: 0 }
+    }
+
+    /// Current simulation time (the time of the last fired event, or the
+    /// target of the last `run_until`).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far (diagnostics, benches).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently queued.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past fires the
+    /// event at the current time instead (never travels backwards).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: clocksim::time::SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay.max_zero(), f);
+    }
+
+    /// Fire every event with `at <= t`, then advance the clock to exactly
+    /// `t`. Events may schedule new events, including at the current time.
+    pub fn run_until(&mut self, world: &mut W, t: SimTime) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > t {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.f)(world, self);
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Fire events until the queue drains (for self-terminating workloads).
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        while let Some(entry) = self.heap.pop() {
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.f)(world, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksim::time::SimDuration;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until(&mut world, SimTime::from_secs(10));
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_until(&mut world, t);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_secs(5), |w: &mut Vec<u32>, _| w.push(5));
+        sim.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(world, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        sim.run_until(&mut world, SimTime::from_secs(5));
+        assert_eq!(world, vec![1, 5]);
+    }
+
+    #[test]
+    fn events_can_reschedule_themselves() {
+        struct W {
+            count: u32,
+        }
+        fn tick(w: &mut W, sim: &mut Sim<W>) {
+            w.count += 1;
+            if w.count < 5 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        let mut sim = Sim::new();
+        let mut world = W { count: 0 };
+        sim.schedule_at(SimTime::ZERO, tick);
+        sim.run_until(&mut world, SimTime::from_secs(100));
+        assert_eq!(world.count, 5);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim: Sim<Vec<SimTime>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_secs(5), |_, sim: &mut Sim<Vec<SimTime>>| {
+            // Attempt to schedule in the past.
+            sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<SimTime>, sim| {
+                w.push(sim.now());
+            });
+        });
+        sim.run_until(&mut world, SimTime::from_secs(10));
+        assert_eq!(world, vec![SimTime::from_secs(5)]);
+    }
+
+    #[test]
+    fn boundary_event_fires_inclusively() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_secs(2), |w: &mut Vec<u32>, _| w.push(1));
+        sim.run_until(&mut world, SimTime::from_secs(2));
+        assert_eq!(world, vec![1]);
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_secs(i), |w: &mut u32, _| *w += 1);
+        }
+        sim.run_to_completion(&mut world);
+        assert_eq!(world, 100);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn nested_same_time_event_fires_in_same_run() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_secs(1), |w: &mut Vec<&'static str>, sim| {
+            w.push("outer");
+            sim.schedule_in(SimDuration::ZERO, |w: &mut Vec<&'static str>, _| w.push("inner"));
+        });
+        sim.run_until(&mut world, SimTime::from_secs(1));
+        assert_eq!(world, vec!["outer", "inner"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any schedule of events, firing order is sorted by
+        /// (time, insertion order).
+        #[test]
+        fn firing_order_is_stable_sort(times in proptest::collection::vec(0i64..1000, 1..60)) {
+            let mut sim: Sim<Vec<(i64, usize)>> = Sim::new();
+            let mut world: Vec<(i64, usize)> = Vec::new();
+            for (idx, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_secs(t), move |w: &mut Vec<(i64, usize)>, _| {
+                    w.push((t, idx));
+                });
+            }
+            sim.run_to_completion(&mut world);
+            prop_assert_eq!(world.len(), times.len());
+            for pair in world.windows(2) {
+                let (ta, ia) = pair[0];
+                let (tb, ib) = pair[1];
+                prop_assert!(ta < tb || (ta == tb && ia < ib), "{pair:?}");
+            }
+        }
+    }
+}

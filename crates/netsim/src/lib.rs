@@ -1,0 +1,50 @@
+//! # netsim
+//!
+//! A deterministic discrete-event network simulator purpose-built for the
+//! MNTP reproduction. It supplies every network the paper's experiments
+//! ran on:
+//!
+//! * [`kernel`] — the event-queue executor ([`kernel::Sim`]): closures
+//!   scheduled at absolute times, FIFO-stable for ties, fully
+//!   deterministic for a given seed.
+//! * [`link`] — composable per-packet delay and loss models (fixed /
+//!   normal / lognormal / heavy-tail delay; Bernoulli / Gilbert–Elliott
+//!   loss) used for wired segments and Internet backbones.
+//! * [`wifi`] — the 802.11 last-hop model: transmit power, log-distance
+//!   path loss with Ornstein–Uhlenbeck shadowing, a noise floor lifted by
+//!   interference bursts, SNR-dependent frame loss with DCF-style retry
+//!   delay, and medium-utilization queueing (AP-side bufferbloat on the
+//!   downlink). Exposes the (RSSI, noise) *wireless hints* MNTP reads.
+//! * [`cellular`] — the 4G model behind the paper's Figure 5: RRC
+//!   promotion delay, high-variance OWDs, downlink bufferbloat.
+//! * [`crosstraffic`] — the monitor node's interfering file downloads.
+//! * [`pcap`] — a libpcap writer: simulated exchanges dump to `.pcap`
+//!   files openable in Wireshark (the paper's pipeline was built on
+//!   tcpdump captures of exactly this traffic).
+//! * [`scenarios`] — named deployment presets (lab / café / apartment /
+//!   pacing / walk-away) for the §7 "wider variety of settings" sweeps.
+//! * [`testbed`] — the assembled laboratory testbed of Figure 3: WAP +
+//!   target node + monitor node, including the monitor's feedback
+//!   controller that tunes download frequency and transmit power from
+//!   observed ping loss, exactly as described in §3.2.
+//!
+//! Protocol implementations (`sntp`, `ntpd-sim`, `mntp`) are *sans-io*
+//! state machines; this crate is where their messages acquire delay, loss
+//! and asymmetry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cellular;
+pub mod crosstraffic;
+pub mod kernel;
+pub mod link;
+pub mod pcap;
+pub mod scenarios;
+pub mod testbed;
+pub mod wifi;
+
+pub use kernel::Sim;
+pub use link::{DelayModel, Link, LossModel};
+pub use testbed::{LastHop, Testbed, TestbedConfig};
+pub use wifi::{WifiChannel, WifiConfig, WirelessHints};

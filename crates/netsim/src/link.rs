@@ -1,0 +1,329 @@
+//! Per-packet delay and loss models for wired segments.
+//!
+//! These models cover every non-WiFi path in the reproduction: the
+//! Ethernet last hop of the paper's wired control experiments, and the
+//! Internet backbone between the testbed's uplink and each NTP pool
+//! server. The WiFi last hop has its own stateful model in [`crate::wifi`]
+//! because its delay and loss are driven by channel state rather than
+//! being i.i.d.
+
+use clocksim::rng::SimRng;
+use clocksim::time::SimDuration;
+
+/// A per-packet one-way-delay distribution.
+#[derive(Clone, Debug)]
+pub enum DelayModel {
+    /// Constant delay.
+    Fixed(SimDuration),
+    /// Gaussian jitter around a mean, truncated below at `floor_ms`.
+    Normal {
+        /// Mean delay, ms.
+        mean_ms: f64,
+        /// Standard deviation, ms.
+        sigma_ms: f64,
+        /// Hard lower bound, ms (propagation delay can't be beaten).
+        floor_ms: f64,
+    },
+    /// Lognormal body — the classic shape of Internet OWDs.
+    LogNormal {
+        /// Median delay, ms (the lognormal's scale parameter `e^mu`).
+        median_ms: f64,
+        /// Shape `sigma` of the underlying normal.
+        sigma: f64,
+        /// Hard lower bound, ms.
+        floor_ms: f64,
+    },
+    /// Lognormal body plus a Pareto spike tail occurring with probability
+    /// `spike_prob` — models transient cross-traffic queueing on a path.
+    SpikyLogNormal {
+        /// Median of the body, ms.
+        median_ms: f64,
+        /// Shape of the body.
+        sigma: f64,
+        /// Hard lower bound, ms.
+        floor_ms: f64,
+        /// Per-packet probability of hitting the spike tail.
+        spike_prob: f64,
+        /// Pareto scale of the tail, ms (minimum spike size).
+        spike_scale_ms: f64,
+        /// Pareto shape of the tail (smaller = heavier).
+        spike_alpha: f64,
+    },
+}
+
+impl DelayModel {
+    /// Ethernet LAN hop: ~0.3 ms, almost no jitter.
+    pub fn ethernet() -> Self {
+        DelayModel::Normal { mean_ms: 0.3, sigma_ms: 0.05, floor_ms: 0.1 }
+    }
+
+    /// A typical wired Internet path to a nearby pool server.
+    pub fn backbone(median_ms: f64) -> Self {
+        DelayModel::SpikyLogNormal {
+            median_ms,
+            sigma: 0.08,
+            floor_ms: median_ms * 0.8,
+            spike_prob: 0.01,
+            spike_scale_ms: 4.0,
+            spike_alpha: 1.8,
+        }
+    }
+
+    /// Sample one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let ms = match self {
+            DelayModel::Fixed(d) => return *d,
+            DelayModel::Normal { mean_ms, sigma_ms, floor_ms } => {
+                rng.normal(*mean_ms, *sigma_ms).max(*floor_ms)
+            }
+            DelayModel::LogNormal { median_ms, sigma, floor_ms } => {
+                (rng.lognormal(median_ms.ln(), *sigma)).max(*floor_ms)
+            }
+            DelayModel::SpikyLogNormal {
+                median_ms,
+                sigma,
+                floor_ms,
+                spike_prob,
+                spike_scale_ms,
+                spike_alpha,
+            } => {
+                let mut d = rng.lognormal(median_ms.ln(), *sigma).max(*floor_ms);
+                if rng.chance(*spike_prob) {
+                    d += rng.pareto(*spike_scale_ms, *spike_alpha);
+                }
+                d
+            }
+        };
+        SimDuration::from_millis_f64(ms)
+    }
+}
+
+/// A per-packet loss process.
+#[derive(Clone, Debug)]
+pub enum LossModel {
+    /// Never loses.
+    None,
+    /// Independent loss with fixed probability.
+    Bernoulli(f64),
+    /// Two-state Gilbert–Elliott burst-loss model. State transitions are
+    /// evaluated per packet.
+    GilbertElliott {
+        /// P(good → bad) per packet.
+        p_gb: f64,
+        /// P(bad → good) per packet.
+        p_bg: f64,
+        /// Loss probability in the good state.
+        loss_good: f64,
+        /// Loss probability in the bad state.
+        loss_bad: f64,
+        /// Current state: true = bad.
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Evaluate the next packet: returns `true` if it is lost. Stateful
+    /// models advance.
+    pub fn is_lost(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli(p) => rng.chance(*p),
+            LossModel::GilbertElliott { p_gb, p_bg, loss_good, loss_bad, in_bad } => {
+                if *in_bad {
+                    if rng.chance(*p_bg) {
+                        *in_bad = false;
+                    }
+                } else if rng.chance(*p_gb) {
+                    *in_bad = true;
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                rng.chance(p)
+            }
+        }
+    }
+}
+
+/// A unidirectional link: delay plus loss.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Delay distribution.
+    pub delay: DelayModel,
+    /// Loss process.
+    pub loss: LossModel,
+}
+
+impl Link {
+    /// A lossless link with the given delay model.
+    pub fn lossless(delay: DelayModel) -> Self {
+        Link { delay, loss: LossModel::None }
+    }
+
+    /// Transmit one packet: `Some(delay)` if delivered, `None` if lost.
+    pub fn transmit(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.loss.is_lost(rng) {
+            None
+        } else {
+            Some(self.delay.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_ms(model: &DelayModel, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| model.sample(&mut rng).as_millis_f64()).collect()
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let m = DelayModel::Fixed(SimDuration::from_millis(7));
+        assert!(collect_ms(&m, 100, 1).iter().all(|&d| (d - 7.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn normal_respects_floor_and_mean() {
+        let m = DelayModel::Normal { mean_ms: 10.0, sigma_ms: 2.0, floor_ms: 5.0 };
+        let xs = collect_ms(&m, 20_000, 2);
+        assert!(xs.iter().all(|&d| d >= 5.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let m = DelayModel::LogNormal { median_ms: 20.0, sigma: 0.3, floor_ms: 1.0 };
+        let mut xs = collect_ms(&m, 20_000, 3);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 20.0).abs() < 1.0, "median={med}");
+    }
+
+    #[test]
+    fn spiky_tail_appears_at_roughly_configured_rate() {
+        let m = DelayModel::SpikyLogNormal {
+            median_ms: 10.0,
+            sigma: 0.05,
+            floor_ms: 8.0,
+            spike_prob: 0.05,
+            spike_scale_ms: 50.0,
+            spike_alpha: 2.0,
+        };
+        let xs = collect_ms(&m, 50_000, 4);
+        let spikes = xs.iter().filter(|&&d| d > 40.0).count() as f64 / xs.len() as f64;
+        assert!((spikes - 0.05).abs() < 0.01, "spike rate {spikes}");
+    }
+
+    #[test]
+    fn bernoulli_loss_rate() {
+        let mut loss = LossModel::Bernoulli(0.2);
+        let mut rng = SimRng::new(5);
+        let lost = (0..50_000).filter(|_| loss.is_lost(&mut rng)).count() as f64 / 50_000.0;
+        assert!((lost - 0.2).abs() < 0.01, "loss={lost}");
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts() {
+        let mut loss = LossModel::GilbertElliott {
+            p_gb: 0.02,
+            p_bg: 0.2,
+            loss_good: 0.001,
+            loss_bad: 0.5,
+            in_bad: false,
+        };
+        let mut rng = SimRng::new(6);
+        let outcomes: Vec<bool> = (0..100_000).map(|_| loss.is_lost(&mut rng)).collect();
+        let rate = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        // Stationary bad fraction = p_gb / (p_gb + p_bg) ≈ 0.0909;
+        // expected loss ≈ 0.0909 * 0.5 + 0.909 * 0.001 ≈ 0.0464.
+        assert!((rate - 0.0464).abs() < 0.01, "rate={rate}");
+        // Burstiness: P(loss | prev loss) should far exceed the base rate.
+        let mut pairs = 0;
+        let mut both = 0;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                pairs += 1;
+                if w[1] {
+                    both += 1;
+                }
+            }
+        }
+        let cond = both as f64 / pairs as f64;
+        assert!(cond > 2.0 * rate, "cond={cond} rate={rate}");
+    }
+
+    #[test]
+    fn link_transmit_composes() {
+        let mut link =
+            Link { delay: DelayModel::Fixed(SimDuration::from_millis(5)), loss: LossModel::Bernoulli(0.5) };
+        let mut rng = SimRng::new(7);
+        let results: Vec<Option<SimDuration>> = (0..1000).map(|_| link.transmit(&mut rng)).collect();
+        let delivered = results.iter().flatten().count();
+        assert!((300..700).contains(&delivered));
+        assert!(results.iter().flatten().all(|d| *d == SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DelayModel::backbone(25.0);
+        assert_eq!(collect_ms(&m, 100, 42), collect_ms(&m, 100, 42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every delay model yields non-negative delays at least as large
+        /// as its floor, for any parameters in sane ranges.
+        #[test]
+        fn delays_respect_floors(
+            mean in 0.5f64..200.0,
+            sigma in 0.0f64..50.0,
+            floor in 0.0f64..10.0,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SimRng::new(seed);
+            let m = DelayModel::Normal { mean_ms: mean, sigma_ms: sigma, floor_ms: floor };
+            for _ in 0..100 {
+                let d = m.sample(&mut rng).as_millis_f64();
+                prop_assert!(d >= floor - 1e-5, "d={d} floor={floor}"); // ns quantization
+            }
+            let m = DelayModel::LogNormal { median_ms: mean, sigma: 0.5, floor_ms: floor };
+            for _ in 0..100 {
+                prop_assert!(m.sample(&mut rng).as_millis_f64() >= floor - 1e-5);
+            }
+        }
+
+        /// Bernoulli loss rate converges to p for any p.
+        #[test]
+        fn bernoulli_rate_converges(p in 0.0f64..1.0, seed in any::<u64>()) {
+            let mut loss = LossModel::Bernoulli(p);
+            let mut rng = SimRng::new(seed);
+            let n = 20_000;
+            let lost = (0..n).filter(|_| loss.is_lost(&mut rng)).count() as f64 / n as f64;
+            prop_assert!((lost - p).abs() < 0.02, "lost={lost} p={p}");
+        }
+
+        /// Gilbert–Elliott never panics and produces a rate between its
+        /// good-state and bad-state loss probabilities.
+        #[test]
+        fn gilbert_elliott_rate_bounded(
+            p_gb in 0.001f64..0.5,
+            p_bg in 0.001f64..0.5,
+            lg in 0.0f64..0.1,
+            lb in 0.2f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let mut loss = LossModel::GilbertElliott { p_gb, p_bg, loss_good: lg, loss_bad: lb, in_bad: false };
+            let mut rng = SimRng::new(seed);
+            let n = 20_000;
+            let rate = (0..n).filter(|_| loss.is_lost(&mut rng)).count() as f64 / n as f64;
+            prop_assert!(rate >= lg - 0.02 && rate <= lb + 0.02, "rate={rate}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A libpcap capture writer.
+//!
+//! Simulated exchanges can be dumped as a standard `.pcap` file —
+//! Ethernet II / IPv4 / UDP frames around the real 48-byte NTP payloads —
+//! and opened in Wireshark or fed to the same tcpdump-based tooling the
+//! paper's §3.1 pipeline was built on. The format is the classic libpcap
+//! one (magic `0xa1b2c3d4`, version 2.4); it is simple enough that
+//! writing it by hand beats pulling a dependency.
+
+use std::io::{self, Write};
+
+use clocksim::time::SimTime;
+
+/// Ethernet/IPv4/UDP endpoint of a simulated packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    /// MAC address.
+    pub mac: [u8; 6],
+    /// IPv4 address.
+    pub ip: [u8; 4],
+    /// UDP port (NTP uses 123).
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// A client endpoint with a locally-administered MAC derived from the
+    /// IP.
+    pub fn of(ip: [u8; 4], port: u16) -> Self {
+        Endpoint { mac: [0x02, 0x00, ip[0], ip[1], ip[2], ip[3]], ip, port }
+    }
+}
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&0xa1b2_c3d4u32.to_le_bytes())?; // magic
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        out.write_all(&1u32.to_le_bytes())?; // linktype: Ethernet
+        Ok(PcapWriter { out, packets: 0 })
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Append one UDP datagram at simulation time `at`.
+    pub fn record_udp(
+        &mut self,
+        at: SimTime,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let frame = build_frame(src, dst, payload);
+        let nanos = at.as_nanos().max(0);
+        let secs = (nanos / 1_000_000_000) as u32;
+        let usecs = ((nanos % 1_000_000_000) / 1_000) as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&usecs.to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(&frame)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Build an Ethernet II + IPv4 + UDP frame around `payload`.
+fn build_frame(src: Endpoint, dst: Endpoint, payload: &[u8]) -> Vec<u8> {
+    let udp_len = 8 + payload.len();
+    let ip_len = 20 + udp_len;
+    let mut f = Vec::with_capacity(14 + ip_len);
+    // Ethernet II.
+    f.extend_from_slice(&dst.mac);
+    f.extend_from_slice(&src.mac);
+    f.extend_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+    // IPv4 header (no options).
+    let ip_start = f.len();
+    f.push(0x45); // version 4, IHL 5
+    f.push(0x00); // DSCP/ECN
+    f.extend_from_slice(&(ip_len as u16).to_be_bytes());
+    f.extend_from_slice(&0u16.to_be_bytes()); // identification
+    f.extend_from_slice(&0x4000u16.to_be_bytes()); // DF
+    f.push(64); // TTL
+    f.push(17); // UDP
+    f.extend_from_slice(&0u16.to_be_bytes()); // checksum placeholder
+    f.extend_from_slice(&src.ip);
+    f.extend_from_slice(&dst.ip);
+    let csum = ipv4_checksum(&f[ip_start..ip_start + 20]);
+    f[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+    // UDP header (checksum 0 = unset, legal over IPv4).
+    f.extend_from_slice(&src.port.to_be_bytes());
+    f.extend_from_slice(&dst.port.to_be_bytes());
+    f.extend_from_slice(&(udp_len as u16).to_be_bytes());
+    f.extend_from_slice(&0u16.to_be_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// RFC 791 header checksum: one's-complement sum of 16-bit words.
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    for chunk in header.chunks(2) {
+        let word = u16::from_be_bytes([chunk[0], *chunk.get(1).unwrap_or(&0)]);
+        sum += word as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> Endpoint {
+        Endpoint::of([192, 168, 1, 10], 50_000)
+    }
+
+    fn server() -> Endpoint {
+        Endpoint::of([203, 0, 113, 7], 123)
+    }
+
+    #[test]
+    fn global_header_is_valid_pcap() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u16::from_le_bytes([buf[4], buf[5]]), 2);
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), 4);
+        assert_eq!(u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]), 1);
+    }
+
+    #[test]
+    fn frame_layout_and_lengths() {
+        let payload = [0xAAu8; 48];
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record_udp(SimTime::from_millis(1_500), client(), server(), &payload).unwrap();
+        assert_eq!(w.packets(), 1);
+        let buf = w.finish().unwrap();
+        // 24 global + 16 record header + 14 eth + 20 ip + 8 udp + 48.
+        assert_eq!(buf.len(), 24 + 16 + 14 + 20 + 8 + 48);
+        // Record timestamps.
+        let rec = &buf[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 500_000);
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 90);
+        // Ethertype IPv4.
+        let eth = &rec[16..];
+        assert_eq!(&eth[12..14], &[0x08, 0x00]);
+        // UDP dst port 123.
+        let udp = &eth[14 + 20..];
+        assert_eq!(u16::from_be_bytes(udp[2..4].try_into().unwrap()), 123);
+        assert_eq!(u16::from_be_bytes(udp[4..6].try_into().unwrap()), 56);
+    }
+
+    #[test]
+    fn ipv4_checksum_validates() {
+        let payload = [0u8; 48];
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.record_udp(SimTime::from_secs(3), client(), server(), &payload).unwrap();
+        let buf = w.finish().unwrap();
+        let ip = &buf[24 + 16 + 14..24 + 16 + 14 + 20];
+        // Recomputing the checksum over a valid header yields 0.
+        let mut sum = 0u32;
+        for chunk in ip.chunks(2) {
+            sum += u16::from_be_bytes([chunk[0], chunk[1]]) as u32;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        assert_eq!(!(sum as u16), 0, "checksum must validate");
+    }
+
+    #[test]
+    fn rfc1071_example_checksum() {
+        // Canonical example header from common references.
+        let header: [u8; 20] = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(ipv4_checksum(&header), 0xb861);
+    }
+
+    #[test]
+    fn multiple_packets_append() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..10 {
+            w.record_udp(SimTime::from_secs(i), client(), server(), &[0u8; 48]).unwrap();
+        }
+        assert_eq!(w.packets(), 10);
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24 + 10 * (16 + 90));
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for packet parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while decoding or validating NTP packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the 48-byte NTP header.
+    Truncated {
+        /// Bytes actually available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The version field is outside the range this crate accepts (1..=4).
+    BadVersion(u8),
+    /// The mode field carries a value that is not a defined association mode.
+    BadMode(u8),
+    /// A reply failed one of the RFC 4330 client-side sanity checks.
+    SanityCheck(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated NTP packet: have {have} bytes, need {need}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported NTP version {v}"),
+            WireError::BadMode(m) => write!(f, "undefined NTP mode {m}"),
+            WireError::SanityCheck(why) => write!(f, "SNTP reply sanity check failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

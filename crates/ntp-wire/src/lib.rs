@@ -1,0 +1,42 @@
+//! # ntp-wire
+//!
+//! Wire-format layer for the MNTP reproduction: NTP/SNTP timestamps, packet
+//! encoding/decoding, and the four-timestamp offset/delay arithmetic that
+//! every synchronization client in this workspace builds on.
+//!
+//! The format follows [RFC 5905] (NTPv4) with the [RFC 4330] (SNTP)
+//! simplifications implemented as a *profile* over the same packet type:
+//! SNTP clients zero every field except the first octet (LI/VN/Mode), which
+//! is exactly how the paper (§2) distinguishes SNTP from NTP traffic in
+//! server logs — and how [`crate::sntp_profile`] and the `loganalysis`
+//! crate's protocol classifier distinguish them here.
+//!
+//! ## Modules
+//!
+//! * [`timestamp`] — 64-bit (`32.32`) and 32-bit (`16.16`) fixed-point time
+//!   types plus a signed duration type, all with exact integer arithmetic.
+//! * [`packet`] — [`packet::NtpPacket`] parse/serialize over `bytes`.
+//! * [`refid`] — reference identifiers, including kiss-o'-death codes.
+//! * [`math`] — [`math::Exchange`]: clock offset θ and round-trip delay δ
+//!   from the (T1, T2, T3, T4) timestamps of one client/server exchange.
+//! * [`sntp_profile`] — RFC 4330 client request construction and the reply
+//!   sanity checks a minimal SNTP client must perform.
+//!
+//! [RFC 5905]: https://www.rfc-editor.org/rfc/rfc5905
+//! [RFC 4330]: https://www.rfc-editor.org/rfc/rfc4330
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod math;
+pub mod packet;
+pub mod refid;
+pub mod sntp_profile;
+pub mod timestamp;
+
+pub use error::WireError;
+pub use math::Exchange;
+pub use packet::{LeapIndicator, Mode, NtpPacket, Version, PACKET_LEN};
+pub use refid::RefId;
+pub use timestamp::{NtpDuration, NtpShort, NtpTimestamp};

@@ -1,0 +1,166 @@
+//! The four-timestamp clock algebra (RFC 5905 §8).
+//!
+//! One client/server exchange yields four timestamps:
+//!
+//! * `t1` — request departure, **client** clock
+//! * `t2` — request arrival, **server** clock
+//! * `t3` — reply departure, **server** clock
+//! * `t4` — reply arrival, **client** clock
+//!
+//! from which the client derives
+//!
+//! ```text
+//! offset θ = ((t2 − t1) + (t3 − t4)) / 2
+//! delay  δ = (t4 − t1) − (t3 − t2)
+//! ```
+//!
+//! θ is exact only when the forward and return one-way delays are equal;
+//! an asymmetry of `a = owd_fwd − owd_back` corrupts θ by `a/2`. That error
+//! term is the entire mechanism behind the paper's Figures 4–10: wireless
+//! contention inflates one direction of the path far more than the other,
+//! so SNTP (which trusts each θ sample as-is) reports offsets hundreds of
+//! milliseconds wide of the truth.
+
+use crate::packet::NtpPacket;
+use crate::timestamp::{NtpDuration, NtpTimestamp};
+
+/// The four timestamps of one completed exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exchange {
+    /// Request departure (client clock).
+    pub t1: NtpTimestamp,
+    /// Request arrival (server clock).
+    pub t2: NtpTimestamp,
+    /// Reply departure (server clock).
+    pub t3: NtpTimestamp,
+    /// Reply arrival (client clock).
+    pub t4: NtpTimestamp,
+}
+
+impl Exchange {
+    /// Assemble an exchange from a server reply plus the locally captured
+    /// arrival time `t4`. The reply's `origin` field is `t1` (echoed),
+    /// `receive` is `t2`, `transmit` is `t3`.
+    pub fn from_reply(reply: &NtpPacket, t4: NtpTimestamp) -> Self {
+        Exchange { t1: reply.origin_ts, t2: reply.receive_ts, t3: reply.transmit_ts, t4 }
+    }
+
+    /// Clock offset θ of the server relative to the client: positive means
+    /// the server's clock is ahead of ours.
+    pub fn offset(&self) -> NtpDuration {
+        let a = self.t2.wrapping_sub(self.t1);
+        let b = self.t3.wrapping_sub(self.t4);
+        a.half() + b.half()
+    }
+
+    /// Round-trip delay δ (time spent on the network, excluding server
+    /// processing). Never meaningfully negative on real paths; tiny
+    /// negative values can appear when clocks step mid-exchange.
+    pub fn delay(&self) -> NtpDuration {
+        self.t4.wrapping_sub(self.t1) - self.t3.wrapping_sub(self.t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an exchange from true-time quantities: client clock error
+    /// `theta` (client = true + theta... we model server as truth), forward
+    /// and return one-way delays, and server processing time. Returns the
+    /// exchange as the client would observe it.
+    fn synth(theta_ms: i64, fwd_ms: i64, back_ms: i64, proc_ms: i64) -> Exchange {
+        let ms = |m: i64| NtpDuration::from_millis(m);
+        let base = NtpTimestamp::from_parts(10_000, 0);
+        // True departure time of request: base (on the true clock).
+        // Client clock reads true + theta_client where theta_client = -theta
+        // (so that "offset of server relative to client" = +theta).
+        let t1 = base + ms(-theta_ms);
+        let t2 = base + ms(fwd_ms); // server clock == true time
+        let t3 = base + ms(fwd_ms + proc_ms);
+        let t4 = base + ms(fwd_ms + proc_ms + back_ms) + ms(-theta_ms);
+        Exchange { t1, t2, t3, t4 }
+    }
+
+    #[test]
+    fn symmetric_path_recovers_exact_offset() {
+        let e = synth(250, 40, 40, 1);
+        assert!((e.offset().as_millis_f64() - 250.0).abs() < 0.01);
+        assert!((e.delay().as_millis_f64() - 80.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn asymmetry_biases_offset_by_half() {
+        // 100 ms extra on the forward path -> offset reads +50 ms high.
+        let e = synth(0, 140, 40, 0);
+        assert!((e.offset().as_millis_f64() - 50.0).abs() < 0.01);
+        assert!((e.delay().as_millis_f64() - 180.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn negative_offset() {
+        let e = synth(-75, 10, 10, 0);
+        assert!((e.offset().as_millis_f64() + 75.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn delay_excludes_server_processing() {
+        let e = synth(0, 30, 30, 500);
+        assert!((e.delay().as_millis_f64() - 60.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_reply_maps_fields() {
+        use crate::packet::NtpPacket;
+        let reply = NtpPacket {
+            origin_ts: NtpTimestamp::from_parts(1, 0),
+            receive_ts: NtpTimestamp::from_parts(2, 0),
+            transmit_ts: NtpTimestamp::from_parts(3, 0),
+            ..Default::default()
+        };
+        let t4 = NtpTimestamp::from_parts(4, 0);
+        let e = Exchange::from_reply(&reply, t4);
+        assert_eq!(e.t1.seconds(), 1);
+        assert_eq!(e.t2.seconds(), 2);
+        assert_eq!(e.t3.seconds(), 3);
+        assert_eq!(e.t4.seconds(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any true offset and any symmetric delay, the formula recovers
+        /// the offset to fixed-point precision.
+        #[test]
+        fn symmetric_exact(theta in -500_000i64..500_000, owd in 0i64..2_000, proc_t in 0i64..100) {
+            let ms = NtpDuration::from_millis;
+            let base = NtpTimestamp::from_parts(50_000, 0);
+            let t1 = base + ms(-theta);
+            let t2 = base + ms(owd);
+            let t3 = base + ms(owd + proc_t);
+            let t4 = base + ms(owd + proc_t + owd) + ms(-theta);
+            let e = Exchange { t1, t2, t3, t4 };
+            let err = (e.offset() - ms(theta)).abs();
+            prop_assert!(err < NtpDuration::from_micros(2), "err={err:?}");
+        }
+
+        /// Offset error equals half the path asymmetry, always.
+        #[test]
+        fn asymmetry_error_is_half(fwd in 0i64..3_000, back in 0i64..3_000) {
+            let ms = NtpDuration::from_millis;
+            let base = NtpTimestamp::from_parts(50_000, 0);
+            let t1 = base;
+            let t2 = base + ms(fwd);
+            let t3 = t2;
+            let t4 = base + ms(fwd + back);
+            let e = Exchange { t1, t2, t3, t4 };
+            let expected = (fwd - back) as f64 / 2.0;
+            prop_assert!((e.offset().as_millis_f64() - expected).abs() < 0.01);
+            prop_assert!((e.delay().as_millis_f64() - (fwd + back) as f64).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The 48-byte NTP packet header (RFC 5905 §7.3) and its codec.
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |LI | VN  |Mode |    Stratum     |     Poll      |  Precision   |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                         Root Delay                            |
+//! |                       Root Dispersion                         |
+//! |                          Reference ID                         |
+//! |                     Reference Timestamp (64)                  |
+//! |                      Origin Timestamp (64)                    |
+//! |                      Receive Timestamp (64)                   |
+//! |                      Transmit Timestamp (64)                  |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+use crate::refid::RefId;
+use crate::timestamp::{NtpShort, NtpTimestamp};
+
+/// Length in bytes of the fixed NTP header (no extension fields / MAC).
+pub const PACKET_LEN: usize = 48;
+
+/// Leap-indicator field (warns of an impending leap second).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+#[repr(u8)]
+pub enum LeapIndicator {
+    /// No warning.
+    #[default]
+    NoWarning = 0,
+    /// Last minute of the day has 61 seconds.
+    Leap61 = 1,
+    /// Last minute of the day has 59 seconds.
+    Leap59 = 2,
+    /// Clock unsynchronized.
+    Unknown = 3,
+}
+
+impl LeapIndicator {
+    /// Decode from the two-bit field value.
+    pub const fn from_bits(v: u8) -> Self {
+        match v & 0b11 {
+            0 => LeapIndicator::NoWarning,
+            1 => LeapIndicator::Leap61,
+            2 => LeapIndicator::Leap59,
+            _ => LeapIndicator::Unknown,
+        }
+    }
+}
+
+/// Protocol version. SNTP clients in the wild use 3 (RFC 1769) or 4
+/// (RFC 4330); NTPv4 is 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Version(pub u8);
+
+impl Version {
+    /// NTP version 3.
+    pub const V3: Version = Version(3);
+    /// NTP version 4 (the default everywhere in this workspace).
+    pub const V4: Version = Version(4);
+}
+
+impl Default for Version {
+    fn default() -> Self {
+        Version::V4
+    }
+}
+
+/// Association mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum Mode {
+    /// Symmetric active (peer).
+    SymmetricActive = 1,
+    /// Symmetric passive (peer).
+    SymmetricPassive = 2,
+    /// Client request.
+    Client = 3,
+    /// Server reply.
+    Server = 4,
+    /// Broadcast server.
+    Broadcast = 5,
+    /// NTP control message.
+    Control = 6,
+    /// Reserved / private use.
+    Private = 7,
+}
+
+impl Mode {
+    /// Decode from the three-bit field value. `0` is reserved and rejected.
+    pub const fn from_bits(v: u8) -> Result<Self, WireError> {
+        match v & 0b111 {
+            1 => Ok(Mode::SymmetricActive),
+            2 => Ok(Mode::SymmetricPassive),
+            3 => Ok(Mode::Client),
+            4 => Ok(Mode::Server),
+            5 => Ok(Mode::Broadcast),
+            6 => Ok(Mode::Control),
+            7 => Ok(Mode::Private),
+            other => Err(WireError::BadMode(other)),
+        }
+    }
+}
+
+/// A decoded NTP packet header.
+///
+/// The struct stores every header field losslessly, so
+/// `NtpPacket::parse(p.serialize()) == p` for all valid packets — the
+/// property tests in this module check exactly that.
+///
+/// ```
+/// use ntp_wire::{NtpPacket, NtpTimestamp, packet::Mode};
+///
+/// let request = ntp_wire::sntp_profile::client_request(NtpTimestamp::from_parts(1000, 0));
+/// let bytes = request.serialize();
+/// assert_eq!(bytes.len(), ntp_wire::PACKET_LEN);
+/// let parsed = NtpPacket::parse(&bytes).unwrap();
+/// assert_eq!(parsed.mode, Mode::Client);
+/// assert!(parsed.is_sntp_client_shape());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NtpPacket {
+    /// Leap indicator.
+    pub leap: LeapIndicator,
+    /// Protocol version (1..=4 accepted).
+    pub version: Version,
+    /// Association mode.
+    pub mode: Mode,
+    /// Stratum (0 = kiss-o'-death / unspecified, 1 = primary, 2.. = secondary).
+    pub stratum: u8,
+    /// Log₂ of the poll interval in seconds, as advertised by the sender.
+    pub poll: i8,
+    /// Log₂ of the clock precision in seconds (e.g. −20 ≈ 1 µs).
+    pub precision: i8,
+    /// Total round-trip delay to the reference clock.
+    pub root_delay: NtpShort,
+    /// Total dispersion to the reference clock.
+    pub root_dispersion: NtpShort,
+    /// Reference identifier.
+    pub reference_id: RefId,
+    /// Time the system clock was last set or corrected.
+    pub reference_ts: NtpTimestamp,
+    /// T1: client transmit time, echoed by the server.
+    pub origin_ts: NtpTimestamp,
+    /// T2: time the request arrived at the server.
+    pub receive_ts: NtpTimestamp,
+    /// T3: time the reply left the server.
+    pub transmit_ts: NtpTimestamp,
+}
+
+impl Default for NtpPacket {
+    fn default() -> Self {
+        NtpPacket {
+            leap: LeapIndicator::NoWarning,
+            version: Version::V4,
+            mode: Mode::Client,
+            stratum: 0,
+            poll: 0,
+            precision: 0,
+            root_delay: NtpShort::ZERO,
+            root_dispersion: NtpShort::ZERO,
+            reference_id: RefId::NONE,
+            reference_ts: NtpTimestamp::ZERO,
+            origin_ts: NtpTimestamp::ZERO,
+            receive_ts: NtpTimestamp::ZERO,
+            transmit_ts: NtpTimestamp::ZERO,
+        }
+    }
+}
+
+impl NtpPacket {
+    /// Serialize into a fresh 48-byte vector.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PACKET_LEN);
+        self.write(&mut buf);
+        buf
+    }
+
+    /// Serialize into any [`BufMut`].
+    pub fn write<B: BufMut>(&self, buf: &mut B) {
+        let first = ((self.leap as u8) << 6) | ((self.version.0 & 0b111) << 3) | self.mode as u8;
+        buf.put_u8(first);
+        buf.put_u8(self.stratum);
+        buf.put_i8(self.poll);
+        buf.put_i8(self.precision);
+        buf.put_u32(self.root_delay.to_bits());
+        buf.put_u32(self.root_dispersion.to_bits());
+        buf.put_u32(self.reference_id.0);
+        buf.put_u64(self.reference_ts.to_bits());
+        buf.put_u64(self.origin_ts.to_bits());
+        buf.put_u64(self.receive_ts.to_bits());
+        buf.put_u64(self.transmit_ts.to_bits());
+    }
+
+    /// Parse from a byte slice. Trailing bytes (extension fields, MAC) are
+    /// ignored, mirroring how a minimal SNTP client treats them.
+    pub fn parse(mut data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < PACKET_LEN {
+            return Err(WireError::Truncated { have: data.len(), need: PACKET_LEN });
+        }
+        let buf = &mut data;
+        let first = buf.get_u8();
+        let leap = LeapIndicator::from_bits(first >> 6);
+        let version = (first >> 3) & 0b111;
+        if !(1..=4).contains(&version) {
+            return Err(WireError::BadVersion(version));
+        }
+        let mode = Mode::from_bits(first & 0b111)?;
+        Ok(NtpPacket {
+            leap,
+            version: Version(version),
+            mode,
+            stratum: buf.get_u8(),
+            poll: buf.get_i8(),
+            precision: buf.get_i8(),
+            root_delay: NtpShort::from_bits(buf.get_u32()),
+            root_dispersion: NtpShort::from_bits(buf.get_u32()),
+            reference_id: RefId(buf.get_u32()),
+            reference_ts: NtpTimestamp::from_bits(buf.get_u64()),
+            origin_ts: NtpTimestamp::from_bits(buf.get_u64()),
+            receive_ts: NtpTimestamp::from_bits(buf.get_u64()),
+            transmit_ts: NtpTimestamp::from_bits(buf.get_u64()),
+        })
+    }
+
+    /// True when every field other than the first octet is zero — the wire
+    /// signature of an RFC 4330 SNTP client request, and the heuristic the
+    /// paper (§3.1) uses to tell SNTP clients from NTP clients in logs.
+    pub fn is_sntp_client_shape(&self) -> bool {
+        self.mode == Mode::Client
+            && self.stratum == 0
+            && self.poll == 0
+            && self.precision == 0
+            && self.root_delay == NtpShort::ZERO
+            && self.root_dispersion == NtpShort::ZERO
+            && self.reference_id == RefId::NONE
+            && self.reference_ts.is_zero()
+            && self.origin_ts.is_zero()
+            && self.receive_ts.is_zero()
+    }
+
+    /// True when the packet is a kiss-o'-death (stratum 0 server reply).
+    pub fn is_kiss_of_death(&self) -> bool {
+        self.mode == Mode::Server && self.stratum == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NtpPacket {
+        NtpPacket {
+            leap: LeapIndicator::NoWarning,
+            version: Version::V4,
+            mode: Mode::Server,
+            stratum: 2,
+            poll: 6,
+            precision: -20,
+            root_delay: NtpShort::from_millis(12),
+            root_dispersion: NtpShort::from_millis(3),
+            reference_id: RefId::ipv4(192, 0, 2, 1),
+            reference_ts: NtpTimestamp::from_parts(1000, 0),
+            origin_ts: NtpTimestamp::from_parts(1001, 42),
+            receive_ts: NtpTimestamp::from_parts(1001, 99),
+            transmit_ts: NtpTimestamp::from_parts(1001, 123),
+        }
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let p = sample();
+        let bytes = p.serialize();
+        assert_eq!(bytes.len(), PACKET_LEN);
+        let q = NtpPacket::parse(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn first_octet_layout() {
+        let p = NtpPacket { leap: LeapIndicator::Unknown, version: Version::V3, mode: Mode::Client, ..Default::default() };
+        let bytes = p.serialize();
+        // LI=3 (11), VN=3 (011), Mode=3 (011) -> 0b11_011_011 = 0xDB
+        assert_eq!(bytes[0], 0xDB);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let p = sample();
+        let bytes = p.serialize();
+        let err = NtpPacket::parse(&bytes[..47]).unwrap_err();
+        assert_eq!(err, WireError::Truncated { have: 47, need: 48 });
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let p = sample();
+        let mut bytes = p.serialize();
+        bytes.extend_from_slice(&[0u8; 20]); // fake extension field
+        assert_eq!(NtpPacket::parse(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let mut bytes = sample().serialize();
+        bytes[0] &= !(0b111 << 3); // version = 0
+        assert!(matches!(NtpPacket::parse(&bytes), Err(WireError::BadVersion(0))));
+    }
+
+    #[test]
+    fn mode_zero_rejected() {
+        let mut bytes = sample().serialize();
+        bytes[0] &= !0b111; // mode = 0
+        assert!(matches!(NtpPacket::parse(&bytes), Err(WireError::BadMode(0))));
+    }
+
+    #[test]
+    fn sntp_client_shape_detection() {
+        let req = NtpPacket { transmit_ts: NtpTimestamp::from_parts(7, 7), ..Default::default() };
+        assert!(req.is_sntp_client_shape());
+        let ntp_req = NtpPacket { poll: 6, precision: -20, ..req };
+        assert!(!ntp_req.is_sntp_client_shape());
+    }
+
+    #[test]
+    fn kiss_of_death_detection() {
+        let kod = NtpPacket {
+            mode: Mode::Server,
+            stratum: 0,
+            reference_id: RefId::KISS_RATE,
+            ..Default::default()
+        };
+        assert!(kod.is_kiss_of_death());
+        assert_eq!(kod.reference_id.as_kiss_code(), Some(*b"RATE"));
+    }
+
+    #[test]
+    fn all_leap_indicator_bits_decode() {
+        assert_eq!(LeapIndicator::from_bits(0), LeapIndicator::NoWarning);
+        assert_eq!(LeapIndicator::from_bits(1), LeapIndicator::Leap61);
+        assert_eq!(LeapIndicator::from_bits(2), LeapIndicator::Leap59);
+        assert_eq!(LeapIndicator::from_bits(3), LeapIndicator::Unknown);
+        assert_eq!(LeapIndicator::from_bits(7), LeapIndicator::Unknown); // masked
+    }
+
+    #[test]
+    fn all_modes_roundtrip() {
+        for m in [
+            Mode::SymmetricActive,
+            Mode::SymmetricPassive,
+            Mode::Client,
+            Mode::Server,
+            Mode::Broadcast,
+            Mode::Control,
+            Mode::Private,
+        ] {
+            assert_eq!(Mode::from_bits(m as u8).unwrap(), m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_packet() -> impl Strategy<Value = NtpPacket> {
+        (
+            0u8..4,
+            1u8..=4,
+            1u8..=7,
+            any::<u8>(),
+            any::<i8>(),
+            any::<i8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<(u64, u64, u64, u64)>(),
+        )
+            .prop_map(|(li, vn, mode, stratum, poll, prec, rd, rdisp, refid, ts)| NtpPacket {
+                leap: LeapIndicator::from_bits(li),
+                version: Version(vn),
+                mode: Mode::from_bits(mode).unwrap(),
+                stratum,
+                poll,
+                precision: prec,
+                root_delay: NtpShort::from_bits(rd),
+                root_dispersion: NtpShort::from_bits(rdisp),
+                reference_id: RefId(refid),
+                reference_ts: NtpTimestamp::from_bits(ts.0),
+                origin_ts: NtpTimestamp::from_bits(ts.1),
+                receive_ts: NtpTimestamp::from_bits(ts.2),
+                transmit_ts: NtpTimestamp::from_bits(ts.3),
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn parse_serialize_roundtrip(p in arb_packet()) {
+            let bytes = p.serialize();
+            prop_assert_eq!(bytes.len(), PACKET_LEN);
+            let q = NtpPacket::parse(&bytes).unwrap();
+            prop_assert_eq!(p, q);
+        }
+
+        #[test]
+        fn parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = NtpPacket::parse(&data);
+        }
+
+        #[test]
+        fn valid_len_parse_fails_only_on_version_or_mode(data in proptest::collection::vec(any::<u8>(), PACKET_LEN..=PACKET_LEN)) {
+            match NtpPacket::parse(&data) {
+                Ok(_) => {}
+                Err(WireError::BadVersion(_)) | Err(WireError::BadMode(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+}

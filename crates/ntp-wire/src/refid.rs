@@ -1,0 +1,98 @@
+//! Reference identifiers (the 32-bit `refid` header field).
+//!
+//! For stratum-1 servers the refid is a four-character ASCII code naming the
+//! reference source (`GPS`, `ATOM`, …); for stratum ≥ 2 it is the IPv4
+//! address of the upstream server (or an MD5 hash fragment for IPv6, which
+//! this reproduction does not need). A stratum-0 *kiss-o'-death* packet
+//! carries an ASCII kiss code such as `RATE` or `DENY` instead.
+
+use std::fmt;
+
+/// A 32-bit reference identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RefId(pub u32);
+
+impl RefId {
+    /// The unset refid.
+    pub const NONE: RefId = RefId(0);
+    /// Stratum-1 code: GPS receiver.
+    pub const GPS: RefId = RefId::ascii(*b"GPS\0");
+    /// Stratum-1 code: atomic clock.
+    pub const ATOM: RefId = RefId::ascii(*b"ATOM");
+    /// Stratum-1 code: pulse-per-second source.
+    pub const PPS: RefId = RefId::ascii(*b"PPS\0");
+    /// Kiss code: "rate exceeded; reduce your polling".
+    pub const KISS_RATE: RefId = RefId::ascii(*b"RATE");
+    /// Kiss code: "access denied; stop sending".
+    pub const KISS_DENY: RefId = RefId::ascii(*b"DENY");
+    /// Kiss code: "access restricted".
+    pub const KISS_RSTR: RefId = RefId::ascii(*b"RSTR");
+
+    /// Build a refid from a four-byte ASCII code.
+    pub const fn ascii(code: [u8; 4]) -> Self {
+        RefId(u32::from_be_bytes(code))
+    }
+
+    /// Build a refid from an IPv4 address in `a.b.c.d` component form.
+    pub const fn ipv4(a: u8, b: u8, c: u8, d: u8) -> Self {
+        RefId(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four raw bytes, network order.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Interpret as a kiss code if all bytes are printable ASCII (the
+    /// interpretation RFC 5905 gives refids arriving with stratum 0).
+    pub fn as_kiss_code(self) -> Option<[u8; 4]> {
+        let b = self.octets();
+        if b.iter().all(|&c| c == 0 || c.is_ascii_uppercase()) && b[0] != 0 {
+            Some(b)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.octets();
+        if let Some(code) = self.as_kiss_code() {
+            let s: String = code.iter().filter(|&&c| c != 0).map(|&c| c as char).collect();
+            write!(f, "RefId({s})")
+        } else {
+            write!(f, "RefId({}.{}.{}.{})", b[0], b[1], b[2], b[3])
+        }
+    }
+}
+
+impl fmt::Display for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_codes_roundtrip() {
+        assert_eq!(RefId::GPS.octets(), *b"GPS\0");
+        assert_eq!(RefId::KISS_RATE.as_kiss_code(), Some(*b"RATE"));
+    }
+
+    #[test]
+    fn ipv4_is_not_a_kiss_code() {
+        let r = RefId::ipv4(10, 0, 0, 1);
+        assert_eq!(r.as_kiss_code(), None);
+        assert_eq!(format!("{r}"), "RefId(10.0.0.1)");
+    }
+
+    #[test]
+    fn none_is_zero() {
+        assert_eq!(RefId::NONE.0, 0);
+        assert_eq!(RefId::NONE.as_kiss_code(), None);
+    }
+}

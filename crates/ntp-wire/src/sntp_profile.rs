@@ -1,0 +1,152 @@
+//! The RFC 4330 SNTP client profile.
+//!
+//! SNTP is not a distinct wire protocol — it is a *usage profile* of NTP:
+//! a client request zeroes every header field except the first octet
+//! (LI = 0, VN, Mode = 3) and, optionally, the transmit timestamp; the
+//! client performs only a short list of sanity checks on the reply and
+//! applies each offset sample directly, with none of NTP's filtering,
+//! selection, or discipline machinery. This module provides the request
+//! builder and the reply checks; the `sntp` crate builds the actual client
+//! behaviour (including vendor quirks) on top.
+
+use crate::error::WireError;
+use crate::packet::{LeapIndicator, Mode, NtpPacket, Version};
+use crate::timestamp::NtpTimestamp;
+
+/// Build an SNTP client request per RFC 4330 §4: all fields zero except the
+/// first octet and the transmit timestamp, which carries the client's send
+/// time so the server can echo it back as the origin timestamp.
+pub fn client_request(transmit: NtpTimestamp) -> NtpPacket {
+    NtpPacket { version: Version::V4, mode: Mode::Client, transmit_ts: transmit, ..Default::default() }
+}
+
+/// Build a server reply to `request`, given the server's receive time `t2`,
+/// transmit time `t3`, and server identity fields.
+pub fn server_reply(
+    request: &NtpPacket,
+    t2: NtpTimestamp,
+    t3: NtpTimestamp,
+    stratum: u8,
+    reference_id: crate::refid::RefId,
+    reference_ts: NtpTimestamp,
+) -> NtpPacket {
+    NtpPacket {
+        leap: LeapIndicator::NoWarning,
+        version: request.version,
+        mode: Mode::Server,
+        stratum,
+        poll: request.poll,
+        precision: -20,
+        root_delay: crate::timestamp::NtpShort::from_millis(1),
+        root_dispersion: crate::timestamp::NtpShort::from_millis(1),
+        reference_id,
+        reference_ts,
+        origin_ts: request.transmit_ts,
+        receive_ts: t2,
+        transmit_ts: t3,
+    }
+}
+
+/// The RFC 4330 §5 reply sanity checks a minimal client must run before
+/// trusting a reply. `expected_origin` is the transmit timestamp the client
+/// put in its request.
+pub fn check_reply(reply: &NtpPacket, expected_origin: NtpTimestamp) -> Result<(), WireError> {
+    if reply.mode != Mode::Server && reply.mode != Mode::Broadcast {
+        return Err(WireError::SanityCheck("reply mode is not server/broadcast"));
+    }
+    if reply.is_kiss_of_death() {
+        return Err(WireError::SanityCheck("kiss-o'-death"));
+    }
+    if reply.stratum > 15 {
+        return Err(WireError::SanityCheck("stratum out of range"));
+    }
+    if reply.transmit_ts.is_zero() {
+        return Err(WireError::SanityCheck("zero transmit timestamp"));
+    }
+    if reply.leap == LeapIndicator::Unknown {
+        return Err(WireError::SanityCheck("server clock unsynchronized"));
+    }
+    if reply.origin_ts != expected_origin {
+        return Err(WireError::SanityCheck("origin timestamp mismatch (bogus or replayed)"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refid::RefId;
+
+    fn ts(s: u32) -> NtpTimestamp {
+        NtpTimestamp::from_parts(s, 0)
+    }
+
+    fn good_pair() -> (NtpPacket, NtpPacket) {
+        let req = client_request(ts(100));
+        let rep = server_reply(&req, ts(101), ts(101), 2, RefId::ipv4(1, 2, 3, 4), ts(90));
+        (req, rep)
+    }
+
+    #[test]
+    fn request_is_sntp_shaped() {
+        let req = client_request(ts(42));
+        assert!(req.is_sntp_client_shape());
+        assert_eq!(req.transmit_ts, ts(42));
+    }
+
+    #[test]
+    fn good_reply_passes() {
+        let (req, rep) = good_pair();
+        assert!(check_reply(&rep, req.transmit_ts).is_ok());
+    }
+
+    #[test]
+    fn origin_mismatch_rejected() {
+        let (_, rep) = good_pair();
+        let err = check_reply(&rep, ts(999)).unwrap_err();
+        assert!(matches!(err, WireError::SanityCheck(m) if m.contains("origin")));
+    }
+
+    #[test]
+    fn kod_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.stratum = 0;
+        rep.reference_id = RefId::KISS_RATE;
+        assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn unsynchronized_server_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.leap = LeapIndicator::Unknown;
+        assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn zero_transmit_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.transmit_ts = NtpTimestamp::ZERO;
+        assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn client_mode_reply_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.mode = Mode::Client;
+        assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn stratum_16_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.stratum = 16;
+        assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn reply_echoes_origin() {
+        let (req, rep) = good_pair();
+        assert_eq!(rep.origin_ts, req.transmit_ts);
+        assert_eq!(rep.version, req.version);
+    }
+}

@@ -1,0 +1,213 @@
+//! The per-peer clock filter (RFC 5905 §10).
+//!
+//! Keeps the last eight `(offset, delay, dispersion)` samples in a shift
+//! register. The working sample is the one with the **minimum delay** —
+//! path queueing inflates delay and offset together, so the
+//! least-delayed sample is also the least-biased. The filter also
+//! exposes *jitter* (RMS offset difference to the working sample) and
+//! ages stored dispersions at the standard `PHI = 15 ppm`.
+
+/// Frequency tolerance used for dispersion aging, seconds per second.
+pub const PHI: f64 = 15e-6;
+
+/// Register depth (RFC 5905: 8).
+pub const STAGES: usize = 8;
+
+/// One filter sample. Units: seconds for all three time quantities;
+/// `at_secs` is the local receive time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FilterSample {
+    /// Measured clock offset θ, s.
+    pub offset: f64,
+    /// Measured round-trip delay δ, s.
+    pub delay: f64,
+    /// Initial dispersion ε, s.
+    pub dispersion: f64,
+    /// Local time the sample was taken, s.
+    pub at_secs: f64,
+}
+
+/// The 8-stage clock filter.
+#[derive(Clone, Debug, Default)]
+pub struct ClockFilter {
+    samples: Vec<FilterSample>,
+    /// Time of the last sample that actually advanced the working value —
+    /// used to enforce the "only newer samples are used" rule.
+    last_used_at: Option<f64>,
+}
+
+impl ClockFilter {
+    /// Empty filter.
+    pub fn new() -> Self {
+        ClockFilter::default()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Insert a new sample, evicting the oldest beyond eight.
+    pub fn push(&mut self, s: FilterSample) {
+        self.samples.push(s);
+        if self.samples.len() > STAGES {
+            self.samples.remove(0);
+        }
+    }
+
+    /// The working sample at local time `now_secs`: minimum delay among
+    /// the register, with dispersions aged to `now_secs`. Returns `None`
+    /// if the register is empty or the best sample is not newer than the
+    /// last one handed out (the RFC's anti-replay of old data).
+    pub fn working_sample(&mut self, now_secs: f64) -> Option<FilterSample> {
+        let best = *self
+            .samples
+            .iter()
+            .min_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN delays"))?;
+        if let Some(last) = self.last_used_at {
+            if best.at_secs <= last {
+                return None;
+            }
+        }
+        self.last_used_at = Some(best.at_secs);
+        let aged = FilterSample {
+            dispersion: best.dispersion + PHI * (now_secs - best.at_secs).max(0.0),
+            ..best
+        };
+        Some(aged)
+    }
+
+    /// Peek at the current minimum-delay sample without consuming it.
+    pub fn peek_best(&self) -> Option<&FilterSample> {
+        self.samples
+            .iter()
+            .min_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN delays"))
+    }
+
+    /// Peer jitter: RMS difference of stored offsets against the best
+    /// sample's offset.
+    pub fn jitter(&self) -> f64 {
+        let Some(best) = self.peek_best() else { return 0.0 };
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|s| (s.offset - best.offset).powi(2))
+            .sum();
+        (sum / (self.samples.len() - 1) as f64).sqrt()
+    }
+
+    /// Filter dispersion: weighted sum of aged sample dispersions, newer
+    /// samples weighted more (RFC 5905's `1/2^(i+1)` weights over the
+    /// delay-sorted register).
+    pub fn dispersion(&self, now_secs: f64) -> f64 {
+        let mut sorted: Vec<&FilterSample> = self.samples.iter().collect();
+        sorted.sort_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN"));
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let aged = s.dispersion + PHI * (now_secs - s.at_secs).max(0.0);
+                aged / 2f64.powi(i as i32 + 1)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(offset: f64, delay: f64, at: f64) -> FilterSample {
+        FilterSample { offset, delay, dispersion: 0.001, at_secs: at }
+    }
+
+    #[test]
+    fn min_delay_sample_wins() {
+        let mut f = ClockFilter::new();
+        f.push(s(0.100, 0.200, 1.0)); // inflated by queueing
+        f.push(s(0.010, 0.040, 2.0)); // clean
+        f.push(s(0.150, 0.300, 3.0)); // worse
+        let w = f.working_sample(4.0).unwrap();
+        assert_eq!(w.offset, 0.010);
+    }
+
+    #[test]
+    fn register_holds_eight() {
+        let mut f = ClockFilter::new();
+        for i in 0..20 {
+            f.push(s(i as f64, 0.1 + i as f64 * 0.01, i as f64));
+        }
+        assert_eq!(f.len(), STAGES);
+        // Oldest surviving sample is #12.
+        assert_eq!(f.peek_best().unwrap().offset, 12.0);
+    }
+
+    #[test]
+    fn stale_best_not_reused() {
+        let mut f = ClockFilter::new();
+        f.push(s(0.01, 0.040, 1.0));
+        assert!(f.working_sample(2.0).is_some());
+        // Same best sample: must not be handed out again.
+        assert!(f.working_sample(3.0).is_none());
+        // A newer, lower-delay sample unblocks it.
+        f.push(s(0.012, 0.030, 4.0));
+        assert!(f.working_sample(5.0).is_some());
+    }
+
+    #[test]
+    fn dispersion_ages_at_phi() {
+        let mut f = ClockFilter::new();
+        f.push(FilterSample { offset: 0.0, delay: 0.05, dispersion: 0.001, at_secs: 0.0 });
+        let w = f.working_sample(1000.0).unwrap();
+        assert!((w.dispersion - (0.001 + PHI * 1000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_zero_for_single_sample() {
+        let mut f = ClockFilter::new();
+        f.push(s(0.5, 0.1, 1.0));
+        assert_eq!(f.jitter(), 0.0);
+    }
+
+    #[test]
+    fn jitter_reflects_offset_spread() {
+        let mut f = ClockFilter::new();
+        f.push(s(0.000, 0.040, 1.0)); // best (min delay)
+        f.push(s(0.030, 0.100, 2.0));
+        f.push(s(-0.030, 0.100, 3.0));
+        let j = f.jitter();
+        assert!((j - (0.0018f64 / 2.0).sqrt()).abs() < 1e-9, "j={j}");
+    }
+
+    #[test]
+    fn filter_dispersion_weights_decay() {
+        let mut f = ClockFilter::new();
+        for i in 0..8 {
+            f.push(FilterSample {
+                offset: 0.0,
+                delay: 0.01 * (i + 1) as f64,
+                dispersion: 0.008,
+                at_secs: 0.0,
+            });
+        }
+        let d = f.dispersion(0.0);
+        // Σ 0.008 / 2^(i+1) for i in 0..8 ≈ 0.008 * (1 − 2⁻⁸)
+        assert!((d - 0.008 * (1.0 - 1.0 / 256.0)).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn empty_filter_yields_nothing() {
+        let mut f = ClockFilter::new();
+        assert!(f.working_sample(1.0).is_none());
+        assert_eq!(f.jitter(), 0.0);
+        assert_eq!(f.dispersion(0.0), 0.0);
+    }
+}

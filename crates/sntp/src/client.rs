@@ -1,0 +1,198 @@
+//! The sans-io SNTP client.
+//!
+//! [`SntpClient`] owns no socket and no clock: callers hand it local
+//! timestamps, it hands back request bytes and validated offset samples.
+//! This mirrors how SNTP actually behaves on the platforms the paper
+//! studied — each reply's offset is taken at face value ("SNTP uses clock
+//! offset to update the local clock directly and none of the time-tested
+//! filtering algorithms", §3.4). Whatever filtering happens on top of
+//! this client (vendor thresholds, MNTP's gate + trend filter) is
+//! deliberately *not* here.
+
+use ntp_wire::{sntp_profile, Exchange, NtpDuration, NtpPacket, NtpTimestamp, WireError};
+
+/// One validated offset measurement, as reported by an SNTP reply.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OffsetSample {
+    /// Clock offset θ: how far the server's clock is ahead of ours.
+    pub offset: NtpDuration,
+    /// Round-trip delay δ.
+    pub delay: NtpDuration,
+    /// Local (client-clock) time of the request's departure (T1).
+    pub t1: NtpTimestamp,
+    /// Local (client-clock) time of the reply's arrival (T4).
+    pub t4: NtpTimestamp,
+    /// Server stratum from the reply.
+    pub stratum: u8,
+}
+
+/// Sans-io SNTP client: one outstanding request at a time.
+#[derive(Clone, Debug, Default)]
+pub struct SntpClient {
+    /// The transmit timestamp of the in-flight request, if any.
+    outstanding: Option<NtpTimestamp>,
+    /// Replies accepted so far (diagnostics).
+    accepted: u64,
+    /// Replies rejected by sanity checks (diagnostics).
+    rejected: u64,
+}
+
+impl SntpClient {
+    /// New idle client.
+    pub fn new() -> Self {
+        SntpClient::default()
+    }
+
+    /// Build a request for departure at local time `t1`. Overwrites any
+    /// previous outstanding request (SNTP clients don't pipeline).
+    pub fn make_request(&mut self, t1: NtpTimestamp) -> Vec<u8> {
+        self.outstanding = Some(t1);
+        sntp_profile::client_request(t1).serialize()
+    }
+
+    /// True if a request is awaiting a reply.
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// Give up on the outstanding request (caller-side timeout).
+    pub fn abandon(&mut self) {
+        self.outstanding = None;
+    }
+
+    /// Process reply bytes received at local time `t4`.
+    pub fn on_reply(&mut self, data: &[u8], t4: NtpTimestamp) -> Result<OffsetSample, WireError> {
+        let origin = self
+            .outstanding
+            .ok_or(WireError::SanityCheck("no outstanding request"))?;
+        let packet = NtpPacket::parse(data).inspect_err(|_| self.rejected += 1)?;
+        if let Err(e) = sntp_profile::check_reply(&packet, origin) {
+            self.rejected += 1;
+            return Err(e);
+        }
+        self.outstanding = None;
+        self.accepted += 1;
+        let ex = Exchange::from_reply(&packet, t4);
+        Ok(OffsetSample {
+            offset: ex.offset(),
+            delay: ex.delay(),
+            t1: ex.t1,
+            t4,
+            stratum: packet.stratum,
+        })
+    }
+
+    /// Count of accepted replies.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Count of rejected replies.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_wire::refid::RefId;
+
+    fn ts(s: u32, ms: u32) -> NtpTimestamp {
+        NtpTimestamp::from_parts(s, ((ms as u64 * (1 << 32)) / 1000) as u32)
+    }
+
+    /// Simulate a server reply with the given one-way delays and server
+    /// clock ahead by `server_ahead_ms`.
+    fn reply_for(req: &[u8], fwd_ms: u32, back_ms: u32, server_ahead_ms: u32) -> (Vec<u8>, NtpTimestamp) {
+        let request = NtpPacket::parse(req).unwrap();
+        // Client t1 = request.transmit_ts (client clock). True send time:
+        // pretend client clock == true time for simplicity here.
+        let t1 = request.transmit_ts;
+        let t2 = t1 + NtpDuration::from_millis((fwd_ms + server_ahead_ms) as i64);
+        let t3 = t2 + NtpDuration::from_millis(1);
+        let reply = sntp_profile::server_reply(&request, t2, t3, 2, RefId::ipv4(1, 2, 3, 4), t2);
+        // t4 on the client clock: true elapsed = fwd + 1 + back.
+        let t4 = t1 + NtpDuration::from_millis((fwd_ms + 1 + back_ms) as i64);
+        (reply.serialize(), t4)
+    }
+
+    #[test]
+    fn symmetric_exchange_recovers_server_offset() {
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(100, 0));
+        let (reply, t4) = reply_for(&req, 40, 40, 250);
+        let s = c.on_reply(&reply, t4).unwrap();
+        assert!((s.offset.as_millis_f64() - 250.0).abs() < 0.01, "offset={}", s.offset);
+        assert!((s.delay.as_millis_f64() - 80.0).abs() < 0.01);
+        assert_eq!(s.stratum, 2);
+        assert_eq!(c.accepted(), 1);
+        assert!(!c.has_outstanding());
+    }
+
+    #[test]
+    fn asymmetric_exchange_is_biased() {
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(100, 0));
+        let (reply, t4) = reply_for(&req, 400, 20, 0);
+        let s = c.on_reply(&reply, t4).unwrap();
+        // Bias = (fwd − back)/2 = 190 ms: this is the whole SNTP problem.
+        assert!((s.offset.as_millis_f64() - 190.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reply_without_request_rejected() {
+        let mut c = SntpClient::new();
+        let mut other = SntpClient::new();
+        let req = other.make_request(ts(5, 0));
+        let (reply, t4) = reply_for(&req, 10, 10, 0);
+        assert!(c.on_reply(&reply, t4).is_err());
+    }
+
+    #[test]
+    fn mismatched_origin_rejected_and_counted() {
+        let mut c = SntpClient::new();
+        let _req = c.make_request(ts(100, 0));
+        let mut other = SntpClient::new();
+        let stale = other.make_request(ts(99, 0));
+        let (reply, t4) = reply_for(&stale, 10, 10, 0);
+        assert!(c.on_reply(&reply, t4).is_err());
+        assert_eq!(c.rejected(), 1);
+        // Request still outstanding — a forged reply must not clear it.
+        assert!(c.has_outstanding());
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        let mut c = SntpClient::new();
+        let _ = c.make_request(ts(1, 0));
+        assert!(c.on_reply(&[0u8; 10], ts(2, 0)).is_err());
+        assert_eq!(c.rejected(), 1);
+    }
+
+    #[test]
+    fn abandon_clears_outstanding() {
+        let mut c = SntpClient::new();
+        let _ = c.make_request(ts(1, 0));
+        c.abandon();
+        assert!(!c.has_outstanding());
+    }
+
+    #[test]
+    fn new_request_replaces_old() {
+        let mut c = SntpClient::new();
+        let _old = c.make_request(ts(1, 0));
+        let new = c.make_request(ts(2, 0));
+        // Reply to the *new* request is accepted…
+        let (reply, t4) = reply_for(&new, 10, 10, 0);
+        assert!(c.on_reply(&reply, t4).is_ok());
+    }
+
+    #[test]
+    fn request_bytes_are_sntp_shaped() {
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(7, 0));
+        let p = NtpPacket::parse(&req).unwrap();
+        assert!(p.is_sntp_client_shape());
+    }
+}

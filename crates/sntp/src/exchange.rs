@@ -1,0 +1,308 @@
+//! Exchange composition: one SNTP request/reply round trip across the
+//! simulated network.
+//!
+//! [`perform_exchange`] is the only place where protocol bytes, clocks,
+//! and network models meet:
+//!
+//! 1. read T1 from the client's clock, serialize a request;
+//! 2. carry it across the last hop (WiFi/wired/cellular) and the backbone
+//!    — either leg may drop it;
+//! 3. let the server parse it and answer with T2/T3 from *its* clock;
+//! 4. carry the reply back (again droppable) and read T4 from the
+//!    client's clock;
+//! 5. run the RFC 4330 sanity checks and derive (offset, delay).
+//!
+//! True time appears only where the physical world needs it (when packets
+//! *actually* arrive); every timestamp in the packets comes from a
+//! possibly-wrong clock, exactly as on real hardware.
+
+use clocksim::time::{SimDuration, SimTime};
+use clocksim::ClockControl;
+use netsim::Testbed;
+use ntp_wire::NtpDuration;
+
+use crate::client::{OffsetSample, SntpClient};
+use crate::server::SimServer;
+
+/// Why an exchange failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// Request lost on the client's last hop.
+    LostLastHopUp,
+    /// Request lost on the backbone.
+    LostBackboneUp,
+    /// Reply lost on the backbone.
+    LostBackboneDown,
+    /// Reply lost on the client's last hop.
+    LostLastHopDown,
+    /// Reply arrived but failed parsing or sanity checks.
+    RejectedReply,
+}
+
+/// A successful exchange with full diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedExchange {
+    /// The validated offset sample as the client computed it.
+    pub sample: OffsetSample,
+    /// True forward one-way delay (ground truth; evaluation only).
+    pub true_fwd: SimDuration,
+    /// True return one-way delay (ground truth; evaluation only).
+    pub true_back: SimDuration,
+    /// True time at which the reply arrived.
+    pub completed_at: SimTime,
+    /// Which server answered.
+    pub server_id: usize,
+}
+
+impl CompletedExchange {
+    /// The offset-measurement error contributed by path asymmetry alone:
+    /// `(fwd − back) / 2` (ground truth; evaluation only).
+    pub fn asymmetry_error(&self) -> NtpDuration {
+        let diff_ns = self.true_fwd.as_nanos() - self.true_back.as_nanos();
+        NtpDuration::from_nanos(diff_ns / 2)
+    }
+}
+
+/// A packet observed during a traced exchange, for pcap dumping.
+#[derive(Clone, Debug)]
+pub struct TracedPacket {
+    /// True time the packet was *captured* (client-side vantage: requests
+    /// at departure, replies at arrival).
+    pub at: SimTime,
+    /// Direction: `true` = client → server.
+    pub outbound: bool,
+    /// The raw 48-byte NTP payload.
+    pub bytes: Vec<u8>,
+}
+
+/// [`perform_exchange`], additionally capturing the request and reply
+/// bytes as a client-side tcpdump would see them. Lost packets are still
+/// captured in the direction(s) they were observed (an outbound request
+/// appears even if its reply never comes — exactly like a real capture).
+pub fn perform_exchange_traced(
+    testbed: &mut Testbed,
+    server: &mut SimServer,
+    clock: &mut dyn ClockControl,
+    t: SimTime,
+    capture: &mut Vec<TracedPacket>,
+) -> Result<CompletedExchange, ExchangeError> {
+    let t = t.max(clock.position());
+    let mut client = SntpClient::new();
+    let t1 = clock.now(t);
+    let request = client.make_request(t1);
+    capture.push(TracedPacket { at: t, outbound: true, bytes: request.clone() });
+
+    let Some(hop_up) = testbed.last_hop_up(t) else {
+        return Err(ExchangeError::LostLastHopUp);
+    };
+    let bb_up = {
+        let SimServer { backbone_up, rng, .. } = server;
+        backbone_up.transmit(rng)
+    };
+    let Some(bb_up) = bb_up else {
+        return Err(ExchangeError::LostBackboneUp);
+    };
+    let fwd = hop_up + bb_up;
+    let arrival = t + fwd;
+    let (reply_bytes, departure) =
+        server.handle(&request, arrival).map_err(|_| ExchangeError::RejectedReply)?;
+    let bb_down = {
+        let SimServer { backbone_down, rng, .. } = server;
+        backbone_down.transmit(rng)
+    };
+    let Some(bb_down) = bb_down else {
+        return Err(ExchangeError::LostBackboneDown);
+    };
+    let at_wap = departure + bb_down;
+    let Some(hop_down) = testbed.last_hop_down(at_wap) else {
+        return Err(ExchangeError::LostLastHopDown);
+    };
+    let back = bb_down + hop_down;
+    let completed_at = departure + back;
+    capture.push(TracedPacket { at: completed_at, outbound: false, bytes: reply_bytes.clone() });
+
+    let t4 = clock.now(completed_at);
+    let sample = client.on_reply(&reply_bytes, t4).map_err(|_| ExchangeError::RejectedReply)?;
+    Ok(CompletedExchange { sample, true_fwd: fwd, true_back: back, completed_at, server_id: server.id })
+}
+
+/// Perform one full exchange starting at true time `t`.
+pub fn perform_exchange(
+    testbed: &mut Testbed,
+    server: &mut SimServer,
+    clock: &mut dyn ClockControl,
+    t: SimTime,
+) -> Result<CompletedExchange, ExchangeError> {
+    // A request cannot depart at a time the clock has already passed
+    // (e.g. another client on the same host just finished an exchange
+    // that advanced it). Without this clamp, T1 would be stamped with a
+    // *later* clock state than the nominal departure time, biasing the
+    // measured offset by half the discrepancy.
+    let t = t.max(clock.position());
+    let mut client = SntpClient::new();
+    let t1 = clock.now(t);
+    let request = client.make_request(t1);
+
+    // Client → WAP/Internet.
+    let Some(hop_up) = testbed.last_hop_up(t) else {
+        return Err(ExchangeError::LostLastHopUp);
+    };
+    // WAP → server across the backbone.
+    let bb_up = {
+        let SimServer { backbone_up, rng, .. } = server;
+        backbone_up.transmit(rng)
+    };
+    let Some(bb_up) = bb_up else {
+        return Err(ExchangeError::LostBackboneUp);
+    };
+    let fwd = hop_up + bb_up;
+    let arrival = t + fwd;
+
+    let (reply_bytes, departure) =
+        server.handle(&request, arrival).map_err(|_| ExchangeError::RejectedReply)?;
+
+    // Server → WAP.
+    let bb_down = {
+        let SimServer { backbone_down, rng, .. } = server;
+        backbone_down.transmit(rng)
+    };
+    let Some(bb_down) = bb_down else {
+        return Err(ExchangeError::LostBackboneDown);
+    };
+    // WAP → client. The downlink is sampled at the reply's arrival at the
+    // WAP, so it sees the channel state of that moment.
+    let at_wap = departure + bb_down;
+    let Some(hop_down) = testbed.last_hop_down(at_wap) else {
+        return Err(ExchangeError::LostLastHopDown);
+    };
+    let back = bb_down + hop_down;
+    let completed_at = departure + back;
+
+    let t4 = clock.now(completed_at);
+    let sample =
+        client.on_reply(&reply_bytes, t4).map_err(|_| ExchangeError::RejectedReply)?;
+
+    Ok(CompletedExchange {
+        sample,
+        true_fwd: fwd,
+        true_back: back,
+        completed_at,
+        server_id: server.id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolConfig, ServerPool};
+    use clocksim::{OscillatorConfig, SimClock, SimRng};
+    use netsim::testbed::TestbedConfig;
+
+    fn perfect_clock() -> SimClock {
+        SimClock::new(OscillatorConfig::perfect().build(SimRng::new(1)), SimTime::ZERO)
+    }
+
+    #[test]
+    fn wired_exchange_offset_tracks_server_error() {
+        let mut tb = Testbed::wired(1);
+        let mut pool = ServerPool::new(
+            PoolConfig { size: 1, false_ticker_fraction: 0.0, good_error_sigma_ms: 0.0, ..Default::default() },
+            2,
+        );
+        let mut clock = perfect_clock();
+        let mut offsets = Vec::new();
+        for i in 0..200 {
+            let t = SimTime::from_secs(i * 5);
+            if let Ok(done) = perform_exchange(&mut tb, pool.server_mut(0), &mut clock, t) {
+                offsets.push(done.sample.offset.as_millis_f64());
+            }
+        }
+        assert!(offsets.len() > 190);
+        let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        // Server error ~0, symmetric wired path: offsets near zero.
+        assert!(mean.abs() < 5.0, "mean={mean}");
+    }
+
+    #[test]
+    fn offset_error_equals_asymmetry_plus_clock_errors() {
+        let mut tb = Testbed::wired(3);
+        let mut pool = ServerPool::new(
+            PoolConfig { size: 1, false_ticker_fraction: 0.0, good_error_sigma_ms: 0.0, ..Default::default() },
+            4,
+        );
+        let mut clock = perfect_clock();
+        for i in 0..50 {
+            let t = SimTime::from_secs(i * 5);
+            if let Ok(done) = perform_exchange(&mut tb, pool.server_mut(0), &mut clock, t) {
+                // With a perfect client clock and a ≈0-error server, the
+                // reported offset must equal the path-asymmetry error
+                // (fwd − back)/2 up to the server's tiny wobble.
+                let predicted = done.asymmetry_error().as_millis_f64();
+                let got = done.sample.offset.as_millis_f64();
+                assert!(
+                    (got - predicted).abs() < 2.0,
+                    "offset {got} vs asym {predicted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wireless_exchanges_are_noisier_than_wired() {
+        let spread = |mut tb: Testbed, seed: u64| {
+            let mut pool = ServerPool::new(
+                PoolConfig { size: 4, false_ticker_fraction: 0.0, ..Default::default() },
+                seed,
+            );
+            let mut clock = perfect_clock();
+            let mut offsets = Vec::new();
+            for i in 0..400 {
+                let t = SimTime::from_secs(i * 5);
+                let sid = pool.pick();
+                if let Ok(done) = perform_exchange(&mut tb, pool.server_mut(sid), &mut clock, t) {
+                    offsets.push(done.sample.offset.as_millis_f64());
+                }
+            }
+            clocksim::stats::stddev(&offsets)
+        };
+        let wired = spread(Testbed::wired(5), 6);
+        let wireless = spread(Testbed::wireless(TestbedConfig::default(), 7), 8);
+        assert!(wireless > 3.0 * wired, "wireless σ {wireless} vs wired σ {wired}");
+    }
+
+    #[test]
+    fn losses_reported_with_direction() {
+        let mut tb = Testbed::lossy_wired(9, 0.5);
+        let mut pool = ServerPool::new(PoolConfig { size: 1, ..Default::default() }, 10);
+        let mut clock = perfect_clock();
+        let mut errs = 0;
+        for i in 0..100 {
+            if perform_exchange(&mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(i * 5))
+                .is_err()
+            {
+                errs += 1;
+            }
+        }
+        assert!(errs > 30, "errs={errs}");
+    }
+
+    #[test]
+    fn clock_error_appears_in_offset() {
+        let mut tb = Testbed::wired(11);
+        let mut pool = ServerPool::new(
+            PoolConfig { size: 1, false_ticker_fraction: 0.0, good_error_sigma_ms: 0.0, ..Default::default() },
+            12,
+        );
+        // Client clock 500 ms behind truth: server appears 500 ms ahead.
+        let osc = OscillatorConfig::perfect().build(SimRng::new(13));
+        let mut clock = SimClock::with_initial_error(
+            osc,
+            SimTime::ZERO,
+            NtpDuration::from_millis(-500),
+        );
+        let done =
+            perform_exchange(&mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(10))
+                .unwrap();
+        assert!((done.sample.offset.as_millis_f64() - 500.0).abs() < 5.0);
+    }
+}

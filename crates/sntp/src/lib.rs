@@ -1,0 +1,41 @@
+//! # sntp
+//!
+//! The SNTP side of the reproduction: a sans-io RFC 4330 client state
+//! machine, a simulated population of NTP pool servers, the vendor client
+//! policies the paper calls out (§2), and the *exchange composition* that
+//! carries real packet bytes across the simulated testbed.
+//!
+//! * [`client`] — [`client::SntpClient`]: builds requests, validates
+//!   replies, yields [`client::OffsetSample`]s. This is the unmodified
+//!   baseline MNTP is compared against.
+//! * [`server`] — [`server::SimServer`]: a stratum server with its own
+//!   (slightly wrong) clock, processing delay, and backbone path.
+//! * [`pool`] — [`pool::ServerPool`]: `0.pool.ntp.org`-style random server
+//!   assignment per request, including a configurable fraction of
+//!   *false tickers* (servers whose clock is badly off), which is what
+//!   MNTP's warmup-phase rejection heuristic exists to defeat.
+//! * [`exchange`] — [`exchange::perform_exchange`]: serializes a request,
+//!   walks it across the last hop and backbone (each leg can drop or
+//!   delay it), has the server answer, and walks the reply back. All four
+//!   timestamps come from the respective clocks; nothing reads true time.
+//! * [`vendor`] — Android KitKat / Windows Mobile SNTP policies and NITZ,
+//!   reproducing the OS behaviours in §2 of the paper.
+//! * [`energy`] — the Balasubramanian-style radio energy model behind
+//!   the paper's §3.4 battery argument: joules per transfer including
+//!   ramp and tail costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod energy;
+pub mod exchange;
+pub mod pool;
+pub mod server;
+pub mod vendor;
+
+pub use client::{OffsetSample, SntpClient};
+pub use energy::{EnergyMeter, EnergyModel};
+pub use exchange::{perform_exchange, perform_exchange_traced, CompletedExchange, ExchangeError, TracedPacket};
+pub use pool::{PoolConfig, ServerPool};
+pub use server::SimServer;

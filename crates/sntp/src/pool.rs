@@ -1,0 +1,197 @@
+//! The simulated `pool.ntp.org`.
+//!
+//! The paper's clients send every request to `0.pool.ntp.org`, and "every
+//! SNTP request to the pool server is randomly assigned to a new NTP time
+//! reference" (§3.2). The pool here is a population of [`SimServer`]s
+//! with independently drawn clock errors and backbone delays; each
+//! request picks a server uniformly at random.
+//!
+//! A configurable fraction of the population are **false tickers** —
+//! servers whose clocks are off by tens to hundreds of ms. Public-pool
+//! measurement studies (Vijayalayan & Veitch, "Rot at the Roots?", which
+//! the paper cites) found exactly such servers in the wild; they are what
+//! MNTP's warmup-phase mean+1σ rejection exists to filter out.
+
+use clocksim::rng::SimRng;
+use netsim::link::{DelayModel, Link, LossModel};
+
+use crate::server::SimServer;
+
+/// Pool population parameters.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of servers.
+    pub size: usize,
+    /// σ of well-behaved servers' clock errors, ms.
+    pub good_error_sigma_ms: f64,
+    /// Fraction of false tickers.
+    pub false_ticker_fraction: f64,
+    /// False-ticker error magnitude range, ms.
+    pub false_ticker_error_ms: (f64, f64),
+    /// Range of per-server backbone median OWDs, ms.
+    pub backbone_median_ms: (f64, f64),
+    /// Backbone packet loss probability per leg.
+    pub backbone_loss: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            size: 24,
+            good_error_sigma_ms: 1.0,
+            false_ticker_fraction: 0.05,
+            false_ticker_error_ms: (15.0, 60.0),
+            backbone_median_ms: (12.0, 45.0),
+            backbone_loss: 0.002,
+        }
+    }
+}
+
+/// A population of simulated pool servers.
+pub struct ServerPool {
+    servers: Vec<SimServer>,
+    rng: SimRng,
+}
+
+impl ServerPool {
+    /// Build a pool from config and a seed.
+    pub fn new(cfg: PoolConfig, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut servers = Vec::with_capacity(cfg.size);
+        for id in 0..cfg.size {
+            let is_false_ticker = rng.chance(cfg.false_ticker_fraction);
+            let error_ms = if is_false_ticker {
+                let mag = rng.uniform_range(cfg.false_ticker_error_ms.0, cfg.false_ticker_error_ms.1);
+                if rng.chance(0.5) {
+                    mag
+                } else {
+                    -mag
+                }
+            } else {
+                rng.normal(0.0, cfg.good_error_sigma_ms)
+            };
+            let median = rng.uniform_range(cfg.backbone_median_ms.0, cfg.backbone_median_ms.1);
+            let mk_link = |rng: &mut SimRng| {
+                let _ = rng; // per-link state is inside the models
+                Link {
+                    delay: DelayModel::backbone(median),
+                    loss: LossModel::Bernoulli(cfg.backbone_loss),
+                }
+            };
+            let up = mk_link(&mut rng);
+            let down = mk_link(&mut rng);
+            servers.push(SimServer::with_error_ms(id, error_ms, (up, down), &mut rng));
+        }
+        ServerPool { servers, rng }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Pick a uniformly random server (a fresh DNS resolution of
+    /// `N.pool.ntp.org`), returning its index.
+    pub fn pick(&mut self) -> usize {
+        self.rng.index(self.servers.len())
+    }
+
+    /// Pick `n` *distinct* random servers — what querying
+    /// `0/1/3.pool.ntp.org` in parallel yields.
+    pub fn pick_distinct(&mut self, n: usize) -> Vec<usize> {
+        let n = n.min(self.servers.len());
+        let mut ids: Vec<usize> = (0..self.servers.len()).collect();
+        self.rng.shuffle(&mut ids);
+        ids.truncate(n);
+        ids
+    }
+
+    /// Access a server by index.
+    pub fn server_mut(&mut self, id: usize) -> &mut SimServer {
+        &mut self.servers[id]
+    }
+
+    /// Immutable access (tests/diagnostics).
+    pub fn server(&self, id: usize) -> &SimServer {
+        &self.servers[id]
+    }
+
+    /// Ground truth: indices of servers whose clock error exceeds
+    /// `threshold_ms` (for validating false-ticker rejection).
+    pub fn false_tickers(&self, threshold_ms: f64) -> Vec<usize> {
+        self.servers
+            .iter()
+            .filter(|s| s.true_error_ms.abs() > threshold_ms)
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_mostly_good_servers() {
+        let pool = ServerPool::new(PoolConfig::default(), 1);
+        let bad = pool.false_tickers(20.0).len();
+        assert!(bad <= pool.len() / 3, "too many false tickers: {bad}");
+        let good = pool.len() - bad;
+        assert!(good >= pool.len() / 2);
+    }
+
+    #[test]
+    fn some_seed_produces_false_tickers() {
+        // With 10% fraction and 24 servers, most seeds have ≥1.
+        let mut any = false;
+        for seed in 0..5 {
+            if !ServerPool::new(PoolConfig::default(), seed).false_tickers(20.0).is_empty() {
+                any = true;
+            }
+        }
+        assert!(any, "no false tickers across 5 seeds — model broken");
+    }
+
+    #[test]
+    fn pick_covers_population() {
+        let mut pool = ServerPool::new(PoolConfig { size: 8, ..Default::default() }, 2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[pool.pick()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pick_distinct_is_distinct() {
+        let mut pool = ServerPool::new(PoolConfig::default(), 3);
+        for _ in 0..50 {
+            let ids = pool.pick_distinct(3);
+            assert_eq!(ids.len(), 3);
+            assert_ne!(ids[0], ids[1]);
+            assert_ne!(ids[1], ids[2]);
+            assert_ne!(ids[0], ids[2]);
+        }
+    }
+
+    #[test]
+    fn pick_distinct_clamps_to_pool_size() {
+        let mut pool = ServerPool::new(PoolConfig { size: 2, ..Default::default() }, 4);
+        assert_eq!(pool.pick_distinct(5).len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let errors = |seed| {
+            let pool = ServerPool::new(PoolConfig::default(), seed);
+            (0..pool.len()).map(|i| pool.server(i).true_error_ms).collect::<Vec<_>>()
+        };
+        assert_eq!(errors(5), errors(5));
+        assert_ne!(errors(5), errors(6));
+    }
+}

@@ -1,0 +1,266 @@
+//! Vendor-specific SNTP client policies and NITZ.
+//!
+//! The paper's §2 documents how commodity mobile OSes actually run SNTP:
+//!
+//! * **Android (KitKat)** — polls once a day when NITZ is unavailable,
+//!   retries only three times on failure, and updates the system clock
+//!   *only* if the new estimate differs from it by more than 5000 ms.
+//! * **Windows Mobile** — polls once every seven days; a failed request is
+//!   simply skipped, with no retry.
+//! * **NITZ** — carrier-delivered time with second-level granularity,
+//!   arriving only when the device crosses a network boundary.
+//!
+//! These policies explain the paper's log findings (mobile clients appear
+//! rarely and with SNTP-shaped packets) and set the "deployed baseline"
+//! bar that MNTP needs to clear.
+
+use clocksim::ClockCommand;
+use ntp_wire::{NtpDuration, NtpTimestamp};
+
+use crate::client::OffsetSample;
+
+/// A vendor SNTP polling/update policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VendorPolicy {
+    /// Interval between scheduled polls, seconds (local clock).
+    pub poll_interval_secs: u64,
+    /// Retries allowed after a failed poll.
+    pub max_retries: u32,
+    /// Spacing between retries, seconds.
+    pub retry_spacing_secs: u64,
+    /// Apply the offset only if it exceeds this threshold, ms.
+    /// `0` = always apply.
+    pub update_threshold_ms: i64,
+}
+
+impl VendorPolicy {
+    /// Android 4.4 (KitKat) behaviour, from the AOSP source the paper
+    /// analysed.
+    pub fn android_kitkat() -> Self {
+        VendorPolicy {
+            poll_interval_secs: 86_400,
+            max_retries: 3,
+            retry_spacing_secs: 30,
+            update_threshold_ms: 5_000,
+        }
+    }
+
+    /// Windows Mobile behaviour: weekly, no retries, always applies.
+    pub fn windows_mobile() -> Self {
+        VendorPolicy {
+            poll_interval_secs: 7 * 86_400,
+            max_retries: 0,
+            retry_spacing_secs: 0,
+            update_threshold_ms: 0,
+        }
+    }
+
+    /// An aggressive 5-second poller with no threshold — the paper's
+    /// measurement configuration (what the SNTP Time app does).
+    pub fn measurement(poll_secs: u64) -> Self {
+        VendorPolicy {
+            poll_interval_secs: poll_secs,
+            max_retries: 0,
+            retry_spacing_secs: 0,
+            update_threshold_ms: 0,
+        }
+    }
+}
+
+/// What the vendor client wants to do at a given local time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VendorAction {
+    /// Nothing to do until the given local time.
+    IdleUntil(NtpTimestamp),
+    /// Emit an SNTP request now.
+    SendRequest,
+}
+
+/// A vendor SNTP client: policy plus schedule state. Sans-io; the caller
+/// performs the actual exchange and reports back.
+#[derive(Clone, Debug)]
+pub struct VendorClient {
+    policy: VendorPolicy,
+    next_poll: NtpTimestamp,
+    retries_left: u32,
+    /// Updates actually applied (diagnostics).
+    pub updates_applied: u64,
+    /// Updates suppressed by the threshold (diagnostics).
+    pub updates_suppressed: u64,
+}
+
+impl VendorClient {
+    /// New client that will poll immediately at `now_local`.
+    pub fn new(policy: VendorPolicy, now_local: NtpTimestamp) -> Self {
+        VendorClient {
+            policy,
+            next_poll: now_local,
+            retries_left: policy.max_retries,
+            updates_applied: 0,
+            updates_suppressed: 0,
+        }
+    }
+
+    /// Ask the client what to do at local time `now`.
+    pub fn on_tick(&self, now: NtpTimestamp) -> VendorAction {
+        if now.wrapping_sub(self.next_poll).is_negative() {
+            VendorAction::IdleUntil(self.next_poll)
+        } else {
+            VendorAction::SendRequest
+        }
+    }
+
+    fn schedule_next(&mut self, now: NtpTimestamp) {
+        self.next_poll = now
+            .wrapping_add_duration(NtpDuration::from_seconds(self.policy.poll_interval_secs as i32));
+        self.retries_left = self.policy.max_retries;
+    }
+
+    /// Report a successful exchange; returns the clock command to apply,
+    /// if the policy's threshold allows it.
+    pub fn on_success(&mut self, now: NtpTimestamp, sample: &OffsetSample) -> Option<ClockCommand> {
+        self.schedule_next(now);
+        let threshold = NtpDuration::from_millis(self.policy.update_threshold_ms);
+        if sample.offset.abs() >= threshold || self.policy.update_threshold_ms == 0 {
+            self.updates_applied += 1;
+            // SNTP applies the offset directly (a step).
+            Some(ClockCommand::Step(sample.offset))
+        } else {
+            self.updates_suppressed += 1;
+            None
+        }
+    }
+
+    /// Report a failed exchange (timeout/loss). The client may schedule a
+    /// retry or give up until the next poll interval.
+    pub fn on_failure(&mut self, now: NtpTimestamp) {
+        if self.retries_left > 0 {
+            self.retries_left -= 1;
+            self.next_poll = now.wrapping_add_duration(NtpDuration::from_seconds(
+                self.policy.retry_spacing_secs as i32,
+            ));
+        } else {
+            self.schedule_next(now);
+        }
+    }
+
+    /// The local time of the next scheduled poll.
+    pub fn next_poll(&self) -> NtpTimestamp {
+        self.next_poll
+    }
+}
+
+/// A NITZ event: carrier time with coarse (second) granularity, delivered
+/// when the device crosses a network boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct NitzEvent {
+    /// The offset the carrier's coarse time implies, already quantized to
+    /// whole seconds by the 3GPP encoding.
+    pub offset: NtpDuration,
+}
+
+impl NitzEvent {
+    /// Build an event from the true offset, applying the ±0.5 s
+    /// quantization the second-granular encoding imposes.
+    pub fn from_true_offset(true_offset: NtpDuration) -> Self {
+        let secs = true_offset.as_seconds_f64().round();
+        NitzEvent { offset: NtpDuration::from_seconds_f64(secs) }
+    }
+
+    /// The clock command a NITZ update performs (a hard step).
+    pub fn command(&self) -> ClockCommand {
+        ClockCommand::Step(self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u32) -> NtpTimestamp {
+        NtpTimestamp::from_parts(s, 0)
+    }
+
+    fn sample(offset_ms: i64) -> OffsetSample {
+        OffsetSample {
+            offset: NtpDuration::from_millis(offset_ms),
+            delay: NtpDuration::from_millis(40),
+            t1: ts(1),
+            t4: ts(2),
+            stratum: 2,
+        }
+    }
+
+    #[test]
+    fn android_threshold_suppresses_small_offsets() {
+        let mut c = VendorClient::new(VendorPolicy::android_kitkat(), ts(0));
+        assert_eq!(c.on_tick(ts(0)), VendorAction::SendRequest);
+        assert_eq!(c.on_success(ts(0), &sample(300)), None);
+        assert_eq!(c.updates_suppressed, 1);
+        // 6-second offset: applied.
+        let mut c = VendorClient::new(VendorPolicy::android_kitkat(), ts(0));
+        let cmd = c.on_success(ts(0), &sample(6_000)).unwrap();
+        assert_eq!(cmd, ClockCommand::Step(NtpDuration::from_millis(6_000)));
+    }
+
+    #[test]
+    fn android_polls_daily() {
+        let mut c = VendorClient::new(VendorPolicy::android_kitkat(), ts(0));
+        c.on_success(ts(0), &sample(0));
+        assert_eq!(c.on_tick(ts(100)), VendorAction::IdleUntil(ts(86_400)));
+        assert_eq!(c.on_tick(ts(86_400)), VendorAction::SendRequest);
+    }
+
+    #[test]
+    fn android_retries_three_times_then_waits_a_day() {
+        let mut c = VendorClient::new(VendorPolicy::android_kitkat(), ts(0));
+        c.on_failure(ts(0)); // retry 1 at +30 s
+        assert_eq!(c.next_poll(), ts(30));
+        c.on_failure(ts(30)); // retry 2
+        c.on_failure(ts(60)); // retry 3
+        assert_eq!(c.next_poll(), ts(90));
+        c.on_failure(ts(90)); // out of retries → next day
+        assert_eq!(c.next_poll(), ts(90 + 86_400));
+    }
+
+    #[test]
+    fn windows_mobile_never_retries() {
+        let mut c = VendorClient::new(VendorPolicy::windows_mobile(), ts(0));
+        c.on_failure(ts(0));
+        assert_eq!(c.next_poll(), ts(7 * 86_400));
+    }
+
+    #[test]
+    fn windows_mobile_always_applies() {
+        let mut c = VendorClient::new(VendorPolicy::windows_mobile(), ts(0));
+        assert!(c.on_success(ts(0), &sample(1)).is_some());
+    }
+
+    #[test]
+    fn measurement_policy_polls_at_configured_interval() {
+        let mut c = VendorClient::new(VendorPolicy::measurement(5), ts(0));
+        c.on_success(ts(0), &sample(10));
+        assert_eq!(c.on_tick(ts(3)), VendorAction::IdleUntil(ts(5)));
+        assert_eq!(c.on_tick(ts(5)), VendorAction::SendRequest);
+    }
+
+    #[test]
+    fn retry_success_resets_retry_budget() {
+        let mut c = VendorClient::new(VendorPolicy::android_kitkat(), ts(0));
+        c.on_failure(ts(0));
+        c.on_success(ts(30), &sample(6000));
+        // Budget restored: three more failures allowed before the long wait.
+        c.on_failure(ts(86_430));
+        assert_eq!(c.next_poll(), ts(86_460));
+    }
+
+    #[test]
+    fn nitz_quantizes_to_seconds() {
+        let e = NitzEvent::from_true_offset(NtpDuration::from_millis(1_499));
+        assert_eq!(e.offset, NtpDuration::from_seconds(1));
+        let e = NitzEvent::from_true_offset(NtpDuration::from_millis(-2_600));
+        assert_eq!(e.offset, NtpDuration::from_seconds(-3));
+        let e = NitzEvent::from_true_offset(NtpDuration::from_millis(400));
+        assert_eq!(e.offset, NtpDuration::ZERO);
+    }
+}

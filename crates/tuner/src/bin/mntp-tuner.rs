@@ -1,0 +1,143 @@
+//! `mntp-tuner` — the paper's §5.3 stand-alone tool as a CLI.
+//!
+//! ```text
+//! mntp-tuner record <out.trace> [--hours N] [--seed S]     # logger
+//! mntp-tuner emulate <trace> [--params WP,WW,RW,RP]        # emulator
+//! mntp-tuner search <trace>                                # grid search
+//! ```
+//!
+//! `record` runs the simulated testbed logger (on real hardware this
+//! component would talk to the wireless adaptor and the pool; here it
+//! talks to `netsim`). `emulate` and `search` consume any trace in the
+//! text format — including ones recorded elsewhere. Parameters are in
+//! minutes, matching the paper's Table 2.
+
+use std::fs;
+use std::process::ExitCode;
+
+use clocksim::time::SimTime;
+use clocksim::{OscillatorConfig, SimClock, SimRng};
+use mntp::MntpConfig;
+use netsim::testbed::TestbedConfig;
+use netsim::Testbed;
+use sntp::{PoolConfig, ServerPool};
+use tuner::{emulate, grid_search, record_trace, ParamGrid, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mntp-tuner record <out.trace> [--hours N] [--seed S]\n  \
+         mntp-tuner emulate <trace> [--params WP,WW,RW,RP]\n  \
+         mntp-tuner search <trace>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "record" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let hours: f64 =
+                flag_value(&args, "--hours").and_then(|v| v.parse().ok()).unwrap_or(4.0);
+            let seed: u64 =
+                flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2016);
+            let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+            let mut pool = ServerPool::new(PoolConfig::default(), seed + 1);
+            let osc =
+                OscillatorConfig::laptop().with_skew_ppm(30.0).build(SimRng::new(seed + 2));
+            let mut clock = SimClock::new(osc, SimTime::ZERO);
+            let trace = record_trace(
+                &mut tb,
+                &mut pool,
+                &mut clock,
+                (hours * 3600.0) as u64,
+                5.0,
+                3,
+            );
+            if let Err(e) = fs::write(path, trace.to_text()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("recorded {} rows ({hours} h) to {path}", trace.rows.len());
+            ExitCode::SUCCESS
+        }
+        "emulate" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let Some(trace) = load_trace(path) else { return ExitCode::FAILURE };
+            let cfg = match flag_value(&args, "--params") {
+                None => MntpConfig::default(),
+                Some(p) => {
+                    let vals: Vec<f64> =
+                        p.split(',').filter_map(|v| v.trim().parse().ok()).collect();
+                    if vals.len() != 4 {
+                        eprintln!("error: --params wants WP,WW,RW,RP (minutes)");
+                        return ExitCode::from(2);
+                    }
+                    MntpConfig::from_tuner_minutes(vals[0], vals[1], vals[2], vals[3])
+                }
+            };
+            let r = emulate(&cfg, &trace);
+            println!(
+                "accepted={} rejected={} deferred={} failed={} requests={}",
+                r.accepted.len(),
+                r.rejected.len(),
+                r.deferred,
+                r.failed,
+                r.requests
+            );
+            println!("RMSE vs perfect clock: {:.2} ms", r.rmse_ms());
+            for (t, raw, corrected) in r.accepted.iter().take(10) {
+                println!("  t={t:>8.0}s raw={raw:>+9.2}ms corrected={corrected:>+8.2}ms");
+            }
+            if r.accepted.len() > 10 {
+                println!("  … {} more", r.accepted.len() - 10);
+            }
+            ExitCode::SUCCESS
+        }
+        "search" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let Some(trace) = load_trace(path) else { return ExitCode::FAILURE };
+            let results =
+                grid_search(&MntpConfig::default(), &ParamGrid::paper_table2(), &trace);
+            println!(
+                "{:>4} {:>8} {:>8} {:>8} {:>7} {:>9} {:>9}",
+                "rank", "warmup", "w.wait", "r.wait", "reset", "RMSE(ms)", "requests"
+            );
+            for (i, r) in results.iter().enumerate() {
+                println!(
+                    "{:>4} {:>8.1} {:>8.3} {:>8.1} {:>7.0} {:>9.2} {:>9}",
+                    i + 1,
+                    r.params.0,
+                    r.params.1,
+                    r.params.2,
+                    r.params.3,
+                    r.rmse_ms,
+                    r.requests
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn load_trace(path: &str) -> Option<Trace> {
+    match fs::read_to_string(path) {
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+        Ok(text) => match Trace::from_text(&text) {
+            None => {
+                eprintln!("error: {path} is not a valid mntp-tuner trace");
+                None
+            }
+            Some(t) => Some(t),
+        },
+    }
+}

@@ -1,0 +1,185 @@
+//! The trace format shared by the logger and the emulator.
+//!
+//! One row per logging instant (every 5 s in the paper's configuration):
+//! the wireless hints at that moment plus the offset each queried
+//! reference reported (`None` where the exchange failed). Traces
+//! round-trip through a simple line-oriented text format so they can be
+//! written to disk by the logger binary and reloaded by the tuner.
+
+use std::fmt::Write as _;
+
+use netsim::WirelessHints;
+
+/// One logging instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRow {
+    /// Seconds since trace start (local clock of the logging host).
+    pub t_secs: f64,
+    /// Wireless hints at this instant (`None` on hint-less media).
+    pub hints: Option<WirelessHints>,
+    /// Offset reported by each queried reference, ms; `None` = no reply.
+    pub offsets_ms: Vec<Option<f64>>,
+}
+
+impl TraceRow {
+    /// Offsets that actually arrived.
+    pub fn responses(&self) -> Vec<f64> {
+        self.offsets_ms.iter().flatten().copied().collect()
+    }
+}
+
+/// A recorded trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Rows in time order.
+    pub rows: Vec<TraceRow>,
+    /// Logging interval, seconds.
+    pub interval_secs: f64,
+}
+
+impl Trace {
+    /// Total duration covered, seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.rows.last().map(|r| r.t_secs).unwrap_or(0.0)
+    }
+
+    /// Serialize to the line-oriented text format:
+    /// `t<TAB>rssi<TAB>noise<TAB>o1,o2,o3` with `-` for missing values.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# mntp-tuner trace v1 interval={}", self.interval_secs).unwrap();
+        for r in &self.rows {
+            let (rssi, noise) = match &r.hints {
+                Some(h) => (format!("{:.2}", h.rssi_dbm), format!("{:.2}", h.noise_dbm)),
+                None => ("-".into(), "-".into()),
+            };
+            let offsets: Vec<String> = r
+                .offsets_ms
+                .iter()
+                .map(|o| o.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()))
+                .collect();
+            writeln!(out, "{:.3}\t{}\t{}\t{}", r.t_secs, rssi, noise, offsets.join(",")).unwrap();
+        }
+        out
+    }
+
+    /// Parse the text format. Returns `None` on malformed input.
+    pub fn from_text(text: &str) -> Option<Trace> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let interval_secs = header.split("interval=").nth(1)?.trim().parse().ok()?;
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let t_secs: f64 = parts.next()?.parse().ok()?;
+            let rssi = parts.next()?;
+            let noise = parts.next()?;
+            let hints = if rssi == "-" || noise == "-" {
+                None
+            } else {
+                Some(WirelessHints {
+                    rssi_dbm: rssi.parse().ok()?,
+                    noise_dbm: noise.parse().ok()?,
+                })
+            };
+            let offsets_ms = parts
+                .next()?
+                .split(',')
+                .map(|o| if o == "-" { Ok(None) } else { o.parse().map(Some) })
+                .collect::<Result<Vec<_>, _>>()
+                .ok()?;
+            rows.push(TraceRow { t_secs, hints, offsets_ms });
+        }
+        Some(Trace { rows, interval_secs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            interval_secs: 5.0,
+            rows: vec![
+                TraceRow {
+                    t_secs: 0.0,
+                    hints: Some(WirelessHints { rssi_dbm: -65.5, noise_dbm: -90.25 }),
+                    offsets_ms: vec![Some(1.5), None, Some(-2.25)],
+                },
+                TraceRow { t_secs: 5.0, hints: None, offsets_ms: vec![None, None, None] },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample_trace();
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(parsed.interval_secs, 5.0);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].offsets_ms[0], Some(1.5));
+        assert_eq!(parsed.rows[0].offsets_ms[1], None);
+        assert!((parsed.rows[0].hints.unwrap().rssi_dbm + 65.5).abs() < 1e-9);
+        assert_eq!(parsed.rows[1].hints, None);
+    }
+
+    #[test]
+    fn responses_filters_nones() {
+        let t = sample_trace();
+        assert_eq!(t.rows[0].responses(), vec![1.5, -2.25]);
+        assert!(t.rows[1].responses().is_empty());
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(sample_trace().duration_secs(), 5.0);
+        assert_eq!(Trace::default().duration_secs(), 0.0);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(Trace::from_text("").is_none());
+        assert!(Trace::from_text("garbage").is_none());
+        assert!(Trace::from_text("# mntp-tuner trace v1 interval=5\nnot\ttsv").is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_row() -> impl Strategy<Value = TraceRow> {
+        (
+            0.0f64..100_000.0,
+            proptest::option::of((-100.0f64..0.0, -100.0f64..0.0)),
+            proptest::collection::vec(proptest::option::of(-2_000.0f64..2_000.0), 1..5),
+        )
+            .prop_map(|(t, hints, offsets)| TraceRow {
+                t_secs: (t * 1000.0).round() / 1000.0,
+                hints: hints.map(|(r, n)| netsim::WirelessHints {
+                    rssi_dbm: (r * 100.0).round() / 100.0,
+                    noise_dbm: (n * 100.0).round() / 100.0,
+                }),
+                offsets_ms: offsets
+                    .into_iter()
+                    .map(|o| o.map(|v| (v * 10_000.0).round() / 10_000.0))
+                    .collect(),
+            })
+    }
+
+    proptest! {
+        /// Any trace round-trips through the text format exactly (values
+        /// quantized to the format's printed precision).
+        #[test]
+        fn text_roundtrip_any_trace(rows in proptest::collection::vec(arb_row(), 0..20)) {
+            let trace = Trace { rows, interval_secs: 5.0 };
+            let parsed = Trace::from_text(&trace.to_text()).unwrap();
+            prop_assert_eq!(parsed, trace);
+        }
+    }
+}

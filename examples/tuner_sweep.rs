@@ -1,0 +1,54 @@
+//! The MNTP tuner (§5.3): record a trace on the wireless testbed, then
+//! grid-search the four Algorithm 1 parameters and print a Table-2-style
+//! ranking.
+//!
+//! ```text
+//! cargo run --release --example tuner_sweep
+//! ```
+
+use mntp_repro::clocksim::time::SimTime;
+use mntp_repro::clocksim::{OscillatorConfig, SimClock, SimRng};
+use mntp_repro::mntp::MntpConfig;
+use mntp_repro::netsim::testbed::TestbedConfig;
+use mntp_repro::netsim::Testbed;
+use mntp_repro::sntp::{PoolConfig, ServerPool};
+use mntp_repro::tuner::{grid_search, record_trace, ParamGrid};
+
+fn main() {
+    // 1. Logger: two simulated hours of multi-source offsets + hints.
+    println!("recording a 2-hour trace (3 sources every 5 s)…");
+    let mut tb = Testbed::wireless(TestbedConfig::default(), 11);
+    let mut pool = ServerPool::new(PoolConfig::default(), 12);
+    let osc = OscillatorConfig::laptop().with_skew_ppm(25.0).build(SimRng::new(13));
+    let mut clock = SimClock::new(osc, SimTime::ZERO);
+    let trace = record_trace(&mut tb, &mut pool, &mut clock, 2 * 3600, 5.0, 3);
+    println!("  {} rows, {:.0} s\n", trace.rows.len(), trace.duration_secs());
+
+    // 2. Searcher: sweep a small grid.
+    let grid = ParamGrid {
+        warmup_period_min: vec![10.0, 20.0, 40.0],
+        warmup_wait_min: vec![0.25, 1.0],
+        regular_wait_min: vec![5.0, 15.0],
+        reset_period_min: vec![120.0],
+    };
+    let results = grid_search(&MntpConfig::default(), &grid, &trace);
+
+    println!("{:>3}  {:>7} {:>7} {:>7} {:>6}  {:>9}  {:>8}", "#", "warmup", "w.wait", "r.wait", "reset", "RMSE(ms)", "requests");
+    for (i, r) in results.iter().enumerate() {
+        println!(
+            "{:>3}  {:>7.1} {:>7.2} {:>7.1} {:>6.0}  {:>9.2}  {:>8}",
+            i + 1,
+            r.params.0,
+            r.params.1,
+            r.params.2,
+            r.params.3,
+            r.rmse_ms,
+            r.requests
+        );
+    }
+    let best = &results[0];
+    println!(
+        "\nbest: warmup {} min / wait {} min / regular {} min → RMSE {:.2} ms with {} requests",
+        best.params.0, best.params.1, best.params.2, best.rmse_ms, best.requests
+    );
+}

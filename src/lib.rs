@@ -1,0 +1,15 @@
+//! Umbrella crate for the MNTP reproduction workspace.
+//!
+//! Re-exports every member crate so the root-level `examples/` and `tests/`
+//! can reach the whole system through one dependency. Library users should
+//! depend on the individual crates directly.
+
+pub use clocksim;
+pub use experiments;
+pub use loganalysis;
+pub use mntp;
+pub use netsim;
+pub use ntp_wire;
+pub use ntpd_sim;
+pub use sntp;
+pub use tuner;

@@ -1,0 +1,67 @@
+//! The paper's headline quantitative claims, checked end to end at
+//! reduced horizons (the full-horizon versions live in the `experiments`
+//! crate and the `repro` binary).
+
+use mntp_repro::experiments::{fig1, fig2, fig4, fig5, fig6};
+use mntp_repro::loganalysis::ProviderCategory;
+
+/// §5.1 / Figure 6: "MNTP's maximum offset is 23 ms … over 12 times
+/// better than standard SNTP." Shape check: a solid multiple across
+/// seeds, with MNTP's max in the tens of ms while SNTP's is in the
+/// hundreds.
+#[test]
+fn headline_improvement_factor() {
+    let mut factors = Vec::new();
+    for seed in [101, 202, 303] {
+        let r = fig6::run(seed, 1800);
+        factors.push(r.improvement_factor());
+        assert!(r.mntp_abs.max < 80.0, "seed {seed}: MNTP max {}", r.mntp_abs.max);
+    }
+    let mean = factors.iter().sum::<f64>() / factors.len() as f64;
+    assert!(mean > 4.0, "mean improvement {mean} ({factors:?})");
+}
+
+/// §3.2 / Figure 4: wireless SNTP is dramatically worse than wired.
+#[test]
+fn wireless_vs_wired_sntp() {
+    let r = fig4::run(404, 1800);
+    let wired = &r.arms[0].abs_summary;
+    let wireless = &r.arms[2].abs_summary;
+    assert!(wireless.mean > 3.0 * wired.mean);
+    assert!(wireless.max > 150.0);
+    assert!(wired.mean < 12.0);
+}
+
+/// §3.3 / Figure 5: 4G SNTP offsets live in the hundreds of ms.
+#[test]
+fn cellular_regime() {
+    let r = fig5::run(505, 1800);
+    assert!((80.0..350.0).contains(&r.abs_summary.mean), "mean {}", r.abs_summary.mean);
+}
+
+/// §3.1 / Figure 1: the four provider categories order as
+/// cloud < isp ≤ broadband < mobile, with mobile around half a second.
+#[test]
+fn provider_latency_ordering() {
+    let r = fig1::run(606, 5_000);
+    let cloud = fig1::category_median(&r, ProviderCategory::CloudHosting);
+    let broadband = fig1::category_median(&r, ProviderCategory::Broadband);
+    let mobile = fig1::category_median(&r, ProviderCategory::Mobile);
+    assert!(cloud < broadband && broadband < mobile);
+    assert!(mobile > 300.0);
+}
+
+/// §3.1 / Figure 2: the majority of public-server clients speak SNTP,
+/// and mobile providers are ≥90% SNTP.
+#[test]
+fn sntp_dominates_public_servers() {
+    let r = fig2::run(707, 5_000);
+    let public_majorities = r
+        .per_server
+        .iter()
+        .filter(|row| row.clients >= 30)
+        .filter(|row| row.sntp_fraction > 0.5)
+        .count();
+    let public_total = r.per_server.iter().filter(|row| row.clients >= 30).count();
+    assert!(public_majorities * 10 >= public_total * 7, "{public_majorities}/{public_total}");
+}
