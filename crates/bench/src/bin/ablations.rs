@@ -4,67 +4,55 @@
 //! Covers the DESIGN.md §6 list: gate-only / filter-only, threshold
 //! sensitivity, drift re-estimation, warmup source count, and the
 //! trend-fit degree.
+//!
+//! `cargo run --release -p mntp-bench --bin ablations [FILTER] [--quick]`
+//! writes `results/bench/BENCH_ablations.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use devtools::bench::Suite;
 use std::hint::black_box;
 
 use clocksim::fit::{fit_line, fit_poly};
 use experiments::ablations::{run_arm, Mechanisms};
 
-fn group(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g
-}
-
-fn bench_mechanism_combinations(c: &mut Criterion) {
-    let mut g = group(c);
+fn bench_mechanism_combinations(s: &mut Suite) {
     for (name, m) in [
         ("full", Mechanisms::full()),
         ("gate_only", Mechanisms { filter: false, ..Mechanisms::full() }),
         ("filter_only", Mechanisms { gate: false, ..Mechanisms::full() }),
         ("neither", Mechanisms { gate: false, filter: false, ..Mechanisms::full() }),
     ] {
-        g.bench_function(format!("mechanisms_{name}_10min"), |b| {
+        s.bench(&format!("mechanisms_{name}_10min"), |b| {
             b.iter(|| run_arm(name, black_box(m), 1, 600))
         });
     }
-    g.finish();
 }
 
-fn bench_threshold_sensitivity(c: &mut Criterion) {
-    let mut g = group(c);
+fn bench_threshold_sensitivity(s: &mut Suite) {
     for snr in [10.0, 15.0, 20.0, 25.0] {
         let m = Mechanisms { snr_margin_db: snr, ..Mechanisms::full() };
-        g.bench_function(format!("snr_margin_{snr}dB_10min"), |b| {
+        s.bench(&format!("snr_margin_{snr}dB_10min"), |b| {
             b.iter(|| run_arm("thr", black_box(m), 2, 600))
         });
     }
-    g.finish();
 }
 
-fn bench_reestimation(c: &mut Criterion) {
-    let mut g = group(c);
+fn bench_reestimation(s: &mut Suite) {
     for (name, re) in [("reestimate_on", true), ("reestimate_off", false)] {
         let m = Mechanisms { reestimate: re, ..Mechanisms::full() };
-        g.bench_function(format!("{name}_10min"), |b| {
-            b.iter(|| run_arm(name, black_box(m), 3, 600))
-        });
+        s.bench(&format!("{name}_10min"), |b| b.iter(|| run_arm(name, black_box(m), 3, 600)));
     }
-    g.finish();
 }
 
 /// Warmup source count: cost of 1/3/5-source warmup rounds in the full
 /// Algorithm 1.
-fn bench_warmup_sources(c: &mut Criterion) {
+fn bench_warmup_sources(s: &mut Suite) {
     use experiments::harness::{default_pool, ClockMode};
     use mntp::{run_full, MntpConfig};
     use netsim::testbed::TestbedConfig;
     use netsim::Testbed;
 
-    let mut g = group(c);
     for sources in [1usize, 3, 5] {
-        g.bench_function(format!("warmup_sources_{sources}_10min"), |b| {
+        s.bench(&format!("warmup_sources_{sources}_10min"), |b| {
             b.iter(|| {
                 let cfg = MntpConfig {
                     warmup_period_secs: 300.0,
@@ -80,27 +68,30 @@ fn bench_warmup_sources(c: &mut Criterion) {
             })
         });
     }
-    g.finish();
 }
 
 /// Trend-fit degree (the paper chose degree 1; degree 0 ignores drift,
 /// degree 2 chases curvature).
-fn bench_fit_degree(c: &mut Criterion) {
-    let points: Vec<(f64, f64)> =
-        (0..256).map(|i| (i as f64 * 15.0, -0.03 * (i as f64 * 15.0) + ((i * 11 % 7) as f64 - 3.0))).collect();
-    let mut g = group(c);
-    g.bench_function("fit_degree_0", |b| b.iter(|| fit_poly(black_box(&points), 0)));
-    g.bench_function("fit_degree_1", |b| b.iter(|| fit_line(black_box(&points))));
-    g.bench_function("fit_degree_2", |b| b.iter(|| fit_poly(black_box(&points), 2)));
-    g.finish();
+fn bench_fit_degree(s: &mut Suite) {
+    let points: Vec<(f64, f64)> = (0..256)
+        .map(|i| (i as f64 * 15.0, -0.03 * (i as f64 * 15.0) + ((i * 11 % 7) as f64 - 3.0)))
+        .collect();
+    s.bench("fit_degree_0", |b| b.iter(|| fit_poly(black_box(&points), 0)));
+    s.bench("fit_degree_1", |b| b.iter(|| fit_line(black_box(&points))));
+    s.bench("fit_degree_2", |b| b.iter(|| fit_poly(black_box(&points), 2)));
 }
 
-criterion_group!(
-    ablations,
-    bench_mechanism_combinations,
-    bench_threshold_sensitivity,
-    bench_reestimation,
-    bench_warmup_sources,
-    bench_fit_degree
-);
-criterion_main!(ablations);
+fn main() {
+    let mut s = Suite::from_args("ablations");
+    // Whole-simulation arms: small sample counts, like the old criterion
+    // `sample_size(10)` groups.
+    s.set_samples(10);
+    bench_mechanism_combinations(&mut s);
+    bench_threshold_sensitivity(&mut s);
+    bench_reestimation(&mut s);
+    bench_warmup_sources(&mut s);
+    // The fit benches are cheap micro-ops; give them full samples.
+    s.reset_samples();
+    bench_fit_degree(&mut s);
+    s.finish().expect("write bench report");
+}

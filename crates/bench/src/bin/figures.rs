@@ -1,0 +1,65 @@
+//! One benchmark per paper table/figure pipeline.
+//!
+//! These measure how long each reproduction pipeline takes at a reduced
+//! horizon (the statistics themselves come from the `repro` binary at
+//! full horizons). Sample counts are kept small: each iteration runs a
+//! complete simulation.
+//!
+//! `cargo run --release -p mntp-bench --bin figures [FILTER] [--quick]`
+//! writes `results/bench/BENCH_figures.json`.
+
+use devtools::bench::Suite;
+use std::hint::black_box;
+
+use experiments::{fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9and10, table1};
+use mntp::MntpConfig;
+use tuner::{emulate, grid_search, ParamGrid};
+
+fn bench_pipelines(s: &mut Suite) {
+    s.bench("table1_scale50k", |b| b.iter(|| table1::run(black_box(1), 50_000)));
+    s.bench("fig1_scale20k", |b| b.iter(|| fig1::run(black_box(1), 20_000)));
+    s.bench("fig2_scale20k", |b| b.iter(|| fig2::run(black_box(1), 20_000)));
+    s.bench("fig4_10min", |b| b.iter(|| fig4::run(black_box(1), 600)));
+    s.bench("fig5_10min", |b| b.iter(|| fig5::run(black_box(1), 600)));
+    s.bench("fig6_10min", |b| b.iter(|| fig6::run(black_box(1), 600)));
+    s.bench("fig7_10min", |b| b.iter(|| fig7::run(black_box(1), 600)));
+    s.bench("fig8_10min", |b| b.iter(|| fig8::run(black_box(1), 600)));
+    s.bench("fig9_10min", |b| b.iter(|| fig9and10::run(black_box(1), 600, true)));
+    s.bench("fig10_10min", |b| b.iter(|| fig9and10::run(black_box(1), 600, false)));
+    // Figure 12 is the 4-hour run; bench a 20-minute slice of the same
+    // pipeline.
+    s.bench("fig12_20min_slice", |b| b.iter(|| fig8::run(black_box(1), 1200)));
+}
+
+/// Table 2 / Figure 11: trace recording is the expensive half; the
+/// emulator and grid search are the interesting half. Bench them
+/// separately over a synthetic trace.
+fn bench_table2(s: &mut Suite) {
+    use experiments::harness::{default_pool, ClockMode};
+    use netsim::testbed::TestbedConfig;
+    use netsim::Testbed;
+
+    let mut tb = Testbed::wireless(TestbedConfig::default(), 9);
+    let mut pool = default_pool(10);
+    let mut clock = ClockMode::free_running_default().build(11);
+    let trace = tuner::record_trace(&mut tb, &mut pool, &mut clock, 1800, 5.0, 3);
+
+    s.bench("table2_emulate_one_config", |b| {
+        let cfg = MntpConfig::from_tuner_minutes(10.0, 0.25, 5.0, 240.0);
+        b.iter(|| emulate(black_box(&cfg), black_box(&trace)))
+    });
+    s.bench("table2_grid_search_24", |b| {
+        let grid = ParamGrid::paper_table2();
+        b.iter(|| grid_search(&MntpConfig::default(), black_box(&grid), black_box(&trace)))
+    });
+}
+
+fn main() {
+    let mut s = Suite::from_args("figures");
+    // Each iteration is a whole simulation run: keep sample counts small,
+    // matching the old criterion `sample_size(10)` groups.
+    s.set_samples(10);
+    bench_pipelines(&mut s);
+    bench_table2(&mut s);
+    s.finish().expect("write bench report");
+}

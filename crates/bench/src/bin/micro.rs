@@ -1,6 +1,9 @@
 //! Hot-path microbenchmarks.
+//!
+//! `cargo run --release -p mntp-bench --bin micro [FILTER] [--quick]`
+//! writes `results/bench/BENCH_micro.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use devtools::bench::Suite;
 use std::hint::black_box;
 
 use clocksim::fit::{fit_line, fit_poly};
@@ -12,53 +15,49 @@ use netsim::wifi::{WifiChannel, WifiConfig};
 use ntp_wire::{sntp_profile, Exchange, NtpPacket, NtpTimestamp};
 use ntpd_sim::select::{select_survivors, PeerCandidate};
 
-fn bench_packet_codec(c: &mut Criterion) {
+fn bench_packet_codec(s: &mut Suite) {
     let packet = sntp_profile::client_request(NtpTimestamp::from_parts(1000, 42));
     let bytes = packet.serialize();
-    c.bench_function("packet_serialize", |b| {
-        b.iter(|| black_box(&packet).serialize())
-    });
-    c.bench_function("packet_parse", |b| {
-        b.iter(|| NtpPacket::parse(black_box(&bytes)).unwrap())
-    });
+    s.bench("packet_serialize", |b| b.iter(|| black_box(&packet).serialize()));
+    s.bench("packet_parse", |b| b.iter(|| NtpPacket::parse(black_box(&bytes)).unwrap()));
 }
 
-fn bench_clock_algebra(c: &mut Criterion) {
+fn bench_clock_algebra(s: &mut Suite) {
     let e = Exchange {
         t1: NtpTimestamp::from_parts(100, 0),
         t2: NtpTimestamp::from_parts(100, 1 << 30),
         t3: NtpTimestamp::from_parts(100, 1 << 31),
         t4: NtpTimestamp::from_parts(101, 0),
     };
-    c.bench_function("exchange_offset_delay", |b| {
+    s.bench("exchange_offset_delay", |b| {
         b.iter(|| (black_box(&e).offset(), black_box(&e).delay()))
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_next_u64", |b| {
+fn bench_rng(s: &mut Suite) {
+    s.bench("rng_next_u64", |b| {
         let mut rng = SimRng::new(1);
         b.iter(|| rng.next_u64())
     });
-    c.bench_function("rng_gauss", |b| {
+    s.bench("rng_gauss", |b| {
         let mut rng = SimRng::new(2);
         b.iter(|| rng.gauss())
     });
-    c.bench_function("rng_pareto", |b| {
+    s.bench("rng_pareto", |b| {
         let mut rng = SimRng::new(3);
         b.iter(|| rng.pareto(40.0, 1.5))
     });
 }
 
-fn bench_fits(c: &mut Criterion) {
+fn bench_fits(s: &mut Suite) {
     let points: Vec<(f64, f64)> =
         (0..512).map(|i| (i as f64, 0.03 * i as f64 + ((i * 7 % 13) as f64 - 6.0))).collect();
-    c.bench_function("fit_line_512", |b| b.iter(|| fit_line(black_box(&points)).unwrap()));
-    c.bench_function("fit_poly2_512", |b| b.iter(|| fit_poly(black_box(&points), 2).unwrap()));
+    s.bench("fit_line_512", |b| b.iter(|| fit_line(black_box(&points)).unwrap()));
+    s.bench("fit_poly2_512", |b| b.iter(|| fit_poly(black_box(&points), 2).unwrap()));
 }
 
-fn bench_trend_filter(c: &mut Criterion) {
-    c.bench_function("trend_filter_offer_stream", |b| {
+fn bench_trend_filter(s: &mut Suite) {
+    s.bench("trend_filter_offer_stream", |b| {
         b.iter(|| {
             let mut f = TrendFilter::new(1.0, true);
             for i in 0..256 {
@@ -71,7 +70,7 @@ fn bench_trend_filter(c: &mut Criterion) {
     });
 }
 
-fn bench_select(c: &mut Criterion) {
+fn bench_select(s: &mut Suite) {
     let cands: Vec<PeerCandidate> = (0..16)
         .map(|i| PeerCandidate {
             peer_id: i,
@@ -80,13 +79,11 @@ fn bench_select(c: &mut Criterion) {
             jitter: 0.001,
         })
         .collect();
-    c.bench_function("marzullo_select_16", |b| {
-        b.iter(|| select_survivors(black_box(&cands)))
-    });
+    s.bench("marzullo_select_16", |b| b.iter(|| select_survivors(black_box(&cands))));
 }
 
-fn bench_des_kernel(c: &mut Criterion) {
-    c.bench_function("des_kernel_10k_events", |b| {
+fn bench_des_kernel(s: &mut Suite) {
+    s.bench("des_kernel_10k_events", |b| {
         b.iter(|| {
             let mut sim: Sim<u64> = Sim::new();
             let mut world = 0u64;
@@ -105,8 +102,8 @@ fn bench_des_kernel(c: &mut Criterion) {
     });
 }
 
-fn bench_wifi_channel(c: &mut Criterion) {
-    c.bench_function("wifi_transmit_down", |b| {
+fn bench_wifi_channel(s: &mut Suite) {
+    s.bench("wifi_transmit_down", |b| {
         let mut ch = WifiChannel::new(WifiConfig::default(), SimRng::new(4));
         ch.set_utilization_now(0.6);
         let mut t = 0i64;
@@ -115,7 +112,7 @@ fn bench_wifi_channel(c: &mut Criterion) {
             ch.transmit_down(SimTime::from_millis(t))
         })
     });
-    c.bench_function("wifi_hints", |b| {
+    s.bench("wifi_hints", |b| {
         let mut ch = WifiChannel::new(WifiConfig::default(), SimRng::new(5));
         let mut t = 0i64;
         b.iter(|| {
@@ -125,9 +122,9 @@ fn bench_wifi_channel(c: &mut Criterion) {
     });
 }
 
-fn bench_exchange(c: &mut Criterion) {
+fn bench_exchange(s: &mut Suite) {
     use sntp::{perform_exchange, PoolConfig, ServerPool};
-    c.bench_function("full_exchange_wired", |b| {
+    s.bench("full_exchange_wired", |b| {
         let mut tb = netsim::Testbed::wired(6);
         let mut pool = ServerPool::new(PoolConfig::default(), 7);
         let osc = clocksim::OscillatorConfig::laptop().build(SimRng::new(8));
@@ -141,16 +138,16 @@ fn bench_exchange(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    micro,
-    bench_packet_codec,
-    bench_clock_algebra,
-    bench_rng,
-    bench_fits,
-    bench_trend_filter,
-    bench_select,
-    bench_des_kernel,
-    bench_wifi_channel,
-    bench_exchange
-);
-criterion_main!(micro);
+fn main() {
+    let mut s = Suite::from_args("micro");
+    bench_packet_codec(&mut s);
+    bench_clock_algebra(&mut s);
+    bench_rng(&mut s);
+    bench_fits(&mut s);
+    bench_trend_filter(&mut s);
+    bench_select(&mut s);
+    bench_des_kernel(&mut s);
+    bench_wifi_channel(&mut s);
+    bench_exchange(&mut s);
+    s.finish().expect("write bench report");
+}

@@ -1,4 +1,6 @@
-//! Bench-only crate: see `benches/` for the Criterion harnesses.
+//! Bench-only crate: see `src/bin/` for the benchmark suite binaries,
+//! built on the in-tree `devtools::bench` harness (JSON reports land in
+//! `results/bench/`).
 //!
 //! * `figures` — one benchmark per paper table/figure pipeline (at
 //!   reduced horizons; the `repro` binary produces the full-horizon

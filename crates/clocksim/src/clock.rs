@@ -438,13 +438,13 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::oscillator::OscillatorConfig;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
 
-    proptest! {
+    props! {
         /// A constant-skew clock's error is linear in elapsed time, for
         /// any skew and horizon.
-        #[test]
-        fn skew_error_is_linear(ppm in -200.0f64..200.0, secs in 1i64..50_000) {
+        fn skew_error_is_linear(ppm in prop::floats(-200.0..200.0), secs in prop::ints(1..50_000)) {
             let osc = OscillatorConfig::perfect().with_skew_ppm(ppm).build(SimRng::new(1));
             let mut c = SimClock::new(osc, SimTime::ZERO);
             let err = c.true_error(SimTime::from_secs(secs)).as_millis_f64();
@@ -454,8 +454,7 @@ mod proptests {
         }
 
         /// step(x) then step(−x) is a no-op on the clock's error.
-        #[test]
-        fn step_roundtrip(ms in -10_000i64..10_000, at in 1i64..1000) {
+        fn step_roundtrip(ms in prop::ints(-10_000..10_000), at in prop::ints(1..1000)) {
             let osc = OscillatorConfig::perfect().build(SimRng::new(2));
             let mut c = SimClock::new(osc, SimTime::ZERO);
             let t = SimTime::from_secs(at);
@@ -467,8 +466,7 @@ mod proptests {
 
         /// A slew, once fully played out, moves the clock by exactly the
         /// requested amount.
-        #[test]
-        fn slew_total_is_exact(ms in -200i64..200) {
+        fn slew_total_is_exact(ms in prop::ints(-200..200)) {
             let osc = OscillatorConfig::perfect().build(SimRng::new(3));
             let mut c = SimClock::new(osc, SimTime::ZERO);
             c.slew(SimTime::ZERO, NtpDuration::from_millis(ms));

@@ -212,12 +212,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
 
-    proptest! {
+    props! {
         /// fit_line exactly recovers any non-degenerate line.
-        #[test]
-        fn recovers_any_line(slope in -100.0f64..100.0, intercept in -1000.0f64..1000.0) {
+        fn recovers_any_line(slope in prop::floats(-100.0..100.0), intercept in prop::floats(-1000.0..1000.0)) {
             let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, intercept + slope * i as f64)).collect();
             let f = fit_line(&pts).unwrap();
             prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
@@ -227,11 +227,10 @@ mod proptests {
         /// The fitted line's RMSE is never larger than the RMSE of any other
         /// candidate line (least-squares optimality, spot-checked against
         /// perturbations).
-        #[test]
         fn least_squares_optimality(
-            ys in proptest::collection::vec(-100.0f64..100.0, 5..20),
-            ds in -1.0f64..1.0,
-            di in -5.0f64..5.0,
+            ys in prop::vecs(prop::floats(-100.0..100.0), 5..20),
+            ds in prop::floats(-1.0..1.0),
+            di in prop::floats(-5.0..5.0),
         ) {
             let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
             let f = fit_line(&pts).unwrap();

@@ -508,13 +508,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, prop_assert_eq, props};
 
-    proptest! {
+    props! {
         /// Samples on a noiseless line are always accepted, whatever the
         /// slope.
-        #[test]
-        fn clean_line_never_rejected(slope in -0.1f64..0.1, n in 5usize..40) {
+        fn clean_line_never_rejected(slope in prop::floats(-0.1..0.1), n in prop::sizes(5..40)) {
             let mut f = TrendFilter::new(1.0, true);
             for i in 0..n {
                 let t = i as f64 * 15.0;
@@ -526,13 +526,30 @@ mod proptests {
         /// False-ticker verdicts never reject the majority when all
         /// offsets are equal, and never reject more than half of three
         /// agreeing-plus-one-outlier rounds.
-        #[test]
-        fn false_ticker_rejection_bounded(base in -50.0f64..50.0, outlier in 200.0f64..500.0) {
+        fn false_ticker_rejection_bounded(base in prop::floats(-50.0..50.0), outlier in prop::floats(200.0..500.0)) {
             let offsets = [base, base + 1.0, base - 1.0, base + outlier];
             let v = reject_false_tickers(&offsets, 1.0);
             let rejected = v.iter().filter(|x| **x == FalseTickerVerdict::FalseTicker).count();
             prop_assert!(rejected <= 2);
             prop_assert_eq!(v[3], FalseTickerVerdict::FalseTicker);
         }
+    }
+
+    /// The case `proptest` shrank to and pinned in
+    /// `proptest-regressions/filter.txt` before the workspace went
+    /// hermetic (`cc aad29e72…`): a clean line with slope
+    /// −0.01828777755328621 over 15 samples must be fully accepted. Kept
+    /// as an explicit unit test so the historical failure stays covered
+    /// without the proptest seed-file machinery.
+    #[test]
+    fn regression_clean_line_slope_neg_0_0183_n15() {
+        let slope = -0.018_287_777_553_286_21;
+        let n = 15usize;
+        let mut f = TrendFilter::new(1.0, true);
+        for i in 0..n {
+            let t = i as f64 * 15.0;
+            assert!(f.offer(t, slope * t), "sample {i} rejected");
+        }
+        assert_eq!(f.counts().1, 0);
     }
 }

@@ -1,0 +1,21 @@
+//! In-tree development harnesses for the MNTP workspace.
+//!
+//! Two subsystems, both dependency-free beyond `clocksim` (for the
+//! deterministic RNG):
+//!
+//! - [`prop`] — a shrinking property-test harness (the workspace's
+//!   replacement for `proptest`): generators over [`clocksim::SimRng`],
+//!   greedy counterexample shrinking, and the [`props!`],
+//!   [`prop_assert!`], [`prop_assert_eq!`] macros.
+//! - [`bench`] — a benchmark runner (the workspace's replacement for
+//!   `criterion`): warmup, iteration calibration, mean/p50/p99 stats,
+//!   and machine-readable JSON reports under `results/bench/`.
+//!
+//! Keeping these in-tree is what makes the workspace hermetic: a cold
+//! cache plus `cargo build --release --offline` is enough to build,
+//! test, and benchmark everything.
+
+pub mod bench;
+pub mod prop;
+
+pub use prop::{Config, Counterexample, Gen, PropFail, PropResult};

@@ -1,0 +1,603 @@
+//! A minimal shrinking property-test harness.
+//!
+//! In-tree replacement for the subset of `proptest` this workspace used,
+//! built on the deterministic [`SimRng`] generator so that property-test
+//! case generation is bit-for-bit reproducible across platforms — the
+//! same guarantee the simulators themselves make.
+//!
+//! A property is an ordinary function from generated values to
+//! [`PropResult`]; the [`crate::props!`] macro wraps one or more of them
+//! into `#[test]` functions:
+//!
+//! ```
+//! devtools::props! {
+//!     /// Reversing twice is the identity.
+//!     fn reverse_involutive(xs in devtools::prop::vecs(devtools::prop::ints(-50..50), 0..20)) {
+//!         let mut ys = xs.clone();
+//!         ys.reverse();
+//!         ys.reverse();
+//!         devtools::prop_assert_eq!(xs, ys);
+//!     }
+//! }
+//! ```
+//!
+//! On failure the runner greedily shrinks the counterexample (structural
+//! shrinks first — shorter vectors, values closer to zero — then
+//! element-wise ones) and panics with the minimal failing case, the seed,
+//! and the case index. Failures caused by panics inside the property are
+//! caught and shrunk the same way as `prop_assert!` failures; expect the
+//! default panic hook to print intermediate panics while shrinking runs.
+//!
+//! Environment knobs:
+//! - `DEVTOOLS_SEED=<u64>` — override the per-test seed (printed in every
+//!   failure report) to replay a failure.
+//! - `DEVTOOLS_CASES=<u32>` — override the number of cases per property.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use clocksim::rng::SimRng;
+
+/// A failed property check: carries the assertion message.
+#[derive(Debug, Clone)]
+pub struct PropFail {
+    /// Human-readable description of what failed.
+    pub message: String,
+}
+
+impl PropFail {
+    /// Build a failure from any message.
+    pub fn new(message: impl Into<String>) -> Self {
+        PropFail { message: message.into() }
+    }
+}
+
+/// What a property body returns: `Ok(())` to accept the case.
+pub type PropResult = Result<(), PropFail>;
+
+/// A value generator with optional shrinking.
+///
+/// `generate` draws one value from the deterministic RNG; `shrink`
+/// proposes strictly-"smaller" candidates for a failing value (closer to
+/// zero, shorter, fewer `Some`s). The default `shrink` proposes nothing,
+/// which is always sound.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+    /// Propose smaller candidate values for a failing case.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer generators
+// ---------------------------------------------------------------------------
+
+fn shrink_integer(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    let target = 0i128.clamp(lo, hi);
+    if v == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mid = target + (v - target) / 2;
+    if mid != target && mid != v {
+        out.push(mid);
+    }
+    let step = if v > target { v - 1 } else { v + 1 };
+    if step != target && step != mid && step != v {
+        out.push(step);
+    }
+    out
+}
+
+/// Uniform `i64` in an inclusive range; shrinks toward the in-range value
+/// closest to zero.
+#[derive(Clone, Debug)]
+pub struct I64Gen {
+    lo: i64,
+    hi: i64,
+}
+
+impl Gen for I64Gen {
+    type Value = i64;
+    fn generate(&self, rng: &mut SimRng) -> i64 {
+        rng.int_range(self.lo, self.hi)
+    }
+    fn shrink(&self, v: &i64) -> Vec<i64> {
+        shrink_integer(*v as i128, self.lo as i128, self.hi as i128)
+            .into_iter()
+            .map(|x| x as i64)
+            .collect()
+    }
+}
+
+/// `i64` from a half-open range, `ints(0..100)`.
+pub fn ints(r: Range<i64>) -> I64Gen {
+    assert!(r.start < r.end, "empty range");
+    I64Gen { lo: r.start, hi: r.end - 1 }
+}
+
+/// `i64` from an inclusive range.
+pub fn ints_incl(lo: i64, hi: i64) -> I64Gen {
+    assert!(lo <= hi, "empty range");
+    I64Gen { lo, hi }
+}
+
+/// Uniform `usize` in a half-open range; shrinks toward the low bound.
+#[derive(Clone, Debug)]
+pub struct UsizeGen {
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for UsizeGen {
+    type Value = usize;
+    fn generate(&self, rng: &mut SimRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        shrink_integer(*v as i128, self.lo as i128, self.hi as i128)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+}
+
+/// `usize` from a half-open range, `sizes(1..60)`.
+pub fn sizes(r: Range<usize>) -> UsizeGen {
+    assert!(r.start < r.end, "empty range");
+    UsizeGen { lo: r.start, hi: r.end - 1 }
+}
+
+macro_rules! full_range_gen {
+    ($(#[$meta:meta])* $name:ident, $ctor:ident, $ty:ty) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        pub struct $name;
+
+        impl Gen for $name {
+            type Value = $ty;
+            fn generate(&self, rng: &mut SimRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+            fn shrink(&self, v: &$ty) -> Vec<$ty> {
+                shrink_integer(*v as i128, <$ty>::MIN as i128, <$ty>::MAX as i128)
+                    .into_iter()
+                    .map(|x| x as $ty)
+                    .collect()
+            }
+        }
+
+        /// Any value of the type, uniformly; shrinks toward zero.
+        pub fn $ctor() -> $name {
+            $name
+        }
+    };
+}
+
+full_range_gen!(
+    /// Uniform over all of `u8`.
+    U8Gen, any_u8, u8);
+full_range_gen!(
+    /// Uniform over all of `i8`.
+    I8Gen, any_i8, i8);
+full_range_gen!(
+    /// Uniform over all of `u32`.
+    U32Gen, any_u32, u32);
+full_range_gen!(
+    /// Uniform over all of `u64`.
+    U64Gen, any_u64, u64);
+
+// ---------------------------------------------------------------------------
+// Float generator
+// ---------------------------------------------------------------------------
+
+/// Uniform `f64` in a half-open range; shrinks toward the in-range value
+/// closest to zero.
+#[derive(Clone, Debug)]
+pub struct F64Gen {
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for F64Gen {
+    type Value = f64;
+    fn generate(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform_range(self.lo, self.hi)
+    }
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let target = if self.lo <= 0.0 && 0.0 < self.hi { 0.0 } else { self.lo };
+        let dist = (v - target).abs();
+        if dist <= 1e-9 * (1.0 + target.abs()) {
+            return Vec::new();
+        }
+        let mut out = vec![target];
+        let mid = target + (v - target) / 2.0;
+        if mid != *v && mid != target {
+            out.push(mid);
+        }
+        out
+    }
+}
+
+/// `f64` from a half-open range, `floats(-200.0..200.0)`.
+pub fn floats(r: Range<f64>) -> F64Gen {
+    assert!(r.start < r.end, "empty range");
+    assert!(r.start.is_finite() && r.end.is_finite(), "non-finite bounds");
+    F64Gen { lo: r.start, hi: r.end }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+/// Vector of values from an element generator, length uniform in a range.
+///
+/// Shrinks structurally first (halves, then single-element removals) and
+/// element-wise second, never below the minimum length.
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+    fn generate(&self, rng: &mut SimRng) -> Vec<G::Value> {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let n = v.len();
+        if n > self.min {
+            let half = (n / 2).max(self.min);
+            if half < n {
+                out.push(v[..half].to_vec());
+                out.push(v[n - half..].to_vec());
+            }
+            for i in 0..n.min(16) {
+                let mut w = v.clone();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        for i in 0..n.min(16) {
+            for cand in self.elem.shrink(&v[i]).into_iter().take(3) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Vector with length from a half-open range, `vecs(gen, 0..20)`.
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "empty length range");
+    VecGen { elem, min: len.start, max: len.end - 1 }
+}
+
+/// Vector with an exact length.
+pub fn vecs_exact<G: Gen>(elem: G, len: usize) -> VecGen<G> {
+    VecGen { elem, min: len, max: len }
+}
+
+/// `Option` of an inner generator (some ~70% of the time); shrinks
+/// `Some(x)` to `None` first, then shrinks `x`.
+#[derive(Clone, Debug)]
+pub struct OptionGen<G> {
+    inner: G,
+}
+
+impl<G: Gen> Gen for OptionGen<G> {
+    type Value = Option<G::Value>;
+    fn generate(&self, rng: &mut SimRng) -> Option<G::Value> {
+        if rng.chance(0.7) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+    fn shrink(&self, v: &Option<G::Value>) -> Vec<Option<G::Value>> {
+        match v {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(self.inner.shrink(x).into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// `Option` of an inner generator.
+pub fn options<G: Gen>(inner: G) -> OptionGen<G> {
+    OptionGen { inner }
+}
+
+/// Arbitrary strings (mostly printable ASCII with occasional multi-byte
+/// characters, never `\n`), length in characters from a half-open range.
+///
+/// Shrinks by dropping characters and simplifying survivors to `'a'`.
+#[derive(Clone, Debug)]
+pub struct StringGen {
+    min: usize,
+    max: usize,
+}
+
+const EXOTIC_CHARS: &[char] = &['é', 'ß', '中', '🦀', '\u{200b}', '\t'];
+
+impl Gen for StringGen {
+    type Value = String;
+    fn generate(&self, rng: &mut SimRng) -> String {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.chance(0.9) {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                } else {
+                    EXOTIC_CHARS[rng.index(EXOTIC_CHARS.len())]
+                }
+            })
+            .collect()
+    }
+    fn shrink(&self, v: &String) -> Vec<String> {
+        let chars: Vec<char> = v.chars().collect();
+        let n = chars.len();
+        let mut out = Vec::new();
+        if n > self.min {
+            let half = (n / 2).max(self.min);
+            if half < n {
+                out.push(chars[..half].iter().collect());
+                out.push(chars[n - half..].iter().collect());
+            }
+            for i in 0..n.min(16) {
+                let mut w = chars.clone();
+                w.remove(i);
+                out.push(w.into_iter().collect());
+            }
+        }
+        for i in 0..n.min(16) {
+            if chars[i] != 'a' {
+                let mut w = chars.clone();
+                w[i] = 'a';
+                out.push(w.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+/// Strings with length (in chars) from a half-open range, `strings(0..81)`.
+pub fn strings(len: Range<usize>) -> StringGen {
+    assert!(len.start < len.end, "empty length range");
+    StringGen { min: len.start, max: len.end - 1 }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_gen {
+    ( $( $G:ident : $idx:tt ),+ ) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_gen!(A: 0);
+impl_tuple_gen!(A: 0, B: 1);
+impl_tuple_gen!(A: 0, B: 1, C: 2);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; the defaults match `run`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Cases to generate per property (`DEVTOOLS_CASES` overrides).
+    pub cases: u32,
+    /// Cap on property evaluations spent shrinking one counterexample.
+    pub max_shrink_steps: u32,
+    /// Fixed seed; `None` derives one from the property name
+    /// (`DEVTOOLS_SEED` overrides).
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 128, max_shrink_steps: 4096, seed: None }
+    }
+}
+
+/// A shrunk failing case, as found by [`find_counterexample`].
+#[derive(Clone, Debug)]
+pub struct Counterexample<V> {
+    /// The minimal failing value the shrinker converged on.
+    pub value: V,
+    /// The failure message the minimal value produces.
+    pub message: String,
+    /// The seed that reproduces the run.
+    pub seed: u64,
+    /// Zero-based index of the originally failing case.
+    pub case: u32,
+    /// Property evaluations spent shrinking.
+    pub shrink_steps: u32,
+}
+
+/// FNV-1a, used to derive a stable per-property default seed from its
+/// name so distinct properties explore distinct case streams.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn call<V: Clone>(prop: &impl Fn(V) -> PropResult, v: &V) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(v.clone()))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "property panicked".to_string()
+            };
+            Err(PropFail::new(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Run `cases` generated inputs through `prop` and return the shrunk
+/// counterexample of the first failure, or `None` if every case passes.
+pub fn find_counterexample<G: Gen>(
+    cfg: &Config,
+    name: &str,
+    gen: &G,
+    prop: impl Fn(G::Value) -> PropResult,
+) -> Option<Counterexample<G::Value>> {
+    let cases = env_u64("DEVTOOLS_CASES").map(|n| n as u32).unwrap_or(cfg.cases);
+    let seed = cfg.seed.or_else(|| env_u64("DEVTOOLS_SEED")).unwrap_or_else(|| fnv1a(name));
+    let mut rng = SimRng::new(seed);
+    for case in 0..cases {
+        let v = gen.generate(&mut rng);
+        let Err(first_fail) = call(&prop, &v) else { continue };
+
+        // Greedy shrink: take the first candidate that still fails,
+        // restart from it, stop when no candidate fails (or on budget).
+        let mut cur = v;
+        let mut message = first_fail.message;
+        let mut steps = 0u32;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            for cand in gen.shrink(&cur) {
+                steps += 1;
+                if let Err(f) = call(&prop, &cand) {
+                    cur = cand;
+                    message = f.message;
+                    continue 'shrinking;
+                }
+                if steps >= cfg.max_shrink_steps {
+                    break 'shrinking;
+                }
+            }
+            break;
+        }
+        return Some(Counterexample { value: cur, message, seed, case, shrink_steps: steps });
+    }
+    None
+}
+
+/// Run a property with explicit configuration, panicking (test failure)
+/// on the shrunk counterexample.
+pub fn run_with<G: Gen>(
+    cfg: &Config,
+    name: &str,
+    gen: &G,
+    prop: impl Fn(G::Value) -> PropResult,
+) {
+    if let Some(cex) = find_counterexample(cfg, name, gen, prop) {
+        panic!(
+            "property '{name}' falsified at case {case} (seed {seed}, {steps} shrink steps)\n\
+             minimal counterexample: {value:#?}\n{message}\n\
+             replay with: DEVTOOLS_SEED={seed} cargo test {name}",
+            case = cex.case,
+            seed = cex.seed,
+            steps = cex.shrink_steps,
+            value = cex.value,
+            message = cex.message,
+        );
+    }
+}
+
+/// Run a property with the default [`Config`].
+pub fn run<G: Gen>(name: &str, gen: &G, prop: impl Fn(G::Value) -> PropResult) {
+    run_with(&Config::default(), name, gen, prop)
+}
+
+/// Declare `#[test]` property functions. Each argument is drawn from the
+/// generator expression after `in`; the body uses [`crate::prop_assert!`]
+/// and friends (or plain panics/`unwrap`) to reject a case.
+#[macro_export]
+macro_rules! props {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __gen = ($($gen,)+);
+                $crate::prop::run(stringify!($name), &__gen, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Reject the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::PropFail::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Reject the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::prop::PropFail::new(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+}

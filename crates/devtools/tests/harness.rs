@@ -1,0 +1,137 @@
+//! Tests of the property-test harness itself: shrinking must converge on
+//! a minimal counterexample, and identical seeds must reproduce
+//! identical case streams.
+
+use clocksim::rng::SimRng;
+use devtools::prop::{self, Config, Gen};
+
+fn cfg(seed: u64) -> Config {
+    Config { cases: 256, max_shrink_steps: 4096, seed: Some(seed) }
+}
+
+#[test]
+fn shrinks_int_to_minimal_counterexample() {
+    // The property "v < 100" fails for any v >= 100; the unique minimal
+    // failing value in [0, 10000) is exactly 100.
+    let gen = prop::ints(0..10_000);
+    let cex = prop::find_counterexample(&cfg(7), "int_min", &gen, |v| {
+        devtools::prop_assert!(v < 100);
+        Ok(())
+    })
+    .expect("property must be falsified");
+    assert_eq!(cex.value, 100, "shrinker stopped early at {}", cex.value);
+}
+
+#[test]
+fn shrinks_negative_toward_zero() {
+    // Fails for v <= -50; minimal (closest to zero) failing value is -50.
+    let gen = prop::ints(-10_000..10_000);
+    let cex = prop::find_counterexample(&cfg(11), "neg_min", &gen, |v| {
+        devtools::prop_assert!(v > -50);
+        Ok(())
+    })
+    .expect("property must be falsified");
+    assert_eq!(cex.value, -50);
+}
+
+#[test]
+fn shrinks_vec_to_minimal_length() {
+    // Fails whenever the vector has >= 3 elements; minimal is length 3,
+    // and element-wise shrinking should drive every element to 0.
+    let gen = prop::vecs(prop::ints(0..1_000), 0..40);
+    let cex = prop::find_counterexample(&cfg(13), "vec_min", &gen, |v| {
+        devtools::prop_assert!(v.len() < 3);
+        Ok(())
+    })
+    .expect("property must be falsified");
+    assert_eq!(cex.value.len(), 3);
+    assert!(cex.value.iter().all(|&x| x == 0), "elements not minimized: {:?}", cex.value);
+}
+
+#[test]
+fn shrinks_through_tuples_independently() {
+    // Only the first component matters; the second should shrink to 0.
+    let gen = (prop::ints(0..1_000), prop::ints(0..1_000));
+    let cex = prop::find_counterexample(&cfg(17), "tuple_min", &gen, |(a, _b)| {
+        devtools::prop_assert!(a < 10);
+        Ok(())
+    })
+    .expect("property must be falsified");
+    assert_eq!(cex.value, (10, 0));
+}
+
+#[test]
+fn shrinks_panicking_properties_too() {
+    // Panics (not just prop_assert failures) must be caught and shrunk.
+    let gen = prop::ints(0..10_000);
+    let cex = prop::find_counterexample(&cfg(19), "panic_min", &gen, |v| {
+        assert!(v < 250, "boom");
+        Ok(())
+    })
+    .expect("property must be falsified");
+    assert_eq!(cex.value, 250);
+    assert!(cex.message.contains("boom"), "panic message lost: {}", cex.message);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_cases() {
+    let gen = (
+        prop::floats(-100.0..100.0),
+        prop::vecs(prop::options(prop::ints(-50..50)), 0..10),
+        prop::strings(0..20),
+    );
+    let draw = |seed: u64| -> Vec<String> {
+        let mut rng = SimRng::new(seed);
+        (0..100).map(|_| format!("{:?}", gen.generate(&mut rng))).collect()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43), "distinct seeds should explore distinct cases");
+}
+
+#[test]
+fn identical_seeds_find_identical_counterexamples() {
+    let gen = prop::vecs(prop::ints(-1_000..1_000), 0..30);
+    let find = || {
+        prop::find_counterexample(&cfg(23), "same_cex", &gen, |v| {
+            devtools::prop_assert!(v.iter().sum::<i64>() < 500);
+            Ok(())
+        })
+        .expect("property must be falsified")
+    };
+    let a = find();
+    let b = find();
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.shrink_steps, b.shrink_steps);
+}
+
+#[test]
+fn passing_property_finds_nothing() {
+    let gen = prop::ints(0..100);
+    assert!(prop::find_counterexample(&cfg(29), "tautology", &gen, |v| {
+        devtools::prop_assert!(v >= 0);
+        Ok(())
+    })
+    .is_none());
+}
+
+// The macro surface: a passing props! block compiles and runs.
+devtools::props! {
+    /// Generated ints respect their half-open range.
+    fn ints_respect_range(v in prop::ints(5..25)) {
+        devtools::prop_assert!((5..25).contains(&v));
+    }
+
+    /// Options shrink Some -> None before shrinking the payload.
+    fn option_gen_total(o in prop::options(prop::floats(0.0..1.0))) {
+        if let Some(x) = o {
+            devtools::prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Strings stay within their char-length bounds and contain no newline.
+    fn strings_bounded(s in prop::strings(0..81)) {
+        devtools::prop_assert!(s.chars().count() <= 80);
+        devtools::prop_assert!(!s.contains('\n'));
+    }
+}

@@ -131,13 +131,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert_eq, props};
 
-    proptest! {
+    props! {
         /// The hostname classifier never panics and its wireless verdict
         /// agrees with its category.
-        #[test]
-        fn classifier_total(host in ".{0,80}") {
+        fn classifier_total(host in prop::strings(0..81)) {
             let c = classify_hostname(&host);
             if c.is_wireless() {
                 prop_assert_eq!(c.category(), Some(ProviderCategory::Mobile));

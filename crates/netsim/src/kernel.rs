@@ -237,13 +237,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, prop_assert_eq, props};
 
-    proptest! {
+    props! {
         /// For any schedule of events, firing order is sorted by
         /// (time, insertion order).
-        #[test]
-        fn firing_order_is_stable_sort(times in proptest::collection::vec(0i64..1000, 1..60)) {
+        fn firing_order_is_stable_sort(times in prop::vecs(prop::ints(0..1000), 1..60)) {
             let mut sim: Sim<Vec<(i64, usize)>> = Sim::new();
             let mut world: Vec<(i64, usize)> = Vec::new();
             for (idx, &t) in times.iter().enumerate() {

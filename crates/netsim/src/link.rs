@@ -275,17 +275,17 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
 
-    proptest! {
+    props! {
         /// Every delay model yields non-negative delays at least as large
         /// as its floor, for any parameters in sane ranges.
-        #[test]
         fn delays_respect_floors(
-            mean in 0.5f64..200.0,
-            sigma in 0.0f64..50.0,
-            floor in 0.0f64..10.0,
-            seed in any::<u64>(),
+            mean in prop::floats(0.5..200.0),
+            sigma in prop::floats(0.0..50.0),
+            floor in prop::floats(0.0..10.0),
+            seed in prop::any_u64(),
         ) {
             let mut rng = SimRng::new(seed);
             let m = DelayModel::Normal { mean_ms: mean, sigma_ms: sigma, floor_ms: floor };
@@ -300,8 +300,7 @@ mod proptests {
         }
 
         /// Bernoulli loss rate converges to p for any p.
-        #[test]
-        fn bernoulli_rate_converges(p in 0.0f64..1.0, seed in any::<u64>()) {
+        fn bernoulli_rate_converges(p in prop::floats(0.0..1.0), seed in prop::any_u64()) {
             let mut loss = LossModel::Bernoulli(p);
             let mut rng = SimRng::new(seed);
             let n = 20_000;
@@ -311,13 +310,12 @@ mod proptests {
 
         /// Gilbert–Elliott never panics and produces a rate between its
         /// good-state and bad-state loss probabilities.
-        #[test]
         fn gilbert_elliott_rate_bounded(
-            p_gb in 0.001f64..0.5,
-            p_bg in 0.001f64..0.5,
-            lg in 0.0f64..0.1,
-            lb in 0.2f64..1.0,
-            seed in any::<u64>(),
+            p_gb in prop::floats(0.001..0.5),
+            p_bg in prop::floats(0.001..0.5),
+            lg in prop::floats(0.0..0.1),
+            lb in prop::floats(0.2..1.0),
+            seed in prop::any_u64(),
         ) {
             let mut loss = LossModel::GilbertElliott { p_gb, p_bg, loss_good: lg, loss_bad: lb, in_bad: false };
             let mut rng = SimRng::new(seed);

@@ -130,13 +130,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
 
-    proptest! {
+    props! {
         /// For any true offset and any symmetric delay, the formula recovers
         /// the offset to fixed-point precision.
-        #[test]
-        fn symmetric_exact(theta in -500_000i64..500_000, owd in 0i64..2_000, proc_t in 0i64..100) {
+        fn symmetric_exact(theta in prop::ints(-500_000..500_000), owd in prop::ints(0..2_000), proc_t in prop::ints(0..100)) {
             let ms = NtpDuration::from_millis;
             let base = NtpTimestamp::from_parts(50_000, 0);
             let t1 = base + ms(-theta);
@@ -149,8 +149,7 @@ mod proptests {
         }
 
         /// Offset error equals half the path asymmetry, always.
-        #[test]
-        fn asymmetry_error_is_half(fwd in 0i64..3_000, back in 0i64..3_000) {
+        fn asymmetry_error_is_half(fwd in prop::ints(0..3_000), back in prop::ints(0..3_000)) {
             let ms = NtpDuration::from_millis;
             let base = NtpTimestamp::from_parts(50_000, 0);
             let t1 = base;

@@ -16,8 +16,6 @@
 //! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
 //! ```
 
-use bytes::{Buf, BufMut};
-
 use crate::error::WireError;
 use crate::refid::RefId;
 use crate::timestamp::{NtpShort, NtpTimestamp};
@@ -172,38 +170,60 @@ impl Default for NtpPacket {
     }
 }
 
+/// Write a big-endian `u32` at a fixed offset.
+#[inline]
+fn put_u32_be(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Write a big-endian `u64` at a fixed offset.
+#[inline]
+fn put_u64_be(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Read a big-endian `u32` from a fixed offset.
+#[inline]
+fn get_u32_be(buf: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes(buf[at..at + 4].try_into().expect("4-byte slice"))
+}
+
+/// Read a big-endian `u64` from a fixed offset.
+#[inline]
+fn get_u64_be(buf: &[u8], at: usize) -> u64 {
+    u64::from_be_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
+}
+
 impl NtpPacket {
     /// Serialize into a fresh 48-byte vector.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(PACKET_LEN);
-        self.write(&mut buf);
-        buf
+        let mut buf = [0u8; PACKET_LEN];
+        self.write_bytes(&mut buf);
+        buf.to_vec()
     }
 
-    /// Serialize into any [`BufMut`].
-    pub fn write<B: BufMut>(&self, buf: &mut B) {
-        let first = ((self.leap as u8) << 6) | ((self.version.0 & 0b111) << 3) | self.mode as u8;
-        buf.put_u8(first);
-        buf.put_u8(self.stratum);
-        buf.put_i8(self.poll);
-        buf.put_i8(self.precision);
-        buf.put_u32(self.root_delay.to_bits());
-        buf.put_u32(self.root_dispersion.to_bits());
-        buf.put_u32(self.reference_id.0);
-        buf.put_u64(self.reference_ts.to_bits());
-        buf.put_u64(self.origin_ts.to_bits());
-        buf.put_u64(self.receive_ts.to_bits());
-        buf.put_u64(self.transmit_ts.to_bits());
+    /// Encode into a caller-provided 48-byte buffer (no allocation).
+    pub fn write_bytes(&self, buf: &mut [u8; PACKET_LEN]) {
+        buf[0] = ((self.leap as u8) << 6) | ((self.version.0 & 0b111) << 3) | self.mode as u8;
+        buf[1] = self.stratum;
+        buf[2] = self.poll as u8;
+        buf[3] = self.precision as u8;
+        put_u32_be(buf, 4, self.root_delay.to_bits());
+        put_u32_be(buf, 8, self.root_dispersion.to_bits());
+        put_u32_be(buf, 12, self.reference_id.0);
+        put_u64_be(buf, 16, self.reference_ts.to_bits());
+        put_u64_be(buf, 24, self.origin_ts.to_bits());
+        put_u64_be(buf, 32, self.receive_ts.to_bits());
+        put_u64_be(buf, 40, self.transmit_ts.to_bits());
     }
 
     /// Parse from a byte slice. Trailing bytes (extension fields, MAC) are
     /// ignored, mirroring how a minimal SNTP client treats them.
-    pub fn parse(mut data: &[u8]) -> Result<Self, WireError> {
+    pub fn parse(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < PACKET_LEN {
             return Err(WireError::Truncated { have: data.len(), need: PACKET_LEN });
         }
-        let buf = &mut data;
-        let first = buf.get_u8();
+        let first = data[0];
         let leap = LeapIndicator::from_bits(first >> 6);
         let version = (first >> 3) & 0b111;
         if !(1..=4).contains(&version) {
@@ -214,16 +234,16 @@ impl NtpPacket {
             leap,
             version: Version(version),
             mode,
-            stratum: buf.get_u8(),
-            poll: buf.get_i8(),
-            precision: buf.get_i8(),
-            root_delay: NtpShort::from_bits(buf.get_u32()),
-            root_dispersion: NtpShort::from_bits(buf.get_u32()),
-            reference_id: RefId(buf.get_u32()),
-            reference_ts: NtpTimestamp::from_bits(buf.get_u64()),
-            origin_ts: NtpTimestamp::from_bits(buf.get_u64()),
-            receive_ts: NtpTimestamp::from_bits(buf.get_u64()),
-            transmit_ts: NtpTimestamp::from_bits(buf.get_u64()),
+            stratum: data[1],
+            poll: data[2] as i8,
+            precision: data[3] as i8,
+            root_delay: NtpShort::from_bits(get_u32_be(data, 4)),
+            root_dispersion: NtpShort::from_bits(get_u32_be(data, 8)),
+            reference_id: RefId(get_u32_be(data, 12)),
+            reference_ts: NtpTimestamp::from_bits(get_u64_be(data, 16)),
+            origin_ts: NtpTimestamp::from_bits(get_u64_be(data, 24)),
+            receive_ts: NtpTimestamp::from_bits(get_u64_be(data, 32)),
+            transmit_ts: NtpTimestamp::from_bits(get_u64_be(data, 40)),
         })
     }
 
@@ -347,6 +367,49 @@ mod tests {
         assert_eq!(LeapIndicator::from_bits(7), LeapIndicator::Unknown); // masked
     }
 
+    /// Fixed-vector guard for the slice-based codec: every field placed
+    /// with a recognizable bit pattern, expected bytes written out by
+    /// hand from the RFC 5905 layout. Any change to field order, widths,
+    /// or endianness trips this.
+    #[test]
+    fn fixed_vector_byte_layout() {
+        let p = NtpPacket {
+            leap: LeapIndicator::Leap59, // LI = 2
+            version: Version::V4,        // VN = 4
+            mode: Mode::Server,          // Mode = 4
+            stratum: 0x02,
+            poll: 0x06,
+            precision: -20, // 0xEC
+            root_delay: NtpShort::from_bits(0x0001_0203),
+            root_dispersion: NtpShort::from_bits(0x0405_0607),
+            reference_id: RefId(0x4750_5300), // "GPS\0"
+            reference_ts: NtpTimestamp::from_bits(0x1112_1314_1516_1718),
+            origin_ts: NtpTimestamp::from_bits(0x2122_2324_2526_2728),
+            receive_ts: NtpTimestamp::from_bits(0x3132_3334_3536_3738),
+            transmit_ts: NtpTimestamp::from_bits(0x4142_4344_4546_4748),
+        };
+        #[rustfmt::skip]
+        let expected: [u8; PACKET_LEN] = [
+            0xA4, 0x02, 0x06, 0xEC,                         // LI|VN|Mode, stratum, poll, precision
+            0x00, 0x01, 0x02, 0x03,                         // root delay
+            0x04, 0x05, 0x06, 0x07,                         // root dispersion
+            0x47, 0x50, 0x53, 0x00,                         // reference id
+            0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, // reference ts
+            0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28, // origin ts
+            0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, // receive ts
+            0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, // transmit ts
+        ];
+        assert_eq!(p.serialize(), expected);
+        assert_eq!(NtpPacket::parse(&expected).unwrap(), p);
+    }
+
+    #[test]
+    fn write_bytes_matches_serialize() {
+        let mut buf = [0u8; PACKET_LEN];
+        sample().write_bytes(&mut buf);
+        assert_eq!(buf.to_vec(), sample().serialize());
+    }
+
     #[test]
     fn all_modes_roundtrip() {
         for m in [
@@ -366,54 +429,60 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop::{self, Gen};
+    use devtools::{prop_assert, prop_assert_eq, props};
 
-    fn arb_packet() -> impl Strategy<Value = NtpPacket> {
+    type PacketParts = (i64, i64, i64, u8, i8, i8, u32, u32, u32, (u64, u64, u64, u64));
+
+    /// Every valid header field, as primitives the shrinker understands.
+    fn arb_packet_parts() -> impl Gen<Value = PacketParts> {
         (
-            0u8..4,
-            1u8..=4,
-            1u8..=7,
-            any::<u8>(),
-            any::<i8>(),
-            any::<i8>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<(u64, u64, u64, u64)>(),
+            prop::ints(0..4),      // leap indicator bits
+            prop::ints_incl(1, 4), // version
+            prop::ints_incl(1, 7), // mode bits
+            prop::any_u8(),
+            prop::any_i8(),
+            prop::any_i8(),
+            prop::any_u32(),
+            prop::any_u32(),
+            prop::any_u32(),
+            (prop::any_u64(), prop::any_u64(), prop::any_u64(), prop::any_u64()),
         )
-            .prop_map(|(li, vn, mode, stratum, poll, prec, rd, rdisp, refid, ts)| NtpPacket {
-                leap: LeapIndicator::from_bits(li),
-                version: Version(vn),
-                mode: Mode::from_bits(mode).unwrap(),
-                stratum,
-                poll,
-                precision: prec,
-                root_delay: NtpShort::from_bits(rd),
-                root_dispersion: NtpShort::from_bits(rdisp),
-                reference_id: RefId(refid),
-                reference_ts: NtpTimestamp::from_bits(ts.0),
-                origin_ts: NtpTimestamp::from_bits(ts.1),
-                receive_ts: NtpTimestamp::from_bits(ts.2),
-                transmit_ts: NtpTimestamp::from_bits(ts.3),
-            })
     }
 
-    proptest! {
-        #[test]
-        fn parse_serialize_roundtrip(p in arb_packet()) {
+    fn packet_from(parts: PacketParts) -> NtpPacket {
+        let (li, vn, mode, stratum, poll, prec, rd, rdisp, refid, ts) = parts;
+        NtpPacket {
+            leap: LeapIndicator::from_bits(li as u8),
+            version: Version(vn as u8),
+            mode: Mode::from_bits(mode as u8).unwrap(),
+            stratum,
+            poll,
+            precision: prec,
+            root_delay: NtpShort::from_bits(rd),
+            root_dispersion: NtpShort::from_bits(rdisp),
+            reference_id: RefId(refid),
+            reference_ts: NtpTimestamp::from_bits(ts.0),
+            origin_ts: NtpTimestamp::from_bits(ts.1),
+            receive_ts: NtpTimestamp::from_bits(ts.2),
+            transmit_ts: NtpTimestamp::from_bits(ts.3),
+        }
+    }
+
+    props! {
+        fn parse_serialize_roundtrip(parts in arb_packet_parts()) {
+            let p = packet_from(parts);
             let bytes = p.serialize();
             prop_assert_eq!(bytes.len(), PACKET_LEN);
             let q = NtpPacket::parse(&bytes).unwrap();
             prop_assert_eq!(p, q);
         }
 
-        #[test]
-        fn parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        fn parse_never_panics(data in prop::vecs(prop::any_u8(), 0..128)) {
             let _ = NtpPacket::parse(&data);
         }
 
-        #[test]
-        fn valid_len_parse_fails_only_on_version_or_mode(data in proptest::collection::vec(any::<u8>(), PACKET_LEN..=PACKET_LEN)) {
+        fn valid_len_parse_fails_only_on_version_or_mode(data in prop::vecs_exact(prop::any_u8(), PACKET_LEN)) {
             match NtpPacket::parse(&data) {
                 Ok(_) => {}
                 Err(WireError::BadVersion(_)) | Err(WireError::BadMode(_)) => {}

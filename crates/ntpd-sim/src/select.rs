@@ -155,15 +155,15 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
 
-    proptest! {
+    props! {
         /// With a majority of peers within ±b of zero and the rest far
         /// away, the far peers never survive.
-        #[test]
         fn distant_minority_never_survives(
-            good in proptest::collection::vec(-0.005f64..0.005, 3..6),
-            bad in proptest::collection::vec(2.0f64..10.0, 1..2),
+            good in prop::vecs(prop::floats(-0.005..0.005), 3..6),
+            bad in prop::vecs(prop::floats(2.0..10.0), 1..2),
         ) {
             let mut cs = Vec::new();
             for (i, &o) in good.iter().enumerate() {

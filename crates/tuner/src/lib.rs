@@ -14,7 +14,7 @@
 //!   would have emitted.
 //! * [`search`] — sweeps the four MNTP parameters over caller-provided
 //!   grids, runs the emulator for every combination (in parallel via
-//!   `crossbeam` scoped threads), and ranks configurations by the RMSE
+//!   `std::thread::scope` scoped threads), and ranks configurations by the RMSE
 //!   of their corrected offsets against a perfectly synchronized clock —
 //!   regenerating the paper's Table 2.
 //!

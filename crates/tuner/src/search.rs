@@ -5,9 +5,8 @@
 //! and invokes the emulator for each generated combination", then ranks
 //! configurations by RMSE of the reported offsets against a perfectly
 //! synchronized clock (§5.3). Combinations are independent, so the sweep
-//! fans out over `crossbeam` scoped threads.
+//! fans out over `std::thread::scope` scoped threads.
 
-use crossbeam::thread;
 use mntp::MntpConfig;
 
 use crate::emulator::{emulate, EmulationResult};
@@ -75,11 +74,11 @@ pub fn grid_search(base: &MntpConfig, grid: &ParamGrid, trace: &Trace) -> Vec<Se
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(combos.len().max(1));
     let chunks: Vec<&[(f64, f64, f64, f64)]> =
         combos.chunks(combos.len().div_ceil(workers.max(1)).max(1)).collect();
-    let mut results: Vec<SearchResult> = thread::scope(|s| {
+    let mut results: Vec<SearchResult> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     chunk
                         .iter()
                         .map(|&(wp, ww, rw, rp)| {
@@ -103,8 +102,7 @@ pub fn grid_search(base: &MntpConfig, grid: &ParamGrid, trace: &Trace) -> Vec<Se
             })
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+    });
     results.sort_by(|a, b| a.rmse_ms.partial_cmp(&b.rmse_ms).expect("no NaN rmse"));
     results
 }

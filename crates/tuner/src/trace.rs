@@ -151,32 +151,40 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use devtools::prop::{self, Gen};
+    use devtools::{prop_assert_eq, props};
 
-    fn arb_row() -> impl Strategy<Value = TraceRow> {
+    type RowParts = (f64, Option<(f64, f64)>, Vec<Option<f64>>);
+
+    /// Row ingredients as shrinkable primitives; quantization to the text
+    /// format's printed precision happens in [`row_from`].
+    fn arb_row_parts() -> impl Gen<Value = RowParts> {
         (
-            0.0f64..100_000.0,
-            proptest::option::of((-100.0f64..0.0, -100.0f64..0.0)),
-            proptest::collection::vec(proptest::option::of(-2_000.0f64..2_000.0), 1..5),
+            prop::floats(0.0..100_000.0),
+            prop::options((prop::floats(-100.0..0.0), prop::floats(-100.0..0.0))),
+            prop::vecs(prop::options(prop::floats(-2_000.0..2_000.0)), 1..5),
         )
-            .prop_map(|(t, hints, offsets)| TraceRow {
-                t_secs: (t * 1000.0).round() / 1000.0,
-                hints: hints.map(|(r, n)| netsim::WirelessHints {
-                    rssi_dbm: (r * 100.0).round() / 100.0,
-                    noise_dbm: (n * 100.0).round() / 100.0,
-                }),
-                offsets_ms: offsets
-                    .into_iter()
-                    .map(|o| o.map(|v| (v * 10_000.0).round() / 10_000.0))
-                    .collect(),
-            })
     }
 
-    proptest! {
+    fn row_from((t, hints, offsets): RowParts) -> TraceRow {
+        TraceRow {
+            t_secs: (t * 1000.0).round() / 1000.0,
+            hints: hints.map(|(r, n)| netsim::WirelessHints {
+                rssi_dbm: (r * 100.0).round() / 100.0,
+                noise_dbm: (n * 100.0).round() / 100.0,
+            }),
+            offsets_ms: offsets
+                .into_iter()
+                .map(|o| o.map(|v| (v * 10_000.0).round() / 10_000.0))
+                .collect(),
+        }
+    }
+
+    props! {
         /// Any trace round-trips through the text format exactly (values
         /// quantized to the format's printed precision).
-        #[test]
-        fn text_roundtrip_any_trace(rows in proptest::collection::vec(arb_row(), 0..20)) {
+        fn text_roundtrip_any_trace(raw_rows in prop::vecs(arb_row_parts(), 0..20)) {
+            let rows: Vec<TraceRow> = raw_rows.into_iter().map(row_from).collect();
             let trace = Trace { rows, interval_secs: 5.0 };
             let parsed = Trace::from_text(&trace.to_text()).unwrap();
             prop_assert_eq!(parsed, trace);

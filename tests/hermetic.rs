@@ -1,0 +1,113 @@
+//! Guards the hermetic-workspace invariant: every dependency of every
+//! workspace crate is an in-tree path dependency, so
+//! `cargo build --release --offline && cargo test -q --offline` works
+//! from a cold cache with zero registry access.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifest_paths() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("read crates/") {
+        let m = entry.expect("dir entry").path().join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    assert!(out.len() >= 10, "expected the root + at least 9 member manifests, found {}", out.len());
+    out
+}
+
+/// Within dependency sections, every entry must resolve in-tree: either
+/// `x.workspace = true` (indirecting through `[workspace.dependencies]`,
+/// which this test checks too) or an inline table with a `path` key.
+/// Registry deps (`foo = "1"`, `version = ...` without `path`) fail.
+fn check_manifest(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("read manifest");
+    let mut violations = Vec::new();
+    let mut in_dep_section = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_dep_section = matches!(
+                line,
+                "[dependencies]"
+                    | "[dev-dependencies]"
+                    | "[build-dependencies]"
+                    | "[workspace.dependencies]"
+            ) || line.starts_with("[target.") && line.contains("dependencies");
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let hermetic = line.ends_with(".workspace = true")
+            || line.contains("workspace = true")
+            || line.contains("path =");
+        if !hermetic {
+            violations.push(format!("{}:{}: {}", path.display(), lineno + 1, line));
+        }
+    }
+    violations
+}
+
+#[test]
+fn all_dependencies_are_path_or_workspace() {
+    let mut violations = Vec::new();
+    for m in manifest_paths() {
+        violations.extend(check_manifest(&m));
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependency entries (registry deps are forbidden; \
+         vendor the code into a workspace crate instead):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn banned_external_crates_never_reappear() {
+    // The four crates this workspace replaced in-tree (devtools, slice
+    // codecs, std::thread::scope). Keep them out of every manifest.
+    let banned = ["criterion", "proptest", "crossbeam", "\nbytes"];
+    for m in manifest_paths() {
+        let text = std::fs::read_to_string(&m).expect("read manifest");
+        for b in banned {
+            assert!(
+                !text.contains(b),
+                "banned dependency '{}' mentioned in {}",
+                b.trim(),
+                m.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn lockfile_is_committed_and_registry_free() {
+    let lock = workspace_root().join("Cargo.lock");
+    assert!(
+        lock.is_file(),
+        "Cargo.lock must be committed so --offline resolution is deterministic"
+    );
+    let text = std::fs::read_to_string(&lock).expect("read Cargo.lock");
+    // Path-only packages carry no `source`; any `source = ...` line means
+    // a registry or git dependency crept into the graph.
+    for (lineno, line) in text.lines().enumerate() {
+        assert!(
+            !line.trim_start().starts_with("source = "),
+            "Cargo.lock:{}: non-path package source: {}",
+            lineno + 1,
+            line.trim()
+        );
+    }
+}
