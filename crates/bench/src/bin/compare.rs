@@ -1,0 +1,94 @@
+//! `compare` — diff a bench report against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p mntp-bench --bin micro
+//! cargo run --release -p mntp-bench --bin compare            # vs results/bench/baseline.json
+//! cargo run --release -p mntp-bench --bin compare -- \
+//!     results/bench/baseline.json results/bench/BENCH_micro.json --tolerance 0.5
+//! ```
+//!
+//! Exits 1 if any benchmark's mean regressed beyond the tolerance
+//! (default +30% — microbenchmarks on shared hardware are noisy; tighten
+//! it on quiet machines). Benchmarks present in only one report are
+//! listed but never fail the gate, so adding or renaming a bench does
+//! not require touching the baseline in the same change.
+
+use devtools::bench::{compare_reports, parse_report};
+
+const DEFAULT_BASELINE: &str = "results/bench/baseline.json";
+const DEFAULT_CURRENT: &str = "results/bench/BENCH_micro.json";
+const DEFAULT_TOLERANCE: f64 = 0.3;
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a fraction (0.3 = +30%)");
+                    std::process::exit(2);
+                });
+                tolerance = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid tolerance {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline_path = paths.first().map(String::as_str).unwrap_or(DEFAULT_BASELINE);
+    let current_path = paths.get(1).map(String::as_str).unwrap_or(DEFAULT_CURRENT);
+
+    let read = |path: &str| -> Vec<devtools::bench::ReportEntry> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: could not read {path}: {e}");
+            std::process::exit(2);
+        });
+        let entries = parse_report(&text);
+        if entries.is_empty() {
+            eprintln!("error: no benchmarks found in {path}");
+            std::process::exit(2);
+        }
+        entries
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+
+    for c in &current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            println!("{:<40} (not in baseline)", c.name);
+        }
+    }
+    let deltas = compare_reports(&baseline, &current);
+    let mut regressions = 0usize;
+    for d in &deltas {
+        let pct = (d.ratio - 1.0) * 100.0;
+        let mark = if d.regressed(tolerance) {
+            regressions += 1;
+            "REGRESSED"
+        } else if d.ratio < 1.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<40} {:>12.1} ns -> {:>12.1} ns  {:>+7.1}%  {mark}",
+            d.name, d.baseline_ns, d.current_ns, pct
+        );
+    }
+    println!(
+        "\n{} benchmark(s) compared against {baseline_path}, tolerance +{:.0}%",
+        deltas.len(),
+        tolerance * 100.0
+    );
+    if regressions > 0 {
+        eprintln!("error: {regressions} benchmark(s) regressed beyond tolerance");
+        std::process::exit(1);
+    }
+}

@@ -100,6 +100,56 @@ fn bench_des_kernel(s: &mut Suite) {
             world
         })
     });
+    // Same workload on the fn-pointer fast path: no Box, no vtable, and
+    // the periodic pattern recycles slab slots instead of growing.
+    s.bench("des_kernel_10k_events_fn", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut world = 0u64;
+            fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+                *w += 1;
+                if !(*w).is_multiple_of(10) {
+                    sim.schedule_fn_in(SimDuration::from_millis(1), tick);
+                }
+            }
+            for i in 0..1000 {
+                sim.schedule_fn_at(SimTime::from_millis(i), tick);
+            }
+            sim.run_to_completion(&mut world);
+            world
+        })
+    });
+}
+
+fn bench_par_pool(s: &mut Suite) {
+    use devtools::par::Pool;
+    // Dispatch overhead: near-trivial tasks, so the measurement is the
+    // pool machinery (deque setup, thread spawn, steal, reassembly) and
+    // not the work. jobs=1 is the inline serial path (the floor).
+    let items: Vec<u64> = (0..256).collect();
+    s.bench("par_map_256_trivial_jobs1", |b| {
+        let pool = Pool::with_jobs(1);
+        b.iter(|| pool.map(items.clone(), |x| x.wrapping_mul(2654435761)))
+    });
+    s.bench("par_map_256_trivial_jobs4", |b| {
+        let pool = Pool::with_jobs(4);
+        b.iter(|| pool.map(items.clone(), |x| x.wrapping_mul(2654435761)))
+    });
+    // Per-dispatch cost amortized over real work: each task spins long
+    // enough that the pool overhead should disappear into the noise.
+    s.bench("par_map_8_busy_jobs4", |b| {
+        let pool = Pool::with_jobs(4);
+        let work: Vec<u64> = (0..8).collect();
+        b.iter(|| {
+            pool.map(work.clone(), |seed| {
+                let mut x = seed.wrapping_add(1);
+                for _ in 0..20_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                }
+                x
+            })
+        })
+    });
 }
 
 fn bench_wifi_channel(s: &mut Suite) {
@@ -147,6 +197,7 @@ fn main() {
     bench_trend_filter(&mut s);
     bench_select(&mut s);
     bench_des_kernel(&mut s);
+    bench_par_pool(&mut s);
     bench_wifi_channel(&mut s);
     bench_exchange(&mut s);
     s.finish().expect("write bench report");

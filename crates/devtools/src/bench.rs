@@ -82,7 +82,10 @@ pub struct Stats {
 }
 
 impl Stats {
-    fn from_samples(mut ns: Vec<f64>) -> Stats {
+    /// Summarize raw per-iteration samples (nanoseconds). Sorting, the
+    /// nearest-rank percentiles, and the population stddev live here so
+    /// they can be unit-tested away from any clock.
+    pub fn from_samples(mut ns: Vec<f64>) -> Stats {
         assert!(!ns.is_empty());
         ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         let n = ns.len();
@@ -113,6 +116,14 @@ pub struct Record {
     pub stats: Stats,
 }
 
+/// How many iterations to fold into one timing sample so the sample
+/// lasts roughly `sample_target_secs`, given the warmup's estimate of
+/// seconds-per-iteration. Never returns 0: even a pathologically slow
+/// iteration is still timed once per sample.
+pub fn calibrate_iters(sample_target_secs: f64, est_per_iter_secs: f64) -> u64 {
+    ((sample_target_secs / est_per_iter_secs) as u64).max(1)
+}
+
 /// Passed to each benchmark closure; call [`Bencher::iter`] exactly once
 /// with the code under test.
 pub struct Bencher {
@@ -135,7 +146,7 @@ impl Bencher {
             }
         }
         let est_per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
-        let per_sample = ((self.cfg.sample_target.as_secs_f64() / est_per_iter) as u64).max(1);
+        let per_sample = calibrate_iters(self.cfg.sample_target.as_secs_f64(), est_per_iter);
         let n_samples = self.samples_override.unwrap_or(self.cfg.samples);
         let mut samples_ns = Vec::with_capacity(n_samples);
         for _ in 0..n_samples {
@@ -398,9 +409,212 @@ mod tests {
         let s = Stats::from_samples(ns);
         assert_eq!(s.p50_ns, 2.0); // (3 * 0.5).round() = 2
     }
+
+    #[test]
+    fn stats_singleton_sample() {
+        let s = Stats::from_samples(vec![42.0]);
+        assert_eq!(s.mean_ns, 42.0);
+        assert_eq!(s.p50_ns, 42.0);
+        assert_eq!(s.p99_ns, 42.0);
+        assert_eq!(s.min_ns, 42.0);
+        assert_eq!(s.max_ns, 42.0);
+        assert_eq!(s.stddev_ns, 0.0);
+    }
+
+    #[test]
+    fn stats_even_length_percentiles() {
+        // Even-length sets have no exact middle; nearest-rank rounds the
+        // fractional index, so [10,20] -> p50 at round(0.5) = index 1.
+        let s = Stats::from_samples(vec![20.0, 10.0]);
+        assert_eq!(s.p50_ns, 20.0);
+        assert_eq!(s.p99_ns, 20.0);
+        assert_eq!(s.mean_ns, 15.0);
+        assert_eq!(s.stddev_ns, 5.0);
+
+        // Six samples: p50 index = round(5 * 0.5) = 3 (fourth-smallest),
+        // p99 index = round(5 * 0.99) = 5 (the max).
+        let s = Stats::from_samples(vec![6.0, 1.0, 5.0, 2.0, 4.0, 3.0]);
+        assert_eq!(s.p50_ns, 4.0);
+        assert_eq!(s.p99_ns, 6.0);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 6.0);
+    }
+
+    #[test]
+    fn stats_sorts_unsorted_input() {
+        let s = Stats::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.p50_ns, 2.0);
+        assert_eq!(s.max_ns, 3.0);
+    }
+
+    #[test]
+    fn calibration_targets_sample_duration() {
+        // 50 ms target at 1 us/iter -> 50_000 iterations per sample.
+        assert_eq!(calibrate_iters(0.05, 1e-6), 50_000);
+        // Iterations slower than the target still run once per sample.
+        assert_eq!(calibrate_iters(0.05, 0.2), 1);
+        // Exactly at the target: one iteration fills the sample.
+        assert_eq!(calibrate_iters(0.05, 0.05), 1);
+    }
 }
 
 /// Where a suite's report lands, for tools that read it back.
 pub fn report_path(out_dir: &Path, suite: &str) -> PathBuf {
     out_dir.join(format!("BENCH_{suite}.json"))
+}
+
+/// One benchmark read back from a report written by [`Suite::finish`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean per-iteration nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-iteration nanoseconds.
+    pub p99_ns: f64,
+}
+
+fn json_field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn json_field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse a report produced by [`Suite::finish`]. This reads only the
+/// line-per-bench format `render_json` writes — it is not a general
+/// JSON parser, which keeps the workspace registry-free.
+pub fn parse_report(text: &str) -> Vec<ReportEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(ReportEntry {
+                name: json_field_str(line, "name")?,
+                mean_ns: json_field_num(line, "mean_ns")?,
+                p50_ns: json_field_num(line, "p50_ns")?,
+                p99_ns: json_field_num(line, "p99_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// The outcome of comparing one benchmark across two reports.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline mean, ns.
+    pub baseline_ns: f64,
+    /// Current mean, ns.
+    pub current_ns: f64,
+    /// `current / baseline` — above 1.0 is slower than baseline.
+    pub ratio: f64,
+}
+
+impl Delta {
+    /// Slower than baseline by more than `tolerance` (e.g. `0.3` allows
+    /// +30% before flagging)?
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio > 1.0 + tolerance
+    }
+}
+
+/// Compare two parsed reports by benchmark name (mean ns). Benchmarks
+/// present in only one report are skipped — renames should not fail the
+/// gate; the baseline refresh workflow covers them.
+pub fn compare_reports(baseline: &[ReportEntry], current: &[ReportEntry]) -> Vec<Delta> {
+    current
+        .iter()
+        .filter_map(|c| {
+            let b = baseline.iter().find(|b| b.name == c.name)?;
+            if b.mean_ns <= 0.0 {
+                return None;
+            }
+            Some(Delta {
+                name: c.name.clone(),
+                baseline_ns: b.mean_ns,
+                current_ns: c.mean_ns,
+                ratio: c.mean_ns / b.mean_ns,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+
+    fn entry(name: &str, mean: f64) -> ReportEntry {
+        ReportEntry { name: name.into(), mean_ns: mean, p50_ns: mean, p99_ns: mean }
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let records = vec![
+            Record {
+                name: "alpha".into(),
+                iters_per_sample: 100,
+                samples: 30,
+                stats: Stats::from_samples(vec![10.0, 20.0, 30.0]),
+            },
+            Record {
+                name: "beta \"quoted\"".into(),
+                iters_per_sample: 1,
+                samples: 5,
+                stats: Stats::from_samples(vec![1e6]),
+            },
+        ];
+        let parsed = parse_report(&render_json("micro", &records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "alpha");
+        assert!((parsed[0].mean_ns - 20.0).abs() < 1e-9);
+        assert_eq!(parsed[0].p50_ns, 20.0);
+        assert_eq!(parsed[0].p99_ns, 30.0);
+        assert_eq!(parsed[1].name, "beta \"quoted\"");
+        assert_eq!(parsed[1].mean_ns, 1e6);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let baseline = vec![entry("a", 100.0), entry("b", 100.0), entry("gone", 50.0)];
+        let current = vec![entry("a", 125.0), entry("b", 80.0), entry("new", 10.0)];
+        let deltas = compare_reports(&baseline, &current);
+        // "gone" and "new" are skipped; a regressed 25%, b improved.
+        assert_eq!(deltas.len(), 2);
+        let a = deltas.iter().find(|d| d.name == "a").unwrap();
+        let b = deltas.iter().find(|d| d.name == "b").unwrap();
+        assert!(a.regressed(0.2));
+        assert!(!a.regressed(0.3));
+        assert!(!b.regressed(0.0));
+        assert!((a.ratio - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_ignores_non_bench_lines() {
+        let text = "{\n  \"suite\": \"micro\",\n  \"created_unix\": 1,\n  \"benches\": [\n  ]\n}\n";
+        assert!(parse_report(text).is_empty());
+    }
 }

@@ -1,6 +1,6 @@
 //! In-tree development harnesses for the MNTP workspace.
 //!
-//! Two subsystems, both dependency-free beyond `clocksim` (for the
+//! Three subsystems, all dependency-free beyond `clocksim` (for the
 //! deterministic RNG):
 //!
 //! - [`prop`] — a shrinking property-test harness (the workspace's
@@ -10,12 +10,18 @@
 //! - [`bench`] — a benchmark runner (the workspace's replacement for
 //!   `criterion`): warmup, iteration calibration, mean/p50/p99 stats,
 //!   and machine-readable JSON reports under `results/bench/`.
+//! - [`par`] — a work-stealing thread pool (the workspace's replacement
+//!   for `rayon`): per-worker deques plus a global injector over scoped
+//!   `std::thread`s, exposing an order-preserving [`par::Pool::map`]
+//!   whose output is bit-identical to the serial loop.
 //!
 //! Keeping these in-tree is what makes the workspace hermetic: a cold
 //! cache plus `cargo build --release --offline` is enough to build,
 //! test, and benchmark everything.
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 
+pub use par::{par_map, Pool};
 pub use prop::{Config, Counterexample, Gen, PropFail, PropResult};

@@ -1,0 +1,374 @@
+//! A deterministic work-stealing thread pool for the simulation fleet.
+//!
+//! Discrete-event time-sync experiments are embarrassingly parallel
+//! across independent seeded trials: every figure, ablation arm, tuner
+//! grid point, and multi-seed average owns its own `SimRng` stream and
+//! touches no shared mutable state. This module supplies the in-tree
+//! substrate that fans those trials out over OS threads (the workspace
+//! is hermetic — no rayon) while keeping one hard guarantee:
+//!
+//! > **Bit-identical output.** [`Pool::map`] preserves input order and
+//! > every task is a pure function of its input, so the assembled output
+//! > is byte-for-byte the same `Vec` the serial loop would produce, for
+//! > any worker count and any interleaving.
+//!
+//! ## Topology
+//!
+//! Work is indexed `0..n`. Each worker owns a deque seeded with a
+//! contiguous chunk of indices; a global injector holds the remainder
+//! when `n` does not divide evenly. Owners pop from the *front* of
+//! their deque (ascending indices — the same locality the serial loop
+//! has); an idle worker first drains the injector, then steals the
+//! *back half* of a victim's deque, scanning victims in a fixed
+//! rotation from its own id. One slow item therefore delays only
+//! itself: the remaining indices migrate to whoever is idle, unlike
+//! one-shot chunking where a slow chunk idles its whole thread.
+//!
+//! ## Worker count
+//!
+//! [`Pool::from_env`] honors the `MNTP_JOBS` environment variable and
+//! falls back to [`std::thread::available_parallelism`]. `jobs = 1` (or
+//! a single item) runs the serial loop inline on the caller's thread —
+//! no threads are spawned, so `MNTP_JOBS=1` *is* the serial baseline
+//! the equivalence tests compare against.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A work-stealing pool handle: just a worker count plus the dispatch
+/// machinery. Workers are scoped `std::thread`s spawned per call (the
+/// tasks may borrow from the caller's stack), so a `Pool` is cheap to
+/// construct and carries no OS resources while idle.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `jobs` workers (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized from the environment: `MNTP_JOBS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Pool {
+        Pool::with_jobs(jobs_from_env())
+    }
+
+    /// The worker count this pool dispatches over.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Order-preserving parallel map: `map(items, f)` returns exactly
+    /// `items.into_iter().map(f).collect()`, computed by up to
+    /// [`Pool::jobs`] workers. Panics in `f` propagate to the caller.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.execute(n, |i| {
+            let item = slots[i].lock().expect("item lock").take().expect("item taken once");
+            f(item)
+        })
+    }
+
+    /// Order-preserving map over borrowed items.
+    pub fn map_ref<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        self.execute(items.len(), |i| f(&items[i]))
+    }
+
+    /// Run a set of *heterogeneous* one-shot tasks (each its own boxed
+    /// closure) and return their results in task order. This is the
+    /// fan-out used by `repro`, where every figure pipeline is a
+    /// different closure type.
+    pub fn invoke<'scope, R: Send>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> R + Send + 'scope>>,
+    ) -> Vec<R> {
+        let n = tasks.len();
+        if self.jobs == 1 || n <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> R + Send + 'scope>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.execute(n, |i| {
+            let task = slots[i].lock().expect("task lock").take().expect("task taken once");
+            task()
+        })
+    }
+
+    /// Run two closures, potentially in parallel, returning both results.
+    pub fn join<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if self.jobs == 1 {
+            return (fa(), fb());
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(fb);
+            let a = fa();
+            let b = hb.join().expect("join: second task panicked");
+            (a, b)
+        })
+    }
+
+    /// The work-stealing engine: evaluate `task(i)` for every
+    /// `i in 0..n` and return results in index order. `task` must be
+    /// safe to call from any worker, once per index.
+    fn execute<R, F>(&self, n: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.jobs.min(n);
+        // Seed each worker's deque with a contiguous chunk; the
+        // remainder (n % workers indices) goes to the global injector.
+        let chunk = n / workers;
+        let mut deques: Vec<Mutex<VecDeque<usize>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            deques.push(Mutex::new((w * chunk..(w + 1) * chunk).collect()));
+        }
+        let injector: Mutex<VecDeque<usize>> = Mutex::new((workers * chunk..n).collect());
+        let task = &task;
+        let deques = &deques;
+        let injector = &injector;
+
+        let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // 1. Own deque, front (ascending-index locality).
+                            let mine = deques[w].lock().expect("own deque").pop_front();
+                            if let Some(i) = mine {
+                                out.push((i, task(i)));
+                                continue;
+                            }
+                            // 2. Global injector.
+                            let injected = injector.lock().expect("injector").pop_front();
+                            if let Some(i) = injected {
+                                out.push((i, task(i)));
+                                continue;
+                            }
+                            // 3. Steal the back half of a victim's deque,
+                            // scanning a fixed rotation from our own id.
+                            let mut stolen: Option<usize> = None;
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                let mut vd = deques[victim].lock().expect("victim deque");
+                                let take = vd.len().div_ceil(2);
+                                if take == 0 {
+                                    continue;
+                                }
+                                let at = vd.len() - take;
+                                let mut batch: Vec<usize> = vd.split_off(at).into();
+                                drop(vd);
+                                stolen = Some(batch.remove(0));
+                                if !batch.is_empty() {
+                                    deques[w].lock().expect("own deque").extend(batch);
+                                }
+                                break;
+                            }
+                            match stolen {
+                                Some(i) => out.push((i, task(i))),
+                                // Nothing anywhere: tasks cannot spawn
+                                // tasks here, so the fleet is drained.
+                                None => break,
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        });
+
+        // Reassemble in input order: output is independent of which
+        // worker ran what, which is the bit-identical guarantee.
+        let mut assembled: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for bucket in per_worker.drain(..) {
+            for (i, r) in bucket {
+                debug_assert!(assembled[i].is_none(), "index {i} computed twice");
+                assembled[i] = Some(r);
+            }
+        }
+        assembled.into_iter().map(|r| r.expect("every index computed")).collect()
+    }
+}
+
+/// Resolve the worker count from `MNTP_JOBS`, falling back to
+/// [`std::thread::available_parallelism`] (and 1 if even that fails).
+pub fn jobs_from_env() -> usize {
+    if let Ok(v) = std::env::var("MNTP_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid MNTP_JOBS={v:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// [`Pool::map`] on [`Pool::from_env`]: the one-liner most call sites
+/// want.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    Pool::from_env().map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        for jobs in [1, 2, 3, 8, 32] {
+            let pool = Pool::with_jobs(jobs);
+            let out = pool.map((0..100u64).collect(), |x| x * x);
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_with_uneven_work() {
+        // Heavily skewed task costs: stealing must still cover every
+        // index exactly once, and order must survive.
+        let serial: Vec<u64> = (0..57u64).map(busy).collect();
+        for jobs in [2, 5, 16] {
+            let pool = Pool::with_jobs(jobs);
+            assert_eq!(pool.map((0..57u64).collect(), busy), serial, "jobs={jobs}");
+        }
+    }
+
+    fn busy(x: u64) -> u64 {
+        // Index 0 is ~10_000x the work of the rest — the pathological
+        // case for one-shot chunking.
+        let spins = if x == 0 { 200_000 } else { 20 };
+        let mut acc = x;
+        for i in 0..spins {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        x * 3 + 1
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let pool = Pool::with_jobs(7);
+        let out = pool.map((0..501usize).collect(), |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 501);
+        assert_eq!(out, (0..501).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::with_jobs(4);
+        assert_eq!(pool.map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(vec![9u8], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = Pool::with_jobs(64);
+        assert_eq!(pool.map((0..5u32).collect(), |x| x + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn map_ref_borrows() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let pool = Pool::with_jobs(4);
+        let out = pool.map_ref(&items, |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invoke_heterogeneous_tasks_in_order() {
+        let pool = Pool::with_jobs(3);
+        let x = 41u64;
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+            Box::new(move || x + 1),
+            Box::new(|| busy(7)),
+            Box::new(|| 0),
+        ];
+        assert_eq!(pool.invoke(tasks), vec![42, 22, 0]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for jobs in [1, 2] {
+            let pool = Pool::with_jobs(jobs);
+            let (a, b) = pool.join(|| busy(3), || "right");
+            assert_eq!((a, b), (10, "right"));
+        }
+    }
+
+    #[test]
+    fn with_jobs_clamps_to_one() {
+        assert_eq!(Pool::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panics_propagate() {
+        let pool = Pool::with_jobs(2);
+        pool.map((0..10u32).collect(), |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::prop;
+    use crate::{prop_assert_eq, props};
+
+    props! {
+        /// The pool's contract: for any input and any worker count, the
+        /// output is exactly the serial map.
+        fn par_map_equals_serial_map(
+            items in prop::vecs(prop::ints(-1000..1000), 0..80),
+            jobs in prop::ints(1..9)
+        ) {
+            let serial: Vec<i64> = items.iter().map(|&x| x * 7 - 3).collect();
+            let pool = Pool::with_jobs(jobs as usize);
+            let out = pool.map(items.clone(), |x| x * 7 - 3);
+            prop_assert_eq!(out, serial);
+        }
+    }
+}

@@ -93,18 +93,31 @@ pub fn run_arm(label: &str, m: Mechanisms, seed: u64, duration: u64) -> Ablation
     }
 }
 
-/// Run the standard ablation suite.
-pub fn run_suite(seed: u64, duration: u64) -> Vec<AblationRow> {
+/// The standard ablation arms, in report order.
+pub fn suite_arms() -> Vec<(&'static str, Mechanisms)> {
     vec![
-        run_arm("full MNTP", Mechanisms::full(), seed, duration),
-        run_arm("gate only (no filter)", Mechanisms { filter: false, ..Mechanisms::full() }, seed, duration),
-        run_arm("filter only (no gate)", Mechanisms { gate: false, ..Mechanisms::full() }, seed, duration),
-        run_arm("neither (plain SNTP)", Mechanisms { gate: false, filter: false, ..Mechanisms::full() }, seed, duration),
-        run_arm("SNR margin 10 dB", Mechanisms { snr_margin_db: 10.0, ..Mechanisms::full() }, seed, duration),
-        run_arm("SNR margin 25 dB", Mechanisms { snr_margin_db: 25.0, ..Mechanisms::full() }, seed, duration),
-        run_arm("no drift re-estimation", Mechanisms { reestimate: false, ..Mechanisms::full() }, seed, duration),
-        run_arm("filter σ = 2", Mechanisms { sigma: 2.0, ..Mechanisms::full() }, seed, duration),
+        ("full MNTP", Mechanisms::full()),
+        ("gate only (no filter)", Mechanisms { filter: false, ..Mechanisms::full() }),
+        ("filter only (no gate)", Mechanisms { gate: false, ..Mechanisms::full() }),
+        ("neither (plain SNTP)", Mechanisms { gate: false, filter: false, ..Mechanisms::full() }),
+        ("SNR margin 10 dB", Mechanisms { snr_margin_db: 10.0, ..Mechanisms::full() }),
+        ("SNR margin 25 dB", Mechanisms { snr_margin_db: 25.0, ..Mechanisms::full() }),
+        ("no drift re-estimation", Mechanisms { reestimate: false, ..Mechanisms::full() }),
+        ("filter σ = 2", Mechanisms { sigma: 2.0, ..Mechanisms::full() }),
     ]
+}
+
+/// Run the standard ablation suite (pool sized from `MNTP_JOBS` / the
+/// machine).
+pub fn run_suite(seed: u64, duration: u64) -> Vec<AblationRow> {
+    run_suite_on(&devtools::par::Pool::from_env(), seed, duration)
+}
+
+/// Run the standard ablation suite over an explicit pool. Every arm is
+/// an independent trial (own testbed, pool, clock, filter state), so
+/// the fan-out is bit-identical to the serial loop in arm order.
+pub fn run_suite_on(pool: &devtools::par::Pool, seed: u64, duration: u64) -> Vec<AblationRow> {
+    pool.map(suite_arms(), |(label, m)| run_arm(label, m, seed, duration))
 }
 
 /// Render the suite.

@@ -4,131 +4,37 @@
 //! cargo run --release -p experiments --bin repro              # everything
 //! cargo run --release -p experiments --bin repro -- fig6 fig8 # a subset
 //! cargo run --release -p experiments --bin repro -- --quick   # short horizons
+//! cargo run --release -p experiments --bin repro -- --jobs 4  # worker count
 //! ```
 //!
-//! Results are printed and written to `results/<id>.txt`.
+//! Figures run concurrently on the in-tree work-stealing pool
+//! (`--jobs N` or `MNTP_JOBS=N`; default = core count), but output is
+//! buffered and emitted in the fixed figure order, so stdout and
+//! `results/<id>.txt` are byte-identical at any worker count.
+//!
+//! Exits 1 if any artifact failed to write, 2 on bad arguments.
 
-use std::fs;
-use std::path::Path;
-
-use experiments::*;
-
-struct Ctx {
-    quick: bool,
-    out_dir: String,
-}
-
-impl Ctx {
-    fn hour(&self) -> u64 {
-        if self.quick {
-            900
-        } else {
-            3600
-        }
-    }
-
-    fn emit(&self, id: &str, body: &str) {
-        println!("\n=================== {id} ===================");
-        println!("{body}");
-        let path = Path::new(&self.out_dir).join(format!("{id}.txt"));
-        if let Err(e) = fs::write(&path, body) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
-    }
-}
+use experiments::repro;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let want = |id: &str| selected.is_empty() || selected.contains(&id);
-
-    let ctx = Ctx { quick, out_dir: "results".into() };
-    fs::create_dir_all(&ctx.out_dir).expect("create results dir");
-
-    // Fixed seeds: EXPERIMENTS.md numbers regenerate from exactly these.
-    const SEED: u64 = 2016;
-
-    if want("table1") {
-        let scale = if quick { 20_000 } else { 1_000 };
-        let r = table1::run(SEED, scale);
-        ctx.emit("table1", &table1::render(&r));
-    }
-    if want("fig1") {
-        let scale = if quick { 10_000 } else { 2_000 };
-        let r = fig1::run(SEED, scale);
-        ctx.emit("fig1", &fig1::render(&r));
-    }
-    if want("fig2") {
-        let scale = if quick { 10_000 } else { 2_000 };
-        let r = fig2::run(SEED, scale);
-        ctx.emit("fig2", &fig2::render(&r));
-    }
-    if want("fig4") {
-        let r = fig4::run(SEED, ctx.hour());
-        ctx.emit("fig4", &fig4::render(&r));
-    }
-    if want("fig5") {
-        let r = fig5::run(SEED, if quick { 1800 } else { 3 * 3600 });
-        ctx.emit("fig5", &fig5::render(&r));
-    }
-    if want("fig6") {
-        let r = fig6::run(SEED, ctx.hour());
-        ctx.emit("fig6", &fig6::render(&r));
-    }
-    if want("fig7") {
-        let r = fig7::run(SEED, ctx.hour());
-        ctx.emit("fig7", &fig7::render(&r));
-    }
-    if want("fig8") {
-        let r = fig8::run(SEED, ctx.hour());
-        ctx.emit("fig8", &fig8::render(&r));
-    }
-    if want("fig9") {
-        let r = fig9and10::run(SEED, ctx.hour(), true);
-        ctx.emit("fig9", &fig9and10::render_fig9(&r));
-    }
-    if want("fig10") {
-        let r = fig9and10::run(SEED, ctx.hour(), false);
-        ctx.emit("fig10", &fig9and10::render_fig10(&r));
-    }
-    if want("fig12") && !quick {
-        let r = fig12::run(SEED);
-        ctx.emit("fig12", &fig12::render(&r));
-    }
-    if (want("table2") || want("fig11")) && !quick {
-        let t2 = table2::run(SEED);
-        if want("table2") {
-            ctx.emit("table2", &table2::render(&t2));
+    let opts = match repro::Options::from_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
-        if want("fig11") {
-            let r = fig11::run(&t2);
-            ctx.emit("fig11", &fig11::render(&r));
+    };
+    let report = repro::run(&opts);
+    println!(
+        "\n{} artifact(s) written to {}/",
+        report.written.len(),
+        opts.out_dir.display()
+    );
+    if !report.write_failures.is_empty() {
+        for (id, err) in &report.write_failures {
+            eprintln!("error: artifact {id} was not written: {err}");
         }
+        std::process::exit(1);
     }
-    if want("validation") {
-        let rows = validation::drift_estimation_accuracy(SEED);
-        ctx.emit("validation_drift", &validation::render_drift(&rows));
-        let r = validation::temperature_step(SEED);
-        ctx.emit("validation_temperature", &validation::render_temperature(&r));
-    }
-    if want("ablations") {
-        let rows = ablations::run_suite(SEED, if quick { 1800 } else { 3600 });
-        ctx.emit("ablations", &ablations::render_suite(&rows));
-    }
-    if want("extended") {
-        let r = extended::three_way(SEED, if quick { 1800 } else { 2 * 3600 });
-        ctx.emit("extended_threeway", &extended::render_three_way(&r));
-        let v = extended::vendor_policies(SEED, if quick { 1 } else { 3 });
-        ctx.emit("extended_vendor", &extended::render_vendor(&v));
-        let h = extended::huffpuff_comparison(SEED, if quick { 1800 } else { 3600 });
-        ctx.emit("extended_huffpuff", &extended::render_huffpuff(&h));
-        let a = extended::autotune_comparison(SEED, if quick { 1800 } else { 2 * 3600 });
-        ctx.emit("extended_autotune", &extended::render_autotune(&a));
-        let sc = extended::scenario_sweep(SEED, if quick { 1800 } else { 3600 });
-        ctx.emit("extended_scenarios", &extended::render_scenarios(&sc));
-    }
-
-    println!("\nall requested experiments written to {}/", ctx.out_dir);
 }

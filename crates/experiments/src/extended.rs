@@ -37,13 +37,42 @@ pub struct ThreeWayResult {
 /// Run all three protocols over the same wireless conditions (separate
 /// testbed instances with identical configuration — each protocol's
 /// transmissions perturb the channel it sees, so sharing one channel
-/// would entangle them).
+/// would entangle them). Pool sized from `MNTP_JOBS` / the machine.
 pub fn three_way(seed: u64, duration: u64) -> ThreeWayResult {
-    use sntp::{EnergyMeter, EnergyModel};
-    let airtime = 0.15; // s of radio activity per exchange (≈ one RTT)
+    three_way_on(&devtools::par::Pool::from_env(), seed, duration)
+}
 
-    // --- SNTP stepping its clock on every reply ---
-    let (sntp_summary, sntp_polls, sntp_energy) = {
+/// [`three_way`] over an explicit pool: the three protocol arms are
+/// fully independent trials, so they fan out as three tasks.
+pub fn three_way_on(pool: &devtools::par::Pool, seed: u64, duration: u64) -> ThreeWayResult {
+    type Arm = Box<dyn FnOnce() -> (Summary, u64, f64) + Send>;
+    let arms: Vec<Arm> = vec![
+        Box::new(move || three_way_sntp_arm(seed, duration)),
+        Box::new(move || three_way_mntp_arm(seed, duration)),
+        Box::new(move || three_way_ntpd_arm(seed, duration)),
+    ];
+    let mut results = pool.invoke(arms).into_iter();
+    let (sntp_summary, sntp_polls, sntp_energy) = results.next().expect("sntp arm");
+    let (mntp_summary, mntp_polls, mntp_energy) = results.next().expect("mntp arm");
+    let (ntpd_summary, ntpd_polls, ntpd_energy) = results.next().expect("ntpd arm");
+    ThreeWayResult {
+        sntp: sntp_summary,
+        mntp: mntp_summary,
+        ntpd: ntpd_summary,
+        polls: (sntp_polls, mntp_polls, ntpd_polls),
+        energy_j: (sntp_energy, mntp_energy, ntpd_energy),
+    }
+}
+
+/// s of radio activity per exchange (≈ one RTT) for the three-way
+/// energy accounting.
+const THREE_WAY_AIRTIME: f64 = 0.15;
+
+/// SNTP stepping its clock on every reply.
+fn three_way_sntp_arm(seed: u64, duration: u64) -> (Summary, u64, f64) {
+    use sntp::{EnergyMeter, EnergyModel};
+    let airtime = THREE_WAY_AIRTIME;
+    {
         let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
         let mut pool = default_pool(seed + 1);
         let mut clock = ClockMode::free_running_default().build(seed + 2);
@@ -61,10 +90,14 @@ pub fn three_way(seed: u64, duration: u64) -> ThreeWayResult {
             errors.push(clock.true_error(t).as_millis_f64().abs());
         }
         (Summary::of(&errors), polls + 1, meter.total_j())
-    };
+    }
+}
 
-    // --- MNTP full algorithm in Step mode ---
-    let (mntp_summary, mntp_polls, mntp_energy) = {
+/// MNTP full algorithm in Step mode.
+fn three_way_mntp_arm(seed: u64, duration: u64) -> (Summary, u64, f64) {
+    use sntp::{EnergyMeter, EnergyModel};
+    let airtime = THREE_WAY_AIRTIME;
+    {
         let mut tb = Testbed::wireless(TestbedConfig::default(), seed + 10);
         let mut pool = default_pool(seed + 11);
         let mut clock = ClockMode::free_running_default().build(seed + 12);
@@ -88,10 +121,14 @@ pub fn three_way(seed: u64, duration: u64) -> ThreeWayResult {
             }
         }
         (Summary::of(&errors), polls, meter.total_j())
-    };
+    }
+}
 
-    // --- ntpd ---
-    let (ntpd_summary, ntpd_polls, ntpd_energy) = {
+/// ntpd over the same conditions.
+fn three_way_ntpd_arm(seed: u64, duration: u64) -> (Summary, u64, f64) {
+    use sntp::{EnergyMeter, EnergyModel};
+    let airtime = THREE_WAY_AIRTIME;
+    {
         let mut tb = Testbed::wireless(TestbedConfig::default(), seed + 20);
         let mut pool = default_pool(seed + 21);
         let mut clock = ClockMode::free_running_default().build(seed + 22);
@@ -106,14 +143,6 @@ pub fn three_way(seed: u64, duration: u64) -> ThreeWayResult {
             meter.record_transfer(i as f64 * spacing, airtime);
         }
         (Summary::of(&errors), run.polls_sent, meter.total_j())
-    };
-
-    ThreeWayResult {
-        sntp: sntp_summary,
-        mntp: mntp_summary,
-        ntpd: ntpd_summary,
-        polls: (sntp_polls, mntp_polls, ntpd_polls),
-        energy_j: (sntp_energy, mntp_energy, ntpd_energy),
     }
 }
 
@@ -199,14 +228,21 @@ fn run_policy(label: &'static str, policy: VendorPolicy, days: u64, seed: u64) -
     (label, Summary::of(&errors), polls)
 }
 
-/// Run the vendor demonstration.
+/// Run the vendor demonstration (pool sized from `MNTP_JOBS`).
 pub fn vendor_policies(seed: u64, days: u64) -> VendorResult {
+    vendor_policies_on(&devtools::par::Pool::from_env(), seed, days)
+}
+
+/// [`vendor_policies`] over an explicit pool — one independent trial
+/// per policy.
+pub fn vendor_policies_on(pool: &devtools::par::Pool, seed: u64, days: u64) -> VendorResult {
+    let specs: Vec<(&'static str, VendorPolicy, u64)> = vec![
+        ("Android KitKat (daily, 5 s threshold)", VendorPolicy::android_kitkat(), seed),
+        ("Windows Mobile (weekly)", VendorPolicy::windows_mobile(), seed + 100),
+        ("5 s measurement poll", VendorPolicy::measurement(3600), seed + 200),
+    ];
     VendorResult {
-        rows: vec![
-            run_policy("Android KitKat (daily, 5 s threshold)", VendorPolicy::android_kitkat(), days, seed),
-            run_policy("Windows Mobile (weekly)", VendorPolicy::windows_mobile(), days, seed + 100),
-            run_policy("5 s measurement poll", VendorPolicy::measurement(3600), days, seed + 200),
-        ],
+        rows: pool.map(specs, |(label, policy, s)| run_policy(label, policy, days, s)),
     }
 }
 
@@ -332,6 +368,16 @@ pub struct AutotuneResult {
 
 /// Run both engines (Step mode, same seeds) for `duration` seconds.
 pub fn autotune_comparison(seed: u64, duration: u64) -> AutotuneResult {
+    autotune_comparison_on(&devtools::par::Pool::from_env(), seed, duration)
+}
+
+/// [`autotune_comparison`] over an explicit pool — the fixed and tuned
+/// engines are independent trials, so they run as a parallel pair.
+pub fn autotune_comparison_on(
+    pool: &devtools::par::Pool,
+    seed: u64,
+    duration: u64,
+) -> AutotuneResult {
     use mntp::{run_full, run_full_autotuned, AutoTuneConfig};
     let cfg = MntpConfig {
         warmup_period_secs: 600.0,
@@ -351,22 +397,30 @@ pub fn autotune_comparison(seed: u64, duration: u64) -> AutotuneResult {
         run.true_error_ms.iter().filter(|(t, _)| *t > 900.0).map(|(_, e)| e.abs()).collect()
     };
 
-    let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
-    let mut pool = default_pool(seed + 1);
-    let mut clock = ClockMode::free_running_default().build(seed + 2);
-    let fixed_run = run_full(cfg.clone(), &mut tb, &mut pool, &mut clock, duration, 1.0);
-
-    let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
-    let mut pool = default_pool(seed + 1);
-    let mut clock = ClockMode::free_running_default().build(seed + 2);
-    let (tuned_run, tuner) = run_full_autotuned(
-        cfg,
-        AutoTuneConfig::default(),
-        &mut tb,
-        &mut pool,
-        &mut clock,
-        duration,
-        1.0,
+    let (fixed_run, (tuned_run, tuner)) = pool.join(
+        {
+            let cfg = cfg.clone();
+            move || {
+                let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+                let mut pool = default_pool(seed + 1);
+                let mut clock = ClockMode::free_running_default().build(seed + 2);
+                run_full(cfg, &mut tb, &mut pool, &mut clock, duration, 1.0)
+            }
+        },
+        move || {
+            let mut tb = Testbed::wireless(TestbedConfig::default(), seed);
+            let mut pool = default_pool(seed + 1);
+            let mut clock = ClockMode::free_running_default().build(seed + 2);
+            run_full_autotuned(
+                cfg,
+                AutoTuneConfig::default(),
+                &mut tb,
+                &mut pool,
+                &mut clock,
+                duration,
+                1.0,
+            )
+        },
     );
 
     AutotuneResult {
@@ -419,26 +473,33 @@ pub struct ScenarioRow {
 }
 
 /// Sweep MNTP vs SNTP across the named deployment scenarios (§7's
-/// "wider variety of WiFi settings"), NTP-corrected clock.
+/// "wider variety of WiFi settings"), NTP-corrected clock. Pool sized
+/// from `MNTP_JOBS`.
 pub fn scenario_sweep(seed: u64, duration: u64) -> Vec<ScenarioRow> {
+    scenario_sweep_on(&devtools::par::Pool::from_env(), seed, duration)
+}
+
+/// [`scenario_sweep`] over an explicit pool — one trial per scenario.
+pub fn scenario_sweep_on(
+    pool: &devtools::par::Pool,
+    seed: u64,
+    duration: u64,
+) -> Vec<ScenarioRow> {
     use crate::harness::paired_run;
-    netsim::scenarios::all()
-        .into_iter()
-        .map(|sc| {
-            let mut tb = Testbed::wireless(sc.config, seed);
-            let mut pool = default_pool(seed + 1);
-            let mut clock = ClockMode::NtpCorrected.build(seed + 2);
-            let cfg = MntpConfig::baseline(5.0);
-            let run = paired_run(&mut tb, None, &mut pool, &mut clock, duration, 5.0, &cfg);
-            let mntp: Vec<f64> = run.mntp_accepted().iter().map(|o| o.abs()).collect();
-            ScenarioRow {
-                name: sc.name,
-                sntp: Summary::of(&run.sntp_abs()),
-                mntp: Summary::of(&mntp),
-                deferred: run.mntp_deferrals(),
-            }
-        })
-        .collect()
+    pool.map(netsim::scenarios::all(), |sc| {
+        let mut tb = Testbed::wireless(sc.config, seed);
+        let mut pool = default_pool(seed + 1);
+        let mut clock = ClockMode::NtpCorrected.build(seed + 2);
+        let cfg = MntpConfig::baseline(5.0);
+        let run = paired_run(&mut tb, None, &mut pool, &mut clock, duration, 5.0, &cfg);
+        let mntp: Vec<f64> = run.mntp_accepted().iter().map(|o| o.abs()).collect();
+        ScenarioRow {
+            name: sc.name,
+            sntp: Summary::of(&run.sntp_abs()),
+            mntp: Summary::of(&mntp),
+            deferred: run.mntp_deferrals(),
+        }
+    })
 }
 
 /// Render the scenario sweep.

@@ -45,6 +45,13 @@ pub fn run(seed: u64, duration: u64) -> HeadToHead {
     summarize(run)
 }
 
+/// Run one trial per seed, fanned out over the work-stealing pool. Each
+/// trial owns its `SimRng` streams, so the returned vector is
+/// bit-identical to running [`run`] serially per seed, in seed order.
+pub fn run_seeds(pool: &devtools::par::Pool, seeds: &[u64], duration: u64) -> Vec<HeadToHead> {
+    pool.map(seeds.to_vec(), |seed| run(seed, duration))
+}
+
 /// Build the summaries.
 pub fn summarize(run: PairedRun) -> HeadToHead {
     let sntp_abs = Summary::of(&run.sntp_abs());
@@ -118,10 +125,11 @@ mod tests {
     #[test]
     fn mntp_beats_sntp_by_paper_margin() {
         // Average over seeds: the paper reports one run; we check the
-        // shape holds across several.
+        // shape holds across several. The multi-seed fan-out runs the
+        // trials through the pool.
+        let pool = devtools::par::Pool::from_env();
         let mut factors = Vec::new();
-        for seed in [31, 32, 33] {
-            let r = run(seed, 3600);
+        for r in run_seeds(&pool, &[31, 32, 33], 3600) {
             assert!(r.mntp_abs.n >= 20, "accepted {}", r.mntp_abs.n);
             assert!(r.mntp_abs.max < 80.0, "MNTP max {}", r.mntp_abs.max);
             assert!(r.sntp_abs.max > 150.0, "SNTP max {}", r.sntp_abs.max);

@@ -23,6 +23,12 @@ pub fn run(seed: u64, duration: u64) -> HeadToHead {
     summarize(run)
 }
 
+/// Run one trial per seed over the pool; bit-identical to serial
+/// [`run`] calls in seed order (each trial owns its RNG streams).
+pub fn run_seeds(pool: &devtools::par::Pool, seeds: &[u64], duration: u64) -> Vec<HeadToHead> {
+    pool.map(seeds.to_vec(), |seed| run(seed, duration))
+}
+
 /// Render.
 pub fn render(r: &HeadToHead) -> String {
     let mut s = render_with(
@@ -64,9 +70,9 @@ mod tests {
 
     #[test]
     fn sntp_spikes_dwarf_mntp_residuals() {
+        let pool = devtools::par::Pool::from_env();
         let mut ratios = Vec::new();
-        for seed in [52, 53] {
-            let r = run(seed, 3600);
+        for r in run_seeds(&pool, &[52, 53], 3600) {
             let corrected = r.run.mntp_corrected();
             let max_resid = corrected.iter().map(|c| c.abs()).fold(0.0, f64::max);
             let sntp_max = r.sntp_abs.max;

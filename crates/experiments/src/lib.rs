@@ -44,6 +44,7 @@ pub mod fig8;
 pub mod fig9and10;
 pub mod harness;
 pub mod render;
+pub mod repro;
 pub mod table1;
 pub mod table2;
 pub mod validation;

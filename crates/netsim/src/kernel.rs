@@ -1,54 +1,84 @@
 //! The discrete-event executor.
 //!
-//! [`Sim<W>`] owns a priority queue of `(time, closure)` entries over a
+//! [`Sim<W>`] owns a priority queue of `(time, callback)` entries over a
 //! caller-supplied world type `W`. Events fire in time order; events
 //! scheduled for the same instant fire in scheduling order (a monotone
 //! sequence number breaks ties), which makes runs bit-reproducible.
 //!
-//! The executor is deliberately synchronous and single-threaded: the
-//! workloads in this reproduction are hours of simulated time with a few
-//! events per second, where determinism and debuggability beat
-//! parallelism.
+//! The executor is deliberately synchronous and single-threaded: runs
+//! parallelize at the *trial* level (`devtools::par`), never inside one
+//! simulation, which is what keeps every run bit-reproducible.
+//!
+//! ## Hot-path layout
+//!
+//! The priority queue is split into two structures so the comparisons a
+//! heap sift performs stay cheap and the event payloads never move:
+//!
+//! * a [`BinaryHeap`] of packed `u128` keys — `(biased time, sequence,
+//!   slot)` in one integer, so an entire heap entry is 16 bytes and a
+//!   comparison is a single wide-integer compare;
+//! * a slab of event callbacks indexed by slot, with a free list so the
+//!   dominant periodic-poll pattern (pop one event, schedule the next
+//!   tick) recycles the same slot instead of growing the arena.
+//!
+//! Callbacks come in two flavors: [`Sim::schedule_fn_at`] takes a plain
+//! `fn` pointer (the periodic ticks that dominate every workload —
+//! zero allocation, direct call), while [`Sim::schedule_at`] accepts any
+//! capturing closure and boxes it.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use clocksim::time::SimTime;
 
-/// Boxed event callback: receives the world and the simulator (so it can
-/// schedule follow-up events).
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// An event callback: receives the world and the simulator (so it can
+/// schedule follow-up events). `Plain` is the allocation-free fast path
+/// for capture-less periodic ticks; `Boxed` carries arbitrary closures.
+enum EventFn<W> {
+    Plain(fn(&mut W, &mut Sim<W>)),
+    Boxed(Box<dyn FnOnce(&mut W, &mut Sim<W>)>),
 }
 
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<W> EventFn<W> {
+    #[inline]
+    fn call(self, world: &mut W, sim: &mut Sim<W>) {
+        match self {
+            EventFn::Plain(f) => f(world, sim),
+            EventFn::Boxed(f) => f(world, sim),
+        }
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Pack `(at, seq, slot)` into one orderable integer. The time is
+/// sign-flipped into the top 64 bits (so `i64` order survives the
+/// unsigned compare), the 32-bit sequence sits above the 32-bit slot;
+/// `seq` alone already makes keys unique among pending events, the slot
+/// just rides along to locate the callback.
+#[inline]
+fn pack_key(at: SimTime, seq: u32, slot: u32) -> u128 {
+    let biased = (at.as_nanos() as u64) ^ (1u64 << 63);
+    ((biased as u128) << 64) | ((seq as u128) << 32) | slot as u128
 }
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event wins.
-        // Ties broken by sequence number: earlier-scheduled fires first.
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
+
+#[inline]
+fn key_time(key: u128) -> SimTime {
+    SimTime((((key >> 64) as u64) ^ (1u64 << 63)) as i64)
+}
+
+#[inline]
+fn key_slot(key: u128) -> u32 {
+    key as u32
 }
 
 /// Discrete-event simulator over world type `W`.
 pub struct Sim<W> {
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Entry<W>>,
+    seq: u32,
+    heap: BinaryHeap<Reverse<u128>>,
+    /// Slab of pending callbacks, addressed by the slot packed into the
+    /// heap key. `None` marks a free slot (tracked in `free`).
+    slots: Vec<Option<EventFn<W>>>,
+    free: Vec<u32>,
     fired: u64,
 }
 
@@ -61,7 +91,14 @@ impl<W> Default for Sim<W> {
 impl<W> Sim<W> {
     /// A simulator positioned at the epoch with an empty queue.
     pub fn new() -> Self {
-        Sim { now: SimTime::ZERO, seq: 0, heap: BinaryHeap::new(), fired: 0 }
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            fired: 0,
+        }
     }
 
     /// Current simulation time (the time of the last fired event, or the
@@ -80,13 +117,40 @@ impl<W> Sim<W> {
         self.heap.len()
     }
 
+    fn push(&mut self, at: SimTime, f: EventFn<W>) {
+        // Clamp to now: scheduling in the past fires at the current time
+        // instead (never travels backwards).
+        let at = at.max(self.now);
+        let seq = self.seq;
+        // Sequence numbers order same-instant events. 32 bits only wrap
+        // after 4 billion schedules in one run — far past any workload
+        // here — and even a wrap would stay deterministic.
+        self.seq = self.seq.wrapping_add(1);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(f);
+                s
+            }
+            None => {
+                self.slots.push(Some(f));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Reverse(pack_key(at, seq, slot)));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventFn<W>)> {
+        let Reverse(key) = self.heap.pop()?;
+        let slot = key_slot(key);
+        let f = self.slots[slot as usize].take().expect("queued slot holds a callback");
+        self.free.push(slot);
+        Some((key_time(key), f))
+    }
+
     /// Schedule `f` at absolute time `at`. Scheduling in the past fires the
     /// event at the current time instead (never travels backwards).
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { at, seq, f: Box::new(f) });
+        self.push(at, EventFn::Boxed(Box::new(f)));
     }
 
     /// Schedule `f` after a relative delay.
@@ -98,17 +162,29 @@ impl<W> Sim<W> {
         self.schedule_at(self.now + delay.max_zero(), f);
     }
 
+    /// Schedule a plain function pointer at absolute time `at` — the
+    /// allocation-free fast path for capture-less events (periodic polls,
+    /// cross-traffic ticks).
+    pub fn schedule_fn_at(&mut self, at: SimTime, f: fn(&mut W, &mut Sim<W>)) {
+        self.push(at, EventFn::Plain(f));
+    }
+
+    /// Schedule a plain function pointer after a relative delay.
+    pub fn schedule_fn_in(&mut self, delay: clocksim::time::SimDuration, f: fn(&mut W, &mut Sim<W>)) {
+        self.schedule_fn_at(self.now + delay.max_zero(), f);
+    }
+
     /// Fire every event with `at <= t`, then advance the clock to exactly
     /// `t`. Events may schedule new events, including at the current time.
     pub fn run_until(&mut self, world: &mut W, t: SimTime) {
-        while let Some(head) = self.heap.peek() {
-            if head.at > t {
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if key_time(key) > t {
                 break;
             }
-            let entry = self.heap.pop().expect("peeked entry exists");
-            self.now = entry.at;
+            let (at, f) = self.pop().expect("peeked entry exists");
+            self.now = at;
             self.fired += 1;
-            (entry.f)(world, self);
+            f.call(world, self);
         }
         if t > self.now {
             self.now = t;
@@ -117,10 +193,10 @@ impl<W> Sim<W> {
 
     /// Fire events until the queue drains (for self-terminating workloads).
     pub fn run_to_completion(&mut self, world: &mut W) {
-        while let Some(entry) = self.heap.pop() {
-            self.now = entry.at;
+        while let Some((at, f)) = self.pop() {
+            self.now = at;
             self.fired += 1;
-            (entry.f)(world, self);
+            f.call(world, self);
         }
     }
 }
@@ -219,6 +295,52 @@ mod tests {
         sim.run_to_completion(&mut world);
         assert_eq!(world, 100);
         assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_by_periodic_pattern() {
+        // The dominant workload: one event fires, schedules its successor.
+        // The slab must stay at one live slot instead of growing.
+        struct W {
+            count: u32,
+        }
+        fn tick(w: &mut W, sim: &mut Sim<W>) {
+            w.count += 1;
+            if w.count < 10_000 {
+                sim.schedule_fn_in(SimDuration::from_millis(1), tick);
+            }
+        }
+        let mut sim = Sim::new();
+        let mut world = W { count: 0 };
+        sim.schedule_fn_at(SimTime::ZERO, tick);
+        sim.run_to_completion(&mut world);
+        assert_eq!(world.count, 10_000);
+        assert_eq!(sim.slots.len(), 1, "periodic reschedule must reuse one slot");
+    }
+
+    #[test]
+    fn fn_and_boxed_events_interleave_in_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        fn plain(w: &mut Vec<u32>, _: &mut Sim<Vec<u32>>) {
+            w.push(1);
+        }
+        sim.schedule_fn_at(SimTime::from_secs(1), plain);
+        let x = 2u32;
+        sim.schedule_at(SimTime::from_secs(1), move |w: &mut Vec<u32>, _| w.push(x));
+        sim.schedule_fn_at(SimTime::from_secs(1), plain);
+        sim.run_until(&mut world, SimTime::from_secs(1));
+        assert_eq!(world, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn key_packing_orders_by_time_then_seq() {
+        let t0 = SimTime::from_secs(0);
+        let t1 = SimTime::from_secs(1);
+        assert!(pack_key(t0, 5, 99) < pack_key(t1, 0, 0));
+        assert!(pack_key(t1, 0, 7) < pack_key(t1, 1, 0));
+        assert_eq!(key_time(pack_key(t1, 3, 4)), t1);
+        assert_eq!(key_slot(pack_key(t1, 3, 4)), 4);
     }
 
     #[test]

@@ -172,6 +172,55 @@ impl Default for WifiConfig {
     }
 }
 
+/// Cached per-step OU/ramp coefficients. `advance_to` is called once per
+/// transmitted frame and per hint read; the overwhelmingly common case is
+/// a fixed sampling cadence (5 s polls, 100 ms ticks), where `dt` repeats
+/// and the three `exp` plus two `sqrt` evaluations per step can be reused
+/// verbatim. Keyed on `dt`: any change recomputes, so results are
+/// bit-identical to the uncached math for *every* call pattern.
+#[derive(Clone, Debug)]
+struct StepCoeffs {
+    /// The `dt` these coefficients were computed for (`NaN` = never).
+    dt: f64,
+    /// `exp(-dt/shadow_tau)`.
+    shadow_a: f64,
+    /// `shadow_sigma * sqrt(1 - shadow_a²)`.
+    shadow_c: f64,
+    /// `exp(-dt/noise_jitter_tau)`.
+    noise_a: f64,
+    /// `noise_jitter_sigma * sqrt(1 - noise_a²)`.
+    noise_c: f64,
+    /// `exp(-dt/util_ramp_tau)`.
+    util_a: f64,
+}
+
+impl StepCoeffs {
+    fn empty() -> Self {
+        StepCoeffs {
+            dt: f64::NAN,
+            shadow_a: 0.0,
+            shadow_c: 0.0,
+            noise_a: 0.0,
+            noise_c: 0.0,
+            util_a: 0.0,
+        }
+    }
+
+    #[inline]
+    fn for_dt(cfg: &WifiConfig, dt: f64) -> Self {
+        let shadow_a = (-dt / cfg.shadow_tau_secs).exp();
+        let noise_a = (-dt / cfg.noise_jitter_tau_secs).exp();
+        StepCoeffs {
+            dt,
+            shadow_a,
+            shadow_c: cfg.shadow_sigma_db * (1.0 - shadow_a * shadow_a).sqrt(),
+            noise_a,
+            noise_c: cfg.noise_jitter_sigma_db * (1.0 - noise_a * noise_a).sqrt(),
+            util_a: (-dt / cfg.util_ramp_tau_secs).exp(),
+        }
+    }
+}
+
 /// Live channel state.
 #[derive(Clone, Debug)]
 pub struct WifiChannel {
@@ -182,6 +231,7 @@ pub struct WifiChannel {
     utilization: f64,
     target_utilization: f64,
     last_update: SimTime,
+    coeffs: StepCoeffs,
     rng: SimRng,
 }
 
@@ -197,6 +247,7 @@ impl WifiChannel {
             utilization: 0.05,
             target_utilization: 0.05,
             last_update: SimTime::ZERO,
+            coeffs: StepCoeffs::empty(),
             rng,
         }
     }
@@ -207,20 +258,16 @@ impl WifiChannel {
         if dt <= 0.0 {
             return;
         }
-        let ou = |x: f64, sigma: f64, tau: f64, rng: &mut SimRng| {
-            let a = (-dt / tau).exp();
-            x * a + sigma * (1.0 - a * a).sqrt() * rng.gauss()
-        };
-        self.shadow_db = ou(self.shadow_db, self.cfg.shadow_sigma_db, self.cfg.shadow_tau_secs, &mut self.rng);
-        self.noise_jitter_db = ou(
-            self.noise_jitter_db,
-            self.cfg.noise_jitter_sigma_db,
-            self.cfg.noise_jitter_tau_secs,
-            &mut self.rng,
-        );
+        // `NaN != NaN`, so the first step always computes.
+        if self.coeffs.dt != dt {
+            self.coeffs = StepCoeffs::for_dt(&self.cfg, dt);
+        }
+        let c = &self.coeffs;
+        self.shadow_db = self.shadow_db * c.shadow_a + c.shadow_c * self.rng.gauss();
+        self.noise_jitter_db = self.noise_jitter_db * c.noise_a + c.noise_c * self.rng.gauss();
         // Utilization ramps toward its target.
-        let a = (-dt / self.cfg.util_ramp_tau_secs).exp();
-        self.utilization = self.target_utilization + (self.utilization - self.target_utilization) * a;
+        self.utilization =
+            self.target_utilization + (self.utilization - self.target_utilization) * c.util_a;
         self.last_update = t;
     }
 
@@ -502,6 +549,27 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn coeff_cache_invalidates_on_dt_change() {
+        // Small steps prime the cache with dt=1 coefficients; the
+        // following dt=100 step must recompute (a stale exp(-1/4) would
+        // leave utilization visibly short of its target).
+        let mut ch = quiet_channel(13);
+        ch.set_utilization(0.9);
+        for i in 1..=5 {
+            ch.advance_to(SimTime::from_secs(i));
+        }
+        ch.advance_to(SimTime::from_secs(105));
+        assert!(ch.utilization() > 0.899, "u={}", ch.utilization());
+        // And back to a small step: shadow fading must keep moving on
+        // freshly small coefficients, not the dt=100 ones (a≈0 would make
+        // successive samples nearly independent at full σ; with dt=1 the
+        // step-to-step change is bounded by c ≈ σ·sqrt(1-a²) ≈ 0.84 dB·g).
+        let r1 = ch.hints(SimTime::from_secs(106)).rssi_dbm;
+        let r2 = ch.hints(SimTime::from_secs(107)).rssi_dbm;
+        assert!((r1 - r2).abs() < 3.0 * 0.84 * 3.0, "dt=1 steps should be correlated");
     }
 
     #[test]

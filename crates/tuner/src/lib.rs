@@ -13,8 +13,9 @@
 //!   offsets MNTP would have produced, plus the number of requests it
 //!   would have emitted.
 //! * [`search`] — sweeps the four MNTP parameters over caller-provided
-//!   grids, runs the emulator for every combination (in parallel via
-//!   `std::thread::scope` scoped threads), and ranks configurations by the RMSE
+//!   grids, runs the emulator for every combination (fanned out over the
+//!   in-tree `devtools::par` work-stealing pool, honoring `MNTP_JOBS`),
+//!   and ranks configurations by the RMSE
 //!   of their corrected offsets against a perfectly synchronized clock —
 //!   regenerating the paper's Table 2.
 //!
@@ -34,5 +35,5 @@ pub mod trace;
 
 pub use emulator::{emulate, EmulationResult};
 pub use logger::record_trace;
-pub use search::{grid_search, ParamGrid, SearchResult};
+pub use search::{grid_search, grid_search_on, ParamGrid, SearchResult};
 pub use trace::{Trace, TraceRow};

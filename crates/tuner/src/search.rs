@@ -5,8 +5,13 @@
 //! and invokes the emulator for each generated combination", then ranks
 //! configurations by RMSE of the reported offsets against a perfectly
 //! synchronized clock (§5.3). Combinations are independent, so the sweep
-//! fans out over `std::thread::scope` scoped threads.
+//! fans out over the [`devtools::par`] work-stealing pool: a slow
+//! parameter combination (long warmup ⇒ many emulated exchanges) no
+//! longer idles a whole chunk's worth of siblings, and the
+//! order-preserving map plus a stable sort keeps the ranking
+//! byte-identical to the serial sweep at any `MNTP_JOBS`.
 
+use devtools::par::Pool;
 use mntp::MntpConfig;
 
 use crate::emulator::{emulate, EmulationResult};
@@ -68,40 +73,36 @@ pub struct SearchResult {
 }
 
 /// Run the grid search over `trace`, ranked best (lowest RMSE) first.
-/// `base` supplies every non-swept configuration field.
+/// `base` supplies every non-swept configuration field. Fans out over a
+/// pool sized from `MNTP_JOBS` / the machine; see [`grid_search_on`].
 pub fn grid_search(base: &MntpConfig, grid: &ParamGrid, trace: &Trace) -> Vec<SearchResult> {
-    let combos = grid.combinations();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(combos.len().max(1));
-    let chunks: Vec<&[(f64, f64, f64, f64)]> =
-        combos.chunks(combos.len().div_ceil(workers.max(1)).max(1)).collect();
-    let mut results: Vec<SearchResult> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&(wp, ww, rw, rp)| {
-                            let cfg = MntpConfig {
-                                warmup_period_secs: wp * 60.0,
-                                warmup_wait_secs: ww * 60.0,
-                                regular_wait_secs: rw * 60.0,
-                                reset_period_secs: rp * 60.0,
-                                ..base.clone()
-                            };
-                            let result = emulate(&cfg, trace);
-                            SearchResult {
-                                params: (wp, ww, rw, rp),
-                                rmse_ms: result.rmse_ms(),
-                                requests: result.requests,
-                                result,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    grid_search_on(&Pool::from_env(), base, grid, trace)
+}
+
+/// [`grid_search`] over an explicit pool. The combination→result map
+/// preserves grid order and the rank sort is stable, so the returned
+/// ranking is byte-identical for every worker count.
+pub fn grid_search_on(
+    pool: &Pool,
+    base: &MntpConfig,
+    grid: &ParamGrid,
+    trace: &Trace,
+) -> Vec<SearchResult> {
+    let mut results = pool.map(grid.combinations(), |(wp, ww, rw, rp)| {
+        let cfg = MntpConfig {
+            warmup_period_secs: wp * 60.0,
+            warmup_wait_secs: ww * 60.0,
+            regular_wait_secs: rw * 60.0,
+            reset_period_secs: rp * 60.0,
+            ..base.clone()
+        };
+        let result = emulate(&cfg, trace);
+        SearchResult {
+            params: (wp, ww, rw, rp),
+            rmse_ms: result.rmse_ms(),
+            requests: result.requests,
+            result,
+        }
     });
     results.sort_by(|a, b| a.rmse_ms.partial_cmp(&b.rmse_ms).expect("no NaN rmse"));
     results
@@ -170,6 +171,24 @@ mod tests {
         let long = results.iter().find(|r| r.params.0 == 120.0).unwrap();
         assert!(long.requests > short.requests);
         assert!(long.rmse_ms <= short.rmse_ms + 1.0, "long={} short={}", long.rmse_ms, short.rmse_ms);
+    }
+
+    #[test]
+    fn ranking_identical_across_worker_counts() {
+        // The determinism contract: serial (jobs=1) and heavily
+        // oversubscribed (jobs=8) sweeps must produce the same ranking
+        // with bitwise-equal statistics.
+        let g = ParamGrid::paper_table2();
+        let tr = trace();
+        let fingerprint = |pool: &Pool| -> Vec<(u64, u64, (f64, f64, f64, f64))> {
+            grid_search_on(pool, &MntpConfig::default(), &g, &tr)
+                .into_iter()
+                .map(|r| (r.rmse_ms.to_bits(), r.requests, r.params))
+                .collect()
+        };
+        let serial = fingerprint(&Pool::with_jobs(1));
+        assert_eq!(fingerprint(&Pool::with_jobs(8)), serial);
+        assert_eq!(fingerprint(&Pool::with_jobs(3)), serial);
     }
 
     #[test]

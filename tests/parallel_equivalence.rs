@@ -1,0 +1,88 @@
+//! The determinism contract of `devtools::par`, checked end to end:
+//! running the same workload serially (`jobs = 1`) and heavily
+//! oversubscribed (`jobs = 8`, on any machine) must produce
+//! **byte-identical** artifacts — the pool is an execution detail, never
+//! an observable one.
+
+use std::path::Path;
+
+use devtools::par::Pool;
+use experiments::repro;
+use mntp::MntpConfig;
+use netsim::WirelessHints;
+use tuner::{grid_search_on, ParamGrid, Trace, TraceRow};
+
+fn read_artifacts(dir: &Path, ids: &[&str]) -> Vec<(String, Vec<u8>)> {
+    ids.iter()
+        .map(|id| {
+            let path = dir.join(format!("{id}.txt"));
+            let body = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()));
+            (id.to_string(), body)
+        })
+        .collect()
+}
+
+/// One real figure pipeline through the `repro` orchestrator: the
+/// written artifact bytes must not depend on the worker count.
+#[test]
+fn repro_artifacts_identical_serial_vs_parallel() {
+    let ids = ["fig6", "ablations"];
+    let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        let out_dir = std::env::temp_dir().join(format!("mntp_equiv_{tag}"));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let opts = repro::Options {
+            quick: true,
+            selected: ids.iter().map(|s| s.to_string()).collect(),
+            out_dir: out_dir.clone(),
+            jobs: Some(jobs),
+            print: false,
+        };
+        let report = repro::run(&opts);
+        assert!(report.write_failures.is_empty(), "write failures: {:?}", report.write_failures);
+        let arts = read_artifacts(&out_dir, &ids);
+        let _ = std::fs::remove_dir_all(&out_dir);
+        arts
+    };
+    let serial = run_with(1, "serial");
+    let parallel = run_with(8, "parallel");
+    for ((id, a), (_, b)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a, b, "artifact {id}.txt differs between jobs=1 and jobs=8");
+    }
+}
+
+/// The tuner's grid search: ranking, statistics, and bit patterns must
+/// match between worker counts.
+#[test]
+fn grid_search_identical_serial_vs_parallel() {
+    let mut rows = Vec::new();
+    let mut t = 0.0;
+    let mut i = 0usize;
+    while t <= 2.0 * 3600.0 {
+        let o = -0.03 * t + [0.4, -0.6, 0.2, -0.1][i % 4];
+        let spike = if i % 17 == 16 { 250.0 } else { 0.0 };
+        rows.push(TraceRow {
+            t_secs: t,
+            hints: Some(WirelessHints { rssi_dbm: -60.0, noise_dbm: -92.0 }),
+            offsets_ms: vec![Some(o + spike), Some(o + 0.3), Some(o - 0.3)],
+        });
+        t += 5.0;
+        i += 1;
+    }
+    let trace = Trace { rows, interval_secs: 5.0 };
+    let grid = ParamGrid {
+        warmup_period_min: vec![10.0, 30.0, 60.0],
+        warmup_wait_min: vec![0.084, 0.25],
+        regular_wait_min: vec![15.0],
+        reset_period_min: vec![240.0],
+    };
+    let fingerprint = |jobs: usize| -> Vec<(u64, u64, (f64, f64, f64, f64))> {
+        grid_search_on(&Pool::with_jobs(jobs), &MntpConfig::default(), &grid, &trace)
+            .into_iter()
+            .map(|r| (r.rmse_ms.to_bits(), r.requests, r.params))
+            .collect()
+    };
+    let serial = fingerprint(1);
+    assert!(!serial.is_empty());
+    assert_eq!(fingerprint(8), serial, "jobs=8 diverged from the serial sweep");
+}

@@ -1,0 +1,47 @@
+//! End-to-end smoke test for the `repro` orchestrator: a full `--quick`
+//! run must produce every expected artifact, non-empty, with no write
+//! failures.
+//!
+//! Ignored by default — it regenerates every quick-mode figure, which
+//! takes minutes in debug builds. Run it with:
+//!
+//! ```text
+//! cargo test --release --test repro_smoke -- --ignored
+//! ```
+
+use experiments::repro;
+
+#[test]
+#[ignore = "runs the full quick repro suite; minutes in debug builds"]
+fn quick_run_produces_every_artifact() {
+    let out_dir = std::env::temp_dir().join("mntp_repro_smoke");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let opts = repro::Options {
+        quick: true,
+        selected: Vec::new(),
+        out_dir: out_dir.clone(),
+        jobs: None,
+        print: false,
+    };
+    let report = repro::run(&opts);
+    assert!(
+        report.write_failures.is_empty(),
+        "write failures: {:?}",
+        report.write_failures
+    );
+
+    let expected = repro::expected_ids(true);
+    assert_eq!(
+        report.written.len(),
+        expected.len(),
+        "written {:?}",
+        report.written.iter().map(|(id, _)| id).collect::<Vec<_>>()
+    );
+    for id in expected {
+        let path = out_dir.join(format!("{id}.txt"));
+        let meta = std::fs::metadata(&path)
+            .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()));
+        assert!(meta.len() > 0, "artifact {id}.txt is empty");
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
