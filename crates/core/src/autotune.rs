@@ -77,6 +77,9 @@ impl AutoTuner {
                 self.increases += 1;
             }
             SampleVerdict::Rejected { .. } => self.backoff(),
+            // Just back from an outage: sample eagerly while the fresh
+            // warmup rebuilds trust in the trend.
+            SampleVerdict::Recovered { .. } => self.backoff(),
         }
         self.wait_secs
     }

@@ -54,6 +54,16 @@ pub struct MntpConfig {
     pub drift_correction: bool,
     /// What to do with accepted offsets.
     pub apply_mode: ApplyMode,
+
+    // ---- robustness / holdover knobs (beyond the paper) ----
+    /// Consecutive regular-phase query failures before the engine gives
+    /// up on the network and enters holdover.
+    pub holdover_after_failures: u32,
+    /// First holdover probe interval, seconds; doubles per further
+    /// failure…
+    pub holdover_base_wait_secs: f64,
+    /// …capped here, seconds.
+    pub holdover_max_wait_secs: f64,
 }
 
 impl Default for MntpConfig {
@@ -75,6 +85,9 @@ impl Default for MntpConfig {
             reestimate_drift: true,
             drift_correction: true,
             apply_mode: ApplyMode::RecordOnly,
+            holdover_after_failures: 3,
+            holdover_base_wait_secs: 30.0,
+            holdover_max_wait_secs: 480.0,
         }
     }
 }

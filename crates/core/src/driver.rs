@@ -9,11 +9,14 @@
 
 use clocksim::time::{SimDuration, SimTime};
 use clocksim::{ClockControl, SimClock};
-use netsim::{Testbed, WirelessHints};
-use sntp::{perform_exchange, ServerPool};
+use netsim::{FaultInjector, Testbed, WirelessHints};
+use sntp::{
+    perform_exchange, perform_exchange_faulted, ExchangeError, HealthConfig, HealthTracker,
+    ServerPool,
+};
 
 use crate::config::MntpConfig;
-use crate::engine::{Mntp, MntpAction, SampleVerdict};
+use crate::engine::{Mntp, MntpAction, Phase, SampleVerdict};
 use crate::filter::TrendFilter;
 use crate::gate::HintGate;
 
@@ -41,6 +44,24 @@ pub enum QueryOutcome {
     Rejected {
         /// The rejected offset, ms.
         offset_ms: f64,
+    },
+    /// First successful sample after a holdover outage: the engine
+    /// corrected the clock and restarted warmup.
+    Recovered {
+        /// The offset observed at recovery, ms.
+        offset_ms: f64,
+    },
+    /// A holdover-phase probe failed; the engine keeps freewheeling on
+    /// the fitted drift.
+    HoldoverFailed {
+        /// The trend model's offset prediction at the failed probe, ms
+        /// (`None` if no trend was ever fitted).
+        predicted_ms: Option<f64>,
+    },
+    /// The selected server answered with a kiss-o'-death packet.
+    KissODeath {
+        /// The ASCII kiss code (e.g. `*b"RATE"`).
+        code: [u8; 4],
     },
 }
 
@@ -91,6 +112,33 @@ impl MntpRun {
     /// Count of deferred query instants.
     pub fn deferrals(&self) -> usize {
         self.records.iter().filter(|r| r.outcome == QueryOutcome::Deferred).count()
+    }
+
+    /// Count of kiss-o'-death replies received.
+    pub fn kod_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, QueryOutcome::KissODeath { .. }))
+            .count()
+    }
+
+    /// Count of failed holdover probes.
+    pub fn holdover_failures(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, QueryOutcome::HoldoverFailed { .. }))
+            .count()
+    }
+
+    /// `(t_secs, offset_ms)` of every post-outage recovery.
+    pub fn recoveries(&self) -> Vec<(f64, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                QueryOutcome::Recovered { offset_ms } => Some((r.t_secs, offset_ms)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -158,6 +206,9 @@ pub fn run_full(
                             }
                             SampleVerdict::Rejected { offset_ms } => {
                                 QueryOutcome::Rejected { offset_ms }
+                            }
+                            SampleVerdict::Recovered { offset_ms } => {
+                                QueryOutcome::Recovered { offset_ms }
                             }
                         }
                     }
@@ -243,6 +294,9 @@ pub fn run_full_autotuned(
                             SampleVerdict::Rejected { offset_ms } => {
                                 QueryOutcome::Rejected { offset_ms }
                             }
+                            SampleVerdict::Recovered { offset_ms } => {
+                                QueryOutcome::Recovered { offset_ms }
+                            }
                         }
                     }
                     Err(_) => {
@@ -263,6 +317,165 @@ pub fn run_full_autotuned(
         }
     }
     (run, tuner)
+}
+
+/// Configuration of the hardened, fault-aware driver.
+#[derive(Clone, Debug)]
+pub struct RobustConfig {
+    /// Per-query round-trip budget, seconds; replies arriving later are
+    /// abandoned and the query counts as failed.
+    pub timeout_secs: f64,
+    /// Per-server health policy (reachability register, demotion bans,
+    /// kiss-o'-death honoring).
+    pub health: HealthConfig,
+    /// Seed for the health tracker's selection RNG.
+    pub health_seed: u64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig { timeout_secs: 1.0, health: HealthConfig::default(), health_seed: 0x4d4e5450 }
+    }
+}
+
+/// Run the full engine through the hardened client stack against a
+/// fault-injecting network.
+///
+/// Identical tick structure to [`run_full`], with three changes:
+///
+/// * server selection goes through a [`HealthTracker`] instead of the
+///   pool's uniform pick, so blackholed / rate-limiting servers are
+///   demoted and traffic fails over;
+/// * every exchange runs under [`perform_exchange_faulted`] with a
+///   per-query timeout, so the injected faults (§ fault model in
+///   DESIGN.md) actually bite;
+/// * kiss-o'-death replies ban the offending server and are recorded as
+///   [`QueryOutcome::KissODeath`]; failed holdover probes are recorded
+///   as [`QueryOutcome::HoldoverFailed`] with the freewheel prediction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_full_faulted(
+    cfg: MntpConfig,
+    rcfg: RobustConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    faults: &mut FaultInjector,
+    duration_secs: u64,
+    tick_secs: f64,
+) -> MntpRun {
+    let mut engine = Mntp::new(cfg);
+    let mut health = HealthTracker::new(pool.len(), rcfg.health.clone(), rcfg.health_seed);
+    let timeout = Some(SimDuration::from_secs_f64(rcfg.timeout_secs));
+    let mut run = MntpRun::default();
+    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
+    for i in 0..=ticks {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
+        let ts = t.as_secs_f64();
+        let hints = testbed.hints(t);
+        let now_local = clock.now(t);
+        let deferred_before = engine.stats.deferred;
+        match engine.on_tick(now_local, hints.as_ref()) {
+            MntpAction::Wait => {
+                if engine.stats.deferred > deferred_before {
+                    run.records.push(MntpRunRecord {
+                        t_secs: ts,
+                        hints,
+                        outcome: QueryOutcome::Deferred,
+                    });
+                }
+            }
+            MntpAction::QueryMultiple(n) => {
+                let ids = health.pick_distinct(n, ts);
+                let mut offsets = Vec::new();
+                for id in ids {
+                    match perform_exchange_faulted(
+                        testbed,
+                        pool.server_mut(id),
+                        clock,
+                        t,
+                        faults,
+                        timeout,
+                    ) {
+                        Ok(done) => {
+                            health.on_success(id, ts);
+                            offsets.push(done.sample.offset.as_millis_f64());
+                        }
+                        Err(ExchangeError::KissODeath(code)) => health.on_kod(id, code, ts),
+                        Err(_) => health.on_failure(id, ts),
+                    }
+                }
+                let outcome = if offsets.is_empty() {
+                    engine.on_query_failed(clock.now(t));
+                    QueryOutcome::Failed
+                } else {
+                    let before = engine.stats.false_tickers_rejected;
+                    engine.on_warmup_round(clock.now(t), &offsets);
+                    QueryOutcome::WarmupRound {
+                        offsets_ms: offsets,
+                        false_tickers: (engine.stats.false_tickers_rejected - before) as usize,
+                    }
+                };
+                run.records.push(MntpRunRecord { t_secs: ts, hints, outcome });
+            }
+            MntpAction::QuerySingle => {
+                let id = health.pick(ts);
+                let outcome = match perform_exchange_faulted(
+                    testbed,
+                    pool.server_mut(id),
+                    clock,
+                    t,
+                    faults,
+                    timeout,
+                ) {
+                    Ok(done) => {
+                        health.on_success(id, ts);
+                        let ms = done.sample.offset.as_millis_f64();
+                        match engine.on_regular_sample(clock.now(t), ms) {
+                            SampleVerdict::Accepted { offset_ms } => {
+                                QueryOutcome::Accepted { offset_ms }
+                            }
+                            SampleVerdict::Rejected { offset_ms } => {
+                                QueryOutcome::Rejected { offset_ms }
+                            }
+                            SampleVerdict::Recovered { offset_ms } => {
+                                QueryOutcome::Recovered { offset_ms }
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        let outcome = match err {
+                            ExchangeError::KissODeath(code) => {
+                                health.on_kod(id, code, ts);
+                                Some(QueryOutcome::KissODeath { code })
+                            }
+                            _ => {
+                                health.on_failure(id, ts);
+                                None
+                            }
+                        };
+                        engine.on_query_failed(clock.now(t));
+                        match outcome {
+                            Some(o) => o,
+                            None if engine.phase() == Phase::Holdover => {
+                                QueryOutcome::HoldoverFailed {
+                                    predicted_ms: engine.predicted_offset_ms(clock.now(t)),
+                                }
+                            }
+                            None => QueryOutcome::Failed,
+                        }
+                    }
+                };
+                run.records.push(MntpRunRecord { t_secs: ts, hints, outcome });
+            }
+        }
+        for cmd in engine.take_commands() {
+            cmd.apply(clock, t);
+        }
+        if (i as f64 * tick_secs) % 5.0 < tick_secs {
+            run.true_error_ms.push((ts, clock.true_error(t).as_millis_f64()));
+        }
+    }
+    run
 }
 
 /// Run the §5.1 baseline: poll every `poll_secs`, gate + filter only, no
@@ -404,6 +617,82 @@ mod tests {
             .collect();
         let worst = late.iter().cloned().fold(0.0, f64::max);
         assert!(worst < 120.0, "worst disciplined error {worst}");
+    }
+
+    #[test]
+    fn faulted_run_survives_total_outage_and_recovers() {
+        use netsim::{FaultKind, FaultSchedule, ServerSet};
+        let go = || {
+            let mut tb = Testbed::wireless(TestbedConfig::default(), 31);
+            let mut pool = ServerPool::new(PoolConfig::default(), 32);
+            let mut c = clock(25.0, 33);
+            let cfg = MntpConfig {
+                warmup_period_secs: 300.0,
+                warmup_wait_secs: 10.0,
+                regular_wait_secs: 30.0,
+                reset_period_secs: 1e9,
+                apply_mode: crate::config::ApplyMode::Step,
+                ..Default::default()
+            };
+            let schedule = FaultSchedule::none().window(
+                1800.0,
+                3000.0,
+                FaultKind::ServerOutage { servers: ServerSet::All },
+            );
+            let mut faults = FaultInjector::new(schedule, 34);
+            run_full_faulted(
+                cfg,
+                RobustConfig::default(),
+                &mut tb,
+                &mut pool,
+                &mut c,
+                &mut faults,
+                5400,
+                1.0,
+            )
+        };
+        let run = go();
+        assert!(run.holdover_failures() > 0, "outage should force holdover probes");
+        let recs = run.recoveries();
+        assert!(!recs.is_empty(), "engine must recover after the outage");
+        assert!(recs[0].0 > 3000.0, "recovery only after the window ends, got {}", recs[0].0);
+        // Bit-identical replay: same seeds, same run.
+        let again = go();
+        assert_eq!(run.records.len(), again.records.len());
+        assert_eq!(run.true_error_ms, again.true_error_ms);
+    }
+
+    #[test]
+    fn faulted_run_records_kiss_o_death() {
+        use netsim::{FaultKind, FaultSchedule, ServerSet};
+        let mut tb = Testbed::wireless(TestbedConfig::default(), 41);
+        let mut pool = ServerPool::new(PoolConfig::default(), 42);
+        let mut c = clock(10.0, 43);
+        let cfg = MntpConfig {
+            warmup_period_secs: 120.0,
+            warmup_wait_secs: 10.0,
+            regular_wait_secs: 20.0,
+            reset_period_secs: 1e9,
+            ..Default::default()
+        };
+        // Every server rate-limits hard during the regular phase.
+        let schedule = FaultSchedule::none().window(
+            300.0,
+            600.0,
+            FaultKind::KissODeath { servers: ServerSet::All, min_poll_secs: 3600.0 },
+        );
+        let mut faults = FaultInjector::new(schedule, 44);
+        let run = run_full_faulted(
+            cfg,
+            RobustConfig::default(),
+            &mut tb,
+            &mut pool,
+            &mut c,
+            &mut faults,
+            900,
+            1.0,
+        );
+        assert!(run.kod_count() > 0, "KoD replies should be recorded");
     }
 
     #[test]

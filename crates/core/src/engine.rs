@@ -23,6 +23,19 @@
 //!   sample against the extended trend line; accepted samples correct
 //!   the clock and (per the §5.3 fix) re-estimate the drift.
 //! * **Reset** (steps 23–24): after `resetPeriod`, restart from warmup.
+//!
+//! Beyond the paper, the engine has a **holdover** phase for graceful
+//! degradation: when `holdover_after_failures` consecutive regular-phase
+//! query rounds fail (servers unreachable), it stops expecting samples
+//! and *freewheels on the fitted drift model* — the frequency trim
+//! already applied keeps the clock running at the estimated true rate,
+//! so error grows at the small residual drift instead of the raw
+//! oscillator skew. Probes continue with capped exponential backoff;
+//! the first successful sample yields [`SampleVerdict::Recovered`],
+//! corrects the clock, and re-enters warmup to rebuild the trend. The
+//! reset timer is suspended while in holdover (restarting warmup with
+//! no reachable servers would discard the very model being freewheeled
+//! on).
 
 use clocksim::ClockCommand;
 use netsim::WirelessHints;
@@ -39,6 +52,9 @@ pub enum Phase {
     Warmup,
     /// Steps 16–26: single-source sampling, clock correction.
     Regular,
+    /// All servers unreachable: freewheel on the fitted drift model and
+    /// probe with backoff until one answers.
+    Holdover,
 }
 
 /// What the driver should do right now.
@@ -66,6 +82,12 @@ pub enum SampleVerdict {
         /// The discarded offset, ms.
         offset_ms: f64,
     },
+    /// First sample after a holdover episode: connectivity is back, the
+    /// clock was corrected by this offset, and warmup restarts.
+    Recovered {
+        /// The recovery sample's offset, ms.
+        offset_ms: f64,
+    },
 }
 
 /// Counters exposed for evaluation and the signals/selection plot.
@@ -85,6 +107,10 @@ pub struct MntpStats {
     pub resets: u64,
     /// Query rounds that failed (all losses).
     pub failures: u64,
+    /// Holdover episodes entered.
+    pub holdovers: u64,
+    /// Holdover episodes ended by a successful sample.
+    pub recoveries: u64,
 }
 
 /// The MNTP engine.
@@ -100,6 +126,9 @@ pub struct Mntp {
     next_request: Option<NtpTimestamp>,
     /// Drift (ppm) already compensated via frequency trim.
     applied_trim_ppm: f64,
+    /// Query rounds failed since the last success (holdover trigger and
+    /// backoff exponent).
+    consecutive_failures: u32,
     pending: Vec<ClockCommand>,
     /// Public counters.
     pub stats: MntpStats,
@@ -118,6 +147,7 @@ impl Mntp {
             cycle_start: None,
             next_request: None,
             applied_trim_ppm: 0.0,
+            consecutive_failures: 0,
             pending: Vec::new(),
             stats: MntpStats::default(),
         }
@@ -162,6 +192,11 @@ impl Mntp {
         self.cfg.regular_wait_secs
     }
 
+    /// Failures recorded since the last successful round.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
     fn reset(&mut self, now: NtpTimestamp) {
         self.phase = Phase::Warmup;
         self.cycle_start = Some(now);
@@ -178,8 +213,11 @@ impl Mntp {
         if self.next_request.is_none() {
             self.next_request = Some(now);
         }
-        // Step 23: reset after resetPeriod.
-        if elapsed_secs(start, now) >= self.cfg.reset_period_secs {
+        // Step 23: reset after resetPeriod — suspended during holdover,
+        // where discarding the drift model would break the freewheel.
+        if self.phase != Phase::Holdover
+            && elapsed_secs(start, now) >= self.cfg.reset_period_secs
+        {
             self.reset(now);
         }
 
@@ -200,32 +238,41 @@ impl Mntp {
             return MntpAction::Wait;
         }
         // Steps 5 / 17: acquire offset only when the channel is stable.
-        if !self.gate.favorable(hints) {
+        // Holdover probes bypass the gate: with every server down, a
+        // marginal channel is no reason not to *try* (and a gate stuck
+        // unfavorable must never be able to starve recovery).
+        if self.phase != Phase::Holdover && !self.gate.favorable(hints) {
             self.stats.deferred += 1;
             return MntpAction::Wait;
         }
         match self.phase {
             Phase::Warmup => MntpAction::QueryMultiple(self.cfg.warmup_sources),
-            Phase::Regular => MntpAction::QuerySingle,
+            Phase::Regular | Phase::Holdover => MntpAction::QuerySingle,
         }
     }
 
     /// Maintain the frequency trim so the clock runs at the estimated
     /// true rate (step 16, re-run each regular round).
+    ///
+    /// Every emitted trim also shears the recorded history to the new
+    /// rate, so the filter's fitted slope is always the *residual*
+    /// drift still uncorrected — the next update trims by that
+    /// residual, not by the total. (Comparing the post-shear fit
+    /// against the cumulative trim would undo each correction on the
+    /// following round and leave the clock running at its raw skew.)
     fn emit_trim_update(&mut self, _now: NtpTimestamp) {
         if self.cfg.apply_mode == ApplyMode::RecordOnly {
             return;
         }
-        let Some(drift) = self.filter.drift_ppm() else { return };
-        let delta = drift - self.applied_trim_ppm;
-        if delta.abs() > 0.1 {
-            self.pending.push(ClockCommand::TrimFrequencyPpm(delta));
-            self.applied_trim_ppm = drift;
-            // Future offsets will flatten by `delta`; shear history so the
-            // trend keeps predicting what will actually be measured.
+        let Some(residual) = self.filter.drift_ppm() else { return };
+        if residual.abs() > 0.1 {
+            self.pending.push(ClockCommand::TrimFrequencyPpm(residual));
+            self.applied_trim_ppm += residual;
+            // Future offsets will flatten by `residual`; shear history so
+            // the trend keeps predicting what will actually be measured.
             if let Some(start) = self.cycle_start {
                 let pivot = elapsed_secs(start, _now);
-                self.filter.apply_rate_change(-delta * 1e-3, pivot);
+                self.filter.apply_rate_change(-residual * 1e-3, pivot);
             }
         }
     }
@@ -242,8 +289,10 @@ impl Mntp {
         self.schedule_next(now, self.cfg.warmup_wait_secs);
         if offsets_ms.is_empty() {
             self.stats.failures += 1;
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
             return None;
         }
+        self.consecutive_failures = 0;
         self.stats.warmup_rounds += 1;
         let verdicts = reject_false_tickers(offsets_ms, self.cfg.filter_sigma);
         self.stats.false_tickers_rejected += verdicts
@@ -265,8 +314,15 @@ impl Mntp {
 
     /// Feed back a regular-phase sample (offset in ms). Returns the
     /// verdict; accepted samples enqueue clock corrections per the apply
-    /// mode.
+    /// mode. In holdover, any sample at all means the network is back:
+    /// the verdict is [`SampleVerdict::Recovered`], the clock is
+    /// corrected by the sample, and the engine re-enters warmup to
+    /// rebuild its trend (keeping the applied frequency trim).
     pub fn on_regular_sample(&mut self, now: NtpTimestamp, offset_ms: f64) -> SampleVerdict {
+        if self.phase == Phase::Holdover {
+            return self.recover(now, offset_ms);
+        }
+        self.consecutive_failures = 0;
         self.schedule_next(now, self.cfg.regular_wait_secs);
         // Step 16 re-runs drift correction each round.
         if self.cfg.drift_correction {
@@ -295,13 +351,51 @@ impl Mntp {
     }
 
     /// Report a failed query round (every request lost).
+    ///
+    /// In the regular phase, `holdover_after_failures` consecutive
+    /// failures trip the engine into [`Phase::Holdover`]. Holdover
+    /// probes back off exponentially from `holdover_base_wait_secs`,
+    /// capped at `holdover_max_wait_secs` — the next probe is always
+    /// scheduled, so no failure pattern can stop the engine from
+    /// querying (the liveness property pinned by the prop tests).
     pub fn on_query_failed(&mut self, now: NtpTimestamp) {
         self.stats.failures += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.phase == Phase::Regular
+            && self.consecutive_failures >= self.cfg.holdover_after_failures
+        {
+            self.phase = Phase::Holdover;
+            self.stats.holdovers += 1;
+        }
         let wait = match self.phase {
             Phase::Warmup => self.cfg.warmup_wait_secs,
             Phase::Regular => self.cfg.regular_wait_secs,
+            Phase::Holdover => {
+                let over = self.consecutive_failures.saturating_sub(self.cfg.holdover_after_failures);
+                (self.cfg.holdover_base_wait_secs * 2f64.powi(over.min(16) as i32))
+                    .min(self.cfg.holdover_max_wait_secs)
+            }
         };
         self.schedule_next(now, wait);
+    }
+
+    /// A sample arrived while freewheeling: correct the clock, restart
+    /// warmup (trim and cycle history retained by the clock, trend
+    /// rebuilt from scratch).
+    fn recover(&mut self, now: NtpTimestamp, offset_ms: f64) -> SampleVerdict {
+        self.stats.recoveries += 1;
+        self.consecutive_failures = 0;
+        let offset = NtpDuration::from_seconds_f64(offset_ms / 1e3);
+        match self.cfg.apply_mode {
+            ApplyMode::RecordOnly => {}
+            ApplyMode::Step => self.pending.push(ClockCommand::Step(offset)),
+            ApplyMode::Slew => self.pending.push(ClockCommand::Slew(offset)),
+        }
+        self.phase = Phase::Warmup;
+        self.cycle_start = Some(now);
+        self.filter = TrendFilter::new(self.cfg.filter_sigma, self.cfg.reestimate_drift);
+        self.schedule_next(now, self.cfg.warmup_wait_secs);
+        SampleVerdict::Recovered { offset_ms }
     }
 
     fn schedule_next(&mut self, now: NtpTimestamp, wait_secs: f64) {
@@ -505,5 +599,200 @@ mod tests {
         m.on_warmup_round(ts(0.0), &[]);
         assert_eq!(m.stats.failures, 1);
         assert_eq!(m.stats.warmup_rounds, 0);
+    }
+
+    /// Drive the warmed-up engine through `n` consecutive regular-phase
+    /// failures, returning the time of the last one.
+    fn fail_times(m: &mut Mntp, mut t: f64, n: usize) -> f64 {
+        for _ in 0..n {
+            while m.on_tick(ts(t), Some(&good_hints())) != MntpAction::QuerySingle {
+                t += 1.0;
+                assert!(t < 10_000.0, "query never became due");
+            }
+            m.on_query_failed(ts(t));
+        }
+        t
+    }
+
+    #[test]
+    fn consecutive_failures_trip_holdover_with_longer_wait() {
+        let (mut m, t0) = warmed_up();
+        let t = fail_times(&mut m, t0, 3);
+        assert_eq!(m.phase(), Phase::Holdover);
+        assert_eq!(m.stats.holdovers, 1);
+        assert_eq!(m.consecutive_failures(), 3);
+        // First holdover probe waits holdover_base_wait_secs (30), not
+        // the 20 s regular wait.
+        assert_eq!(m.on_tick(ts(t + 20.0), Some(&good_hints())), MntpAction::Wait);
+        assert_eq!(m.on_tick(ts(t + 31.0), Some(&good_hints())), MntpAction::QuerySingle);
+    }
+
+    #[test]
+    fn holdover_backoff_doubles_to_cap() {
+        let (mut m, t0) = warmed_up();
+        let mut t = fail_times(&mut m, t0, 3);
+        assert_eq!(m.phase(), Phase::Holdover);
+        // Keep failing; gaps between probes double 30 → 480 and stay.
+        let mut last = t;
+        for expect in [30.0, 60.0, 120.0, 240.0, 480.0, 480.0] {
+            while m.on_tick(ts(t), Some(&good_hints())) != MntpAction::QuerySingle {
+                t += 1.0;
+                assert!(t < 20_000.0, "probe never became due");
+            }
+            assert!(
+                (t - last - expect).abs() <= 1.0,
+                "gap {} vs expected {expect}",
+                t - last
+            );
+            last = t;
+            m.on_query_failed(ts(t));
+        }
+    }
+
+    #[test]
+    fn holdover_probe_bypasses_the_gate() {
+        let (mut m, t0) = warmed_up();
+        let mut t = fail_times(&mut m, t0, 3);
+        assert_eq!(m.phase(), Phase::Holdover);
+        let deferred_before = m.stats.deferred;
+        // Channel is terrible, but the probe still goes out when due —
+        // a stuck-unfavorable gate must not starve recovery.
+        let mut action = MntpAction::Wait;
+        for _ in 0..600 {
+            action = m.on_tick(ts(t), Some(&bad_hints()));
+            if action != MntpAction::Wait {
+                break;
+            }
+            t += 1.0;
+        }
+        assert_eq!(action, MntpAction::QuerySingle);
+        assert_eq!(m.stats.deferred, deferred_before);
+    }
+
+    #[test]
+    fn recovery_steps_clock_and_restarts_warmup() {
+        let cfg = MntpConfig { apply_mode: ApplyMode::Step, ..fast_cfg() };
+        let mut m = Mntp::new(cfg);
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup && t < 400.0 {
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_warmup_round(ts(t), &[1.0, 1.1, 0.9]);
+            }
+            t += 1.0;
+        }
+        assert_eq!(m.phase(), Phase::Regular);
+        m.take_commands();
+        t = fail_times(&mut m, t, 3);
+        assert_eq!(m.phase(), Phase::Holdover);
+        // Network comes back: the next probe's sample is the recovery.
+        while m.on_tick(ts(t), Some(&good_hints())) != MntpAction::QuerySingle {
+            t += 1.0;
+        }
+        let v = m.on_regular_sample(ts(t), -250.0);
+        assert_eq!(v, SampleVerdict::Recovered { offset_ms: -250.0 });
+        assert_eq!(m.phase(), Phase::Warmup);
+        assert_eq!(m.stats.recoveries, 1);
+        assert_eq!(m.consecutive_failures(), 0);
+        let cmds = m.take_commands();
+        assert!(
+            cmds.iter().any(|c| matches!(c, ClockCommand::Step(_))),
+            "recovery must correct the clock, got {cmds:?}"
+        );
+        assert!(m.filter().is_empty(), "trend rebuilt from scratch");
+    }
+
+    #[test]
+    fn reset_timer_suspended_in_holdover() {
+        let cfg = MntpConfig { reset_period_secs: 500.0, ..fast_cfg() };
+        let mut m = Mntp::new(cfg);
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup && t < 400.0 {
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_warmup_round(ts(t), &[1.0, 1.1, 0.9]);
+            }
+            t += 1.0;
+        }
+        assert_eq!(m.phase(), Phase::Regular);
+        fail_times(&mut m, t, 3);
+        assert_eq!(m.phase(), Phase::Holdover);
+        // Far past the reset boundary: still freewheeling, no reset —
+        // restarting warmup with no reachable servers would discard the
+        // drift model being freewheeled on.
+        m.on_tick(ts(2000.0), Some(&good_hints()));
+        assert_eq!(m.phase(), Phase::Holdover);
+        assert_eq!(m.stats.resets, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
+
+    fn mk_ts(secs: f64) -> NtpTimestamp {
+        NtpTimestamp::from_parts(1000, 0)
+            .wrapping_add_duration(NtpDuration::from_seconds_f64(secs))
+    }
+
+    props! {
+        /// Liveness: after ANY sequence of query successes (1) and
+        /// failures (0) — including those that trip holdover — the
+        /// engine always asks for another query within a bounded wait.
+        /// No reachable state leaves `on_tick` returning `Wait` forever.
+        fn scheduler_always_queries_again(events in prop::vecs(prop::ints(0..2), 0..48)) {
+            let cfg = MntpConfig {
+                warmup_period_secs: 60.0,
+                warmup_wait_secs: 5.0,
+                regular_wait_secs: 20.0,
+                reset_period_secs: 4000.0,
+                min_warmup_samples: 5,
+                ..Default::default()
+            };
+            // Longest legal gap is holdover_max_wait_secs = 480.
+            let bound = cfg.holdover_max_wait_secs + 120.0;
+            let hints = WirelessHints { rssi_dbm: -60.0, noise_dbm: -92.0 };
+            let mut m = Mntp::new(cfg);
+            let mut t = 0.0;
+            for &ev in &events {
+                let start = t;
+                let action = loop {
+                    let a = m.on_tick(mk_ts(t), Some(&hints));
+                    if a != MntpAction::Wait {
+                        break a;
+                    }
+                    t += 1.0;
+                    prop_assert!(
+                        t - start < bound,
+                        "engine stopped querying in phase {:?} after {} events",
+                        m.phase(),
+                        events.len()
+                    );
+                };
+                match (action, ev == 1) {
+                    (MntpAction::QueryMultiple(_), true) => {
+                        m.on_warmup_round(mk_ts(t), &[1.0, 1.1, 0.9]);
+                    }
+                    (MntpAction::QuerySingle, true) => {
+                        m.on_regular_sample(mk_ts(t), 1.0);
+                    }
+                    (_, false) => m.on_query_failed(mk_ts(t)),
+                    (MntpAction::Wait, true) => unreachable!("loop broke on non-Wait"),
+                }
+            }
+            // After the whole history, one more query must still come.
+            let start = t;
+            loop {
+                if m.on_tick(mk_ts(t), Some(&hints)) != MntpAction::Wait {
+                    break;
+                }
+                t += 1.0;
+                prop_assert!(
+                    t - start < bound,
+                    "engine never queried again, stuck in phase {:?}",
+                    m.phase()
+                );
+            }
+        }
     }
 }

@@ -42,7 +42,10 @@ pub mod gate;
 
 pub use autotune::{AutoTuneConfig, AutoTuner};
 pub use config::{ApplyMode, MntpConfig};
-pub use driver::{run_baseline, run_full, run_full_autotuned, MntpRunRecord, QueryOutcome};
+pub use driver::{
+    run_baseline, run_full, run_full_autotuned, run_full_faulted, MntpRun, MntpRunRecord,
+    QueryOutcome, RobustConfig,
+};
 pub use engine::{Mntp, MntpAction, Phase, SampleVerdict};
 pub use filter::{FalseTickerVerdict, TrendFilter};
 pub use gate::HintGate;

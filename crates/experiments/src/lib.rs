@@ -22,6 +22,7 @@
 //! | [`extended`] | Beyond-paper: NTP (ntpd) as a third comparator |
 //! | [`ablations`] | Beyond-paper: per-mechanism ablation suite |
 //! | [`validation`] | Beyond-paper: estimator checks against ground truth |
+//! | [`faultsweep`] | Beyond-paper: fault-injection survival grid |
 //!
 //! Every experiment takes an explicit seed; the default seeds used by
 //! `repro` are fixed so the committed EXPERIMENTS.md numbers regenerate
@@ -32,6 +33,7 @@
 
 pub mod ablations;
 pub mod extended;
+pub mod faultsweep;
 pub mod fig1;
 pub mod fig11;
 pub mod fig12;

@@ -120,6 +120,7 @@ pub fn expected_ids(quick: bool) -> Vec<&'static str> {
         "extended_huffpuff",
         "extended_autotune",
         "extended_scenarios",
+        "faultsweep",
     ]);
     ids
 }
@@ -258,6 +259,19 @@ pub fn run(opts: &Options) -> Report {
             vec![(
                 "extended_scenarios",
                 extended::render_scenarios(&extended::scenario_sweep_on(&inner, SEED, ds)),
+            )]
+        }));
+    }
+
+    if opts.want("faultsweep") {
+        let d = if quick { 1800 } else { 5400 };
+        // The sweep fans its 21 runs out itself; serial inner pool keeps
+        // the worker budget at `jobs` overall.
+        tasks.push(Box::new(move || {
+            let inner = Pool::with_jobs(1);
+            vec![(
+                "faultsweep",
+                faultsweep::render_sweep(&faultsweep::run_sweep_on(&inner, SEED, d)),
             )]
         }));
     }

@@ -1,0 +1,559 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! The paper's clients live on hostile networks: delay spikes (Fig. 4),
+//! loss bursts, asymmetric queueing, servers that rate-limit or fall
+//! over. The channel models in [`crate::wifi`]/[`crate::cellular`]
+//! reproduce the *steady-state* hostility; this module adds the
+//! *episodic* kind — typed fault events placed on the true-time axis:
+//!
+//! * **loss storms** — a window during which every packet additionally
+//!   faces a Bernoulli drop on the last hop (both directions);
+//! * **server outages** — a blackhole window for one server or the whole
+//!   pool (requests and replies silently vanish);
+//! * **kiss-o'-death windows** — servers turn on RFC 5905 rate limiting
+//!   and answer `RATE` to fast pollers;
+//! * **falseticker onset** — a server's reference clock steps by a fixed
+//!   amount at an instant (a good server going bad mid-run);
+//! * **delay-asymmetry spikes** — extra one-way delay added to one or
+//!   both directions (bufferbloat episodes, route flaps);
+//! * **duplicate / corrupted replies** — the fault layer clones a reply
+//!   or flips bytes in flight;
+//! * **client clock steps** — the device suspends/resumes and wakes with
+//!   its clock wrong by a configured amount.
+//!
+//! Faults are described *declaratively* by a [`FaultSchedule`] and
+//! executed by a [`FaultInjector`], which owns a private [`SimRng`]
+//! stream. Determinism contract: for a given (schedule, seed), the
+//! injector answers every query identically, regardless of wall-clock,
+//! thread count, or what any *other* component's RNG is doing — so fault
+//! runs replay bit-identically under `devtools::par` at any worker
+//! count, exactly like the fault-free pipelines.
+//!
+//! The injector deliberately knows nothing about servers or protocol
+//! bytes (this crate sits *below* `sntp`). Instead the exchange layer
+//! consults it at each hop: "does this packet survive the uplink at time
+//! `t`?", "how much extra downlink delay right now?", "is server 3 in a
+//! KoD window?". Composition with the existing channel models is
+//! therefore multiplicative: a packet must survive the WiFi model *and*
+//! the fault layer.
+
+use clocksim::rng::SimRng;
+use clocksim::time::{SimDuration, SimTime};
+
+/// Which servers a pool-directed fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerSet {
+    /// Every server in the pool.
+    All,
+    /// A single server by pool index.
+    One(usize),
+}
+
+impl ServerSet {
+    /// True when `id` is in the set.
+    pub fn contains(&self, id: usize) -> bool {
+        match self {
+            ServerSet::All => true,
+            ServerSet::One(s) => *s == id,
+        }
+    }
+}
+
+/// The typed fault taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Extra Bernoulli loss on the last hop, both directions.
+    LossStorm {
+        /// Per-packet drop probability while the storm is active.
+        loss_prob: f64,
+    },
+    /// Blackhole: packets to/from the given servers silently vanish.
+    ServerOutage {
+        /// Affected servers.
+        servers: ServerSet,
+    },
+    /// The given servers enforce a minimum poll interval and answer
+    /// kiss-o'-death (`RATE`) to clients polling faster.
+    KissODeath {
+        /// Affected servers.
+        servers: ServerSet,
+        /// Minimum request spacing the servers will tolerate, seconds.
+        min_poll_secs: f64,
+    },
+    /// Instant: the given server's reference clock steps by `error_ms`
+    /// (a good server becoming a false ticker mid-run).
+    FalsetickerOnset {
+        /// The server that goes bad.
+        server: usize,
+        /// Size of the step, milliseconds (signed).
+        error_ms: f64,
+    },
+    /// Extra one-way delay while active (asymmetric when the two sides
+    /// differ — the paper's core error mechanism, injected on demand).
+    DelaySpike {
+        /// Extra client→server delay, ms.
+        extra_up_ms: f64,
+        /// Extra server→client delay, ms.
+        extra_down_ms: f64,
+    },
+    /// Replies are duplicated with the given probability (the copy
+    /// arrives right after the original — a stale/duplicate stressor for
+    /// the client's origin matching).
+    DuplicateReply {
+        /// Per-reply duplication probability.
+        prob: f64,
+    },
+    /// Reply bytes are corrupted in flight with the given probability.
+    CorruptReply {
+        /// Per-reply corruption probability.
+        prob: f64,
+    },
+    /// Instant: the client's clock steps by `offset_ms` (suspend/resume
+    /// — the device wakes up with its clock wrong).
+    ClockStep {
+        /// Size of the step applied to the client clock, ms (signed).
+        offset_ms: f64,
+    },
+}
+
+/// One scheduled fault: a kind active over `[start_secs, end_secs)`.
+/// Instant kinds ([`FaultKind::FalsetickerOnset`],
+/// [`FaultKind::ClockStep`]) fire once at `start_secs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// Window start (inclusive), seconds of true time.
+    pub start_secs: f64,
+    /// Window end (exclusive), seconds of true time.
+    pub end_secs: f64,
+    /// What happens during the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// True when the window covers true time `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        let s = t.as_secs_f64();
+        self.start_secs <= s && s < self.end_secs
+    }
+}
+
+/// A declarative fault plan: an ordered list of [`FaultWindow`]s.
+/// Ordering matters only for RNG-stream stability (probabilistic windows
+/// consume randomness in schedule order), not for semantics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// The scheduled windows.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (no faults — the identity injector).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Add a windowed fault over `[start_secs, end_secs)` (builder).
+    pub fn window(mut self, start_secs: f64, end_secs: f64, kind: FaultKind) -> Self {
+        assert!(start_secs <= end_secs, "fault window ends before it starts");
+        self.windows.push(FaultWindow { start_secs, end_secs, kind });
+        self
+    }
+
+    /// Add an instant fault at `at_secs` (builder; for
+    /// [`FaultKind::FalsetickerOnset`] / [`FaultKind::ClockStep`]).
+    pub fn at(self, at_secs: f64, kind: FaultKind) -> Self {
+        self.window(at_secs, at_secs, kind)
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// What the fault layer decided for one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Untouched.
+    Deliver,
+    /// Silently dropped (storm or outage).
+    Drop,
+    /// Delivered, plus an identical copy right behind it.
+    Duplicate,
+    /// Delivered with flipped bytes.
+    Corrupt,
+}
+
+/// Injection counters (diagnostics; not consulted by protocol code).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests dropped by storms/outages.
+    pub dropped_up: u64,
+    /// Replies dropped by storms/outages.
+    pub dropped_down: u64,
+    /// Replies duplicated.
+    pub duplicated: u64,
+    /// Replies corrupted.
+    pub corrupted: u64,
+    /// Falseticker onsets fired.
+    pub falseticker_onsets: u64,
+    /// Client clock steps fired.
+    pub clock_steps: u64,
+}
+
+/// Executes a [`FaultSchedule`] deterministically.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    rng: SimRng,
+    /// Per-window latch for instant kinds (fired at most once).
+    fired: Vec<bool>,
+    /// Diagnostics.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector over `schedule` with a private RNG stream.
+    pub fn new(schedule: FaultSchedule, seed: u64) -> Self {
+        let fired = vec![false; schedule.windows.len()];
+        FaultInjector { schedule, rng: SimRng::new(seed), fired, stats: FaultStats::default() }
+    }
+
+    /// The schedule being executed.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Fate of a client→server packet departing at `t` toward `server`.
+    /// Consumes randomness only while a probabilistic window is active.
+    pub fn uplink_fate(&mut self, t: SimTime, server: usize) -> PacketFate {
+        for w in &self.schedule.windows {
+            if !w.active_at(t) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::ServerOutage { servers } if servers.contains(server) => {
+                    self.stats.dropped_up += 1;
+                    return PacketFate::Drop;
+                }
+                FaultKind::LossStorm { loss_prob } => {
+                    if self.rng.chance(loss_prob) {
+                        self.stats.dropped_up += 1;
+                        return PacketFate::Drop;
+                    }
+                }
+                _ => {}
+            }
+        }
+        PacketFate::Deliver
+    }
+
+    /// Fate of a server→client reply departing at `t` from `server`.
+    /// Drop takes precedence over corruption, corruption over
+    /// duplication.
+    pub fn downlink_fate(&mut self, t: SimTime, server: usize) -> PacketFate {
+        let mut duplicate = false;
+        let mut corrupt = false;
+        for w in &self.schedule.windows {
+            if !w.active_at(t) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::ServerOutage { servers } if servers.contains(server) => {
+                    self.stats.dropped_down += 1;
+                    return PacketFate::Drop;
+                }
+                FaultKind::LossStorm { loss_prob } => {
+                    if self.rng.chance(loss_prob) {
+                        self.stats.dropped_down += 1;
+                        return PacketFate::Drop;
+                    }
+                }
+                FaultKind::CorruptReply { prob } => corrupt |= self.rng.chance(prob),
+                FaultKind::DuplicateReply { prob } => duplicate |= self.rng.chance(prob),
+                _ => {}
+            }
+        }
+        if corrupt {
+            self.stats.corrupted += 1;
+            PacketFate::Corrupt
+        } else if duplicate {
+            self.stats.duplicated += 1;
+            PacketFate::Duplicate
+        } else {
+            PacketFate::Deliver
+        }
+    }
+
+    /// Extra client→server delay at `t` (sum of active spikes).
+    pub fn extra_delay_up(&self, t: SimTime) -> SimDuration {
+        self.sum_spikes(t, /* up = */ true)
+    }
+
+    /// Extra server→client delay at `t` (sum of active spikes).
+    pub fn extra_delay_down(&self, t: SimTime) -> SimDuration {
+        self.sum_spikes(t, /* up = */ false)
+    }
+
+    fn sum_spikes(&self, t: SimTime, up: bool) -> SimDuration {
+        let mut ms = 0.0;
+        for w in &self.schedule.windows {
+            if let FaultKind::DelaySpike { extra_up_ms, extra_down_ms } = w.kind {
+                if w.active_at(t) {
+                    ms += if up { extra_up_ms } else { extra_down_ms };
+                }
+            }
+        }
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Minimum poll interval `server` enforces at `t`, if it is inside a
+    /// kiss-o'-death window (largest wins when windows overlap).
+    pub fn kod_min_poll(&self, t: SimTime, server: usize) -> Option<SimDuration> {
+        let mut best: Option<f64> = None;
+        for w in &self.schedule.windows {
+            if let FaultKind::KissODeath { servers, min_poll_secs } = w.kind {
+                if w.active_at(t) && servers.contains(server) {
+                    best = Some(best.map_or(min_poll_secs, |b: f64| b.max(min_poll_secs)));
+                }
+            }
+        }
+        best.map(SimDuration::from_secs_f64)
+    }
+
+    /// True when any scheduled kiss-o'-death window (active or not)
+    /// mentions `server` — the exchange layer uses this to know it owns
+    /// that server's rate-limit knob for the whole run.
+    pub fn kod_manages(&self, server: usize) -> bool {
+        self.schedule.windows.iter().any(|w| {
+            matches!(w.kind, FaultKind::KissODeath { servers, .. } if servers.contains(server))
+        })
+    }
+
+    /// Falseticker onset due for `server` by time `t`, at most once per
+    /// scheduled event. Returns the step in milliseconds.
+    pub fn take_falseticker_onset(&mut self, t: SimTime, server: usize) -> Option<f64> {
+        let s = t.as_secs_f64();
+        for (i, w) in self.schedule.windows.iter().enumerate() {
+            if self.fired[i] {
+                continue;
+            }
+            if let FaultKind::FalsetickerOnset { server: sv, error_ms } = w.kind {
+                if sv == server && w.start_secs <= s {
+                    self.fired[i] = true;
+                    self.stats.falseticker_onsets += 1;
+                    return Some(error_ms);
+                }
+            }
+        }
+        None
+    }
+
+    /// Client clock steps due by time `t`, each at most once. Returns
+    /// the step sizes in milliseconds, in schedule order.
+    pub fn take_clock_steps(&mut self, t: SimTime) -> Vec<f64> {
+        let s = t.as_secs_f64();
+        let mut due = Vec::new();
+        for (i, w) in self.schedule.windows.iter().enumerate() {
+            if self.fired[i] {
+                continue;
+            }
+            if let FaultKind::ClockStep { offset_ms } = w.kind {
+                if w.start_secs <= s {
+                    self.fired[i] = true;
+                    self.stats.clock_steps += 1;
+                    due.push(offset_ms);
+                }
+            }
+        }
+        due
+    }
+
+    /// True when any *windowed* fault is active at `t` (instant kinds
+    /// excluded) — lets evaluation code split statistics into
+    /// during-fault and fault-free epochs.
+    pub fn fault_active(&self, t: SimTime) -> bool {
+        self.schedule.windows.iter().any(|w| {
+            !matches!(w.kind, FaultKind::FalsetickerOnset { .. } | FaultKind::ClockStep { .. })
+                && w.active_at(t)
+        })
+    }
+
+    /// True when `server` is blackholed at `t`.
+    pub fn outage_active(&self, t: SimTime, server: usize) -> bool {
+        self.schedule.windows.iter().any(|w| {
+            matches!(w.kind, FaultKind::ServerOutage { servers } if servers.contains(server))
+                && w.active_at(t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let mut inj = FaultInjector::new(FaultSchedule::none(), 1);
+        for i in 0..100 {
+            assert_eq!(inj.uplink_fate(t(i), 0), PacketFate::Deliver);
+            assert_eq!(inj.downlink_fate(t(i), 0), PacketFate::Deliver);
+        }
+        assert_eq!(inj.extra_delay_up(t(5)), SimDuration::ZERO);
+        assert_eq!(inj.kod_min_poll(t(5), 0), None);
+        assert!(!inj.fault_active(t(5)));
+        assert_eq!(inj.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn outage_blackholes_only_inside_window() {
+        let sched = FaultSchedule::none().window(
+            100.0,
+            200.0,
+            FaultKind::ServerOutage { servers: ServerSet::All },
+        );
+        let mut inj = FaultInjector::new(sched, 2);
+        assert_eq!(inj.uplink_fate(t(99), 3), PacketFate::Deliver);
+        assert_eq!(inj.uplink_fate(t(100), 3), PacketFate::Drop);
+        assert_eq!(inj.downlink_fate(t(199), 3), PacketFate::Drop);
+        // End is exclusive.
+        assert_eq!(inj.uplink_fate(t(200), 3), PacketFate::Deliver);
+        assert_eq!(inj.stats.dropped_up, 1);
+        assert_eq!(inj.stats.dropped_down, 1);
+    }
+
+    #[test]
+    fn single_server_outage_spares_the_rest() {
+        let sched = FaultSchedule::none().window(
+            0.0,
+            100.0,
+            FaultKind::ServerOutage { servers: ServerSet::One(2) },
+        );
+        let mut inj = FaultInjector::new(sched, 3);
+        assert_eq!(inj.uplink_fate(t(5), 2), PacketFate::Drop);
+        assert_eq!(inj.uplink_fate(t(5), 1), PacketFate::Deliver);
+        assert!(inj.outage_active(t(5), 2));
+        assert!(!inj.outage_active(t(5), 1));
+    }
+
+    #[test]
+    fn loss_storm_drops_about_the_configured_fraction() {
+        let sched = FaultSchedule::none()
+            .window(0.0, 1e9, FaultKind::LossStorm { loss_prob: 0.4 });
+        let mut inj = FaultInjector::new(sched, 4);
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|i| inj.uplink_fate(t(*i), 0) == PacketFate::Drop)
+            .count();
+        let frac = dropped as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.02, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_apply_to_downlink_only() {
+        let sched = FaultSchedule::none()
+            .window(0.0, 1e9, FaultKind::DuplicateReply { prob: 1.0 })
+            .window(0.0, 1e9, FaultKind::CorruptReply { prob: 1.0 });
+        let mut inj = FaultInjector::new(sched, 5);
+        assert_eq!(inj.uplink_fate(t(1), 0), PacketFate::Deliver);
+        // Corrupt window is listed second but corruption outranks
+        // duplication; with both at p=1 the reply is corrupted.
+        assert_eq!(inj.downlink_fate(t(1), 0), PacketFate::Corrupt);
+
+        let dup_only = FaultSchedule::none()
+            .window(0.0, 1e9, FaultKind::DuplicateReply { prob: 1.0 });
+        let mut inj = FaultInjector::new(dup_only, 6);
+        assert_eq!(inj.downlink_fate(t(1), 0), PacketFate::Duplicate);
+        assert_eq!(inj.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn delay_spikes_sum_and_respect_direction() {
+        let sched = FaultSchedule::none()
+            .window(10.0, 20.0, FaultKind::DelaySpike { extra_up_ms: 5.0, extra_down_ms: 80.0 })
+            .window(15.0, 25.0, FaultKind::DelaySpike { extra_up_ms: 1.0, extra_down_ms: 2.0 });
+        let inj = FaultInjector::new(sched, 7);
+        assert_eq!(inj.extra_delay_up(t(12)), SimDuration::from_millis(5));
+        assert_eq!(inj.extra_delay_down(t(12)), SimDuration::from_millis(80));
+        assert_eq!(inj.extra_delay_up(t(16)), SimDuration::from_millis(6));
+        assert_eq!(inj.extra_delay_down(t(22)), SimDuration::from_millis(2));
+        assert_eq!(inj.extra_delay_up(t(30)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kod_window_reports_min_poll_for_covered_servers() {
+        let sched = FaultSchedule::none().window(
+            50.0,
+            150.0,
+            FaultKind::KissODeath { servers: ServerSet::One(1), min_poll_secs: 64.0 },
+        );
+        let inj = FaultInjector::new(sched, 8);
+        assert_eq!(inj.kod_min_poll(t(60), 1), Some(SimDuration::from_secs(64)));
+        assert_eq!(inj.kod_min_poll(t(60), 0), None);
+        assert_eq!(inj.kod_min_poll(t(10), 1), None);
+        assert!(inj.kod_manages(1));
+        assert!(!inj.kod_manages(0));
+    }
+
+    #[test]
+    fn instant_events_fire_exactly_once() {
+        let sched = FaultSchedule::none()
+            .at(100.0, FaultKind::FalsetickerOnset { server: 4, error_ms: 120.0 })
+            .at(200.0, FaultKind::ClockStep { offset_ms: -500.0 })
+            .at(300.0, FaultKind::ClockStep { offset_ms: 250.0 });
+        let mut inj = FaultInjector::new(sched, 9);
+        assert_eq!(inj.take_falseticker_onset(t(99), 4), None);
+        assert_eq!(inj.take_falseticker_onset(t(100), 4), Some(120.0));
+        assert_eq!(inj.take_falseticker_onset(t(101), 4), None);
+        assert_eq!(inj.take_falseticker_onset(t(101), 5), None);
+        assert_eq!(inj.take_clock_steps(t(150)), Vec::<f64>::new());
+        // Both steps due when the query jumps past them; each once.
+        assert_eq!(inj.take_clock_steps(t(350)), vec![-500.0, 250.0]);
+        assert_eq!(inj.take_clock_steps(t(400)), Vec::<f64>::new());
+        assert_eq!(inj.stats.clock_steps, 2);
+        assert_eq!(inj.stats.falseticker_onsets, 1);
+    }
+
+    #[test]
+    fn fault_active_ignores_instant_kinds() {
+        let sched = FaultSchedule::none()
+            .at(10.0, FaultKind::ClockStep { offset_ms: 1.0 })
+            .window(20.0, 30.0, FaultKind::LossStorm { loss_prob: 0.5 });
+        let inj = FaultInjector::new(sched, 10);
+        assert!(!inj.fault_active(t(10)));
+        assert!(inj.fault_active(t(25)));
+        assert!(!inj.fault_active(t(30)));
+    }
+
+    /// The determinism contract: identical (schedule, seed) ⇒ identical
+    /// fate streams, independent of everything else in the process.
+    #[test]
+    fn fate_stream_is_deterministic() {
+        let sched = || {
+            FaultSchedule::none()
+                .window(0.0, 500.0, FaultKind::LossStorm { loss_prob: 0.3 })
+                .window(100.0, 300.0, FaultKind::DuplicateReply { prob: 0.2 })
+                .window(200.0, 400.0, FaultKind::CorruptReply { prob: 0.1 })
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(sched(), 42);
+            let fates: Vec<PacketFate> = (0..1000)
+                .flat_map(|i| [inj.uplink_fate(t(i), 0), inj.downlink_fate(t(i), 0)])
+                .collect();
+            (fates, inj.stats)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // A different seed must give a different stream.
+        let mut other = FaultInjector::new(sched(), 43);
+        let other_fates: Vec<PacketFate> = (0..1000)
+            .flat_map(|i| [other.uplink_fate(t(i), 0), other.downlink_fate(t(i), 0)])
+            .collect();
+        assert_ne!(a.0, other_fates);
+    }
+}

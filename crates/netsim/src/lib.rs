@@ -18,6 +18,10 @@
 //! * [`cellular`] — the 4G model behind the paper's Figure 5: RRC
 //!   promotion delay, high-variance OWDs, downlink bufferbloat.
 //! * [`crosstraffic`] — the monitor node's interfering file downloads.
+//! * [`faults`] — deterministic, seed-driven episodic fault injection
+//!   (loss storms, server outages, kiss-o'-death windows, falseticker
+//!   onset, delay-asymmetry spikes, duplicate/corrupt replies, client
+//!   clock steps) layered on top of the channel models.
 //! * [`pcap`] — a libpcap writer: simulated exchanges dump to `.pcap`
 //!   files openable in Wireshark (the paper's pipeline was built on
 //!   tcpdump captures of exactly this traffic).
@@ -37,6 +41,7 @@
 
 pub mod cellular;
 pub mod crosstraffic;
+pub mod faults;
 pub mod kernel;
 pub mod link;
 pub mod pcap;
@@ -44,6 +49,7 @@ pub mod scenarios;
 pub mod testbed;
 pub mod wifi;
 
+pub use faults::{FaultInjector, FaultKind, FaultSchedule, FaultWindow, PacketFate, ServerSet};
 pub use kernel::Sim;
 pub use link::{DelayModel, Link, LossModel};
 pub use testbed::{LastHop, Testbed, TestbedConfig};

@@ -47,15 +47,42 @@ pub fn server_reply(
     }
 }
 
-/// The RFC 4330 §5 reply sanity checks a minimal client must run before
-/// trusting a reply. `expected_origin` is the transmit timestamp the client
-/// put in its request.
-pub fn check_reply(reply: &NtpPacket, expected_origin: NtpTimestamp) -> Result<(), WireError> {
+/// What a structurally valid reply turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyClass {
+    /// A normal time reply that passed every RFC 4330 §5 sanity check.
+    Time,
+    /// A kiss-o'-death packet (stratum 0): the server is refusing
+    /// service, and the four refid bytes say why (`RATE`, `DENY`,
+    /// `RSTR`, …). A well-behaved client must *honor* the code — back
+    /// off on `RATE`, stop using the server on `DENY`/`RSTR` (RFC 5905
+    /// §7.4) — which is impossible if the packet is discarded as merely
+    /// "failed a sanity check". Hence this variant instead of an error.
+    KissODeath([u8; 4]),
+}
+
+/// Classify a reply: run the RFC 4330 §5 sanity checks, but recognize
+/// stratum-0 kiss-o'-death packets as a *first-class outcome* carrying
+/// their kiss code rather than a generic rejection. `expected_origin` is
+/// the transmit timestamp the client put in its request; it is enforced
+/// for KoD packets too (an off-path attacker must not be able to forge a
+/// `DENY` without seeing the request).
+pub fn classify_reply(
+    reply: &NtpPacket,
+    expected_origin: NtpTimestamp,
+) -> Result<ReplyClass, WireError> {
     if reply.mode != Mode::Server && reply.mode != Mode::Broadcast {
         return Err(WireError::SanityCheck("reply mode is not server/broadcast"));
     }
+    if reply.origin_ts != expected_origin {
+        return Err(WireError::SanityCheck("origin timestamp mismatch (bogus or replayed)"));
+    }
     if reply.is_kiss_of_death() {
-        return Err(WireError::SanityCheck("kiss-o'-death"));
+        let code = reply
+            .reference_id
+            .as_kiss_code()
+            .ok_or(WireError::SanityCheck("stratum 0 with non-ASCII kiss code"))?;
+        return Ok(ReplyClass::KissODeath(code));
     }
     if reply.stratum > 15 {
         return Err(WireError::SanityCheck("stratum out of range"));
@@ -66,10 +93,19 @@ pub fn check_reply(reply: &NtpPacket, expected_origin: NtpTimestamp) -> Result<(
     if reply.leap == LeapIndicator::Unknown {
         return Err(WireError::SanityCheck("server clock unsynchronized"));
     }
-    if reply.origin_ts != expected_origin {
-        return Err(WireError::SanityCheck("origin timestamp mismatch (bogus or replayed)"));
+    Ok(ReplyClass::Time)
+}
+
+/// The RFC 4330 §5 reply sanity checks a minimal client must run before
+/// trusting a reply. `expected_origin` is the transmit timestamp the client
+/// put in its request. Kiss-o'-death packets are rejected here (the naive
+/// profile treats them as unusable); clients that honor kiss codes use
+/// [`classify_reply`] instead.
+pub fn check_reply(reply: &NtpPacket, expected_origin: NtpTimestamp) -> Result<(), WireError> {
+    match classify_reply(reply, expected_origin)? {
+        ReplyClass::Time => Ok(()),
+        ReplyClass::KissODeath(_) => Err(WireError::SanityCheck("kiss-o'-death")),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -113,6 +149,64 @@ mod tests {
         rep.stratum = 0;
         rep.reference_id = RefId::KISS_RATE;
         assert!(check_reply(&rep, req.transmit_ts).is_err());
+    }
+
+    #[test]
+    fn classify_passes_good_reply_as_time() {
+        let (req, rep) = good_pair();
+        assert_eq!(classify_reply(&rep, req.transmit_ts), Ok(ReplyClass::Time));
+    }
+
+    /// The standard kiss codes survive a full serialize → parse →
+    /// classify round trip with their four-byte code intact.
+    #[test]
+    fn kiss_codes_round_trip_through_the_wire() {
+        for (refid, code) in [
+            (RefId::KISS_RATE, *b"RATE"),
+            (RefId::KISS_DENY, *b"DENY"),
+            (RefId::KISS_RSTR, *b"RSTR"),
+        ] {
+            let req = client_request(ts(77));
+            let kod = NtpPacket {
+                mode: Mode::Server,
+                stratum: 0,
+                reference_id: refid,
+                origin_ts: req.transmit_ts,
+                transmit_ts: ts(78),
+                ..Default::default()
+            };
+            let parsed = NtpPacket::parse(&kod.serialize()).unwrap();
+            assert!(parsed.is_kiss_of_death());
+            assert_eq!(
+                classify_reply(&parsed, req.transmit_ts),
+                Ok(ReplyClass::KissODeath(code)),
+                "kiss code {:?} lost in transit",
+                std::str::from_utf8(&code)
+            );
+            // The naive profile still refuses to use it as time.
+            assert!(check_reply(&parsed, req.transmit_ts).is_err());
+        }
+    }
+
+    /// A forged KoD whose origin does not echo our request must not be
+    /// honored — classification fails before the kiss code is exposed.
+    #[test]
+    fn kod_with_wrong_origin_not_classified() {
+        let (_, mut rep) = good_pair();
+        rep.stratum = 0;
+        rep.reference_id = RefId::KISS_DENY;
+        let err = classify_reply(&rep, ts(12345)).unwrap_err();
+        assert!(matches!(err, WireError::SanityCheck(m) if m.contains("origin")));
+    }
+
+    /// Stratum 0 with a refid that is not printable ASCII is garbage,
+    /// not a kiss code.
+    #[test]
+    fn stratum_zero_without_ascii_code_rejected() {
+        let (req, mut rep) = good_pair();
+        rep.stratum = 0;
+        rep.reference_id = RefId::ipv4(1, 2, 3, 4);
+        assert!(classify_reply(&rep, req.transmit_ts).is_err());
     }
 
     #[test]

@@ -241,6 +241,67 @@ pub fn run_ntpd(
     run
 }
 
+/// [`run_ntpd`] through the fault-injecting network: every exchange goes
+/// via [`sntp::perform_exchange_faulted`] with a per-poll timeout, so
+/// outages, loss storms, kiss-o'-death and corruption all bite. The
+/// daemon's own RFC 5905 machinery (reachability registers, poll
+/// backoff) is its hardening; this driver adds nothing on top, which is
+/// exactly what makes it a fair comparison arm for the fault sweep.
+pub fn run_ntpd_faulted(
+    cfg: NtpdConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    faults: &mut netsim::FaultInjector,
+    timeout_secs: f64,
+    duration_secs: u64,
+) -> NtpdRun {
+    let mut daemon = Ntpd::new(&cfg);
+    let timeout = Some(SimDuration::from_secs_f64(timeout_secs));
+    let mut run = NtpdRun::default();
+    for sec in 0..=duration_secs {
+        let t = SimTime::ZERO + SimDuration::from_secs(sec as i64);
+        let now_local_secs = clock.now_local_nanos(t) as f64 / 1e9;
+        let due = daemon.due_peers(now_local_secs);
+        let mut got_sample = false;
+        for server_id in due {
+            run.polls_sent += 1;
+            match sntp::perform_exchange_faulted(
+                testbed,
+                pool.server_mut(server_id),
+                clock,
+                t,
+                faults,
+                timeout,
+            ) {
+                Ok(done) => {
+                    daemon.on_sample(
+                        now_local_secs,
+                        server_id,
+                        done.sample.offset.as_seconds_f64(),
+                        done.sample.delay.as_seconds_f64(),
+                    );
+                    got_sample = true;
+                }
+                // KoD and loss alike: the peer just didn't deliver.
+                Err(_) => daemon.on_poll_failed(now_local_secs, server_id),
+            }
+        }
+        if got_sample {
+            for cmd in daemon.mitigate(now_local_secs) {
+                cmd.apply(clock, t);
+            }
+        }
+        if sec % 5 == 0 {
+            run.true_error_ms
+                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
+        }
+    }
+    run.system_offsets = daemon.system_offsets.clone();
+    run.steps = daemon.steps();
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

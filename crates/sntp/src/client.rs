@@ -9,7 +9,10 @@
 //! this client (vendor thresholds, MNTP's gate + trend filter) is
 //! deliberately *not* here.
 
-use ntp_wire::{sntp_profile, Exchange, NtpDuration, NtpPacket, NtpTimestamp, WireError};
+use ntp_wire::{
+    sntp_profile::{self, ReplyClass},
+    Exchange, NtpDuration, NtpPacket, NtpTimestamp, WireError,
+};
 
 /// One validated offset measurement, as reported by an SNTP reply.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,6 +29,17 @@ pub struct OffsetSample {
     pub stratum: u8,
 }
 
+/// A reply the hardened client accepted as *meaningful* — either usable
+/// time or a kiss-o'-death the caller must honor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReplyOutcome {
+    /// A validated offset measurement.
+    Sample(OffsetSample),
+    /// The server refused service; the four bytes are the kiss code
+    /// (`RATE` → back off, `DENY`/`RSTR` → stop using this server).
+    KissODeath([u8; 4]),
+}
+
 /// Sans-io SNTP client: one outstanding request at a time.
 #[derive(Clone, Debug, Default)]
 pub struct SntpClient {
@@ -35,6 +49,8 @@ pub struct SntpClient {
     accepted: u64,
     /// Replies rejected by sanity checks (diagnostics).
     rejected: u64,
+    /// Kiss-o'-death replies received (diagnostics).
+    kod_received: u64,
 }
 
 impl SntpClient {
@@ -60,26 +76,65 @@ impl SntpClient {
         self.outstanding = None;
     }
 
-    /// Process reply bytes received at local time `t4`.
+    /// Process reply bytes received at local time `t4`, treating any
+    /// kiss-o'-death as a rejection (the naive SNTP behaviour the paper
+    /// measured on shipped clients). Hardened callers that honor kiss
+    /// codes use [`SntpClient::on_reply_classified`].
     pub fn on_reply(&mut self, data: &[u8], t4: NtpTimestamp) -> Result<OffsetSample, WireError> {
-        let origin = self
-            .outstanding
-            .ok_or(WireError::SanityCheck("no outstanding request"))?;
-        let packet = NtpPacket::parse(data).inspect_err(|_| self.rejected += 1)?;
-        if let Err(e) = sntp_profile::check_reply(&packet, origin) {
-            self.rejected += 1;
-            return Err(e);
+        match self.on_reply_classified(data, t4)? {
+            ReplyOutcome::Sample(s) => Ok(s),
+            ReplyOutcome::KissODeath(_) => {
+                // The KoD consumed the outstanding request (the server
+                // *did* answer us), but it yields no time.
+                self.rejected += 1;
+                Err(WireError::SanityCheck("kiss-o'-death"))
+            }
         }
-        self.outstanding = None;
-        self.accepted += 1;
-        let ex = Exchange::from_reply(&packet, t4);
-        Ok(OffsetSample {
-            offset: ex.offset(),
-            delay: ex.delay(),
-            t1: ex.t1,
-            t4,
-            stratum: packet.stratum,
-        })
+    }
+
+    /// Process reply bytes received at local time `t4`, distinguishing
+    /// time replies from kiss-o'-death refusals.
+    ///
+    /// Every rejection — stale replies arriving after [`SntpClient::abandon`],
+    /// duplicates of an already-consumed reply, origin mismatches, parse
+    /// failures, failed sanity checks — is counted in
+    /// [`SntpClient::rejected`]; silent discards would make fault-layer
+    /// duplicate storms invisible in run diagnostics.
+    pub fn on_reply_classified(
+        &mut self,
+        data: &[u8],
+        t4: NtpTimestamp,
+    ) -> Result<ReplyOutcome, WireError> {
+        let Some(origin) = self.outstanding else {
+            // Late reply after abandon(), or a duplicate of a reply we
+            // already consumed: rejected *and counted*.
+            self.rejected += 1;
+            return Err(WireError::SanityCheck("no outstanding request"));
+        };
+        let packet = NtpPacket::parse(data).inspect_err(|_| self.rejected += 1)?;
+        match sntp_profile::classify_reply(&packet, origin) {
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+            Ok(ReplyClass::KissODeath(code)) => {
+                self.outstanding = None;
+                self.kod_received += 1;
+                Ok(ReplyOutcome::KissODeath(code))
+            }
+            Ok(ReplyClass::Time) => {
+                self.outstanding = None;
+                self.accepted += 1;
+                let ex = Exchange::from_reply(&packet, t4);
+                Ok(ReplyOutcome::Sample(OffsetSample {
+                    offset: ex.offset(),
+                    delay: ex.delay(),
+                    t1: ex.t1,
+                    t4,
+                    stratum: packet.stratum,
+                }))
+            }
+        }
     }
 
     /// Count of accepted replies.
@@ -90,6 +145,11 @@ impl SntpClient {
     /// Count of rejected replies.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Count of kiss-o'-death replies received.
+    pub fn kod_received(&self) -> u64 {
+        self.kod_received
     }
 }
 
@@ -147,6 +207,62 @@ mod tests {
         let req = other.make_request(ts(5, 0));
         let (reply, t4) = reply_for(&req, 10, 10, 0);
         assert!(c.on_reply(&reply, t4).is_err());
+        // An unsolicited reply must be counted, not silently discarded.
+        assert_eq!(c.rejected(), 1);
+    }
+
+    /// A reply that limps in after the caller timed out and abandoned
+    /// the request is stale: rejected, counted, and the client stays
+    /// idle (no request is resurrected).
+    #[test]
+    fn late_reply_after_abandon_rejected_and_counted() {
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(100, 0));
+        let (reply, t4) = reply_for(&req, 10, 10, 0);
+        c.abandon();
+        assert!(c.on_reply(&reply, t4).is_err());
+        assert_eq!(c.rejected(), 1);
+        assert_eq!(c.accepted(), 0);
+        assert!(!c.has_outstanding());
+    }
+
+    /// A fault-layer duplicate: the first copy is consumed normally, the
+    /// identical second copy finds no outstanding request and must be
+    /// rejected and counted — never double-accepted.
+    #[test]
+    fn duplicate_reply_rejected_and_counted() {
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(100, 0));
+        let (reply, t4) = reply_for(&req, 10, 10, 0);
+        assert!(c.on_reply(&reply, t4).is_ok());
+        assert_eq!(c.accepted(), 1);
+        let t4_later = t4 + NtpDuration::from_millis(3);
+        assert!(c.on_reply(&reply, t4_later).is_err());
+        assert_eq!(c.accepted(), 1, "duplicate must not be accepted twice");
+        assert_eq!(c.rejected(), 1);
+    }
+
+    /// The classified path surfaces kiss-o'-death codes and consumes the
+    /// outstanding request (the server answered — with a refusal).
+    #[test]
+    fn classified_path_exposes_kiss_code() {
+        use ntp_wire::packet::Mode;
+        let mut c = SntpClient::new();
+        let req = c.make_request(ts(50, 0));
+        let request = NtpPacket::parse(&req).unwrap();
+        let kod = NtpPacket {
+            mode: Mode::Server,
+            stratum: 0,
+            reference_id: RefId::KISS_RATE,
+            origin_ts: request.transmit_ts,
+            transmit_ts: ts(51, 0),
+            ..Default::default()
+        };
+        let out = c.on_reply_classified(&kod.serialize(), ts(51, 0)).unwrap();
+        assert_eq!(out, ReplyOutcome::KissODeath(*b"RATE"));
+        assert_eq!(c.kod_received(), 1);
+        assert_eq!(c.rejected(), 0, "an honored KoD is not a sanity rejection");
+        assert!(!c.has_outstanding());
     }
 
     #[test]

@@ -18,10 +18,11 @@
 
 use clocksim::time::{SimDuration, SimTime};
 use clocksim::ClockControl;
+use netsim::faults::{FaultInjector, PacketFate};
 use netsim::Testbed;
 use ntp_wire::NtpDuration;
 
-use crate::client::{OffsetSample, SntpClient};
+use crate::client::{OffsetSample, ReplyOutcome, SntpClient};
 use crate::server::SimServer;
 
 /// Why an exchange failed.
@@ -37,6 +38,14 @@ pub enum ExchangeError {
     LostLastHopDown,
     /// Reply arrived but failed parsing or sanity checks.
     RejectedReply,
+    /// Packet swallowed by a scheduled server outage (fault layer).
+    Blackholed,
+    /// The reply arrived after the per-query timeout; the request was
+    /// abandoned and the late reply rejected.
+    Timeout,
+    /// The server answered kiss-o'-death with this code; the caller
+    /// must honor it (back off / stop using the server).
+    KissODeath([u8; 4]),
 }
 
 /// A successful exchange with full diagnostics.
@@ -191,11 +200,142 @@ pub fn perform_exchange(
     })
 }
 
+/// [`perform_exchange`] with a fault layer and a per-query timeout: the
+/// hardened client's one round trip through a hostile world.
+///
+/// The [`FaultInjector`] is consulted at every stage, *on top of* the
+/// testbed's own channel models (a packet must survive both):
+///
+/// * due client clock steps (suspend/resume) are applied before T1 is
+///   read, and a due falseticker onset steps the server's clock;
+/// * while a kiss-o'-death window covers this server, its rate limiting
+///   is forced on (and released when the window ends);
+/// * the request faces storm/outage drops, then extra uplink delay;
+/// * the reply faces drops, corruption, duplication, and extra downlink
+///   delay;
+/// * if the reply lands after `timeout`, the request is abandoned
+///   (`Err(Timeout)`) and the late reply is fed to the client anyway —
+///   it must be rejected and counted, exactly like a stale packet on
+///   real hardware; a duplicated reply's second copy is handled the
+///   same way after the first is consumed.
+pub fn perform_exchange_faulted(
+    testbed: &mut Testbed,
+    server: &mut SimServer,
+    clock: &mut dyn ClockControl,
+    t: SimTime,
+    faults: &mut FaultInjector,
+    timeout: Option<SimDuration>,
+) -> Result<CompletedExchange, ExchangeError> {
+    let t = t.max(clock.position());
+    // Suspend/resume: the device wakes with its clock wrong.
+    for step_ms in faults.take_clock_steps(t) {
+        clock.step(t, NtpDuration::from_seconds_f64(step_ms / 1e3));
+    }
+    // A good server going bad: its reference clock steps once.
+    if let Some(err_ms) = faults.take_falseticker_onset(t, server.id) {
+        server.clock.step(t, NtpDuration::from_seconds_f64(err_ms / 1e3));
+    }
+    // The fault layer owns the rate-limit knob of servers it schedules
+    // KoD windows for: limiting on inside the window, off outside.
+    if faults.kod_manages(server.id) {
+        server.min_poll_interval = faults.kod_min_poll(t, server.id);
+    }
+
+    let mut client = SntpClient::new();
+    let t1 = clock.now(t);
+    let request = client.make_request(t1);
+
+    if faults.uplink_fate(t, server.id) == PacketFate::Drop {
+        return Err(if faults.outage_active(t, server.id) {
+            ExchangeError::Blackholed
+        } else {
+            ExchangeError::LostLastHopUp
+        });
+    }
+    let Some(hop_up) = testbed.last_hop_up(t) else {
+        return Err(ExchangeError::LostLastHopUp);
+    };
+    let bb_up = {
+        let SimServer { backbone_up, rng, .. } = server;
+        backbone_up.transmit(rng)
+    };
+    let Some(bb_up) = bb_up else {
+        return Err(ExchangeError::LostBackboneUp);
+    };
+    let fwd = hop_up + bb_up + faults.extra_delay_up(t);
+    let arrival = t + fwd;
+
+    let (reply_bytes, departure) =
+        server.handle(&request, arrival).map_err(|_| ExchangeError::RejectedReply)?;
+
+    let fate = faults.downlink_fate(departure, server.id);
+    if fate == PacketFate::Drop {
+        return Err(if faults.outage_active(departure, server.id) {
+            ExchangeError::Blackholed
+        } else {
+            ExchangeError::LostLastHopDown
+        });
+    }
+    let bb_down = {
+        let SimServer { backbone_down, rng, .. } = server;
+        backbone_down.transmit(rng)
+    };
+    let Some(bb_down) = bb_down else {
+        return Err(ExchangeError::LostBackboneDown);
+    };
+    let spike_down = faults.extra_delay_down(departure);
+    let at_wap = departure + bb_down + spike_down;
+    let Some(hop_down) = testbed.last_hop_down(at_wap) else {
+        return Err(ExchangeError::LostLastHopDown);
+    };
+    let back = bb_down + spike_down + hop_down;
+    let completed_at = departure + back;
+    let t4 = clock.now(completed_at);
+
+    if timeout.is_some_and(|to| (completed_at - t).as_nanos() > to.as_nanos()) {
+        // The caller gave up before the reply landed; the late packet
+        // still reaches the socket and must be rejected, not applied.
+        client.abandon();
+        let late = client.on_reply_classified(&reply_bytes, t4);
+        debug_assert!(late.is_err(), "stale reply must not be accepted");
+        return Err(ExchangeError::Timeout);
+    }
+
+    let mut delivered = reply_bytes.clone();
+    if fate == PacketFate::Corrupt {
+        // Flip the origin-timestamp field: the packet still parses but
+        // cannot pass the bogus-reply check.
+        for b in &mut delivered[24..32] {
+            *b ^= 0xFF;
+        }
+    }
+
+    let outcome =
+        client.on_reply_classified(&delivered, t4).map_err(|_| ExchangeError::RejectedReply)?;
+    let sample = match outcome {
+        ReplyOutcome::KissODeath(code) => return Err(ExchangeError::KissODeath(code)),
+        ReplyOutcome::Sample(s) => s,
+    };
+    if fate == PacketFate::Duplicate {
+        // The clone lands right behind the consumed original.
+        let dup = client.on_reply_classified(&reply_bytes, t4);
+        debug_assert!(dup.is_err(), "duplicate reply must not be double-applied");
+    }
+    Ok(CompletedExchange {
+        sample,
+        true_fwd: fwd,
+        true_back: back,
+        completed_at,
+        server_id: server.id,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pool::{PoolConfig, ServerPool};
     use clocksim::{OscillatorConfig, SimClock, SimRng};
+    use netsim::faults::{FaultKind, FaultSchedule, ServerSet};
     use netsim::testbed::TestbedConfig;
 
     fn perfect_clock() -> SimClock {
@@ -304,5 +444,243 @@ mod tests {
             perform_exchange(&mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(10))
                 .unwrap();
         assert!((done.sample.offset.as_millis_f64() - 500.0).abs() < 5.0);
+    }
+
+    fn quiet_pool(seed: u64) -> ServerPool {
+        ServerPool::new(
+            PoolConfig {
+                size: 2,
+                false_ticker_fraction: 0.0,
+                good_error_sigma_ms: 0.0,
+                backbone_loss: 0.0,
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn faulted_exchange_with_empty_schedule_matches_normal_path() {
+        let mut faults = FaultInjector::new(FaultSchedule::none(), 1);
+        let mut tb_a = Testbed::wired(20);
+        let mut tb_b = Testbed::wired(20);
+        let mut pool_a = quiet_pool(21);
+        let mut pool_b = quiet_pool(21);
+        let mut clock_a = perfect_clock();
+        let mut clock_b = perfect_clock();
+        for i in 0..50 {
+            let t = SimTime::from_secs(i * 10);
+            let plain = perform_exchange(&mut tb_a, pool_a.server_mut(0), &mut clock_a, t);
+            let faulted = perform_exchange_faulted(
+                &mut tb_b,
+                pool_b.server_mut(0),
+                &mut clock_b,
+                t,
+                &mut faults,
+                None,
+            );
+            match (plain, faulted) {
+                (Ok(a), Ok(b)) => assert_eq!(a.sample, b.sample),
+                (a, b) => panic!("paths diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outage_blackholes_and_recovers() {
+        let sched = FaultSchedule::none().window(
+            100.0,
+            200.0,
+            FaultKind::ServerOutage { servers: ServerSet::All },
+        );
+        let mut faults = FaultInjector::new(sched, 2);
+        let mut tb = Testbed::wired(22);
+        let mut pool = quiet_pool(23);
+        let mut clock = perfect_clock();
+        let go = |tb: &mut Testbed, pool: &mut ServerPool, clock: &mut SimClock, faults: &mut FaultInjector, s: i64| {
+            perform_exchange_faulted(tb, pool.server_mut(0), clock, SimTime::from_secs(s), faults, None)
+        };
+        assert!(go(&mut tb, &mut pool, &mut clock, &mut faults, 50).is_ok());
+        assert_eq!(
+            go(&mut tb, &mut pool, &mut clock, &mut faults, 150).unwrap_err(),
+            ExchangeError::Blackholed
+        );
+        assert!(go(&mut tb, &mut pool, &mut clock, &mut faults, 250).is_ok());
+        assert!(faults.stats.dropped_up >= 1);
+    }
+
+    #[test]
+    fn slow_reply_times_out_and_is_not_applied() {
+        // 800 ms of extra downlink delay against a 500 ms budget.
+        let sched = FaultSchedule::none().window(
+            0.0,
+            1e9,
+            FaultKind::DelaySpike { extra_up_ms: 0.0, extra_down_ms: 800.0 },
+        );
+        let mut faults = FaultInjector::new(sched, 3);
+        let mut tb = Testbed::wired(24);
+        let mut pool = quiet_pool(25);
+        let mut clock = perfect_clock();
+        let err = perform_exchange_faulted(
+            &mut tb,
+            pool.server_mut(0),
+            &mut clock,
+            SimTime::from_secs(10),
+            &mut faults,
+            Some(SimDuration::from_millis(500)),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExchangeError::Timeout);
+        // With a roomier budget the same spike is tolerated.
+        let ok = perform_exchange_faulted(
+            &mut tb,
+            pool.server_mut(0),
+            &mut clock,
+            SimTime::from_secs(20),
+            &mut faults,
+            Some(SimDuration::from_secs(5)),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn corrupted_replies_are_rejected() {
+        let sched =
+            FaultSchedule::none().window(0.0, 1e9, FaultKind::CorruptReply { prob: 1.0 });
+        let mut faults = FaultInjector::new(sched, 4);
+        let mut tb = Testbed::wired(26);
+        let mut pool = quiet_pool(27);
+        let mut clock = perfect_clock();
+        let err = perform_exchange_faulted(
+            &mut tb,
+            pool.server_mut(0),
+            &mut clock,
+            SimTime::from_secs(5),
+            &mut faults,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExchangeError::RejectedReply);
+        assert_eq!(faults.stats.corrupted, 1);
+    }
+
+    #[test]
+    fn duplicated_replies_apply_exactly_once() {
+        let sched =
+            FaultSchedule::none().window(0.0, 1e9, FaultKind::DuplicateReply { prob: 1.0 });
+        let mut faults = FaultInjector::new(sched, 5);
+        let mut tb = Testbed::wired(28);
+        let mut pool = quiet_pool(29);
+        let mut clock = perfect_clock();
+        // Succeeds despite every reply being cloned: the duplicate is
+        // rejected internally (debug_assert'd in the exchange).
+        let done = perform_exchange_faulted(
+            &mut tb,
+            pool.server_mut(0),
+            &mut clock,
+            SimTime::from_secs(5),
+            &mut faults,
+            None,
+        )
+        .unwrap();
+        assert!(done.sample.offset.as_millis_f64().abs() < 50.0);
+        assert_eq!(faults.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn kod_window_turns_rate_limiting_on_and_off() {
+        let sched = FaultSchedule::none().window(
+            100.0,
+            200.0,
+            FaultKind::KissODeath { servers: ServerSet::One(0), min_poll_secs: 64.0 },
+        );
+        let mut faults = FaultInjector::new(sched, 6);
+        let mut tb = Testbed::wired(30);
+        let mut pool = quiet_pool(31);
+        let mut clock = perfect_clock();
+        let go = |tb: &mut Testbed, pool: &mut ServerPool, clock: &mut SimClock, faults: &mut FaultInjector, s: i64| {
+            perform_exchange_faulted(tb, pool.server_mut(0), clock, SimTime::from_secs(s), faults, None)
+        };
+        // Inside the window, polls 10 s apart: first primes the limiter,
+        // second draws RATE.
+        assert!(go(&mut tb, &mut pool, &mut clock, &mut faults, 110).is_ok());
+        assert_eq!(
+            go(&mut tb, &mut pool, &mut clock, &mut faults, 120).unwrap_err(),
+            ExchangeError::KissODeath(*b"RATE")
+        );
+        assert_eq!(pool.server(0).kod_sent, 1);
+        // After the window the same cadence is served normally.
+        assert!(go(&mut tb, &mut pool, &mut clock, &mut faults, 210).is_ok());
+        assert!(go(&mut tb, &mut pool, &mut clock, &mut faults, 220).is_ok());
+    }
+
+    #[test]
+    fn falseticker_onset_shifts_measured_offset() {
+        let sched = FaultSchedule::none()
+            .at(100.0, FaultKind::FalsetickerOnset { server: 0, error_ms: 300.0 });
+        let mut faults = FaultInjector::new(sched, 7);
+        let mut tb = Testbed::wired(32);
+        let mut pool = quiet_pool(33);
+        let mut clock = perfect_clock();
+        let before = perform_exchange_faulted(
+            &mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(50), &mut faults, None,
+        )
+        .unwrap();
+        assert!(before.sample.offset.as_millis_f64().abs() < 50.0);
+        let after = perform_exchange_faulted(
+            &mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(150), &mut faults, None,
+        )
+        .unwrap();
+        let shift = after.sample.offset.as_millis_f64() - before.sample.offset.as_millis_f64();
+        assert!((shift - 300.0).abs() < 50.0, "onset shift {shift}");
+    }
+
+    #[test]
+    fn client_clock_step_appears_in_offset() {
+        // The device sleeps and wakes 400 ms behind: the server then
+        // appears 400 ms *ahead*.
+        let sched = FaultSchedule::none().at(100.0, FaultKind::ClockStep { offset_ms: -400.0 });
+        let mut faults = FaultInjector::new(sched, 8);
+        let mut tb = Testbed::wired(34);
+        let mut pool = quiet_pool(35);
+        let mut clock = perfect_clock();
+        let done = perform_exchange_faulted(
+            &mut tb, pool.server_mut(0), &mut clock, SimTime::from_secs(150), &mut faults, None,
+        )
+        .unwrap();
+        assert!((done.sample.offset.as_millis_f64() - 400.0).abs() < 50.0);
+        assert_eq!(faults.stats.clock_steps, 1);
+    }
+
+    /// The whole faulted pipeline replays bit-identically for a fixed
+    /// (schedule, seed) — the contract the fault-sweep artifacts and the
+    /// parallel-equivalence suite build on.
+    #[test]
+    fn faulted_exchange_sequence_is_deterministic() {
+        let run = || {
+            let sched = FaultSchedule::none()
+                .window(0.0, 2000.0, FaultKind::LossStorm { loss_prob: 0.3 })
+                .window(500.0, 1500.0, FaultKind::DuplicateReply { prob: 0.5 })
+                .at(800.0, FaultKind::ClockStep { offset_ms: 120.0 });
+            let mut faults = FaultInjector::new(sched, 99);
+            let mut tb = Testbed::wireless(TestbedConfig::default(), 36);
+            let mut pool = quiet_pool(37);
+            let mut clock = perfect_clock();
+            (0..200)
+                .map(|i| {
+                    perform_exchange_faulted(
+                        &mut tb,
+                        pool.server_mut((i % 2) as usize),
+                        &mut clock,
+                        SimTime::from_secs(i * 10),
+                        &mut faults,
+                        Some(SimDuration::from_secs(2)),
+                    )
+                    .map(|d| d.sample.offset.as_millis_f64().to_bits())
+                    .map_err(|e| format!("{e:?}"))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

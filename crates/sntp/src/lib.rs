@@ -23,6 +23,13 @@
 //! * [`energy`] — the Balasubramanian-style radio energy model behind
 //!   the paper's §3.4 battery argument: joules per transfer including
 //!   ramp and tail costs.
+//! * [`retry`] — capped exponential backoff with deterministic jitter,
+//!   the pacing policy hardened clients use after failures.
+//!
+//! The hardened-client surface ([`exchange::perform_exchange_faulted`],
+//! [`pool::HealthTracker`], kiss-o'-death handling via
+//! [`client::ReplyOutcome`]) composes with `netsim::faults` to survive
+//! the episodic failures the fault layer injects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +38,16 @@ pub mod client;
 pub mod energy;
 pub mod exchange;
 pub mod pool;
+pub mod retry;
 pub mod server;
 pub mod vendor;
 
-pub use client::{OffsetSample, SntpClient};
+pub use client::{OffsetSample, ReplyOutcome, SntpClient};
 pub use energy::{EnergyMeter, EnergyModel};
-pub use exchange::{perform_exchange, perform_exchange_traced, CompletedExchange, ExchangeError, TracedPacket};
-pub use pool::{PoolConfig, ServerPool};
+pub use exchange::{
+    perform_exchange, perform_exchange_faulted, perform_exchange_traced, CompletedExchange,
+    ExchangeError, TracedPacket,
+};
+pub use pool::{HealthConfig, HealthTracker, PoolConfig, ServerHealth, ServerPool};
+pub use retry::{Backoff, BackoffConfig};
 pub use server::SimServer;

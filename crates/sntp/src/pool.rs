@@ -132,6 +132,181 @@ impl ServerPool {
     }
 }
 
+/// Health-tracking policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Consecutive failures before a server is demoted (temporarily
+    /// blacklisted).
+    pub demote_after: u32,
+    /// Blacklist duration for the first demotion, seconds.
+    pub demote_secs: f64,
+    /// Each repeat demotion multiplies the ban by this factor…
+    pub demote_growth: f64,
+    /// …up to this cap, seconds.
+    pub max_demote_secs: f64,
+    /// Extra spacing honored after a `RATE` kiss code, seconds.
+    pub rate_backoff_secs: f64,
+    /// Blacklist duration after `DENY`/`RSTR` (access refused — treat
+    /// the server as gone for a long time), seconds.
+    pub deny_secs: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            demote_after: 4,
+            demote_secs: 60.0,
+            demote_growth: 2.0,
+            max_demote_secs: 900.0,
+            rate_backoff_secs: 64.0,
+            deny_secs: 3600.0,
+        }
+    }
+}
+
+/// Per-server reachability and sanction state, ntpd-style.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerHealth {
+    /// 8-bit reachability shift register (1 = the last poll succeeded),
+    /// as in RFC 5905 §13 / `ntpq -p`'s `reach` column.
+    reach: u8,
+    /// Failures since the last success.
+    consecutive_failures: u32,
+    /// Demotions served so far (drives the growing ban; decays on
+    /// success).
+    demotions: u32,
+    /// Server is blacklisted until this time, seconds.
+    banned_until_secs: f64,
+    /// Kiss-o'-death replies seen from this server.
+    pub kod_received: u64,
+}
+
+impl ServerHealth {
+    /// The reachability shift register.
+    pub fn reach(&self) -> u8 {
+        self.reach
+    }
+
+    /// Polls answered among the last eight (0–8).
+    pub fn score(&self) -> u32 {
+        self.reach.count_ones()
+    }
+
+    /// True when the server may be queried at time `t` (not blacklisted).
+    pub fn eligible(&self, t_secs: f64) -> bool {
+        t_secs >= self.banned_until_secs
+    }
+
+    /// When the current sanction lapses (0 when never sanctioned).
+    pub fn banned_until_secs(&self) -> f64 {
+        self.banned_until_secs
+    }
+}
+
+/// Tracks [`ServerHealth`] for a whole pool and performs failover
+/// selection: healthy servers are picked at random; demoted servers sit
+/// out a growing-but-decaying ban; `DENY`/`RSTR` kiss codes remove a
+/// server for a long time. Owns a private RNG stream so selection
+/// replays deterministically and never perturbs the pool's own stream.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    servers: Vec<ServerHealth>,
+    rng: SimRng,
+}
+
+impl HealthTracker {
+    /// Track `n` servers under `cfg`; `seed` fixes the selection stream.
+    pub fn new(n: usize, cfg: HealthConfig, seed: u64) -> Self {
+        HealthTracker { cfg, servers: vec![ServerHealth::default(); n], rng: SimRng::new(seed) }
+    }
+
+    /// Health of server `id`.
+    pub fn health(&self, id: usize) -> &ServerHealth {
+        &self.servers[id]
+    }
+
+    /// Record a successful exchange with `id` at time `t`.
+    pub fn on_success(&mut self, id: usize, _t_secs: f64) {
+        let h = &mut self.servers[id];
+        h.reach = (h.reach << 1) | 1;
+        h.consecutive_failures = 0;
+        // Decay: good behaviour halves the demotion memory, so an old
+        // incident stops inflating future bans.
+        h.demotions /= 2;
+    }
+
+    /// Record a failed exchange (loss, timeout, corrupt reply) with `id`.
+    pub fn on_failure(&mut self, id: usize, t_secs: f64) {
+        let cfg = self.cfg;
+        let h = &mut self.servers[id];
+        h.reach <<= 1;
+        h.consecutive_failures += 1;
+        if h.consecutive_failures >= cfg.demote_after {
+            let ban = (cfg.demote_secs * cfg.demote_growth.powi(h.demotions.min(16) as i32))
+                .min(cfg.max_demote_secs);
+            h.banned_until_secs = h.banned_until_secs.max(t_secs + ban);
+            h.demotions = h.demotions.saturating_add(1);
+            h.consecutive_failures = 0;
+        }
+    }
+
+    /// Record a kiss-o'-death from `id`; the code decides the sanction.
+    pub fn on_kod(&mut self, id: usize, code: [u8; 4], t_secs: f64) {
+        let cfg = self.cfg;
+        let h = &mut self.servers[id];
+        h.kod_received += 1;
+        let ban = match &code {
+            b"DENY" | b"RSTR" => cfg.deny_secs,
+            _ => cfg.rate_backoff_secs,
+        };
+        h.banned_until_secs = h.banned_until_secs.max(t_secs + ban);
+    }
+
+    /// Pick one server to query at time `t`: uniformly random among the
+    /// eligible; when *every* server is blacklisted, the one whose ban
+    /// lapses soonest (lowest id breaking ties) — a client must always
+    /// have a next server to try.
+    pub fn pick(&mut self, t_secs: f64) -> usize {
+        let eligible: Vec<usize> =
+            (0..self.servers.len()).filter(|&i| self.servers[i].eligible(t_secs)).collect();
+        if eligible.is_empty() {
+            return (0..self.servers.len())
+                .min_by(|&a, &b| {
+                    self.servers[a]
+                        .banned_until_secs
+                        .total_cmp(&self.servers[b].banned_until_secs)
+                })
+                .expect("tracker over empty pool");
+        }
+        eligible[self.rng.index(eligible.len())]
+    }
+
+    /// Pick up to `n` distinct servers, eligible ones first (shuffled),
+    /// topped up with blacklisted ones (soonest-lapsing first) only when
+    /// the eligible population is too small.
+    pub fn pick_distinct(&mut self, n: usize, t_secs: f64) -> Vec<usize> {
+        let mut eligible: Vec<usize> =
+            (0..self.servers.len()).filter(|&i| self.servers[i].eligible(t_secs)).collect();
+        self.rng.shuffle(&mut eligible);
+        if eligible.len() < n {
+            let mut banned: Vec<usize> =
+                (0..self.servers.len()).filter(|&i| !self.servers[i].eligible(t_secs)).collect();
+            banned.sort_by(|&a, &b| {
+                self.servers[a].banned_until_secs.total_cmp(&self.servers[b].banned_until_secs)
+            });
+            eligible.extend(banned);
+        }
+        eligible.truncate(n.min(self.servers.len()));
+        eligible
+    }
+
+    /// How many servers are currently eligible.
+    pub fn eligible_count(&self, t_secs: f64) -> usize {
+        self.servers.iter().filter(|h| h.eligible(t_secs)).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +368,115 @@ mod tests {
         };
         assert_eq!(errors(5), errors(5));
         assert_ne!(errors(5), errors(6));
+    }
+
+    #[test]
+    fn reach_register_tracks_last_eight_polls() {
+        let mut tr = HealthTracker::new(1, HealthConfig::default(), 1);
+        for _ in 0..3 {
+            tr.on_success(0, 0.0);
+        }
+        tr.on_failure(0, 0.0);
+        tr.on_success(0, 0.0);
+        assert_eq!(tr.health(0).reach(), 0b11101);
+        assert_eq!(tr.health(0).score(), 4);
+    }
+
+    #[test]
+    fn consecutive_failures_demote_and_bans_grow_then_decay() {
+        let cfg = HealthConfig {
+            demote_after: 3,
+            demote_secs: 60.0,
+            demote_growth: 2.0,
+            max_demote_secs: 900.0,
+            ..Default::default()
+        };
+        let mut tr = HealthTracker::new(1, cfg, 2);
+        for _ in 0..3 {
+            tr.on_failure(0, 100.0);
+        }
+        // First demotion: banned for 60 s.
+        assert!(!tr.health(0).eligible(100.0));
+        assert_eq!(tr.health(0).banned_until_secs(), 160.0);
+        assert!(tr.health(0).eligible(160.0));
+        // Second demotion doubles the ban.
+        for _ in 0..3 {
+            tr.on_failure(0, 200.0);
+        }
+        assert_eq!(tr.health(0).banned_until_secs(), 320.0);
+        // Two successes decay the demotion memory back to zero…
+        tr.on_success(0, 400.0);
+        tr.on_success(0, 401.0);
+        // …so the next demotion is a fresh 60 s again.
+        for _ in 0..3 {
+            tr.on_failure(0, 500.0);
+        }
+        assert_eq!(tr.health(0).banned_until_secs(), 560.0);
+    }
+
+    #[test]
+    fn kiss_codes_sanction_by_severity() {
+        let mut tr = HealthTracker::new(2, HealthConfig::default(), 3);
+        tr.on_kod(0, *b"RATE", 100.0);
+        assert!(!tr.health(0).eligible(100.0));
+        assert!(tr.health(0).eligible(164.0));
+        tr.on_kod(1, *b"DENY", 100.0);
+        assert!(!tr.health(1).eligible(1000.0));
+        assert!(tr.health(1).eligible(3700.0));
+        assert_eq!(tr.health(1).kod_received, 1);
+    }
+
+    #[test]
+    fn pick_avoids_blacklisted_servers() {
+        let mut tr = HealthTracker::new(4, HealthConfig::default(), 4);
+        tr.on_kod(2, *b"DENY", 0.0);
+        for _ in 0..200 {
+            assert_ne!(tr.pick(10.0), 2);
+        }
+        assert_eq!(tr.eligible_count(10.0), 3);
+    }
+
+    #[test]
+    fn pick_falls_back_to_soonest_lapsing_ban_when_all_down() {
+        let mut tr = HealthTracker::new(3, HealthConfig::default(), 5);
+        tr.on_kod(0, *b"DENY", 0.0);
+        tr.on_kod(1, *b"RATE", 0.0);
+        tr.on_kod(2, *b"DENY", 0.0);
+        // Everyone banned; server 1's RATE lapses first.
+        assert_eq!(tr.pick(1.0), 1);
+    }
+
+    #[test]
+    fn pick_distinct_prefers_eligible_and_tops_up() {
+        let mut tr = HealthTracker::new(4, HealthConfig::default(), 6);
+        tr.on_kod(1, *b"DENY", 0.0);
+        tr.on_kod(3, *b"RATE", 0.0);
+        let picked = tr.pick_distinct(3, 10.0);
+        assert_eq!(picked.len(), 3);
+        // The two eligible servers must both be there; the top-up is the
+        // soonest-lapsing ban (RATE before DENY).
+        assert!(picked.contains(&0) && picked.contains(&2));
+        assert!(picked.contains(&3));
+        assert!(!picked.contains(&1));
+    }
+
+    #[test]
+    fn tracker_selection_is_deterministic() {
+        let run = |seed| {
+            let mut tr = HealthTracker::new(8, HealthConfig::default(), seed);
+            (0..100)
+                .map(|i| {
+                    let id = tr.pick(i as f64);
+                    if i % 3 == 0 {
+                        tr.on_failure(id, i as f64);
+                    } else {
+                        tr.on_success(id, i as f64);
+                    }
+                    id
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 }

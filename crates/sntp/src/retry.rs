@@ -1,0 +1,130 @@
+//! Retry pacing: capped exponential backoff with deterministic jitter.
+//!
+//! SNTP clients that re-poll on a fixed short timer are exactly what
+//! public pool operators rate-limit against (and what melts servers
+//! during outages — every client in a region retrying in lock-step the
+//! moment connectivity returns). The standard remedy is exponential
+//! backoff with jitter; the wrinkle here is that *all* randomness in
+//! this workspace must replay bit-identically, so the jitter comes from
+//! a private [`SimRng`] stream seeded by the caller rather than from
+//! entropy. Two runs with the same seed back off identically; two
+//! clients with different seeds desynchronize, which is the whole point
+//! of jitter.
+
+use clocksim::rng::SimRng;
+
+/// Backoff shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffConfig {
+    /// Delay after the first failure, seconds.
+    pub base_secs: f64,
+    /// Multiplier applied per further failure.
+    pub factor: f64,
+    /// Upper bound on the deterministic part of the delay, seconds.
+    pub max_secs: f64,
+    /// Jitter amplitude as a fraction of the delay: the delay is drawn
+    /// uniformly from `[d·(1−j), d·(1+j)]`. Zero disables jitter.
+    pub jitter_frac: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig { base_secs: 2.0, factor: 2.0, max_secs: 120.0, jitter_frac: 0.25 }
+    }
+}
+
+/// Exponential backoff state for one retry loop.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    attempt: u32,
+    rng: SimRng,
+}
+
+impl Backoff {
+    /// Fresh backoff; `seed` fixes the jitter stream.
+    pub fn new(cfg: BackoffConfig, seed: u64) -> Self {
+        Backoff { cfg, attempt: 0, rng: SimRng::new(seed) }
+    }
+
+    /// Failures recorded since the last [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Record a failure and return how long to wait before the next
+    /// try, seconds.
+    pub fn next_delay_secs(&mut self) -> f64 {
+        let exp = self.cfg.factor.powi(self.attempt.min(30) as i32);
+        self.attempt = self.attempt.saturating_add(1);
+        let d = (self.cfg.base_secs * exp).min(self.cfg.max_secs);
+        if self.cfg.jitter_frac > 0.0 {
+            let j = self.cfg.jitter_frac;
+            d * self.rng.uniform_range(1.0 - j, 1.0 + j)
+        } else {
+            d
+        }
+    }
+
+    /// A success: the next failure starts the ladder from the bottom.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_jitter() -> BackoffConfig {
+        BackoffConfig { base_secs: 1.0, factor: 2.0, max_secs: 16.0, jitter_frac: 0.0 }
+    }
+
+    #[test]
+    fn doubles_until_the_cap() {
+        let mut b = Backoff::new(no_jitter(), 1);
+        let delays: Vec<f64> = (0..7).map(|_| b.next_delay_secs()).collect();
+        assert_eq!(delays, vec![1.0, 2.0, 4.0, 8.0, 16.0, 16.0, 16.0]);
+    }
+
+    #[test]
+    fn reset_restarts_the_ladder() {
+        let mut b = Backoff::new(no_jitter(), 2);
+        b.next_delay_secs();
+        b.next_delay_secs();
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.next_delay_secs(), 1.0);
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_varies() {
+        let cfg = BackoffConfig { base_secs: 10.0, factor: 1.0, max_secs: 10.0, jitter_frac: 0.3 };
+        let mut b = Backoff::new(cfg, 3);
+        let delays: Vec<f64> = (0..200).map(|_| b.next_delay_secs()).collect();
+        for d in &delays {
+            assert!((7.0..=13.0).contains(d), "delay {d} outside jitter band");
+        }
+        let distinct = delays.iter().map(|d| d.to_bits()).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 100, "jitter not actually varying");
+    }
+
+    #[test]
+    fn deterministic_per_seed_divergent_across_seeds() {
+        let run = |seed| {
+            let mut b = Backoff::new(BackoffConfig::default(), seed);
+            (0..20).map(|_| b.next_delay_secs().to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(no_jitter(), 4);
+        for _ in 0..1000 {
+            let d = b.next_delay_secs();
+            assert!(d.is_finite() && d <= 16.0);
+        }
+    }
+}

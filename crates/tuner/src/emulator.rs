@@ -100,6 +100,13 @@ pub fn emulate(cfg: &MntpConfig, trace: &Trace) -> EmulationResult {
                             SampleVerdict::Rejected { offset_ms } => {
                                 out.rejected.push((row.t_secs, offset_ms));
                             }
+                            // Traces replayed here never starve the engine
+                            // long enough to reach holdover, but the arm
+                            // must exist; treat the recovery sample like an
+                            // acceptance with no trend prediction yet.
+                            SampleVerdict::Recovered { offset_ms } => {
+                                out.accepted.push((row.t_secs, offset_ms, 0.0));
+                            }
                         }
                     }
                 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The workspace verification pipeline, runnable locally or in CI.
+#
+#   scripts/ci.sh            # full gate
+#   MNTP_JOBS=4 scripts/ci.sh
+#
+# Everything runs --offline: the workspace is hermetic (in-tree path
+# crates only; tests/hermetic.rs fails the suite if a registry
+# dependency ever appears in a manifest), so no network is required or
+# wanted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test suite (offline) =="
+cargo test -q --offline
+
+echo "== hermetic guard =="
+cargo test -q --offline --test hermetic
+
+echo "== microbenchmarks vs committed baseline =="
+cargo run --release --offline -p mntp-bench --bin micro
+cargo run --release --offline -p mntp-bench --bin compare -- \
+    results/bench/baseline.json results/bench/BENCH_micro.json
+
+echo "== repro smoke (quick suite, release) =="
+MNTP_SMOKE=1 cargo test -q --release --offline --test repro_smoke
+
+echo "CI OK"
