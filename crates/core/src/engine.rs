@@ -223,7 +223,7 @@ impl Mntp {
 
         // Warmup → regular transition (steps 11–13 + 16).
         if self.phase == Phase::Warmup
-            && elapsed_secs(self.cycle_start.unwrap(), now) >= self.cfg.warmup_period_secs
+            && elapsed_secs(self.cycle_start.unwrap_or(now), now) >= self.cfg.warmup_period_secs
             && self.filter.len() >= self.cfg.min_warmup_samples
         {
             self.filter.refit();
@@ -233,7 +233,10 @@ impl Mntp {
             }
         }
 
-        let due = self.next_request.expect("set above");
+        // `next_request` was seeded at the top of the tick; a `None` here
+        // would mean a reset cleared it mid-tick, and "due now" is the
+        // sane reading of that state.
+        let due = self.next_request.unwrap_or(now);
         if now.wrapping_sub(due).is_negative() {
             return MntpAction::Wait;
         }
@@ -300,7 +303,7 @@ impl Mntp {
             .filter(|v| **v == crate::filter::FalseTickerVerdict::FalseTicker)
             .count() as u64;
         let combined = combine_round(offsets_ms, &verdicts);
-        let t = elapsed_secs(self.cycle_start.expect("cycle started"), now);
+        let t = elapsed_secs(self.cycle_start.unwrap_or(now), now);
         // Steps 7–9: bootstrap the first min_warmup_samples unchecked,
         // then run the trend accept test on later warmup samples too.
         let recorded = if self.filter.len() < self.cfg.min_warmup_samples {
@@ -328,7 +331,7 @@ impl Mntp {
         if self.cfg.drift_correction {
             self.emit_trim_update(now);
         }
-        let t = elapsed_secs(self.cycle_start.expect("cycle started"), now);
+        let t = elapsed_secs(self.cycle_start.unwrap_or(now), now);
         if self.filter.offer(t, offset_ms) {
             self.stats.accepted += 1;
             let offset = NtpDuration::from_seconds_f64(offset_ms / 1e3);

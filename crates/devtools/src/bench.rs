@@ -198,6 +198,7 @@ impl Suite {
                 "--out" => {
                     let dir = args.next().unwrap_or_else(|| {
                         eprintln!("--out requires a directory argument");
+                        // lint:allow(no-process) — usage-error exit for the bench-suite CLI entry point shared by every [[bin]] target
                         std::process::exit(2);
                     });
                     cfg.out_dir = PathBuf::from(dir);
@@ -205,6 +206,7 @@ impl Suite {
                 other if !other.starts_with('-') => filter = Some(other.to_string()),
                 other => {
                     eprintln!("unknown argument: {other}");
+                    // lint:allow(no-process) — usage-error exit for the bench-suite CLI entry point shared by every [[bin]] target
                     std::process::exit(2);
                 }
             }

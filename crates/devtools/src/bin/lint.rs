@@ -1,0 +1,73 @@
+//! The workspace determinism & panic-policy linter.
+//!
+//! ```text
+//! cargo run --release -p devtools --bin lint            # gate: exit 1 on findings
+//! cargo run --release -p devtools --bin lint -- --report  # print the allowlist audit
+//! cargo run --release -p devtools --bin lint -- --root DIR
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use devtools::lint;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => report = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: lint [--root DIR] [--report] [--quiet]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let out = match lint::run(&root) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if report {
+        print!("{}", lint::report(&out));
+        if !out.clean() {
+            eprintln!("lint: {} finding(s) — report reflects the dirty tree", out.findings.len());
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &out.findings {
+        println!("{f}");
+    }
+    if !quiet {
+        eprintln!(
+            "lint: {} file(s), {} finding(s), {} suppression(s)",
+            out.files_scanned,
+            out.findings.len(),
+            out.allows.len()
+        );
+    }
+    if out.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

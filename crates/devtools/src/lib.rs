@@ -1,6 +1,6 @@
 //! In-tree development harnesses for the MNTP workspace.
 //!
-//! Three subsystems, all dependency-free beyond `clocksim` (for the
+//! Four subsystems, all dependency-free beyond `clocksim` (for the
 //! deterministic RNG):
 //!
 //! - [`prop`] — a shrinking property-test harness (the workspace's
@@ -14,12 +14,17 @@
 //!   for `rayon`): per-worker deques plus a global injector over scoped
 //!   `std::thread`s, exposing an order-preserving [`par::Pool::map`]
 //!   whose output is bit-identical to the serial loop.
+//! - [`lint`] — the determinism & panic-policy linter (the workspace's
+//!   replacement for clippy plugins): a Rust tokenizer plus path-pattern
+//!   matcher enforcing the invariants of DESIGN.md §8, exposed as the
+//!   `lint` bin and wired into `scripts/ci.sh` as a blocking gate.
 //!
 //! Keeping these in-tree is what makes the workspace hermetic: a cold
 //! cache plus `cargo build --release --offline` is enough to build,
 //! test, and benchmark everything.
 
 pub mod bench;
+pub mod lint;
 pub mod par;
 pub mod prop;
 

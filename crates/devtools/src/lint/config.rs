@@ -1,0 +1,158 @@
+//! `lint.toml` — per-path lint policy.
+//!
+//! A deliberately small TOML subset (the workspace is hermetic, so no
+//! TOML crate): `[section]` headers, `key = ["a", "b"]` string arrays
+//! (single- or multi-line), and `#` comments. That is everything the
+//! policy file needs:
+//!
+//! ```toml
+//! [workspace]
+//! roots   = ["crates", "src", "tests", "examples"]
+//! exclude = ["crates/devtools/tests/lint_fixtures"]
+//!
+//! [skip]
+//! # lint-name = [path prefixes where the lint does not run]
+//! no-wallclock = ["crates/devtools/src/bench.rs"]
+//!
+//! [panic]
+//! # panic-policy lints run ONLY under these paths (the hot-path set)
+//! paths = ["crates/sntp/src", "crates/core/src/engine.rs"]
+//! ```
+//!
+//! All paths are `/`-separated and relative to the repo root; a prefix
+//! matches the path itself or anything below it.
+
+use std::collections::BTreeMap;
+
+/// Parsed policy.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Directories (relative to root) the walker descends into.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from walking entirely (fixture corpora).
+    pub exclude: Vec<String>,
+    /// lint name → path prefixes where that lint is skipped.
+    pub skip: BTreeMap<String, Vec<String>>,
+    /// Path prefixes where the panic-policy class applies.
+    pub panic_paths: Vec<String>,
+}
+
+impl Config {
+    /// Policy used when no `lint.toml` exists: walk the conventional
+    /// roots, apply every lint everywhere, panic policy nowhere.
+    pub fn fallback() -> Config {
+        Config {
+            roots: vec!["crates".into(), "src".into(), "tests".into(), "examples".into()],
+            ..Config::default()
+        }
+    }
+
+    /// Does `lint` apply to `path` (a `/`-separated root-relative path)?
+    pub fn lint_enabled(&self, lint: &str, is_panic_class: bool, path: &str) -> bool {
+        if is_panic_class && !self.panic_paths.iter().any(|p| path_has_prefix(path, p)) {
+            return false;
+        }
+        if let Some(prefixes) = self.skip.get(lint) {
+            if prefixes.iter().any(|p| path_has_prefix(path, p)) {
+                return false;
+            }
+        }
+        // Bin targets own their process: exit codes are their interface.
+        if lint == "no-process" && (path.contains("/bin/") || path.ends_with("main.rs")) {
+            return false;
+        }
+        true
+    }
+}
+
+/// True when `path` equals `prefix` or lives below it.
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+/// Parse the config text. Unknown sections and keys are ignored (they
+/// may belong to a newer linter); malformed lines are errors.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(format!("lint.toml:{}: unterminated section header", lineno + 1));
+            };
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("lint.toml:{}: expected `key = [..]`", lineno + 1));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming until the bracket closes.
+        while !value.contains(']') {
+            let Some((_, cont)) = lines.next() else {
+                return Err(format!("lint.toml:{}: unterminated array", lineno + 1));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(cont).trim());
+        }
+        let items = parse_string_array(&value)
+            .map_err(|e| format!("lint.toml:{}: {e}", lineno + 1))?;
+        match (section.as_str(), key.as_str()) {
+            ("workspace", "roots") => cfg.roots = items,
+            ("workspace", "exclude") => cfg.exclude = items,
+            ("panic", "paths") => cfg.panic_paths = items,
+            ("skip", lint) => {
+                cfg.skip.insert(lint.to_string(), items);
+            }
+            _ => {} // forward compatibility
+        }
+    }
+    if cfg.roots.is_empty() {
+        cfg.roots = Config::fallback().roots;
+    }
+    Ok(cfg)
+}
+
+/// Remove a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `["a", "b"]` into its items.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for piece in inner.split(',') {
+        let p = piece.trim();
+        if p.is_empty() {
+            continue; // trailing comma
+        }
+        let s = p
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{p}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}

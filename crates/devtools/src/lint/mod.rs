@@ -1,0 +1,186 @@
+//! The workspace's determinism & panic-policy linter.
+//!
+//! A zero-dependency static-analysis pass over every Rust file in the
+//! repository, enforcing the invariant classes that the reproduction's
+//! headline claims rest on (DESIGN.md §8):
+//!
+//! - **determinism** — no wall clocks, no hasher-ordered containers, no
+//!   environment-dependent branching in artifact-producing code;
+//! - **concurrency** — all parallelism flows through [`crate::par`];
+//!   no `static mut`, no un-audited `unsafe`;
+//! - **panic policy** — the hot-path crates return `Result` or carry a
+//!   documented invariant instead of `unwrap`/`expect`/`panic!`/indexing;
+//! - **hermeticity** — no subprocesses outside bin targets, no real
+//!   sockets outside the designated I/O module.
+//!
+//! Per-site opt-outs use `// lint:allow(<name>) — <reason>` pragmas
+//! (covering that line and the next); per-path policy lives in
+//! `lint.toml` at the repo root. [`report`] renders the audit artifact
+//! committed as `results/lint_allowlist.txt`.
+
+pub mod config;
+pub mod rules;
+pub mod tokens;
+pub mod walk;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use config::Config;
+pub use rules::{lint_by_name, Class, Lint, LINTS};
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Root-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint name (or the meta lints `bad-pragma` / `unknown-pragma` /
+    /// `unused-pragma`).
+    pub lint: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.lint, self.message)
+    }
+}
+
+/// One `lint:allow` site, for the audit report.
+#[derive(Clone, Debug)]
+pub struct AllowSite {
+    /// Root-relative path.
+    pub file: String,
+    /// 1-based line of the pragma.
+    pub line: u32,
+    /// Lint being suppressed.
+    pub lint: String,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// Result of linting a set of files.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Unsuppressed violations, sorted by (file, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Every pragma that suppressed at least one finding.
+    pub allows: Vec<AllowSite>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the tree is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Load `lint.toml` from `root` (falling back to defaults when absent)
+/// and lint every configured file.
+pub fn run(root: &Path) -> io::Result<Outcome> {
+    let cfg = load_config(root)?;
+    let files = walk::rust_files(root, &cfg)?;
+    let mut out = Outcome::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        lint_source(&rel, &src, &cfg, &mut out);
+        out.files_scanned += 1;
+    }
+    out.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.lint).cmp(&(&b.file, b.line, b.col, &b.lint))
+    });
+    out.allows.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(out)
+}
+
+/// Read and parse `root/lint.toml`, or fall back to the built-in policy.
+pub fn load_config(root: &Path) -> io::Result<Config> {
+    let path = root.join("lint.toml");
+    if !path.exists() {
+        return Ok(Config::fallback());
+    }
+    let text = fs::read_to_string(&path)?;
+    config::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Lint one file's source text into `out`. Public so tests (and the
+/// fixture suite) can lint strings without touching the filesystem.
+pub fn lint_source(rel: &str, src: &str, cfg: &Config, out: &mut Outcome) {
+    let scan = rules::scan_file(src, |lint| {
+        cfg.lint_enabled(lint.name, lint.class == Class::Panic, rel)
+    });
+    for f in scan.findings {
+        out.findings.push(Finding {
+            file: rel.to_string(),
+            line: f.line,
+            col: f.col,
+            lint: f.lint.to_string(),
+            message: f.message.to_string(),
+        });
+    }
+    for p in scan.pragmas {
+        if lint_by_name(&p.lint).is_none() {
+            out.findings.push(Finding {
+                file: rel.to_string(),
+                line: p.line,
+                col: p.col,
+                lint: "unknown-pragma".to_string(),
+                message: format!("pragma names no known lint: `{}`", p.lint),
+            });
+            continue;
+        }
+        if p.reason.is_empty() {
+            out.findings.push(Finding {
+                file: rel.to_string(),
+                line: p.line,
+                col: p.col,
+                lint: "bad-pragma".to_string(),
+                message: format!("lint:allow({}) needs a reason: `// lint:allow({}) — why`", p.lint, p.lint),
+            });
+        }
+        if !p.used {
+            out.findings.push(Finding {
+                file: rel.to_string(),
+                line: p.line,
+                col: p.col,
+                lint: "unused-pragma".to_string(),
+                message: format!("lint:allow({}) suppresses nothing here; remove it", p.lint),
+            });
+            continue;
+        }
+        out.allows.push(AllowSite {
+            file: rel.to_string(),
+            line: p.line,
+            lint: p.lint,
+            reason: p.reason,
+        });
+    }
+}
+
+/// Render the sorted `lint:allow` audit (the `--report` artifact). Every
+/// line is `file:line: lint — reason`, preceded by a count header, so
+/// allowlist growth shows up in review diffs.
+pub fn report(out: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str("# lint:allow audit — regenerate with `cargo run -p devtools --bin lint -- --report`\n");
+    let files: std::collections::BTreeSet<&str> =
+        out.allows.iter().map(|a| a.file.as_str()).collect();
+    s.push_str(&format!(
+        "# {} suppression(s) across {} file(s)\n",
+        out.allows.len(),
+        files.len()
+    ));
+    for a in &out.allows {
+        s.push_str(&format!("{}:{}: {} — {}\n", a.file, a.line, a.lint, a.reason));
+    }
+    s
+}

@@ -1,0 +1,405 @@
+//! Lint definitions and the token-stream matcher.
+//!
+//! Each lint is a set of *path patterns*: short sequences of token texts
+//! (`["SystemTime"]`, `["thread", "::", "spawn"]`, `[".", "unwrap", "("]`)
+//! matched against consecutive significant tokens. Two lints are
+//! structural rather than pattern-based: `no-slice-index` (a `[` directly
+//! following an expression tail) and `no-static-mut` (covered by a
+//! pattern, but listed here for completeness).
+//!
+//! Panic-policy lints apply only inside configured hot paths and skip
+//! `#[cfg(test)]` / `#[test]` regions — test code may unwrap freely.
+
+use super::tokens::{tokenize, Token, TokenKind};
+
+/// Lint classes, mirroring DESIGN.md §8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Bit-identical replay: no wall clocks, unordered maps, or env reads.
+    Determinism,
+    /// All parallelism flows through `devtools::par`; no `unsafe`.
+    Concurrency,
+    /// Hot-path crates return `Result` instead of panicking.
+    Panic,
+    /// No subprocesses or real sockets outside designated modules.
+    Hermeticity,
+}
+
+/// One lint: a name (used in pragmas and config), its class, and the
+/// message printed with every finding.
+pub struct Lint {
+    /// Stable kebab-case name, e.g. `no-unordered-map`.
+    pub name: &'static str,
+    /// Class the lint belongs to.
+    pub class: Class,
+    /// One-line rationale printed with findings.
+    pub message: &'static str,
+    /// Token-text sequences that trigger the lint.
+    pub patterns: &'static [&'static [&'static str]],
+}
+
+/// The full lint table. Order is the order findings are reported in for
+/// ties on position.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        name: "no-wallclock",
+        class: Class::Determinism,
+        message: "wall-clock time source; simulated code must use SimTime/SimClock",
+        patterns: &[&["SystemTime"], &["Instant"]],
+    },
+    Lint {
+        name: "no-unordered-map",
+        class: Class::Determinism,
+        message: "iteration order is hasher/platform luck; use BTreeMap/BTreeSet",
+        patterns: &[&["HashMap"], &["HashSet"], &["RandomState"]],
+    },
+    Lint {
+        name: "no-env",
+        class: Class::Determinism,
+        message: "environment-dependent behavior poisons replay; thread configuration explicitly",
+        patterns: &[
+            &["env", "::", "var"],
+            &["env", "::", "var_os"],
+            &["env", "::", "vars"],
+            &["env", "::", "vars_os"],
+            &["env", "::", "temp_dir"],
+        ],
+    },
+    Lint {
+        name: "no-thread-spawn",
+        class: Class::Concurrency,
+        message: "raw threads bypass the deterministic pool; use devtools::par",
+        patterns: &[&["thread", "::", "spawn"], &["thread", "::", "scope"], &["thread", "::", "Builder"]],
+    },
+    Lint {
+        name: "no-static-mut",
+        class: Class::Concurrency,
+        message: "mutable global state is a data race and a replay hazard",
+        patterns: &[&["static", "mut"]],
+    },
+    Lint {
+        name: "no-unsafe",
+        class: Class::Concurrency,
+        message: "unsafe outside the audited allowlist (crates carry #![forbid(unsafe_code)])",
+        patterns: &[&["unsafe"]],
+    },
+    Lint {
+        name: "no-panic",
+        class: Class::Panic,
+        message: "hot-path code must return Result or carry a documented invariant",
+        patterns: &[
+            &["panic", "!"],
+            &["unreachable", "!"],
+            &["todo", "!"],
+            &["unimplemented", "!"],
+        ],
+    },
+    Lint {
+        name: "no-unwrap",
+        class: Class::Panic,
+        message: "hot-path code must handle the None/Err arm or document the invariant",
+        patterns: &[&[".", "unwrap", "("], &[".", "expect", "("]],
+    },
+    Lint {
+        name: "no-slice-index",
+        class: Class::Panic,
+        message: "indexing can panic on the hot path; use get()/get_mut() or document bounds",
+        patterns: &[], // structural; see `find_slice_indexing`
+    },
+    Lint {
+        name: "no-process",
+        class: Class::Hermeticity,
+        message: "process control belongs to bin targets, not library code",
+        patterns: &[&["process", "::"], &["Command", "::", "new"]],
+    },
+    Lint {
+        name: "no-socket",
+        class: Class::Hermeticity,
+        message: "real network I/O outside the designated sntp I/O module breaks hermetic runs",
+        patterns: &[
+            &["UdpSocket"],
+            &["TcpStream"],
+            &["TcpListener"],
+            &["std", "::", "net", "::"],
+        ],
+    },
+];
+
+/// Look up a lint by name (pragma validation).
+pub fn lint_by_name(name: &str) -> Option<&'static Lint> {
+    LINTS.iter().find(|l| l.name == name)
+}
+
+/// One rule violation at a source position.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// Lint name.
+    pub lint: &'static str,
+    /// Message (the lint's message, possibly specialized).
+    pub message: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A `// lint:allow(<name>) — <reason>` pragma site.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// The lint the pragma suppresses.
+    pub lint: String,
+    /// The stated reason (may be empty — which is itself a finding).
+    pub reason: String,
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// 1-based column of the pragma comment.
+    pub col: u32,
+    /// Set when the pragma suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Everything the matcher extracts from one file.
+pub struct FileScan {
+    /// Unsuppressed findings (pragma application already done).
+    pub findings: Vec<RawFinding>,
+    /// All pragmas, with `used` resolved.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` items or `#[test]`
+/// functions — regions where panic-policy lints do not apply.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        // `#` `[` cfg `(` test … `]`   or   `#` `[` test `]`
+        let is_attr = sig[i].text == "#" && i + 1 < sig.len() && sig[i + 1].text == "[";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Find the attribute's closing bracket (attributes never nest
+        // deeply; track depth anyway).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < sig.len() {
+            match sig[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but
+                // not `#[cfg(not(test))]`, which marks NON-test code.
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = saw_test && !saw_not;
+        if !is_test_attr || j >= sig.len() {
+            i = attr_start + 1;
+            continue;
+        }
+        // Skip any further attributes, then brace-match the item body.
+        let mut k = j + 1;
+        while k + 1 < sig.len() && sig[k].text == "#" && sig[k + 1].text == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < sig.len() {
+                match sig[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d = d.saturating_sub(1);
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item's opening brace; a `;` first means a brace-less
+        // item (`#[cfg(test)] use …;`) — cover just through that line.
+        let mut open = None;
+        let mut m = k;
+        while m < sig.len() {
+            match sig[m].text.as_str() {
+                "{" => {
+                    open = Some(m);
+                    break;
+                }
+                ";" => break,
+                "=" => break, // `#[cfg(test)] const X: … = …;` — rare; treat as brace-less
+                _ => {}
+            }
+            m += 1;
+        }
+        let end = match open {
+            Some(o) => {
+                let mut d = 0usize;
+                let mut e = o;
+                while e < sig.len() {
+                    match sig[e].text.as_str() {
+                        "{" => d += 1,
+                        "}" => {
+                            d = d.saturating_sub(1);
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                e.min(sig.len() - 1)
+            }
+            None => m.min(sig.len() - 1),
+        };
+        regions.push((sig[attr_start].line, sig[end].line));
+        i = end + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Parse pragmas out of the comment tokens. Syntax (in a line comment):
+/// `lint:allow(<name>) — <reason>` — the reason separator may be an em
+/// dash, hyphen, or colon. The pragma covers its own line and the line
+/// directly below it.
+fn extract_pragmas(tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(at) = t.text.find("lint:allow(") else { continue };
+        let rest = &t.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let name = rest[..close].trim().to_string();
+        // Only lint-name-shaped text is a pragma; this keeps prose that
+        // *describes* the syntax (`lint:allow(<name>)`) out of the audit.
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-') {
+            continue;
+        }
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        out.push(Pragma { lint: name, reason, line: t.line, col: t.col, used: false });
+    }
+    out
+}
+
+/// Structural detection of indexing expressions: a `[` whose previous
+/// significant token ends an expression (identifier, `)`, or `]`).
+/// Attributes (`#[…]`), array types/literals, and slice patterns all
+/// have a non-expression token before the bracket.
+fn find_slice_indexing(sig: &[&Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for w in sig.windows(2) {
+        let (prev, cur) = (w[0], w[1]);
+        if cur.text != "[" {
+            continue;
+        }
+        let indexes = match prev.kind {
+            TokenKind::Ident => !matches!(
+                prev.text.as_str(),
+                // Keywords that can directly precede an array/slice
+                // expression or pattern without forming an index.
+                "mut" | "ref" | "in" | "return" | "break" | "else" | "match" | "if" | "as"
+                    | "box" | "move" | "static" | "const" | "dyn" | "impl" | "where" | "let"
+                    | "for"
+            ),
+            TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+            _ => false,
+        };
+        if indexes {
+            out.push((cur.line, cur.col));
+        }
+    }
+    out
+}
+
+/// Match every lint against one file's source.
+///
+/// `enabled` decides per-lint applicability (path-based skips and the
+/// hot-path scoping for panic lints are resolved by the caller).
+pub fn scan_file(src: &str, enabled: impl Fn(&'static Lint) -> bool) -> FileScan {
+    let tokens = tokenize(src);
+    let mut pragmas = extract_pragmas(&tokens);
+    let sig: Vec<&Token> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let tests = test_regions(&tokens);
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for lint in LINTS {
+        if !enabled(lint) {
+            continue;
+        }
+        let skip_tests = lint.class == Class::Panic;
+        if lint.name == "no-slice-index" {
+            for (line, col) in find_slice_indexing(&sig) {
+                if skip_tests && in_regions(&tests, line) {
+                    continue;
+                }
+                raw.push(RawFinding { lint: lint.name, message: lint.message, line, col });
+            }
+            continue;
+        }
+        for pat in lint.patterns {
+            for start in 0..sig.len() {
+                if start + pat.len() > sig.len() {
+                    break;
+                }
+                if pat.iter().zip(&sig[start..]).all(|(p, t)| *p == t.text) {
+                    let t = sig[start];
+                    if skip_tests && in_regions(&tests, t.line) {
+                        continue;
+                    }
+                    raw.push(RawFinding { lint: lint.name, message: lint.message, line: t.line, col: t.col });
+                }
+            }
+        }
+    }
+
+    // Pragma application: a pragma suppresses matching findings on its
+    // own line and on the next non-pragma line, so several standalone
+    // pragma comments can stack above one statement.
+    let pragma_lines: Vec<u32> = pragmas.iter().map(|p| p.line).collect();
+    let covered = |p_line: u32, f_line: u32| -> bool {
+        if p_line == f_line {
+            return true;
+        }
+        let mut next = p_line + 1;
+        while pragma_lines.contains(&next) {
+            next += 1;
+        }
+        next == f_line
+    };
+    raw.retain(|f| {
+        let mut suppressed = false;
+        for p in pragmas.iter_mut() {
+            if p.lint == f.lint && covered(p.line, f.line) {
+                p.used = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    raw.sort_by_key(|f| (f.line, f.col));
+    FileScan { findings: raw, pragmas }
+}

@@ -1,0 +1,311 @@
+//! A lightweight Rust tokenizer for the lint engine.
+//!
+//! This is not a full lexer — it only needs to be exact about the
+//! boundaries that decide whether text is *code* or *data*: line
+//! comments, nested block comments, string literals, raw strings with
+//! arbitrary `#` fencing, byte strings, char literals (distinguished
+//! from lifetimes), and numbers. Everything else is an identifier or a
+//! punctuation token. `::` is fused into one token because every path
+//! pattern the rule matcher uses is written with it.
+//!
+//! Positions are 1-based `(line, col)` of the token's first byte, so
+//! findings print as editor-clickable `file:line:col`.
+
+/// Token classification — only as fine as the matcher needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (the tick and the name, one token).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String / raw string / byte string literal, quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// `// …` comment, text included (pragmas are read from these).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+    /// Any other punctuation; `::` is a single two-byte token.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for tokens the pattern matcher should consider (comments are
+    /// handled separately, as pragma carriers).
+    pub fn is_significant(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: unterminated literals are swallowed to
+/// end-of-file as a single token, which is the forgiving thing for a
+/// linter to do.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let kind = match b {
+            _ if b.is_ascii_whitespace() => {
+                c.bump();
+                continue;
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(n) = c.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                eat_string(&mut c);
+                TokenKind::Str
+            }
+            b'\'' => eat_tick(&mut c),
+            b'r' | b'b' if raw_string_hashes(&c).is_some() => {
+                let hashes = raw_string_hashes(&c).unwrap();
+                eat_raw_string(&mut c, hashes);
+                TokenKind::Str
+            }
+            b'b' if c.peek(1) == Some(b'"') => {
+                c.bump();
+                eat_string(&mut c);
+                TokenKind::Str
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump();
+                eat_char(&mut c);
+                TokenKind::Char
+            }
+            b'r' if c.peek(1) == Some(b'#') && c.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#ident`.
+                c.bump();
+                c.bump();
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if is_ident_start(b) => {
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                eat_number(&mut c);
+                TokenKind::Num
+            }
+            b':' if c.peek(1) == Some(b':') => {
+                c.bump();
+                c.bump();
+                TokenKind::Punct
+            }
+            _ => {
+                c.bump();
+                TokenKind::Punct
+            }
+        };
+        let text = src[start..c.pos].to_string();
+        out.push(Token { kind, text, line, col });
+    }
+    out
+}
+
+/// If the cursor sits on the start of a raw (byte) string — `r"`, `r#"`,
+/// `br##"` … — return the number of `#`s fencing it.
+fn raw_string_hashes(c: &Cursor<'_>) -> Option<usize> {
+    let mut i = 1; // past the `r` / `b`
+    if c.peek(0) == Some(b'b') {
+        if c.peek(1) != Some(b'r') {
+            return None;
+        }
+        i = 2;
+    }
+    let mut hashes = 0;
+    while c.peek(i) == Some(b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if c.peek(i) == Some(b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn eat_raw_string(c: &mut Cursor<'_>, hashes: usize) {
+    // Consume prefix up to and including the opening quote.
+    while c.peek(0) != Some(b'"') {
+        if c.bump().is_none() {
+            return;
+        }
+    }
+    c.bump();
+    // Scan for `"` followed by exactly `hashes` hashes.
+    'scan: while let Some(b) = c.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if c.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                c.bump();
+            }
+            return;
+        }
+    }
+}
+
+fn eat_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn eat_char(c: &mut Cursor<'_>) {
+    c.bump(); // opening tick
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime.
+///
+/// After the tick: an escape (`'\n'`) or any single char followed by a
+/// closing tick (`'x'`) is a char literal; an identifier *not* closed by
+/// a tick (`'static`, `'a`) is a lifetime. `'_'` (the reserved
+/// placeholder lifetime) tokenizes as a char literal here, which is
+/// harmless for matching purposes.
+fn eat_tick(c: &mut Cursor<'_>) -> TokenKind {
+    match (c.peek(1), c.peek(2)) {
+        (Some(b'\\'), _) => {
+            eat_char(c);
+            TokenKind::Char
+        }
+        (Some(n), Some(b'\'')) if n != b'\'' => {
+            eat_char(c);
+            TokenKind::Char
+        }
+        (Some(n), _) if is_ident_start(n) => {
+            c.bump(); // tick
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            TokenKind::Lifetime
+        }
+        _ => {
+            // Stray tick (macro-generated code edge cases): single punct.
+            c.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+fn eat_number(c: &mut Cursor<'_>) {
+    // Consume digits, underscores, hex/bin/oct letters, suffixes, and a
+    // decimal point when (and only when) a digit follows it, so ranges
+    // like `0..10` and method calls like `1.max(2)` stay separate tokens.
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            c.bump();
+        } else if b == b'.' && c.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic file discovery for the lint engine.
+//!
+//! Walks the configured roots depth-first with directory entries sorted
+//! by name, so the finding order — and therefore the `--report` artifact
+//! — is identical on every platform and filesystem.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::config::{path_has_prefix, Config};
+
+/// Collect every `.rs` file under the configured roots, as sorted
+/// root-relative `/`-separated paths.
+pub fn rust_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for r in &cfg.roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            walk_dir(root, &dir, cfg, &mut out)?;
+        } else if dir.is_file() && r.ends_with(".rs") {
+            out.push(r.clone());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = relative(root, &path);
+        if cfg.exclude.iter().any(|x| path_has_prefix(&rel, x)) {
+            continue;
+        }
+        if path.is_dir() {
+            // `target/` never appears under the configured roots, but be
+            // defensive about stray build output anyway.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk_dir(root, &path, cfg, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative `/`-separated path (findings and config both use it).
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

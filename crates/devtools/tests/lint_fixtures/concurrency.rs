@@ -1,0 +1,10 @@
+// Fixture: concurrency violations. Never compiled — scanned by lint_engine.rs.
+fn f() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|s| {});
+}
+static mut COUNTER: u32 = 0;
+unsafe fn g() {}
+fn h() {
+    unsafe { core::hint::unreachable_unchecked() }
+}

@@ -1,0 +1,11 @@
+// Fixture: determinism violations. Never compiled — scanned by lint_engine.rs.
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s = std::collections::HashSet::<u32>::new();
+    let h = std::collections::hash_map::RandomState::new();
+    let t = SystemTime::now();
+    let i = Instant::now();
+    let v = std::env::var("HOME");
+}

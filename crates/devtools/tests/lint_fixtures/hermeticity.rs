@@ -1,0 +1,7 @@
+// Fixture: hermeticity violations. Never compiled — scanned by lint_engine.rs.
+fn f() {
+    std::process::exit(1);
+    let c = std::process::Command::new("ls");
+    let s = std::net::UdpSocket::bind("0.0.0.0:0");
+    let t = TcpListener::bind("0.0.0.0:0");
+}

@@ -1,0 +1,29 @@
+// Fixture: panic-policy violations. The scanning test configures this
+// file as a hot path; the cfg(test) module at the bottom must be exempt.
+fn f(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("set");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!(),
+        _ => {}
+    }
+    v[0] + a + b
+}
+mod not_a_test {
+    pub fn g(v: &[u32]) -> u32 {
+        v[1]
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+        Option::<u32>::None.unwrap();
+        panic!("test code may panic");
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: pragma handling. Never compiled — scanned by lint_engine.rs.
+fn f() {
+    // lint:allow(no-unordered-map) — fixture demonstrates a justified standalone suppression
+    let m = std::collections::HashMap::<u32, u32>::new();
+    let s = std::collections::HashSet::<u32>::new(); // lint:allow(no-unordered-map) — trailing-form suppression
+    // lint:allow(no-unordered-map)
+    let t = std::collections::HashMap::<u32, u32>::new();
+    // lint:allow(no-such-lint) — the named lint does not exist
+    let x = 1;
+    // lint:allow(no-wallclock) — nothing below uses a wall clock, so this pragma is dead
+    let y = 2;
+    // lint:allow(no-unordered-map) — first of a stacked pair
+    // lint:allow(no-wallclock) — second of a stacked pair
+    let z = std::collections::HashMap::new(); let w = SystemTime::now();
+}

@@ -1,0 +1,21 @@
+// Fixture: mentions that must NOT fire (data, not code), plus two that must.
+fn f<'a>(x: &'a str) -> char {
+    let s = "HashMap::new() SystemTime::now() std::thread::spawn";
+    let r = r#"Instant::now() "quoted" panic!() unsafe"#;
+    let deep = r##"fenced r#"inner"# HashSet"##;
+    let b = b"HashSet";
+    let rb = br#"RandomState"#;
+    /* HashMap in a block comment /* nested unsafe */ still one comment */
+    let c: char = '"';
+    let tick = '\'';
+    let newline = '\n';
+    let lt: core::marker::PhantomData<&'a u32> = core::marker::PhantomData;
+    // Real code again — the matcher must be back in sync and fire here:
+    let m = std::collections::HashMap::<u32, u32>::new();
+    c
+}
+macro_rules! mk {
+    () => {
+        std::collections::HashSet::new()
+    };
+}

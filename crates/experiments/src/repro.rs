@@ -347,6 +347,7 @@ mod tests {
     #[test]
     fn write_failure_is_reported_not_fatal() {
         // Point the out dir at a path that cannot be a directory.
+        // lint:allow(no-env) — OS scratch dir for a write-failure test; its location never reaches an artifact
         let base = std::env::temp_dir().join("mntp_repro_unwritable");
         let _ = std::fs::remove_dir_all(&base);
         std::fs::create_dir_all(&base).unwrap();

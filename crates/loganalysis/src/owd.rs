@@ -21,7 +21,7 @@
 //! clock error) lives in the tests: the filter must keep most
 //! well-synchronized clients and reject most badly-offset ones.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ntp_wire::{NtpPacket, NtpTimestamp};
 
@@ -86,8 +86,8 @@ impl ClientOwds {
 }
 
 /// Extract filtered per-client OWDs from a log.
-pub fn extract_owds(log: &ServerLog, filter: &OwdFilter) -> HashMap<u32, ClientOwds> {
-    let mut out: HashMap<u32, ClientOwds> = HashMap::new();
+pub fn extract_owds(log: &ServerLog, filter: &OwdFilter) -> BTreeMap<u32, ClientOwds> {
+    let mut out: BTreeMap<u32, ClientOwds> = BTreeMap::new();
     for r in &log.records {
         let entry = out.entry(r.client_id).or_default();
         entry.seen += 1;

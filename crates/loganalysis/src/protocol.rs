@@ -8,7 +8,7 @@
 //! legitimately flips implementations mid-capture, but captures can hold
 //! corrupt packets).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ntp_wire::NtpPacket;
 
@@ -34,8 +34,8 @@ pub fn classify_packet(packet: &NtpPacket) -> Protocol {
 
 /// Classify every client in a log by majority vote over its requests.
 /// Unparseable requests are ignored.
-pub fn classify_clients(log: &ServerLog) -> HashMap<u32, Protocol> {
-    let mut votes: HashMap<u32, (u32, u32)> = HashMap::new();
+pub fn classify_clients(log: &ServerLog) -> BTreeMap<u32, Protocol> {
+    let mut votes: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
     for r in &log.records {
         if let Ok(p) = NtpPacket::parse(&r.request) {
             let e = votes.entry(r.client_id).or_insert((0, 0));

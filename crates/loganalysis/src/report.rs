@@ -62,7 +62,7 @@ pub fn figure1(log: &ServerLog, filter: &OwdFilter) -> Vec<Figure1Row> {
     // client -> provider via the hostname heuristic (first record wins;
     // hostnames are stable per client).
     let mut per_provider: Vec<Vec<f64>> = vec![Vec::new(); PROVIDERS.len()];
-    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut seen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for r in &log.records {
         if !seen.insert(r.client_id) {
             continue;
@@ -120,7 +120,7 @@ pub fn figure2(logs: &[ServerLog]) -> Vec<Figure2Row> {
 pub fn figure2_providers(log: &ServerLog) -> Vec<(&'static str, f64, usize)> {
     let classes = classify_clients(log);
     let mut counts: Vec<(u32, u32)> = vec![(0, 0); PROVIDERS.len()];
-    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut seen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for r in &log.records {
         if !seen.insert(r.client_id) {
             continue;

@@ -313,7 +313,7 @@ mod tests {
         let mw2 = SERVERS.iter().find(|s| s.id == "MW2").unwrap();
         let log = generate_server_log(mw2, &SynthConfig::default(), 4);
         // Per *client*, as the paper counts: >95% of mobile clients SNTP.
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for r in &log.records {
             if PROVIDERS[r.true_provider].category == ProviderCategory::Mobile {
                 seen.insert(r.client_id, r.true_sntp);
@@ -360,7 +360,7 @@ mod tests {
         // SU1 is dual-stack: a visible IPv6 minority.
         let su1 = SERVERS.iter().find(|s| s.id == "SU1").unwrap();
         let log = generate_server_log(su1, &SynthConfig { scale: 500, duration_secs: 86_400 }, 12);
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for r in &log.records {
             seen.insert(r.client_id, r.true_ipv6);
         }

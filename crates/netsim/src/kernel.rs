@@ -128,6 +128,7 @@ impl<W> Sim<W> {
         self.seq = self.seq.wrapping_add(1);
         let slot = match self.free.pop() {
             Some(s) => {
+                // lint:allow(no-slice-index) — `s` came off the free list, which only ever holds indices of existing slots
                 self.slots[s as usize] = Some(f);
                 s
             }
@@ -142,6 +143,8 @@ impl<W> Sim<W> {
     fn pop(&mut self) -> Option<(SimTime, EventFn<W>)> {
         let Reverse(key) = self.heap.pop()?;
         let slot = key_slot(key);
+        // lint:allow(no-slice-index) — the slot index was packed into the key by `push`, which stored into that slot
+        // lint:allow(no-unwrap) — push/pop pairing: every queued key's slot holds its callback until this take()
         let f = self.slots[slot as usize].take().expect("queued slot holds a callback");
         self.free.push(slot);
         Some((key_time(key), f))
@@ -181,7 +184,7 @@ impl<W> Sim<W> {
             if key_time(key) > t {
                 break;
             }
-            let (at, f) = self.pop().expect("peeked entry exists");
+            let Some((at, f)) = self.pop() else { break };
             self.now = at;
             self.fired += 1;
             f.call(world, self);

@@ -305,6 +305,7 @@ pub fn perform_exchange_faulted(
     if fate == PacketFate::Corrupt {
         // Flip the origin-timestamp field: the packet still parses but
         // cannot pass the bogus-reply check.
+        // lint:allow(no-slice-index) — server replies are full 48-byte NTP packets; 24..32 is the origin-timestamp field
         for b in &mut delivered[24..32] {
             *b ^= 0xFF;
         }

@@ -113,11 +113,13 @@ impl ServerPool {
 
     /// Access a server by index.
     pub fn server_mut(&mut self, id: usize) -> &mut SimServer {
+        // lint:allow(no-slice-index) — `id` is a handle this pool handed out via pick(); panicking on a foreign id is the accessor's contract
         &mut self.servers[id]
     }
 
     /// Immutable access (tests/diagnostics).
     pub fn server(&self, id: usize) -> &SimServer {
+        // lint:allow(no-slice-index) — `id` is a handle this pool handed out via pick(); panicking on a foreign id is the accessor's contract
         &self.servers[id]
     }
 
@@ -223,11 +225,13 @@ impl HealthTracker {
 
     /// Health of server `id`.
     pub fn health(&self, id: usize) -> &ServerHealth {
+        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
         &self.servers[id]
     }
 
     /// Record a successful exchange with `id` at time `t`.
     pub fn on_success(&mut self, id: usize, _t_secs: f64) {
+        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
         let h = &mut self.servers[id];
         h.reach = (h.reach << 1) | 1;
         h.consecutive_failures = 0;
@@ -239,6 +243,7 @@ impl HealthTracker {
     /// Record a failed exchange (loss, timeout, corrupt reply) with `id`.
     pub fn on_failure(&mut self, id: usize, t_secs: f64) {
         let cfg = self.cfg;
+        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
         let h = &mut self.servers[id];
         h.reach <<= 1;
         h.consecutive_failures += 1;
@@ -254,6 +259,7 @@ impl HealthTracker {
     /// Record a kiss-o'-death from `id`; the code decides the sanction.
     pub fn on_kod(&mut self, id: usize, code: [u8; 4], t_secs: f64) {
         let cfg = self.cfg;
+        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
         let h = &mut self.servers[id];
         h.kod_received += 1;
         let ban = match &code {
@@ -268,17 +274,24 @@ impl HealthTracker {
     /// lapses soonest (lowest id breaking ties) — a client must always
     /// have a next server to try.
     pub fn pick(&mut self, t_secs: f64) -> usize {
-        let eligible: Vec<usize> =
-            (0..self.servers.len()).filter(|&i| self.servers[i].eligible(t_secs)).collect();
+        let eligible: Vec<usize> = self
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.eligible(t_secs))
+            .map(|(i, _)| i)
+            .collect();
         if eligible.is_empty() {
-            return (0..self.servers.len())
-                .min_by(|&a, &b| {
-                    self.servers[a]
-                        .banned_until_secs
-                        .total_cmp(&self.servers[b].banned_until_secs)
-                })
+            return self
+                .servers
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.banned_until_secs.total_cmp(&b.banned_until_secs))
+                .map(|(i, _)| i)
+                // lint:allow(no-unwrap) — a HealthTracker is always constructed over a non-empty server pool
                 .expect("tracker over empty pool");
         }
+        // lint:allow(no-slice-index) — `eligible` is non-empty here and `index(len)` returns a value < len
         eligible[self.rng.index(eligible.len())]
     }
 
@@ -286,16 +299,24 @@ impl HealthTracker {
     /// topped up with blacklisted ones (soonest-lapsing first) only when
     /// the eligible population is too small.
     pub fn pick_distinct(&mut self, n: usize, t_secs: f64) -> Vec<usize> {
-        let mut eligible: Vec<usize> =
-            (0..self.servers.len()).filter(|&i| self.servers[i].eligible(t_secs)).collect();
+        let mut eligible: Vec<usize> = self
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.eligible(t_secs))
+            .map(|(i, _)| i)
+            .collect();
         self.rng.shuffle(&mut eligible);
         if eligible.len() < n {
-            let mut banned: Vec<usize> =
-                (0..self.servers.len()).filter(|&i| !self.servers[i].eligible(t_secs)).collect();
-            banned.sort_by(|&a, &b| {
-                self.servers[a].banned_until_secs.total_cmp(&self.servers[b].banned_until_secs)
-            });
-            eligible.extend(banned);
+            let mut banned: Vec<(f64, usize)> = self
+                .servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.eligible(t_secs))
+                .map(|(i, s)| (s.banned_until_secs, i))
+                .collect();
+            banned.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+            eligible.extend(banned.into_iter().map(|(_, i)| i));
         }
         eligible.truncate(n.min(self.servers.len()));
         eligible

@@ -105,7 +105,7 @@ mod tests {
         for d in &delays {
             assert!((7.0..=13.0).contains(d), "delay {d} outside jitter band");
         }
-        let distinct = delays.iter().map(|d| d.to_bits()).collect::<std::collections::HashSet<_>>();
+        let distinct = delays.iter().map(|d| d.to_bits()).collect::<std::collections::BTreeSet<_>>();
         assert!(distinct.len() > 100, "jitter not actually varying");
     }
 

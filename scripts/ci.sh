@@ -11,8 +11,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
-cargo build --release --offline
+echo "== build (release, offline, warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release --offline
+
+echo "== determinism & panic-policy lint =="
+cargo run --release --offline -p devtools --bin lint
+
+echo "== lint allowlist audit is fresh =="
+cargo run --release --offline -p devtools --bin lint -- --report \
+    | diff -u results/lint_allowlist.txt - \
+    || { echo "results/lint_allowlist.txt is stale — regenerate with:"; \
+         echo "  cargo run --release -p devtools --bin lint -- --report > results/lint_allowlist.txt"; \
+         exit 1; }
 
 echo "== test suite (offline) =="
 cargo test -q --offline

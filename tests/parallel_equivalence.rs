@@ -29,6 +29,7 @@ fn read_artifacts(dir: &Path, ids: &[&str]) -> Vec<(String, Vec<u8>)> {
 fn repro_artifacts_identical_serial_vs_parallel() {
     let ids = ["fig6", "ablations"];
     let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
         let out_dir = std::env::temp_dir().join(format!("mntp_equiv_{tag}"));
         let _ = std::fs::remove_dir_all(&out_dir);
         let opts = repro::Options {
@@ -58,6 +59,7 @@ fn repro_artifacts_identical_serial_vs_parallel() {
 fn faultsweep_artifact_identical_serial_vs_parallel() {
     let ids = ["faultsweep"];
     let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
         let out_dir = std::env::temp_dir().join(format!("mntp_equiv_faults_{tag}"));
         let _ = std::fs::remove_dir_all(&out_dir);
         let opts = repro::Options {

@@ -13,10 +13,12 @@ use experiments::repro;
 
 #[test]
 fn quick_run_produces_every_artifact() {
+    // lint:allow(no-env) — opt-in gate for the slow smoke run; it only decides whether the test executes
     if std::env::var("MNTP_SMOKE").map(|v| v != "1").unwrap_or(true) {
         eprintln!("skipping repro smoke: set MNTP_SMOKE=1 to run the quick suite");
         return;
     }
+    // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
     let out_dir = std::env::temp_dir().join("mntp_repro_smoke");
     let _ = std::fs::remove_dir_all(&out_dir);
     let opts = repro::Options {
