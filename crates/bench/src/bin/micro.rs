@@ -188,6 +188,42 @@ fn bench_exchange(s: &mut Suite) {
     });
 }
 
+fn bench_fleet_kernel(s: &mut Suite) {
+    use mntp::{run_fleet, Discipline, FleetClient, FleetRunConfig, SntpDiscipline};
+    use netsim::fleet::{FleetConfig, FleetNet};
+    use sntp::fleet::RequestShape;
+    use sntp::{PoolConfig, ServerPool};
+    // Fleet hot path at N=1k: one iteration builds 1000 naive SNTP
+    // clients and steps them through 5 s of shared-world time against a
+    // persistent world (≈2000 exchanges + 6000 client-ticks per iter).
+    s.bench("fleet_kernel_1k_clients_5s", |b| {
+        let fcfg = FleetConfig { clients: 1000, servers: 4, ..FleetConfig::default() };
+        let mut net = FleetNet::new(&fcfg, 30);
+        let mut pool = ServerPool::new(PoolConfig { size: 4, ..PoolConfig::default() }, 31);
+        let cfg = FleetRunConfig {
+            duration_secs: 5,
+            tick_secs: 1.0,
+            sample_period_secs: 5.0,
+            collect_arrivals: false,
+        };
+        b.iter(|| {
+            let mut clients: Vec<FleetClient> = (0..1000)
+                .map(|i| FleetClient {
+                    discipline: Box::new(SntpDiscipline::naive().self_paced(5.0))
+                        as Box<dyn Discipline>,
+                    clock: {
+                        let osc = clocksim::OscillatorConfig::laptop()
+                            .build(SimRng::new(100 + i as u64));
+                        clocksim::SimClock::new(osc, SimTime::ZERO)
+                    },
+                    shape: RequestShape::Sntp,
+                })
+                .collect();
+            run_fleet(&mut clients, &mut net, &mut pool, &cfg).polls_sent
+        })
+    });
+}
+
 fn main() {
     let mut s = Suite::from_args("micro");
     bench_packet_codec(&mut s);
@@ -200,5 +236,6 @@ fn main() {
     bench_par_pool(&mut s);
     bench_wifi_channel(&mut s);
     bench_exchange(&mut s);
+    bench_fleet_kernel(&mut s);
     s.finish().expect("write bench report");
 }

@@ -1,0 +1,439 @@
+//! The client-stack abstraction: one [`Discipline`] trait behind which
+//! every clock-synchronization client in the workspace lives.
+//!
+//! A discipline is the *decision* half of a client: when to poll, which
+//! servers to ask, what to make of each reply, and which clock commands
+//! to emit. The *mechanics* — ticking simulated time, carrying packets
+//! through the (possibly fault-injected) network, applying clock
+//! commands, sampling ground truth — live in exactly one place, the
+//! generic [`crate::driver::drive`] loop. Three disciplines ship
+//! in-tree:
+//!
+//! * [`SntpDiscipline`] — naive SNTP (fixed cadence, step on every
+//!   reply) and the paper's §5.1 gate+filter baseline, selected by
+//!   constructor;
+//! * [`MntpDiscipline`] — the full Algorithm 1 engine, optionally
+//!   wrapped with the AIMD auto-tuner and/or the hardened
+//!   health-tracking stack;
+//! * `NtpdDiscipline` (in the `ntpd-sim` crate) — the RFC 5905
+//!   mitigation pipeline.
+//!
+//! The trait is object-safe on purpose: the fleet simulator drives a
+//! heterogeneous `Vec<Box<dyn Discipline>>` of thousands of clients
+//! through the same hooks.
+
+use clocksim::{ClockCommand, ClockControl, SimClock};
+use clocksim::time::SimTime;
+use netsim::WirelessHints;
+use sntp::{CompletedExchange, ExchangeError, HealthTracker, ServerPool};
+
+use crate::autotune::AutoTuner;
+use crate::config::MntpConfig;
+use crate::driver::{QueryOutcome, RobustConfig};
+use crate::engine::{Mntp, MntpAction, Phase, SampleVerdict};
+use crate::filter::TrendFilter;
+use crate::gate::HintGate;
+
+/// What a discipline wants to do at one tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// Do nothing this tick.
+    Idle {
+        /// Record a [`QueryOutcome::Deferred`] event for this tick
+        /// (true when a scheduler *wanted* to poll but a gate said no;
+        /// false when the tick simply wasn't a poll instant).
+        record_deferred: bool,
+    },
+    /// Query these servers, in order, this tick.
+    Query(Vec<usize>),
+}
+
+/// One server's answer within a query round.
+#[derive(Clone, Copy, Debug)]
+pub struct ExchangeResult {
+    /// The server that was queried.
+    pub server_id: usize,
+    /// What came back.
+    pub outcome: Result<CompletedExchange, ExchangeError>,
+}
+
+/// A clock-synchronization client stack, as seen by the generic driver.
+///
+/// Per tick the driver calls [`poll`](Discipline::poll); if it returns
+/// [`Directive::Query`] the driver performs one exchange per listed
+/// server and hands the full round to
+/// [`complete`](Discipline::complete); finally
+/// [`take_commands`](Discipline::take_commands) is drained and applied
+/// to the client clock. Implementations read the clock themselves (via
+/// the `clock` argument) at exactly the points their algorithms need a
+/// local timestamp — the driver never pre-reads it for them, because
+/// exchanges advance the clock position and the *post*-exchange local
+/// time is what engines like MNTP observe.
+pub trait Discipline {
+    /// Whether this discipline consumes link-layer wireless hints. The
+    /// driver only samples (and thereby advances) the testbed's hint
+    /// process for disciplines that want it, so hint-blind clients
+    /// (ntpd, naive SNTP) perturb nothing they never read.
+    fn wants_hints(&self) -> bool {
+        true
+    }
+
+    /// Decide what to do at tick instant `t`.
+    fn poll(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        hints: Option<&WirelessHints>,
+        pool: &mut ServerPool,
+    ) -> Directive;
+
+    /// Digest a completed query round (one entry per server queried, in
+    /// query order). Returns the outcome to record, if any.
+    fn complete(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> Option<QueryOutcome>;
+
+    /// Drain pending clock commands; the driver applies them at the
+    /// current tick instant.
+    fn take_commands(&mut self) -> Vec<ClockCommand>;
+}
+
+/// Which kind of round an [`MntpDiscipline`] has in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RoundKind {
+    Single,
+    Warmup,
+}
+
+/// The full MNTP Algorithm 1 engine as a [`Discipline`].
+///
+/// Three configurations, matching the three historical driver loops:
+/// [`full`](MntpDiscipline::full) (plain engine),
+/// [`autotuned`](MntpDiscipline::autotuned) (AIMD wait tuning), and
+/// [`hardened`](MntpDiscipline::hardened) (health-tracked server
+/// selection, kiss-o'-death honoring, holdover observability).
+pub struct MntpDiscipline {
+    engine: Mntp,
+    tuner: Option<AutoTuner>,
+    health: Option<HealthTracker>,
+    round: RoundKind,
+}
+
+impl MntpDiscipline {
+    /// Plain engine: pool-uniform server selection, no tuner.
+    pub fn full(cfg: MntpConfig) -> Self {
+        MntpDiscipline {
+            engine: Mntp::new(cfg),
+            tuner: None,
+            health: None,
+            round: RoundKind::Single,
+        }
+    }
+
+    /// Engine plus the AIMD self-tuner adjusting the regular-phase wait.
+    pub fn autotuned(cfg: MntpConfig, tune: crate::autotune::AutoTuneConfig) -> Self {
+        MntpDiscipline {
+            engine: Mntp::new(cfg),
+            tuner: Some(AutoTuner::new(tune)),
+            health: None,
+            round: RoundKind::Single,
+        }
+    }
+
+    /// The hardened stack: server selection through a health tracker
+    /// sized for a pool of `pool_len` servers, per
+    /// [`RobustConfig::health`].
+    pub fn hardened(cfg: MntpConfig, rcfg: &RobustConfig, pool_len: usize) -> Self {
+        MntpDiscipline {
+            engine: Mntp::new(cfg),
+            tuner: None,
+            health: Some(HealthTracker::new(pool_len, rcfg.health.clone(), rcfg.health_seed)),
+            round: RoundKind::Single,
+        }
+    }
+
+    /// Hand the tuner back (for reporting), consuming the discipline.
+    pub fn into_tuner(self) -> Option<AutoTuner> {
+        self.tuner
+    }
+
+    /// Observability: the engine's current phase.
+    pub fn phase(&self) -> Phase {
+        self.engine.phase()
+    }
+
+    fn warmup_complete(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> QueryOutcome {
+        let ts = t.as_secs_f64();
+        let mut offsets = Vec::new();
+        for r in round {
+            match r.outcome {
+                Ok(done) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_success(r.server_id, ts);
+                    }
+                    offsets.push(done.sample.offset.as_millis_f64());
+                }
+                Err(ExchangeError::KissODeath(code)) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_kod(r.server_id, code, ts);
+                    }
+                }
+                Err(_) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_failure(r.server_id, ts);
+                    }
+                }
+            }
+        }
+        if offsets.is_empty() {
+            self.engine.on_query_failed(clock.now(t));
+            return QueryOutcome::Failed;
+        }
+        if self.tuner.is_some() {
+            // The autotuned driver never attributed false-ticker
+            // rejections per round; preserved for artifact stability.
+            self.engine.on_warmup_round(clock.now(t), &offsets);
+            return QueryOutcome::WarmupRound { offsets_ms: offsets, false_tickers: 0 };
+        }
+        let before = self.engine.stats.false_tickers_rejected;
+        self.engine.on_warmup_round(clock.now(t), &offsets);
+        QueryOutcome::WarmupRound {
+            offsets_ms: offsets,
+            false_tickers: (self.engine.stats.false_tickers_rejected - before) as usize,
+        }
+    }
+
+    fn single_complete(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> QueryOutcome {
+        let ts = t.as_secs_f64();
+        let Some(r) = round.first() else {
+            return QueryOutcome::Failed;
+        };
+        match r.outcome {
+            Ok(done) => {
+                if let Some(h) = &mut self.health {
+                    h.on_success(r.server_id, ts);
+                }
+                let ms = done.sample.offset.as_millis_f64();
+                let verdict = self.engine.on_regular_sample(clock.now(t), ms);
+                if let Some(tu) = &mut self.tuner {
+                    self.engine.set_regular_wait_secs(tu.on_verdict(&verdict));
+                }
+                match verdict {
+                    SampleVerdict::Accepted { offset_ms } => QueryOutcome::Accepted { offset_ms },
+                    SampleVerdict::Rejected { offset_ms } => QueryOutcome::Rejected { offset_ms },
+                    SampleVerdict::Recovered { offset_ms } => QueryOutcome::Recovered { offset_ms },
+                }
+            }
+            Err(err) => {
+                if self.health.is_some() {
+                    let noted = match err {
+                        ExchangeError::KissODeath(code) => {
+                            if let Some(h) = &mut self.health {
+                                h.on_kod(r.server_id, code, ts);
+                            }
+                            Some(QueryOutcome::KissODeath { code })
+                        }
+                        _ => {
+                            if let Some(h) = &mut self.health {
+                                h.on_failure(r.server_id, ts);
+                            }
+                            None
+                        }
+                    };
+                    self.engine.on_query_failed(clock.now(t));
+                    match noted {
+                        Some(o) => o,
+                        None if self.engine.phase() == Phase::Holdover => {
+                            QueryOutcome::HoldoverFailed {
+                                predicted_ms: self.engine.predicted_offset_ms(clock.now(t)),
+                            }
+                        }
+                        None => QueryOutcome::Failed,
+                    }
+                } else {
+                    self.engine.on_query_failed(clock.now(t));
+                    if let Some(tu) = &mut self.tuner {
+                        self.engine.set_regular_wait_secs(tu.on_failure());
+                    }
+                    QueryOutcome::Failed
+                }
+            }
+        }
+    }
+}
+
+impl Discipline for MntpDiscipline {
+    fn poll(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        hints: Option<&WirelessHints>,
+        pool: &mut ServerPool,
+    ) -> Directive {
+        let now_local = clock.now(t);
+        let deferred_before = self.engine.stats.deferred;
+        match self.engine.on_tick(now_local, hints) {
+            MntpAction::Wait => Directive::Idle {
+                record_deferred: self.engine.stats.deferred > deferred_before,
+            },
+            MntpAction::QueryMultiple(n) => {
+                self.round = RoundKind::Warmup;
+                let ids = match &mut self.health {
+                    Some(h) => h.pick_distinct(n, t.as_secs_f64()),
+                    None => pool.pick_distinct(n),
+                };
+                Directive::Query(ids)
+            }
+            MntpAction::QuerySingle => {
+                self.round = RoundKind::Single;
+                let id = match &mut self.health {
+                    Some(h) => h.pick(t.as_secs_f64()),
+                    None => pool.pick(),
+                };
+                Directive::Query(vec![id])
+            }
+        }
+    }
+
+    fn complete(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> Option<QueryOutcome> {
+        Some(match self.round {
+            RoundKind::Warmup => self.warmup_complete(t, clock, round),
+            RoundKind::Single => self.single_complete(t, clock, round),
+        })
+    }
+
+    fn take_commands(&mut self) -> Vec<ClockCommand> {
+        self.engine.take_commands()
+    }
+}
+
+/// Plain SNTP as a [`Discipline`]: either the naive client (poll on a
+/// fixed cadence, step the clock on every reply — what a stock mobile
+/// SNTP client does) or the paper's §5.1 baseline (hint gate + trend
+/// filter over a fixed cadence, clock untouched).
+pub struct SntpDiscipline {
+    gate: Option<HintGate>,
+    filter: Option<TrendFilter>,
+    step_on_reply: bool,
+    /// Self-paced cadence, seconds. `None` means "query every driver
+    /// tick" (the historical single-client loops tick at the poll
+    /// period); the fleet world ticks faster than any one client polls,
+    /// so fleet clients pace themselves.
+    poll_period_secs: Option<f64>,
+    polls_done: u64,
+    pending: Vec<ClockCommand>,
+}
+
+impl SntpDiscipline {
+    /// The §5.1 baseline: gate + filter, no clock commands.
+    pub fn baseline(cfg: &MntpConfig) -> Self {
+        SntpDiscipline {
+            gate: Some(HintGate::new(cfg)),
+            filter: Some(TrendFilter::new(cfg.filter_sigma, cfg.reestimate_drift)),
+            step_on_reply: false,
+            poll_period_secs: None,
+            polls_done: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The naive client: no gate, no filter, step on every reply.
+    pub fn naive() -> Self {
+        SntpDiscipline {
+            gate: None,
+            filter: None,
+            step_on_reply: true,
+            poll_period_secs: None,
+            polls_done: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Make the discipline pace itself at `period_secs` instead of
+    /// querying on every driver tick (builder-style).
+    pub fn self_paced(mut self, period_secs: f64) -> Self {
+        self.poll_period_secs = Some(period_secs);
+        self
+    }
+}
+
+impl Discipline for SntpDiscipline {
+    fn wants_hints(&self) -> bool {
+        self.gate.is_some()
+    }
+
+    fn poll(
+        &mut self,
+        t: SimTime,
+        _clock: &mut SimClock,
+        hints: Option<&WirelessHints>,
+        pool: &mut ServerPool,
+    ) -> Directive {
+        if let Some(period) = self.poll_period_secs {
+            // Due when t reaches the next multiple of the period; both
+            // sides are exact products, so no epsilon is needed.
+            if t.as_secs_f64() < self.polls_done as f64 * period {
+                return Directive::Idle { record_deferred: false };
+            }
+            self.polls_done += 1;
+        }
+        if let Some(g) = &mut self.gate {
+            if !g.favorable(hints) {
+                return Directive::Idle { record_deferred: true };
+            }
+        }
+        Directive::Query(vec![pool.pick()])
+    }
+
+    fn complete(
+        &mut self,
+        t: SimTime,
+        _clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> Option<QueryOutcome> {
+        let Some(r) = round.first() else {
+            return Some(QueryOutcome::Failed);
+        };
+        Some(match r.outcome {
+            Ok(done) => {
+                let ms = done.sample.offset.as_millis_f64();
+                if self.step_on_reply {
+                    self.pending.push(ClockCommand::Step(done.sample.offset));
+                }
+                match &mut self.filter {
+                    Some(f) => {
+                        if f.offer(t.as_secs_f64(), ms) {
+                            QueryOutcome::Accepted { offset_ms: ms }
+                        } else {
+                            QueryOutcome::Rejected { offset_ms: ms }
+                        }
+                    }
+                    None => QueryOutcome::Accepted { offset_ms: ms },
+                }
+            }
+            Err(_) => QueryOutcome::Failed,
+        })
+    }
+
+    fn take_commands(&mut self) -> Vec<ClockCommand> {
+        std::mem::take(&mut self.pending)
+    }
+}

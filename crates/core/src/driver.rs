@@ -1,24 +1,28 @@
-//! Drivers that run MNTP against a simulated testbed.
+//! The one generic driver that runs every client stack against a
+//! simulated testbed.
 //!
-//! [`run_full`] drives the complete Algorithm 1 engine ([`crate::Mntp`]);
-//! [`run_baseline`] drives the §5.1 head-to-head configuration (no
-//! phases, no drift correction — hint gate plus trend filter over a
-//! fixed poll interval). Both produce a list of [`MntpRunRecord`]s (one
-//! per query attempt, including deferrals) plus a sampled trace of the
-//! client clock's *true* error, which is evaluation-only ground truth.
+//! Historically this module held four hand-rolled loops (`run_full`,
+//! `run_full_autotuned`, `run_full_faulted`, `run_baseline`) and
+//! `ntpd-sim` carried two more — six copies of the same tick/exchange/
+//! apply/sample skeleton. They are now thin wrappers over [`drive`],
+//! which ticks a [`crate::discipline::Discipline`] through simulated
+//! time: ask the discipline what to do, carry each requested exchange
+//! across the (possibly fault-injected) network, hand the round back,
+//! apply emitted clock commands, and sample ground-truth clock error.
+//!
+//! Every wrapper reproduces its historical loop *byte-identically* —
+//! same RNG consumption order, same clock reads, same record stream —
+//! which is what keeps all committed `results/*.txt` artifacts stable
+//! across the refactor (re-proved by full regeneration and by
+//! `tests/parallel_equivalence.rs`).
 
 use clocksim::time::{SimDuration, SimTime};
-use clocksim::{ClockControl, SimClock};
+use clocksim::SimClock;
 use netsim::{FaultInjector, Testbed, WirelessHints};
-use sntp::{
-    perform_exchange, perform_exchange_faulted, ExchangeError, HealthConfig, HealthTracker,
-    ServerPool,
-};
+use sntp::{perform_exchange, perform_exchange_faulted, HealthConfig, ServerPool};
 
 use crate::config::MntpConfig;
-use crate::engine::{Mntp, MntpAction, Phase, SampleVerdict};
-use crate::filter::TrendFilter;
-use crate::gate::HintGate;
+use crate::discipline::{Directive, Discipline, ExchangeResult, MntpDiscipline, SntpDiscipline};
 
 /// What happened at one query instant.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,36 +81,43 @@ pub struct MntpRunRecord {
 }
 
 /// A completed run: per-event records plus ground-truth clock error.
+///
+/// Accepted/rejected offsets are cached as records are
+/// [`push`](MntpRun::push)ed, so the accessors return slices instead of
+/// re-scanning (and re-allocating from) the record stream per call.
 #[derive(Clone, Debug, Default)]
 pub struct MntpRun {
-    /// Per-query-instant records.
+    /// Per-query-instant records. Push through [`MntpRun::push`] so the
+    /// offset caches stay coherent.
     pub records: Vec<MntpRunRecord>,
     /// `(t_secs, clock true error ms)` sampled every few seconds —
     /// evaluation-only.
     pub true_error_ms: Vec<(f64, f64)>,
+    /// Total exchanges attempted (one per server actually queried).
+    pub polls_sent: u64,
+    accepted: Vec<f64>,
+    rejected: Vec<f64>,
 }
 
 impl MntpRun {
-    /// All accepted offsets, ms.
-    pub fn accepted_offsets(&self) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter_map(|r| match &r.outcome {
-                QueryOutcome::Accepted { offset_ms } => Some(*offset_ms),
-                _ => None,
-            })
-            .collect()
+    /// Append a record, maintaining the accepted/rejected offset caches.
+    pub fn push(&mut self, rec: MntpRunRecord) {
+        match rec.outcome {
+            QueryOutcome::Accepted { offset_ms } => self.accepted.push(offset_ms),
+            QueryOutcome::Rejected { offset_ms } => self.rejected.push(offset_ms),
+            _ => {}
+        }
+        self.records.push(rec);
     }
 
-    /// All rejected offsets, ms.
-    pub fn rejected_offsets(&self) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter_map(|r| match &r.outcome {
-                QueryOutcome::Rejected { offset_ms } => Some(*offset_ms),
-                _ => None,
-            })
-            .collect()
+    /// All accepted offsets, ms, in record order.
+    pub fn accepted_offsets(&self) -> &[f64] {
+        &self.accepted
+    }
+
+    /// All rejected offsets, ms, in record order.
+    pub fn rejected_offsets(&self) -> &[f64] {
+        &self.rejected
     }
 
     /// Count of deferred query instants.
@@ -142,6 +153,94 @@ impl MntpRun {
     }
 }
 
+/// Tick/exchange policy for one [`drive`] run.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Inclusive tick count: the loop runs `0..=ticks`.
+    pub ticks: u64,
+    /// Seconds of simulated time per tick.
+    pub tick_secs: f64,
+    /// `true`: sample ground-truth clock error on every tick (the
+    /// baseline loops); `false`: sample every ~5 s of simulated time.
+    pub sample_every_tick: bool,
+    /// Per-exchange round-trip budget; only consulted on the faulted
+    /// path.
+    pub timeout: Option<SimDuration>,
+}
+
+/// Run a [`Discipline`] against the testbed for `cfg.ticks` ticks.
+///
+/// This is the *single* driver loop in the workspace. Per tick:
+///
+/// 1. sample wireless hints, iff the discipline wants them (sampling
+///    advances the testbed's background processes, so hint-blind
+///    clients must not trigger it);
+/// 2. [`Discipline::poll`] — the discipline reads its clock and decides;
+/// 3. one exchange per requested server, through
+///    [`perform_exchange_faulted`] when a fault injector is supplied
+///    and [`perform_exchange`] otherwise (the two are *not* equivalent
+///    even with an empty schedule: the faulted path consults the
+///    injector's RNG);
+/// 4. [`Discipline::complete`] digests the round and optionally yields
+///    a record;
+/// 5. emitted clock commands are applied at the tick instant;
+/// 6. ground-truth clock error is sampled per `cfg.sample_every_tick`.
+pub fn drive(
+    discipline: &mut dyn Discipline,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    mut faults: Option<&mut FaultInjector>,
+    cfg: &DriverConfig,
+) -> MntpRun {
+    let mut run = MntpRun::default();
+    for i in 0..=cfg.ticks {
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * cfg.tick_secs);
+        let hints = if discipline.wants_hints() { testbed.hints(t) } else { None };
+        match discipline.poll(t, clock, hints.as_ref(), pool) {
+            Directive::Idle { record_deferred } => {
+                if record_deferred {
+                    run.push(MntpRunRecord {
+                        t_secs: t.as_secs_f64(),
+                        hints,
+                        outcome: QueryOutcome::Deferred,
+                    });
+                }
+            }
+            Directive::Query(ids) => {
+                let mut round = Vec::with_capacity(ids.len());
+                for id in ids {
+                    run.polls_sent += 1;
+                    let outcome = match faults.as_deref_mut() {
+                        Some(f) => perform_exchange_faulted(
+                            testbed,
+                            pool.server_mut(id),
+                            clock,
+                            t,
+                            f,
+                            cfg.timeout,
+                        ),
+                        None => perform_exchange(testbed, pool.server_mut(id), clock, t),
+                    };
+                    round.push(ExchangeResult { server_id: id, outcome });
+                }
+                if let Some(outcome) = discipline.complete(t, clock, &round) {
+                    run.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
+                }
+            }
+        }
+        for cmd in discipline.take_commands() {
+            cmd.apply(clock, t);
+        }
+        let sample_due =
+            cfg.sample_every_tick || (i as f64 * cfg.tick_secs) % 5.0 < cfg.tick_secs;
+        if sample_due {
+            run.true_error_ms.push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
+        }
+    }
+    run
+}
+
 /// Run the full Algorithm 1 engine for `duration_secs` of simulated time.
 ///
 /// The engine is ticked once per `tick_secs` (1 s is the paper-faithful
@@ -155,81 +254,14 @@ pub fn run_full(
     duration_secs: u64,
     tick_secs: f64,
 ) -> MntpRun {
-    let mut engine = Mntp::new(cfg);
-    let mut run = MntpRun::default();
-    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
-    for i in 0..=ticks {
-        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
-        let hints = testbed.hints(t);
-        let now_local = clock.now(t);
-        let deferred_before = engine.stats.deferred;
-        let action = engine.on_tick(now_local, hints.as_ref());
-        match action {
-            MntpAction::Wait => {
-                if engine.stats.deferred > deferred_before {
-                    run.records.push(MntpRunRecord {
-                        t_secs: t.as_secs_f64(),
-                        hints,
-                        outcome: QueryOutcome::Deferred,
-                    });
-                }
-            }
-            MntpAction::QueryMultiple(n) => {
-                let ids = pool.pick_distinct(n);
-                let mut offsets = Vec::new();
-                for id in ids {
-                    if let Ok(done) = perform_exchange(testbed, pool.server_mut(id), clock, t) {
-                        offsets.push(done.sample.offset.as_millis_f64());
-                    }
-                }
-                let outcome = if offsets.is_empty() {
-                    engine.on_query_failed(clock.now(t));
-                    QueryOutcome::Failed
-                } else {
-                    let before = engine.stats.false_tickers_rejected;
-                    engine.on_warmup_round(clock.now(t), &offsets);
-                    QueryOutcome::WarmupRound {
-                        offsets_ms: offsets,
-                        false_tickers: (engine.stats.false_tickers_rejected - before) as usize,
-                    }
-                };
-                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
-            }
-            MntpAction::QuerySingle => {
-                let id = pool.pick();
-                let outcome = match perform_exchange(testbed, pool.server_mut(id), clock, t) {
-                    Ok(done) => {
-                        let ms = done.sample.offset.as_millis_f64();
-                        match engine.on_regular_sample(clock.now(t), ms) {
-                            SampleVerdict::Accepted { offset_ms } => {
-                                QueryOutcome::Accepted { offset_ms }
-                            }
-                            SampleVerdict::Rejected { offset_ms } => {
-                                QueryOutcome::Rejected { offset_ms }
-                            }
-                            SampleVerdict::Recovered { offset_ms } => {
-                                QueryOutcome::Recovered { offset_ms }
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        engine.on_query_failed(clock.now(t));
-                        QueryOutcome::Failed
-                    }
-                };
-                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
-            }
-        }
-        for cmd in engine.take_commands() {
-            cmd.apply(clock, t);
-        }
-        // Ground-truth sampling every ~5 s.
-        if (i as f64 * tick_secs) % 5.0 < tick_secs {
-            run.true_error_ms
-                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-        }
-    }
-    run
+    let mut d = MntpDiscipline::full(cfg);
+    let dcfg = DriverConfig {
+        ticks: (duration_secs as f64 / tick_secs).ceil() as u64,
+        tick_secs,
+        sample_every_tick: false,
+        timeout: None,
+    };
+    drive(&mut d, testbed, pool, clock, None, &dcfg)
 }
 
 /// Run the full engine with the AIMD self-tuner adjusting the
@@ -244,78 +276,15 @@ pub fn run_full_autotuned(
     duration_secs: u64,
     tick_secs: f64,
 ) -> (MntpRun, crate::autotune::AutoTuner) {
-    let mut engine = Mntp::new(cfg);
-    let mut tuner = crate::autotune::AutoTuner::new(tune);
-    let mut run = MntpRun::default();
-    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
-    for i in 0..=ticks {
-        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
-        let hints = testbed.hints(t);
-        let now_local = clock.now(t);
-        let deferred_before = engine.stats.deferred;
-        match engine.on_tick(now_local, hints.as_ref()) {
-            MntpAction::Wait => {
-                if engine.stats.deferred > deferred_before {
-                    run.records.push(MntpRunRecord {
-                        t_secs: t.as_secs_f64(),
-                        hints,
-                        outcome: QueryOutcome::Deferred,
-                    });
-                }
-            }
-            MntpAction::QueryMultiple(n) => {
-                let ids = pool.pick_distinct(n);
-                let mut offsets = Vec::new();
-                for id in ids {
-                    if let Ok(done) = perform_exchange(testbed, pool.server_mut(id), clock, t) {
-                        offsets.push(done.sample.offset.as_millis_f64());
-                    }
-                }
-                let outcome = if offsets.is_empty() {
-                    engine.on_query_failed(clock.now(t));
-                    QueryOutcome::Failed
-                } else {
-                    engine.on_warmup_round(clock.now(t), &offsets);
-                    QueryOutcome::WarmupRound { offsets_ms: offsets, false_tickers: 0 }
-                };
-                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
-            }
-            MntpAction::QuerySingle => {
-                let id = pool.pick();
-                let outcome = match perform_exchange(testbed, pool.server_mut(id), clock, t) {
-                    Ok(done) => {
-                        let ms = done.sample.offset.as_millis_f64();
-                        let verdict = engine.on_regular_sample(clock.now(t), ms);
-                        engine.set_regular_wait_secs(tuner.on_verdict(&verdict));
-                        match verdict {
-                            SampleVerdict::Accepted { offset_ms } => {
-                                QueryOutcome::Accepted { offset_ms }
-                            }
-                            SampleVerdict::Rejected { offset_ms } => {
-                                QueryOutcome::Rejected { offset_ms }
-                            }
-                            SampleVerdict::Recovered { offset_ms } => {
-                                QueryOutcome::Recovered { offset_ms }
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        engine.on_query_failed(clock.now(t));
-                        engine.set_regular_wait_secs(tuner.on_failure());
-                        QueryOutcome::Failed
-                    }
-                };
-                run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
-            }
-        }
-        for cmd in engine.take_commands() {
-            cmd.apply(clock, t);
-        }
-        if (i as f64 * tick_secs) % 5.0 < tick_secs {
-            run.true_error_ms
-                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-        }
-    }
+    let mut d = MntpDiscipline::autotuned(cfg, tune.clone());
+    let dcfg = DriverConfig {
+        ticks: (duration_secs as f64 / tick_secs).ceil() as u64,
+        tick_secs,
+        sample_every_tick: false,
+        timeout: None,
+    };
+    let run = drive(&mut d, testbed, pool, clock, None, &dcfg);
+    let tuner = d.into_tuner().unwrap_or_else(|| crate::autotune::AutoTuner::new(tune));
     (run, tuner)
 }
 
@@ -343,8 +312,8 @@ impl Default for RobustConfig {
 ///
 /// Identical tick structure to [`run_full`], with three changes:
 ///
-/// * server selection goes through a [`HealthTracker`] instead of the
-///   pool's uniform pick, so blackholed / rate-limiting servers are
+/// * server selection goes through a [`sntp::HealthTracker`] instead of
+///   the pool's uniform pick, so blackholed / rate-limiting servers are
 ///   demoted and traffic fails over;
 /// * every exchange runs under [`perform_exchange_faulted`] with a
 ///   per-query timeout, so the injected faults (§ fault model in
@@ -363,119 +332,15 @@ pub fn run_full_faulted(
     duration_secs: u64,
     tick_secs: f64,
 ) -> MntpRun {
-    let mut engine = Mntp::new(cfg);
-    let mut health = HealthTracker::new(pool.len(), rcfg.health.clone(), rcfg.health_seed);
     let timeout = Some(SimDuration::from_secs_f64(rcfg.timeout_secs));
-    let mut run = MntpRun::default();
-    let ticks = (duration_secs as f64 / tick_secs).ceil() as u64;
-    for i in 0..=ticks {
-        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * tick_secs);
-        let ts = t.as_secs_f64();
-        let hints = testbed.hints(t);
-        let now_local = clock.now(t);
-        let deferred_before = engine.stats.deferred;
-        match engine.on_tick(now_local, hints.as_ref()) {
-            MntpAction::Wait => {
-                if engine.stats.deferred > deferred_before {
-                    run.records.push(MntpRunRecord {
-                        t_secs: ts,
-                        hints,
-                        outcome: QueryOutcome::Deferred,
-                    });
-                }
-            }
-            MntpAction::QueryMultiple(n) => {
-                let ids = health.pick_distinct(n, ts);
-                let mut offsets = Vec::new();
-                for id in ids {
-                    match perform_exchange_faulted(
-                        testbed,
-                        pool.server_mut(id),
-                        clock,
-                        t,
-                        faults,
-                        timeout,
-                    ) {
-                        Ok(done) => {
-                            health.on_success(id, ts);
-                            offsets.push(done.sample.offset.as_millis_f64());
-                        }
-                        Err(ExchangeError::KissODeath(code)) => health.on_kod(id, code, ts),
-                        Err(_) => health.on_failure(id, ts),
-                    }
-                }
-                let outcome = if offsets.is_empty() {
-                    engine.on_query_failed(clock.now(t));
-                    QueryOutcome::Failed
-                } else {
-                    let before = engine.stats.false_tickers_rejected;
-                    engine.on_warmup_round(clock.now(t), &offsets);
-                    QueryOutcome::WarmupRound {
-                        offsets_ms: offsets,
-                        false_tickers: (engine.stats.false_tickers_rejected - before) as usize,
-                    }
-                };
-                run.records.push(MntpRunRecord { t_secs: ts, hints, outcome });
-            }
-            MntpAction::QuerySingle => {
-                let id = health.pick(ts);
-                let outcome = match perform_exchange_faulted(
-                    testbed,
-                    pool.server_mut(id),
-                    clock,
-                    t,
-                    faults,
-                    timeout,
-                ) {
-                    Ok(done) => {
-                        health.on_success(id, ts);
-                        let ms = done.sample.offset.as_millis_f64();
-                        match engine.on_regular_sample(clock.now(t), ms) {
-                            SampleVerdict::Accepted { offset_ms } => {
-                                QueryOutcome::Accepted { offset_ms }
-                            }
-                            SampleVerdict::Rejected { offset_ms } => {
-                                QueryOutcome::Rejected { offset_ms }
-                            }
-                            SampleVerdict::Recovered { offset_ms } => {
-                                QueryOutcome::Recovered { offset_ms }
-                            }
-                        }
-                    }
-                    Err(err) => {
-                        let outcome = match err {
-                            ExchangeError::KissODeath(code) => {
-                                health.on_kod(id, code, ts);
-                                Some(QueryOutcome::KissODeath { code })
-                            }
-                            _ => {
-                                health.on_failure(id, ts);
-                                None
-                            }
-                        };
-                        engine.on_query_failed(clock.now(t));
-                        match outcome {
-                            Some(o) => o,
-                            None if engine.phase() == Phase::Holdover => {
-                                QueryOutcome::HoldoverFailed {
-                                    predicted_ms: engine.predicted_offset_ms(clock.now(t)),
-                                }
-                            }
-                            None => QueryOutcome::Failed,
-                        }
-                    }
-                };
-                run.records.push(MntpRunRecord { t_secs: ts, hints, outcome });
-            }
-        }
-        for cmd in engine.take_commands() {
-            cmd.apply(clock, t);
-        }
-        if (i as f64 * tick_secs) % 5.0 < tick_secs {
-            run.true_error_ms.push((ts, clock.true_error(t).as_millis_f64()));
-        }
-    }
-    run
+    let mut d = MntpDiscipline::hardened(cfg, &rcfg, pool.len());
+    let dcfg = DriverConfig {
+        ticks: (duration_secs as f64 / tick_secs).ceil() as u64,
+        tick_secs,
+        sample_every_tick: false,
+        timeout,
+    };
+    drive(&mut d, testbed, pool, clock, Some(faults), &dcfg)
 }
 
 /// Run the §5.1 baseline: poll every `poll_secs`, gate + filter only, no
@@ -488,33 +353,14 @@ pub fn run_baseline(
     duration_secs: u64,
     poll_secs: f64,
 ) -> MntpRun {
-    let mut gate = HintGate::new(&cfg);
-    let mut filter = TrendFilter::new(cfg.filter_sigma, cfg.reestimate_drift);
-    let mut run = MntpRun::default();
-    let polls = (duration_secs as f64 / poll_secs).floor() as u64;
-    for i in 0..=polls {
-        let t = SimTime::ZERO + SimDuration::from_secs_f64(i as f64 * poll_secs);
-        let hints = testbed.hints(t);
-        let outcome = if !gate.favorable(hints.as_ref()) {
-            QueryOutcome::Deferred
-        } else {
-            let id = pool.pick();
-            match perform_exchange(testbed, pool.server_mut(id), clock, t) {
-                Ok(done) => {
-                    let ms = done.sample.offset.as_millis_f64();
-                    if filter.offer(t.as_secs_f64(), ms) {
-                        QueryOutcome::Accepted { offset_ms: ms }
-                    } else {
-                        QueryOutcome::Rejected { offset_ms: ms }
-                    }
-                }
-                Err(_) => QueryOutcome::Failed,
-            }
-        };
-        run.records.push(MntpRunRecord { t_secs: t.as_secs_f64(), hints, outcome });
-        run.true_error_ms.push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-    }
-    run
+    let mut d = SntpDiscipline::baseline(&cfg);
+    let dcfg = DriverConfig {
+        ticks: (duration_secs as f64 / poll_secs).floor() as u64,
+        tick_secs: poll_secs,
+        sample_every_tick: true,
+        timeout: None,
+    };
+    drive(&mut d, testbed, pool, clock, None, &dcfg)
 }
 
 #[cfg(test)]
@@ -546,6 +392,24 @@ mod tests {
             let max_rej = rejected.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             assert!(max_rej > max_acc, "rejected {max_rej} vs accepted {max_acc}");
         }
+    }
+
+    #[test]
+    fn offset_caches_match_record_scan() {
+        let mut tb = Testbed::wireless(TestbedConfig::default(), 1);
+        let mut pool = ServerPool::new(PoolConfig::default(), 2);
+        let mut c = clock(0.0, 3);
+        let run = run_baseline(MntpConfig::baseline(5.0), &mut tb, &mut pool, &mut c, 900, 5.0);
+        let scanned: Vec<f64> = run
+            .records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                QueryOutcome::Accepted { offset_ms } => Some(offset_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(run.accepted_offsets(), scanned.as_slice());
+        assert!(run.polls_sent > 0);
     }
 
     #[test]
@@ -703,7 +567,7 @@ mod tests {
             let mut c = clock(5.0, 9);
             let run =
                 run_baseline(MntpConfig::baseline(5.0), &mut tb, &mut pool, &mut c, 600, 5.0);
-            run.accepted_offsets()
+            run.accepted_offsets().to_vec()
         };
         assert_eq!(go(), go());
     }

@@ -1,0 +1,223 @@
+//! Fleet runner: drive N independent clients against a shared world.
+//!
+//! The single-client [`crate::drive`] loop pairs one [`Discipline`] with
+//! one [`netsim::Testbed`]. This runner scales that out: every client
+//! owns its discipline, its clock, and one channel lane of a shared
+//! [`FleetNet`]; all of them contend for the same access point and the
+//! same capacity-limited servers. One trial therefore observes the full
+//! feedback loop the paper measures from both ends — client offset error
+//! under contention, and the server-side arrival/KoD process (Figures
+//! 11/12) that emerges from thousands of independent pollers.
+//!
+//! Determinism: clients are stepped in id order within each tick, and
+//! every client's randomness lives in its own pre-forked lanes (channel,
+//! clock, discipline health), so a trial is byte-reproducible at any
+//! `--jobs` level. The id-order stepping delivers same-tick arrivals to
+//! the server model slightly out of true-time order; the model clamps
+//! them monotonically (documented approximation, see DESIGN.md).
+
+use clocksim::time::{SimDuration, SimTime};
+use clocksim::SimClock;
+use netsim::fleet::FleetNet;
+use sntp::fleet::{perform_fleet_exchange, FleetArrival, RequestShape};
+use sntp::ServerPool;
+
+use crate::discipline::{Directive, Discipline, ExchangeResult};
+
+/// One fleet member: a discipline, its own clock, and a wire shape.
+pub struct FleetClient {
+    /// The client stack (naive SNTP, MNTP, or ntpd).
+    pub discipline: Box<dyn Discipline>,
+    /// The client's local clock.
+    pub clock: SimClock,
+    /// Header shape of this client's requests.
+    pub shape: RequestShape,
+}
+
+/// Fleet trial parameters.
+#[derive(Clone, Debug)]
+pub struct FleetRunConfig {
+    /// Trial length, seconds.
+    pub duration_secs: u64,
+    /// Driver tick, seconds.
+    pub tick_secs: f64,
+    /// Ground-truth sampling cadence, seconds.
+    pub sample_period_secs: f64,
+    /// Keep the full server-side arrival log (request bytes included).
+    /// Costly at large N; rate counters are always collected.
+    pub collect_arrivals: bool,
+}
+
+impl Default for FleetRunConfig {
+    fn default() -> Self {
+        FleetRunConfig {
+            duration_secs: 600,
+            tick_secs: 1.0,
+            sample_period_secs: 30.0,
+            collect_arrivals: false,
+        }
+    }
+}
+
+/// Everything a fleet trial produced.
+#[derive(Default)]
+pub struct FleetRun {
+    /// Per-client ground-truth clock error `(t_secs, err_ms)` samples,
+    /// indexed by client id.
+    pub true_error_ms: Vec<Vec<(f64, f64)>>,
+    /// Server-side arrival log (only when
+    /// [`FleetRunConfig::collect_arrivals`] is set).
+    pub arrivals: Vec<FleetArrival>,
+    /// Requests reaching any server, bucketed per second of true time.
+    pub arrivals_per_sec: Vec<u64>,
+    /// Client-side polls attempted.
+    pub polls_sent: u64,
+    /// Idle ticks the disciplines chose to record as deferrals.
+    pub deferrals: u64,
+}
+
+/// Step every client through `cfg.duration_secs` of shared-world time.
+///
+/// `pool.len()` must equal `net.server_count()`: the pool holds the
+/// protocol side (clocks, packet codec) and the fleet world holds the
+/// capacity side of the same servers, joined by index.
+pub fn run_fleet(
+    clients: &mut [FleetClient],
+    net: &mut FleetNet,
+    pool: &mut ServerPool,
+    cfg: &FleetRunConfig,
+) -> FleetRun {
+    let ticks = (cfg.duration_secs as f64 / cfg.tick_secs).ceil() as u64;
+    let mut run = FleetRun {
+        true_error_ms: clients.iter().map(|_| Vec::new()).collect(),
+        arrivals_per_sec: vec![0; cfg.duration_secs as usize + 2],
+        ..FleetRun::default()
+    };
+    for i in 0..=ticks {
+        let tick_offset_secs = i as f64 * cfg.tick_secs;
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(tick_offset_secs);
+        net.advance_to(t);
+        let sample_due = tick_offset_secs % cfg.sample_period_secs < cfg.tick_secs;
+        for (ci, client) in clients.iter_mut().enumerate() {
+            let hints =
+                if client.discipline.wants_hints() { net.hints(ci, t) } else { None };
+            match client.discipline.poll(t, &mut client.clock, hints.as_ref(), pool) {
+                Directive::Idle { record_deferred } => {
+                    if record_deferred {
+                        run.deferrals += 1;
+                    }
+                }
+                Directive::Query(ids) => {
+                    let mut round = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        run.polls_sent += 1;
+                        let Some((chan, model)) = net.lanes(ci, id) else {
+                            round.push(ExchangeResult {
+                                server_id: id,
+                                outcome: Err(sntp::ExchangeError::Blackholed),
+                            });
+                            continue;
+                        };
+                        let (arrival, outcome) = perform_fleet_exchange(
+                            chan,
+                            pool.server_mut(id),
+                            model,
+                            &mut client.clock,
+                            ci as u32,
+                            t,
+                            client.shape,
+                        );
+                        if let Some(arrival) = arrival {
+                            let sec = arrival.at.as_secs_f64() as usize;
+                            if let Some(bucket) = run.arrivals_per_sec.get_mut(sec) {
+                                *bucket += 1;
+                            }
+                            if cfg.collect_arrivals {
+                                run.arrivals.push(arrival);
+                            }
+                        }
+                        round.push(ExchangeResult { server_id: id, outcome });
+                    }
+                    let _ = client.discipline.complete(t, &mut client.clock, &round);
+                }
+            }
+            for cmd in client.discipline.take_commands() {
+                cmd.apply(&mut client.clock, t);
+            }
+            if sample_due {
+                let err_ms = client.clock.true_error(t).as_millis_f64();
+                if let Some(series) = run.true_error_ms.get_mut(ci) {
+                    series.push((t.as_secs_f64(), err_ms));
+                }
+            }
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discipline::{MntpDiscipline, SntpDiscipline};
+    use crate::MntpConfig;
+    use clocksim::rng::SimRng;
+    use clocksim::OscillatorConfig;
+    use netsim::fleet::FleetConfig;
+    use sntp::PoolConfig;
+
+    fn clock(seed: u64) -> SimClock {
+        let osc = OscillatorConfig::laptop().with_skew_ppm(30.0).build(SimRng::new(seed));
+        SimClock::new(osc, SimTime::ZERO)
+    }
+
+    fn small_fleet(n: usize, seed: u64) -> (Vec<FleetClient>, FleetNet, ServerPool) {
+        let fcfg = FleetConfig { clients: n, servers: 2, ..FleetConfig::default() };
+        let net = FleetNet::new(&fcfg, seed);
+        let pool = ServerPool::new(
+            PoolConfig { size: 2, false_ticker_fraction: 0.0, ..PoolConfig::default() },
+            seed ^ 0x5eed,
+        );
+        let clients = (0..n)
+            .map(|i| FleetClient {
+                discipline: if i % 2 == 0 {
+                    Box::new(SntpDiscipline::naive().self_paced(5.0))
+                        as Box<dyn Discipline>
+                } else {
+                    Box::new(MntpDiscipline::full(MntpConfig::default()))
+                },
+                clock: clock(1000 + i as u64),
+                shape: if i % 2 == 0 { RequestShape::Sntp } else { RequestShape::Ntpd },
+            })
+            .collect();
+        (clients, net, pool)
+    }
+
+    #[test]
+    fn fleet_run_produces_per_client_series_and_arrivals() {
+        let (mut clients, mut net, mut pool) = small_fleet(4, 3);
+        let cfg = FleetRunConfig {
+            duration_secs: 120,
+            collect_arrivals: true,
+            ..FleetRunConfig::default()
+        };
+        let run = run_fleet(&mut clients, &mut net, &mut pool, &cfg);
+        assert_eq!(run.true_error_ms.len(), 4);
+        assert!(run.true_error_ms.iter().all(|s| !s.is_empty()));
+        assert!(run.polls_sent > 0);
+        assert!(!run.arrivals.is_empty());
+        let counted: u64 = run.arrivals_per_sec.iter().sum();
+        assert_eq!(counted, run.arrivals.len() as u64);
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let cfg = FleetRunConfig { duration_secs: 90, ..FleetRunConfig::default() };
+        let (mut c1, mut n1, mut p1) = small_fleet(3, 7);
+        let (mut c2, mut n2, mut p2) = small_fleet(3, 7);
+        let r1 = run_fleet(&mut c1, &mut n1, &mut p1, &cfg);
+        let r2 = run_fleet(&mut c2, &mut n2, &mut p2, &cfg);
+        assert_eq!(r1.true_error_ms, r2.true_error_ms);
+        assert_eq!(r1.arrivals_per_sec, r2.arrivals_per_sec);
+        assert_eq!(r1.polls_sent, r2.polls_sent);
+    }
+}

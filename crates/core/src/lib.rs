@@ -35,17 +35,21 @@
 
 pub mod autotune;
 pub mod config;
+pub mod discipline;
 pub mod driver;
 pub mod engine;
+pub mod fleet;
 pub mod filter;
 pub mod gate;
 
 pub use autotune::{AutoTuneConfig, AutoTuner};
 pub use config::{ApplyMode, MntpConfig};
+pub use discipline::{Directive, Discipline, ExchangeResult, MntpDiscipline, SntpDiscipline};
 pub use driver::{
-    run_baseline, run_full, run_full_autotuned, run_full_faulted, MntpRun, MntpRunRecord,
-    QueryOutcome, RobustConfig,
+    drive, run_baseline, run_full, run_full_autotuned, run_full_faulted, DriverConfig, MntpRun,
+    MntpRunRecord, QueryOutcome, RobustConfig,
 };
 pub use engine::{Mntp, MntpAction, Phase, SampleVerdict};
+pub use fleet::{run_fleet, FleetClient, FleetRun, FleetRunConfig};
 pub use filter::{FalseTickerVerdict, TrendFilter};
 pub use gate::HintGate;

@@ -21,12 +21,11 @@
 //! accuracy trade each client makes.
 
 use clocksim::stats::Summary;
-use clocksim::time::{SimDuration, SimTime};
+use clocksim::time::SimDuration;
 use mntp::{ApplyMode, MntpConfig, RobustConfig};
 use netsim::testbed::TestbedConfig;
 use netsim::{FaultInjector, FaultKind, FaultSchedule, ServerSet, Testbed};
 use ntpd_sim::daemon::{run_ntpd_faulted, NtpdConfig};
-use sntp::perform_exchange_faulted;
 
 use crate::harness::{default_pool, ClockMode};
 use crate::render;
@@ -145,22 +144,16 @@ fn sntp_arm(sc: &FaultScenario, seed: u64, duration: u64) -> FaultArmStats {
     let mut pool = default_pool(seed + 1);
     let mut clock = ClockMode::free_running_default().build(seed + 2);
     let mut faults = FaultInjector::new(sc.schedule.clone(), seed + 3);
-    let timeout = Some(SimDuration::from_secs_f64(TIMEOUT_SECS));
-    let mut errors = Vec::new();
-    let mut polls = 0u64;
-    for i in 0..=(duration / 5) {
-        let t = SimTime::ZERO + SimDuration::from_secs((i * 5) as i64);
-        let id = pool.pick();
-        polls += 1;
-        if let Ok(done) =
-            perform_exchange_faulted(&mut tb, pool.server_mut(id), &mut clock, t, &mut faults, timeout)
-        {
-            clocksim::ClockCommand::Step(done.sample.offset).apply(&mut clock, t);
-        }
-        errors.push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-    }
-    let (during, post) = split_errors(&errors, sc.during, sc.post_from);
-    FaultArmStats { name: "SNTP (naive)", during, post, polls, kod: 0 }
+    let mut d = mntp::SntpDiscipline::naive();
+    let dcfg = mntp::DriverConfig {
+        ticks: duration / 5,
+        tick_secs: 5.0,
+        sample_every_tick: true,
+        timeout: Some(SimDuration::from_secs_f64(TIMEOUT_SECS)),
+    };
+    let run = mntp::drive(&mut d, &mut tb, &mut pool, &mut clock, Some(&mut faults), &dcfg);
+    let (during, post) = split_errors(&run.true_error_ms, sc.during, sc.post_from);
+    FaultArmStats { name: "SNTP (naive)", during, post, polls: run.polls_sent, kod: 0 }
 }
 
 /// The hardened MNTP client under faults.

@@ -23,6 +23,7 @@
 //! | [`ablations`] | Beyond-paper: per-mechanism ablation suite |
 //! | [`validation`] | Beyond-paper: estimator checks against ground truth |
 //! | [`faultsweep`] | Beyond-paper: fault-injection survival grid |
+//! | [`fleet`] | Beyond-paper: fleet-scale sweep + simulated server-log analysis |
 //!
 //! Every experiment takes an explicit seed; the default seeds used by
 //! `repro` are fixed so the committed EXPERIMENTS.md numbers regenerate
@@ -34,6 +35,7 @@
 pub mod ablations;
 pub mod extended;
 pub mod faultsweep;
+pub mod fleet;
 pub mod fig1;
 pub mod fig11;
 pub mod fig12;

@@ -121,6 +121,7 @@ pub fn expected_ids(quick: bool) -> Vec<&'static str> {
         "extended_autotune",
         "extended_scenarios",
         "faultsweep",
+        "fleet",
     ]);
     ids
 }
@@ -273,6 +274,15 @@ pub fn run(opts: &Options) -> Report {
                 "faultsweep",
                 faultsweep::render_sweep(&faultsweep::run_sweep_on(&inner, SEED, d)),
             )]
+        }));
+    }
+
+    if opts.want("fleet") {
+        // The sweep fans its per-size trials out itself; serial inner
+        // pool keeps the worker budget at `jobs` overall.
+        tasks.push(Box::new(move || {
+            let inner = Pool::with_jobs(1);
+            vec![("fleet", fleet::render(&fleet::run_sweep_on(&inner, SEED, quick)))]
         }));
     }
 

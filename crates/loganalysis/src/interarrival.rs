@@ -1,0 +1,140 @@
+//! Request inter-arrival analysis (the paper's Figures 11/12 angle).
+//!
+//! The paper's server-log study looks at the arrival process from two
+//! sides: how often *one* client comes back (its effective poll
+//! interval, which SNTP stacks pin to rigid periods) and how the
+//! *aggregate* arrival stream at the server behaves (herding: rigid
+//! periods synchronize across clients and produce bursts at second
+//! boundaries, visible as a heavy sub-millisecond mode in the global
+//! inter-arrival distribution). Both views run off the same
+//! [`ServerLog`], whether it came from the synthetic Table 1 generator
+//! or from a simulated fleet.
+
+use std::collections::BTreeMap;
+
+use crate::synth::ServerLog;
+
+/// Distribution summary of one inter-arrival data set, milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterarrivalSummary {
+    /// Number of gaps measured.
+    pub gaps: u64,
+    /// Mean gap, ms.
+    pub mean_ms: f64,
+    /// Median gap, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Fraction of gaps under 1 ms — the herding signature in the
+    /// global view (back-to-back requests inside one burst).
+    pub sub_ms_share: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+fn summarize(mut gaps_ms: Vec<f64>) -> Option<InterarrivalSummary> {
+    if gaps_ms.is_empty() {
+        return None;
+    }
+    gaps_ms.sort_by(f64::total_cmp);
+    let n = gaps_ms.len();
+    let sum: f64 = gaps_ms.iter().sum();
+    let sub_ms = gaps_ms.iter().filter(|g| **g < 1.0).count();
+    Some(InterarrivalSummary {
+        gaps: n as u64,
+        mean_ms: sum / n as f64,
+        p50_ms: percentile(&gaps_ms, 0.50),
+        p90_ms: percentile(&gaps_ms, 0.90),
+        p99_ms: percentile(&gaps_ms, 0.99),
+        sub_ms_share: sub_ms as f64 / n as f64,
+    })
+}
+
+/// Gaps between consecutive requests at the server, across all clients.
+/// `None` for logs with fewer than two records.
+pub fn global_interarrival(log: &ServerLog) -> Option<InterarrivalSummary> {
+    let mut times: Vec<f64> = log.records.iter().map(|r| r.received_at_secs).collect();
+    times.sort_by(f64::total_cmp);
+    let gaps = times.windows(2).map(|w| (w[1] - w[0]) * 1e3).collect();
+    summarize(gaps)
+}
+
+/// Gaps between consecutive requests of the *same* client — the
+/// client's effective poll interval as the server observes it. `None`
+/// when no client appears twice.
+pub fn per_client_interarrival(log: &ServerLog) -> Option<InterarrivalSummary> {
+    let mut per_client: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for r in &log.records {
+        per_client.entry(r.client_id).or_default().push(r.received_at_secs);
+    }
+    let mut gaps = Vec::new();
+    for times in per_client.values_mut() {
+        times.sort_by(f64::total_cmp);
+        gaps.extend(times.windows(2).map(|w| (w[1] - w[0]) * 1e3));
+    }
+    summarize(gaps)
+}
+
+/// Requests per second of capture time, for rate plots: `(second,
+/// count)` for every second that saw at least one request.
+pub fn arrival_rate_per_sec(log: &ServerLog) -> Vec<(u64, u64)> {
+    let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in &log.records {
+        let sec = r.received_at_secs.max(0.0) as u64;
+        *buckets.entry(sec).or_insert(0) += 1;
+    }
+    buckets.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_server_log, SynthConfig};
+
+    fn sample_log() -> ServerLog {
+        generate_server_log(&crate::model::SERVERS[0], &SynthConfig::default(), 99)
+    }
+
+    #[test]
+    fn global_gaps_are_denser_than_per_client_gaps() {
+        let log = sample_log();
+        let global = global_interarrival(&log).expect("log has records");
+        let per_client = per_client_interarrival(&log).expect("clients repeat");
+        // Many clients interleave at the server: the aggregate stream is
+        // strictly busier than any single client's poll cadence.
+        assert!(global.mean_ms < per_client.mean_ms);
+        assert!(global.p50_ms <= per_client.p50_ms);
+    }
+
+    #[test]
+    fn rate_buckets_account_for_every_record() {
+        let log = sample_log();
+        let total: u64 = arrival_rate_per_sec(&log).iter().map(|(_, c)| c).sum();
+        assert_eq!(total, log.records.len() as u64);
+    }
+
+    #[test]
+    fn empty_log_yields_none() {
+        let mut log = sample_log();
+        log.records.clear();
+        assert!(global_interarrival(&log).is_none());
+        assert!(per_client_interarrival(&log).is_none());
+        assert!(arrival_rate_per_sec(&log).is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let log = sample_log();
+        let s = global_interarrival(&log).expect("records");
+        assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms);
+        assert!(s.sub_ms_share >= 0.0 && s.sub_ms_share <= 1.0);
+    }
+}

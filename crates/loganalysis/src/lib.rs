@@ -23,6 +23,11 @@
 //! * [`pcap_input`] — parse libpcap captures (e.g. written by
 //!   `netsim::pcap`) into analyzable NTP datagrams: the tcpdump front
 //!   end the paper's tooling was built on.
+//! * [`interarrival`] — request inter-arrival statistics over a server
+//!   log, globally (the herding view: synchronized clients pile up in
+//!   the same instants) and per client (the poll-schedule view) — the
+//!   server-side lens the fleet experiment feeds with simulated
+//!   arrivals.
 //! * [`report`] — assemble Table 1, Figure 1 (min-OWD distributions per
 //!   provider) and Figure 2 (SNTP vs NTP shares).
 
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod interarrival;
 pub mod model;
 pub mod owd;
 pub mod pcap_input;
@@ -37,6 +43,7 @@ pub mod protocol;
 pub mod report;
 pub mod synth;
 
+pub use interarrival::{arrival_rate_per_sec, global_interarrival, per_client_interarrival, InterarrivalSummary};
 pub use model::{ProviderCategory, ProviderProfile, ServerProfile, PROVIDERS, SERVERS};
 pub use report::{figure1, figure2, generate_all_logs, table1, Figure1Row, Figure2Row, Table1Row};
 pub use synth::{generate_server_log, LogRecord, ServerLog, SynthConfig};

@@ -1,0 +1,578 @@
+//! Shared multi-client simulation world: N clients, M servers, one AP.
+//!
+//! The single-client [`crate::testbed::Testbed`] reproduces the paper's
+//! §3.2 bench: one phone, one monitor node, one WAP. This module scales
+//! that world out for the fleet experiments (§6 scalability discussion):
+//! one [`Sim`] kernel hosts `N` client channels contending behind the
+//! same access point plus `M` server-side service models, so a single
+//! trial can observe both ends — per-client offset error *and* the
+//! server-side arrival process the paper measured from production logs
+//! (Figures 11/12).
+//!
+//! # RNG lanes
+//!
+//! All randomness is split deterministically from the trial seed so a
+//! fleet trial is reproducible at any parallelism and stable under
+//! population growth (client `i`'s lane does not depend on `N`):
+//!
+//! ```text
+//! root = SimRng::new(seed)
+//! ├── root.fork(1) = channel lane root;  channel i ← chan_root.fork(i)
+//! ├── root.fork(2) = cross-traffic source
+//! └── (server models are deterministic queues: no RNG lane)
+//! ```
+//!
+//! # Server model
+//!
+//! [`ServerModel`] is the capacity side of a public NTP server: a
+//! bounded FIFO service queue (arrivals beyond the backlog cap are
+//! dropped on the floor, as a real socket buffer would) plus the
+//! kiss-o'-death policy of RFC 5905 §7.4. The RATE policy mirrors the
+//! client-side ban bookkeeping in `sntp::health`: a client polling
+//! faster than the hard floor is always RATEd, and under overload the
+//! floor rises to `overload_min_poll`, which is clamped by construction
+//! to the 64 s back-off `sntp::health` imposes after a RATE kiss — so a
+//! client that honours its ban is never re-RATEd by the same server.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use clocksim::rng::SimRng;
+use clocksim::time::{SimDuration, SimTime};
+
+use crate::crosstraffic::{CrossTraffic, CrossTrafficConfig};
+use crate::kernel::Sim;
+use crate::wifi::{WifiChannel, WifiConfig, WirelessHints};
+
+/// Capacity and rate-limit policy of one simulated server.
+#[derive(Clone, Debug)]
+pub struct ServerModelConfig {
+    /// Maximum requests in the service backlog; arrivals past this are
+    /// dropped without a reply (socket buffer overflow).
+    pub queue_capacity: usize,
+    /// Time to serve one request once it reaches the head of the queue.
+    pub service_time: SimDuration,
+    /// Hard per-client minimum poll spacing, seconds. Polling faster
+    /// than this always draws a RATE kiss, loaded or not.
+    pub min_poll_secs: f64,
+    /// Per-client minimum poll spacing enforced while overloaded,
+    /// seconds. Clamped to the 64 s RATE ban of `sntp::health` so a
+    /// ban-honouring client can never be re-RATEd.
+    pub overload_min_poll_secs: f64,
+    /// Backlog length at which the overload poll floor kicks in.
+    pub overload_backlog: usize,
+}
+
+impl Default for ServerModelConfig {
+    fn default() -> Self {
+        ServerModelConfig {
+            queue_capacity: 64,
+            service_time: SimDuration::from_secs_f64(300e-6),
+            min_poll_secs: 2.0,
+            overload_min_poll_secs: 64.0,
+            overload_backlog: 32,
+        }
+    }
+}
+
+/// The 64 s back-off `sntp::health` applies after a RATE kiss. The
+/// overload poll floor is clamped to this so the server never demands a
+/// longer spacing than the ban the client already serves.
+pub const HEALTH_RATE_BAN_SECS: f64 = 64.0;
+
+/// What the server decided to do with one arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceDecision {
+    /// Backlog full: the request is silently discarded.
+    Dropped,
+    /// The request will be answered at `depart`; `kod` selects a RATE
+    /// kiss instead of a time reply.
+    Served {
+        /// Departure (transmit) time of the reply.
+        depart: SimTime,
+        /// Reply is a kiss-o'-death RATE packet.
+        kod: bool,
+    },
+}
+
+/// Aggregate counters for one server model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerModelStats {
+    /// Requests that reached the server.
+    pub arrivals: u64,
+    /// Requests answered with a time reply.
+    pub served: u64,
+    /// Requests dropped for backlog overflow.
+    pub dropped: u64,
+    /// Requests answered with a RATE kiss.
+    pub kod_sent: u64,
+    /// Largest backlog observed at any arrival instant.
+    pub peak_backlog: usize,
+}
+
+/// Bounded-queue service model with load-dependent RATE policy.
+///
+/// Deterministic: identical arrival sequences produce identical
+/// decisions, so fleet trials stay byte-reproducible at any `--jobs`.
+#[derive(Clone, Debug)]
+pub struct ServerModel {
+    cfg: ServerModelConfig,
+    /// Departure times of requests still in service, oldest first.
+    /// Monotone non-decreasing, so replies leave in global FIFO order
+    /// and a single client's replies can never reorder.
+    queue: VecDeque<SimTime>,
+    /// When the server frees up after the newest queued request.
+    busy_until: SimTime,
+    /// Monotone clamp for arrivals delivered slightly out of order
+    /// within one driver tick (clients are iterated in id order, not
+    /// arrival order — a documented approximation; see DESIGN.md).
+    horizon: SimTime,
+    /// Last accepted arrival per client id, for the RATE policy.
+    last_seen: BTreeMap<u32, SimTime>,
+    /// Counters.
+    pub stats: ServerModelStats,
+}
+
+impl ServerModel {
+    /// Empty model. `overload_min_poll_secs` is clamped into
+    /// `[min_poll_secs, HEALTH_RATE_BAN_SECS]`.
+    pub fn new(mut cfg: ServerModelConfig) -> Self {
+        cfg.overload_min_poll_secs = cfg
+            .overload_min_poll_secs
+            .clamp(cfg.min_poll_secs, HEALTH_RATE_BAN_SECS);
+        ServerModel {
+            cfg,
+            queue: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            horizon: SimTime::ZERO,
+            last_seen: BTreeMap::new(),
+            stats: ServerModelStats::default(),
+        }
+    }
+
+    /// Current backlog length (requests not yet departed as of the last
+    /// arrival processed).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Configured policy.
+    pub fn config(&self) -> &ServerModelConfig {
+        &self.cfg
+    }
+
+    /// Admit one request from `client` arriving at `at` and decide its
+    /// fate. Out-of-order arrivals are clamped forward to the latest
+    /// arrival already processed.
+    pub fn on_arrival(&mut self, client: u32, at: SimTime) -> ServiceDecision {
+        let at = at.max(self.horizon);
+        self.horizon = at;
+        self.stats.arrivals += 1;
+
+        // Drain everything that departed before this arrival.
+        while self.queue.front().is_some_and(|d| *d <= at) {
+            self.queue.pop_front();
+        }
+        self.stats.peak_backlog = self.stats.peak_backlog.max(self.queue.len());
+
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.stats.dropped += 1;
+            return ServiceDecision::Dropped;
+        }
+
+        // RATE policy: hard floor always; overload floor (≤ the 64 s
+        // health ban) while the backlog is deep.
+        let overloaded = self.queue.len() >= self.cfg.overload_backlog;
+        let kod = match self.last_seen.get(&client) {
+            Some(prev) => {
+                let gap = (at - *prev).as_secs_f64();
+                gap < self.cfg.min_poll_secs
+                    || (overloaded && gap < self.cfg.overload_min_poll_secs)
+            }
+            None => false,
+        };
+        self.last_seen.insert(client, at);
+
+        let start = self.busy_until.max(at);
+        let depart = start + self.cfg.service_time;
+        self.busy_until = depart;
+        self.queue.push_back(depart);
+        if kod {
+            self.stats.kod_sent += 1;
+        } else {
+            self.stats.served += 1;
+        }
+        ServiceDecision::Served { depart, kod }
+    }
+}
+
+/// Fleet world parameters.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of clients (one WiFi channel each).
+    pub clients: usize,
+    /// Number of server-side service models.
+    pub servers: usize,
+    /// Per-client channel parameters.
+    pub wifi: WifiConfig,
+    /// Shared cross-traffic source behind the access point.
+    pub cross: CrossTrafficConfig,
+    /// Initial download frequency of the cross-traffic source.
+    pub initial_frequency: f64,
+    /// Service model applied to every server.
+    pub server: ServerModelConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            clients: 100,
+            servers: 4,
+            wifi: WifiConfig::default(),
+            cross: CrossTrafficConfig::default(),
+            initial_frequency: 0.4,
+            server: ServerModelConfig::default(),
+        }
+    }
+}
+
+/// Mutable world state owned by the fleet kernel.
+pub struct FleetState {
+    /// One last-hop channel per client, indexed by client id. All share
+    /// the same access point, so cross-traffic utilization is applied to
+    /// every channel at each decision instant.
+    channels: Vec<WifiChannel>,
+    /// One service model per server, indexed by server id.
+    servers: Vec<ServerModel>,
+    /// The shared download source contending for the AP uplink.
+    cross: CrossTraffic,
+}
+
+/// The shared multi-client world: a [`Sim`] kernel plus [`FleetState`].
+pub struct FleetNet {
+    sim: Sim<FleetState>,
+    /// World state (public for experiment post-processing).
+    pub state: FleetState,
+}
+
+/// Background process: the shared cross-traffic source re-decides and
+/// pushes the new utilization to every client channel.
+fn cross_tick(state: &mut FleetState, sim: &mut Sim<FleetState>) {
+    let t = sim.now();
+    let util = state.cross.decide(t);
+    for ch in &mut state.channels {
+        ch.set_utilization(util);
+    }
+    sim.schedule_fn_in(state.cross.decision_interval(), cross_tick);
+}
+
+impl FleetNet {
+    /// Build a fleet world from the trial seed using the documented
+    /// RNG-lane scheme (see module docs).
+    pub fn new(cfg: &FleetConfig, seed: u64) -> Self {
+        let mut root = SimRng::new(seed);
+        let mut chan_root = root.fork(1);
+        let cross_rng = root.fork(2);
+        let channels = (0..cfg.clients)
+            .map(|i| WifiChannel::new(cfg.wifi.clone(), chan_root.fork(i as u64)))
+            .collect();
+        let servers = (0..cfg.servers)
+            .map(|_| ServerModel::new(cfg.server.clone()))
+            .collect();
+        let cross = CrossTraffic::new(cfg.cross.clone(), cfg.initial_frequency, cross_rng);
+        let mut sim = Sim::default();
+        sim.schedule_fn_at(SimTime::ZERO, cross_tick);
+        FleetNet {
+            sim,
+            state: FleetState { channels, servers, cross },
+        }
+    }
+
+    /// Current kernel time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Run background processes (cross-traffic decisions) up to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sim.run_until(&mut self.state, t);
+    }
+
+    /// Cross-layer hints for one client's channel at `t`, advancing the
+    /// world first. `None` for an out-of-range client id.
+    pub fn hints(&mut self, client: usize, t: SimTime) -> Option<WirelessHints> {
+        self.advance_to(t);
+        self.state.channels.get_mut(client).map(|ch| ch.hints(t))
+    }
+
+    /// Simultaneous mutable access to one client's channel and one
+    /// server's service model (the two ends of an exchange). `None` if
+    /// either id is out of range.
+    pub fn lanes(
+        &mut self,
+        client: usize,
+        server: usize,
+    ) -> Option<(&mut WifiChannel, &mut ServerModel)> {
+        let FleetState { channels, servers, .. } = &mut self.state;
+        Some((channels.get_mut(client)?, servers.get_mut(server)?))
+    }
+
+    /// One server's service model, for post-run stats collection.
+    pub fn server_model(&self, server: usize) -> Option<&ServerModel> {
+        self.state.servers.get(server)
+    }
+
+    /// Number of client channels.
+    pub fn client_count(&self) -> usize {
+        self.state.channels.len()
+    }
+
+    /// Number of server models.
+    pub fn server_count(&self) -> usize {
+        self.state.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn quiet_server_serves_everyone() {
+        let mut m = ServerModel::new(ServerModelConfig::default());
+        for i in 0..10u32 {
+            let d = m.on_arrival(i, secs(i as f64));
+            assert!(matches!(d, ServiceDecision::Served { kod: false, .. }));
+        }
+        assert_eq!(m.stats.served, 10);
+        assert_eq!(m.stats.dropped, 0);
+        assert_eq!(m.stats.kod_sent, 0);
+    }
+
+    #[test]
+    fn departures_are_fifo_and_monotone() {
+        let mut m = ServerModel::new(ServerModelConfig::default());
+        let mut last = SimTime::ZERO;
+        // A burst of simultaneous arrivals must depart in admission
+        // order, spaced by the service time.
+        for i in 0..20u32 {
+            match m.on_arrival(i, secs(1.0)) {
+                ServiceDecision::Served { depart, .. } => {
+                    assert!(depart > last, "reply {i} departs out of order");
+                    last = depart;
+                }
+                ServiceDecision::Dropped => panic!("capacity 64 cannot drop 20"),
+            }
+        }
+    }
+
+    #[test]
+    fn backlog_overflow_drops() {
+        let cfg = ServerModelConfig { queue_capacity: 4, ..ServerModelConfig::default() };
+        let mut m = ServerModel::new(cfg);
+        let mut dropped = 0;
+        for i in 0..10u32 {
+            if m.on_arrival(i, secs(1.0)) == ServiceDecision::Dropped {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 6);
+        assert_eq!(m.stats.dropped, 6);
+        // The queue drains: later arrivals are served again.
+        assert!(matches!(
+            m.on_arrival(99, secs(100.0)),
+            ServiceDecision::Served { kod: false, .. }
+        ));
+    }
+
+    #[test]
+    fn fast_poller_draws_rate_kiss() {
+        let mut m = ServerModel::new(ServerModelConfig::default());
+        assert!(matches!(
+            m.on_arrival(7, secs(10.0)),
+            ServiceDecision::Served { kod: false, .. }
+        ));
+        // 0.5 s later: below the 2 s hard floor.
+        assert!(matches!(
+            m.on_arrival(7, secs(10.5)),
+            ServiceDecision::Served { kod: true, .. }
+        ));
+        // A different client at the same instant is fine.
+        assert!(matches!(
+            m.on_arrival(8, secs(10.5)),
+            ServiceDecision::Served { kod: false, .. }
+        ));
+    }
+
+    #[test]
+    fn overload_floor_never_exceeds_health_ban() {
+        let cfg = ServerModelConfig {
+            overload_min_poll_secs: 500.0, // misconfigured: must clamp
+            ..ServerModelConfig::default()
+        };
+        let m = ServerModel::new(cfg);
+        assert!(m.config().overload_min_poll_secs <= HEALTH_RATE_BAN_SECS);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_clamp_forward() {
+        let mut m = ServerModel::new(ServerModelConfig::default());
+        m.on_arrival(0, secs(5.0));
+        // Client 1's arrival computed earlier in the tick loop but
+        // delivered after client 0's: clamped to 5.0, still served.
+        match m.on_arrival(1, secs(4.9)) {
+            ServiceDecision::Served { depart, .. } => assert!(depart >= secs(5.0)),
+            ServiceDecision::Dropped => panic!("clamped arrival must be admitted"),
+        }
+    }
+
+    #[test]
+    fn fleet_world_is_deterministic() {
+        let cfg = FleetConfig { clients: 5, servers: 2, ..FleetConfig::default() };
+        let mut a = FleetNet::new(&cfg, 42);
+        let mut b = FleetNet::new(&cfg, 42);
+        for step in 1..=20 {
+            let t = secs(step as f64);
+            for c in 0..5 {
+                assert_eq!(a.hints(c, t), b.hints(c, t), "client {c} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_lanes_stable_under_population_growth() {
+        // Client i's channel behaviour must not depend on N: lane i is
+        // forked by index, not drawn sequentially.
+        let small = FleetConfig { clients: 3, servers: 1, ..FleetConfig::default() };
+        let big = FleetConfig { clients: 8, servers: 1, ..FleetConfig::default() };
+        let mut a = FleetNet::new(&small, 7);
+        let mut b = FleetNet::new(&big, 7);
+        for step in 1..=10 {
+            let t = secs(step as f64);
+            for c in 0..3 {
+                assert_eq!(a.hints(c, t), b.hints(c, t), "client {c} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_same_tick_load_triggers_overload_floor() {
+        let cfg = ServerModelConfig {
+            service_time: SimDuration::from_secs_f64(30.0),
+            overload_backlog: 2,
+            ..ServerModelConfig::default()
+        };
+        let mut m = ServerModel::new(cfg);
+        // Fill the backlog (30 s service keeps it deep), then a repeat
+        // visitor inside the overload floor (but outside the 2 s hard
+        // floor) draws a RATE kiss.
+        for c in 0..5u32 {
+            m.on_arrival(c, secs(1.0));
+        }
+        assert!(matches!(
+            m.on_arrival(0, secs(11.0)),
+            ServiceDecision::Served { kod: true, .. }
+        ));
+        assert!(m.stats.kod_sent >= 1);
+    }
+
+    #[test]
+    fn lanes_rejects_out_of_range() {
+        let cfg = FleetConfig { clients: 2, servers: 1, ..FleetConfig::default() };
+        let mut net = FleetNet::new(&cfg, 1);
+        assert!(net.lanes(0, 0).is_some());
+        assert!(net.lanes(2, 0).is_none());
+        assert!(net.lanes(0, 1).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    props! {
+        /// The bounded service queue is globally FIFO, so one client's
+        /// replies can never overtake each other — for any interleaving
+        /// of clients, gaps, and backlog states.
+        fn same_client_replies_never_reorder(
+            clients in prop::vecs(prop::ints(0..6), 2..200),
+            gaps_ms in prop::vecs(prop::ints(0..2000), 2..200),
+        ) {
+            let cfg = ServerModelConfig {
+                queue_capacity: 8,
+                service_time: SimDuration::from_secs_f64(0.05),
+                ..ServerModelConfig::default()
+            };
+            let mut m = ServerModel::new(cfg);
+            let mut t = 0.0f64;
+            let mut last_per_client: std::collections::BTreeMap<u32, SimTime> =
+                std::collections::BTreeMap::new();
+            let mut last_any = SimTime::ZERO;
+            for (c, g) in clients.iter().zip(gaps_ms.iter()) {
+                t += *g as f64 / 1e3;
+                let c = *c as u32;
+                if let ServiceDecision::Served { depart, .. } = m.on_arrival(c, secs(t)) {
+                    prop_assert!(depart >= last_any, "global FIFO violated at t={t}");
+                    last_any = depart;
+                    if let Some(prev) = last_per_client.insert(c, depart) {
+                        prop_assert!(depart > prev, "client {c} reply reordered at t={t}");
+                    }
+                }
+            }
+        }
+
+        /// RFC 5905 ban compliance: a client spaced at or beyond the
+        /// 64 s RATE back-off of `sntp::health` is never RATEd, no
+        /// matter what load the rest of the fleet applies — the overload
+        /// poll floor is clamped to the ban by construction.
+        fn ban_honoring_client_never_rated(
+            load_clients in prop::vecs(prop::ints(1..40), 1..300),
+            load_gaps_ms in prop::vecs(prop::ints(0..300), 1..300),
+            honor_slack_s in prop::vecs(prop::ints(0..30), 5..20),
+        ) {
+            // Merge a hammering background population with client 0,
+            // which honors the health ban (>= 64 s between polls), into
+            // one time-sorted arrival sequence.
+            let mut events: Vec<(f64, u32)> = Vec::new();
+            let mut t = 0.0f64;
+            for (c, g) in load_clients.iter().zip(load_gaps_ms.iter()) {
+                t += *g as f64 / 1e3;
+                events.push((t, *c as u32));
+            }
+            let mut th = 0.0f64;
+            for slack in &honor_slack_s {
+                th += HEALTH_RATE_BAN_SECS + *slack as f64;
+                events.push((th, 0));
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // Slow service + low overload threshold: the queue is deep
+            // for most of the run, so the overload floor is live.
+            let cfg = ServerModelConfig {
+                queue_capacity: 16,
+                service_time: SimDuration::from_secs_f64(0.2),
+                overload_backlog: 2,
+                ..ServerModelConfig::default()
+            };
+            let mut m = ServerModel::new(cfg);
+            for (at, c) in events {
+                let d = m.on_arrival(c, secs(at));
+                if c == 0 {
+                    prop_assert!(
+                        !matches!(d, ServiceDecision::Served { kod: true, .. }),
+                        "ban-honoring client RATEd at t={at}"
+                    );
+                }
+            }
+        }
+    }
+}

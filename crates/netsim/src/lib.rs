@@ -42,6 +42,7 @@
 pub mod cellular;
 pub mod crosstraffic;
 pub mod faults;
+pub mod fleet;
 pub mod kernel;
 pub mod link;
 pub mod pcap;
@@ -50,6 +51,7 @@ pub mod testbed;
 pub mod wifi;
 
 pub use faults::{FaultInjector, FaultKind, FaultSchedule, FaultWindow, PacketFate, ServerSet};
+pub use fleet::{FleetConfig, FleetNet, ServerModel, ServerModelConfig, ServiceDecision};
 pub use kernel::Sim;
 pub use link::{DelayModel, Link, LossModel};
 pub use testbed::{LastHop, Testbed, TestbedConfig};

@@ -10,7 +10,7 @@
 use clocksim::time::{SimDuration, SimTime};
 use clocksim::SimClock;
 use netsim::Testbed;
-use sntp::{perform_exchange, ServerPool};
+use sntp::ServerPool;
 
 use crate::clock_filter::{ClockFilter, FilterSample};
 use crate::cluster::{cluster, combine};
@@ -193,8 +193,119 @@ pub struct NtpdRun {
     pub steps: u64,
 }
 
+/// [`Ntpd`] behind the workspace-wide [`mntp::Discipline`] trait: the
+/// RFC 5905 client stack as the generic driver (and the fleet world)
+/// sees it.
+///
+/// ntpd is hint-blind and self-paced: `poll` reads the *local* clock's
+/// notion of elapsed seconds — as a real daemon would — and asks the
+/// association table which peers are due. All samples of a round are
+/// digested against that same pre-exchange local timestamp, and
+/// mitigation runs once per round with at least one fresh sample,
+/// exactly as the historical `run_ntpd` loop did.
+pub struct NtpdDiscipline {
+    daemon: Ntpd,
+    now_local_secs: f64,
+    pending: Vec<clocksim::ClockCommand>,
+}
+
+impl NtpdDiscipline {
+    /// Wrap a fresh daemon.
+    pub fn new(cfg: &NtpdConfig) -> Self {
+        NtpdDiscipline { daemon: Ntpd::new(cfg), now_local_secs: 0.0, pending: Vec::new() }
+    }
+
+    /// The wrapped daemon (diagnostics: system offsets, step count).
+    pub fn daemon(&self) -> &Ntpd {
+        &self.daemon
+    }
+}
+
+impl mntp::Discipline for NtpdDiscipline {
+    fn wants_hints(&self) -> bool {
+        // ntpd never reads link-layer hints; the driver must not sample
+        // (and thereby advance) the testbed's hint process for it.
+        false
+    }
+
+    fn poll(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        _hints: Option<&netsim::WirelessHints>,
+        _pool: &mut ServerPool,
+    ) -> mntp::Directive {
+        self.now_local_secs = clock.now_local_nanos(t) as f64 / 1e9;
+        let due = self.daemon.due_peers(self.now_local_secs);
+        if due.is_empty() {
+            mntp::Directive::Idle { record_deferred: false }
+        } else {
+            mntp::Directive::Query(due)
+        }
+    }
+
+    fn complete(
+        &mut self,
+        _t: SimTime,
+        _clock: &mut SimClock,
+        round: &[mntp::ExchangeResult],
+    ) -> Option<mntp::QueryOutcome> {
+        let now = self.now_local_secs;
+        let mut got_sample = false;
+        for r in round {
+            match r.outcome {
+                Ok(done) => {
+                    self.daemon.on_sample(
+                        now,
+                        r.server_id,
+                        done.sample.offset.as_seconds_f64(),
+                        done.sample.delay.as_seconds_f64(),
+                    );
+                    got_sample = true;
+                }
+                // KoD and loss alike: the peer just didn't deliver.
+                Err(_) => self.daemon.on_poll_failed(now, r.server_id),
+            }
+        }
+        if got_sample {
+            self.pending = self.daemon.mitigate(now);
+        }
+        None
+    }
+
+    fn take_commands(&mut self) -> Vec<clocksim::ClockCommand> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+fn run_ntpd_inner(
+    cfg: NtpdConfig,
+    testbed: &mut Testbed,
+    pool: &mut ServerPool,
+    clock: &mut SimClock,
+    faults: Option<&mut netsim::FaultInjector>,
+    timeout: Option<SimDuration>,
+    duration_secs: u64,
+) -> NtpdRun {
+    let mut d = NtpdDiscipline::new(&cfg);
+    let dcfg = mntp::DriverConfig {
+        ticks: duration_secs,
+        tick_secs: 1.0,
+        sample_every_tick: false,
+        timeout,
+    };
+    let run = mntp::drive(&mut d, testbed, pool, clock, faults, &dcfg);
+    NtpdRun {
+        true_error_ms: run.true_error_ms,
+        system_offsets: d.daemon.system_offsets.clone(),
+        polls_sent: run.polls_sent,
+        steps: d.daemon.steps(),
+    }
+}
+
 /// Drive an [`Ntpd`] against the testbed for `duration_secs`, ticking
-/// once per second.
+/// once per second. Thin wrapper over the generic [`mntp::drive`] loop
+/// with an [`NtpdDiscipline`].
 pub fn run_ntpd(
     cfg: NtpdConfig,
     testbed: &mut Testbed,
@@ -202,43 +313,7 @@ pub fn run_ntpd(
     clock: &mut SimClock,
     duration_secs: u64,
 ) -> NtpdRun {
-    let mut daemon = Ntpd::new(&cfg);
-    let mut run = NtpdRun::default();
-    for sec in 0..=duration_secs {
-        let t = SimTime::ZERO + SimDuration::from_secs(sec as i64);
-        // Use the local clock's notion of elapsed seconds, as a real
-        // daemon would.
-        let now_local_secs = clock.now_local_nanos(t) as f64 / 1e9;
-        let due = daemon.due_peers(now_local_secs);
-        let mut got_sample = false;
-        for server_id in due {
-            run.polls_sent += 1;
-            match perform_exchange(testbed, pool.server_mut(server_id), clock, t) {
-                Ok(done) => {
-                    daemon.on_sample(
-                        now_local_secs,
-                        server_id,
-                        done.sample.offset.as_seconds_f64(),
-                        done.sample.delay.as_seconds_f64(),
-                    );
-                    got_sample = true;
-                }
-                Err(_) => daemon.on_poll_failed(now_local_secs, server_id),
-            }
-        }
-        if got_sample {
-            for cmd in daemon.mitigate(now_local_secs) {
-                cmd.apply(clock, t);
-            }
-        }
-        if sec % 5 == 0 {
-            run.true_error_ms
-                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-        }
-    }
-    run.system_offsets = daemon.system_offsets.clone();
-    run.steps = daemon.steps();
-    run
+    run_ntpd_inner(cfg, testbed, pool, clock, None, None, duration_secs)
 }
 
 /// [`run_ntpd`] through the fault-injecting network: every exchange goes
@@ -256,55 +331,14 @@ pub fn run_ntpd_faulted(
     timeout_secs: f64,
     duration_secs: u64,
 ) -> NtpdRun {
-    let mut daemon = Ntpd::new(&cfg);
     let timeout = Some(SimDuration::from_secs_f64(timeout_secs));
-    let mut run = NtpdRun::default();
-    for sec in 0..=duration_secs {
-        let t = SimTime::ZERO + SimDuration::from_secs(sec as i64);
-        let now_local_secs = clock.now_local_nanos(t) as f64 / 1e9;
-        let due = daemon.due_peers(now_local_secs);
-        let mut got_sample = false;
-        for server_id in due {
-            run.polls_sent += 1;
-            match sntp::perform_exchange_faulted(
-                testbed,
-                pool.server_mut(server_id),
-                clock,
-                t,
-                faults,
-                timeout,
-            ) {
-                Ok(done) => {
-                    daemon.on_sample(
-                        now_local_secs,
-                        server_id,
-                        done.sample.offset.as_seconds_f64(),
-                        done.sample.delay.as_seconds_f64(),
-                    );
-                    got_sample = true;
-                }
-                // KoD and loss alike: the peer just didn't deliver.
-                Err(_) => daemon.on_poll_failed(now_local_secs, server_id),
-            }
-        }
-        if got_sample {
-            for cmd in daemon.mitigate(now_local_secs) {
-                cmd.apply(clock, t);
-            }
-        }
-        if sec % 5 == 0 {
-            run.true_error_ms
-                .push((t.as_secs_f64(), clock.true_error(t).as_millis_f64()));
-        }
-    }
-    run.system_offsets = daemon.system_offsets.clone();
-    run.steps = daemon.steps();
-    run
+    run_ntpd_inner(cfg, testbed, pool, clock, Some(faults), timeout, duration_secs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sntp::perform_exchange;
     use clocksim::{OscillatorConfig, SimRng};
     use ntp_wire::NtpDuration;
     use sntp::PoolConfig;

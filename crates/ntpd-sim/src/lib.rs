@@ -40,6 +40,6 @@ pub mod select;
 
 pub use clock_filter::{ClockFilter, FilterSample};
 pub use huffpuff::HuffPuff;
-pub use daemon::{run_ntpd, run_ntpd_faulted, Ntpd, NtpdConfig, NtpdRun};
+pub use daemon::{run_ntpd, run_ntpd_faulted, Ntpd, NtpdConfig, NtpdDiscipline, NtpdRun};
 pub use discipline::{Discipline, DisciplineConfig};
 pub use select::{select_survivors, PeerCandidate};

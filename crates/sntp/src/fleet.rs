@@ -1,0 +1,285 @@
+//! Fleet-scale exchange: one client among many, one server with a
+//! capacity model.
+//!
+//! [`perform_fleet_exchange`] is the multi-client sibling of
+//! [`crate::perform_exchange`]: the last hop is one lane of a shared
+//! [`netsim::fleet::FleetNet`] (a [`WifiChannel`] borrowed via
+//! `FleetNet::lanes`), and the server is fronted by a
+//! [`netsim::fleet::ServerModel`] that can drop the request on backlog
+//! overflow or answer a RATE kiss under load. Alongside the client-side
+//! outcome it emits the *server-side* observation — the raw request
+//! bytes and true arrival time — so a simulated fleet produces exactly
+//! the kind of log the paper's §3.1 measurement pipeline consumes.
+
+use clocksim::time::SimTime;
+use clocksim::ClockControl;
+use netsim::fleet::{ServerModel, ServiceDecision};
+use netsim::wifi::WifiChannel;
+use ntp_wire::{refid::RefId, NtpDuration, NtpPacket, NtpShort};
+
+use crate::client::{ReplyOutcome, SntpClient};
+use crate::exchange::{CompletedExchange, ExchangeError};
+use crate::server::SimServer;
+
+/// On-the-wire shape of the request a fleet client emits.
+///
+/// "SNTP sets all fields in an NTP packet to zero except the first
+/// octet" (§2); a full NTP implementation populates stratum, poll,
+/// precision and the root/reference fields. Shaping requests lets the
+/// synthetic server log exercise the same packet-shape classifier the
+/// paper ran over tcpdump output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestShape {
+    /// RFC 4330 minimal client request.
+    Sntp,
+    /// Full-NTP-shaped client request (populated header fields).
+    Ntpd,
+}
+
+/// Server-side record of one arrival, as a capture at the server would
+/// see it — plus the service decision for rate accounting.
+#[derive(Clone, Debug)]
+pub struct FleetArrival {
+    /// Fleet client id.
+    pub client_id: u32,
+    /// Which server the request reached.
+    pub server_id: usize,
+    /// True arrival time at the server.
+    pub at: SimTime,
+    /// Raw request bytes as captured.
+    pub request: Vec<u8>,
+    /// The request was dropped for backlog overflow (no reply).
+    pub dropped: bool,
+    /// The reply was a RATE kiss-o'-death.
+    pub kod: bool,
+}
+
+/// Give an SNTP-shaped request the header of a full NTP client
+/// (stratum/poll/precision/root/reference fields populated), keeping
+/// the transmit timestamp so the origin-echo check still passes.
+fn ntpd_shape(request: &mut NtpPacket, client_id: u32) {
+    request.stratum = 3;
+    request.poll = 6;
+    request.precision = -20;
+    request.root_delay = NtpShort::from_millis(30);
+    request.root_dispersion = NtpShort::from_millis(15);
+    request.reference_id = RefId::ipv4(198, 51, 100, (client_id % 250) as u8 + 1);
+    request.reference_ts = request
+        .transmit_ts
+        .wrapping_add_duration(NtpDuration::from_seconds_f64(-64.0));
+}
+
+/// One request/reply round trip for fleet client `client_id` at true
+/// time `t`, through its own channel lane, against `server` fronted by
+/// `model`.
+///
+/// Returns the server-side arrival observation (when the request reached
+/// the server at all) alongside the client-side outcome. A
+/// [`ServiceDecision::Dropped`] request surfaces to the client as
+/// [`ExchangeError::Blackholed`] — from the phone's point of view a
+/// queue-overflow drop and a blackholed packet are indistinguishable.
+pub fn perform_fleet_exchange(
+    chan: &mut WifiChannel,
+    server: &mut SimServer,
+    model: &mut ServerModel,
+    clock: &mut dyn ClockControl,
+    client_id: u32,
+    t: SimTime,
+    shape: RequestShape,
+) -> (Option<FleetArrival>, Result<CompletedExchange, ExchangeError>) {
+    let t = t.max(clock.position());
+    let mut client = SntpClient::new();
+    let t1 = clock.now(t);
+    let request_bytes = client.make_request(t1);
+    let request = match NtpPacket::parse(&request_bytes) {
+        Ok(mut p) => {
+            if shape == RequestShape::Ntpd {
+                ntpd_shape(&mut p, client_id);
+            }
+            p
+        }
+        Err(_) => return (None, Err(ExchangeError::RejectedReply)),
+    };
+    let request_bytes = request.serialize();
+
+    // Client → WAP over this client's channel lane.
+    let Some(hop_up) = chan.transmit_up(t) else {
+        return (None, Err(ExchangeError::LostLastHopUp));
+    };
+    // WAP → server across the backbone.
+    let bb_up = {
+        let SimServer { backbone_up, rng, .. } = server;
+        backbone_up.transmit(rng)
+    };
+    let Some(bb_up) = bb_up else {
+        return (None, Err(ExchangeError::LostBackboneUp));
+    };
+    let fwd = hop_up + bb_up;
+    let arrival_at = t + fwd;
+
+    // The capacity model decides the request's fate.
+    let decision = model.on_arrival(client_id, arrival_at);
+    let mut arrival = FleetArrival {
+        client_id,
+        server_id: server.id,
+        at: arrival_at,
+        request: request_bytes,
+        dropped: false,
+        kod: false,
+    };
+    let (depart, kod) = match decision {
+        ServiceDecision::Dropped => {
+            arrival.dropped = true;
+            return (Some(arrival), Err(ExchangeError::Blackholed));
+        }
+        ServiceDecision::Served { depart, kod } => (depart, kod),
+    };
+    arrival.kod = kod;
+    let (reply_bytes, departure) = server.serve(&request, arrival_at, depart, kod);
+
+    // Server → WAP → client.
+    let bb_down = {
+        let SimServer { backbone_down, rng, .. } = server;
+        backbone_down.transmit(rng)
+    };
+    let Some(bb_down) = bb_down else {
+        return (Some(arrival), Err(ExchangeError::LostBackboneDown));
+    };
+    let at_wap = departure + bb_down;
+    let Some(hop_down) = chan.transmit_down(at_wap) else {
+        return (Some(arrival), Err(ExchangeError::LostLastHopDown));
+    };
+    let back = bb_down + hop_down;
+    let completed_at = departure + back;
+
+    let t4 = clock.now(completed_at);
+    let outcome = match client.on_reply_classified(&reply_bytes, t4) {
+        Ok(ReplyOutcome::Sample(sample)) => Ok(CompletedExchange {
+            sample,
+            true_fwd: fwd,
+            true_back: back,
+            completed_at,
+            server_id: server.id,
+        }),
+        Ok(ReplyOutcome::KissODeath(code)) => Err(ExchangeError::KissODeath(code)),
+        Err(_) => Err(ExchangeError::RejectedReply),
+    };
+    (Some(arrival), outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolConfig, ServerPool};
+    use clocksim::rng::SimRng;
+    use clocksim::time::SimDuration;
+    use clocksim::{OscillatorConfig, SimClock};
+    use netsim::fleet::{FleetConfig, FleetNet};
+
+    fn test_clock(seed: u64) -> SimClock {
+        let osc = OscillatorConfig::laptop().with_skew_ppm(30.0).build(SimRng::new(seed));
+        SimClock::new(osc, SimTime::ZERO)
+    }
+
+    fn setup() -> (FleetNet, ServerPool, SimClock) {
+        let cfg = FleetConfig { clients: 3, servers: 2, ..FleetConfig::default() };
+        let net = FleetNet::new(&cfg, 11);
+        let pool = ServerPool::new(
+            PoolConfig { size: 2, false_ticker_fraction: 0.0, ..PoolConfig::default() },
+            12,
+        );
+        (net, pool, test_clock(13))
+    }
+
+    #[test]
+    fn fleet_exchange_yields_sample_and_arrival() {
+        let (mut net, mut pool, mut clock) = setup();
+        let t = SimTime::from_secs(5);
+        net.advance_to(t);
+        let (chan, model) = net.lanes(0, 0).expect("lane 0/0");
+        let (arrival, outcome) = perform_fleet_exchange(
+            chan,
+            pool.server_mut(0),
+            model,
+            &mut clock,
+            0,
+            t,
+            RequestShape::Sntp,
+        );
+        let arrival = arrival.expect("request should reach the server");
+        assert!(!arrival.dropped && !arrival.kod);
+        assert!(arrival.at > t);
+        let parsed = NtpPacket::parse(&arrival.request).unwrap();
+        assert!(parsed.is_sntp_client_shape());
+        let done = outcome.expect("exchange should succeed on a quiet lane");
+        // Client starts at truth; the measured offset is bounded by the
+        // server's own clock error (σ tens of ms) plus path asymmetry.
+        assert!(done.sample.offset.as_millis_f64().abs() < 500.0);
+        assert!(done.sample.delay.as_millis_f64() > 0.0);
+    }
+
+    #[test]
+    fn ntpd_shape_classifies_as_full_ntp_and_still_validates() {
+        let (mut net, mut pool, mut clock) = setup();
+        let t = SimTime::from_secs(5);
+        net.advance_to(t);
+        let (chan, model) = net.lanes(1, 0).expect("lane 1/0");
+        let (arrival, outcome) = perform_fleet_exchange(
+            chan,
+            pool.server_mut(0),
+            model,
+            &mut clock,
+            1,
+            t,
+            RequestShape::Ntpd,
+        );
+        let parsed = NtpPacket::parse(&arrival.expect("arrival").request).unwrap();
+        assert!(!parsed.is_sntp_client_shape(), "ntpd shape must not look like SNTP");
+        outcome.expect("shaped request must still pass the origin check");
+    }
+
+    #[test]
+    fn overloaded_model_surfaces_drops_and_kisses() {
+        use netsim::fleet::ServerModelConfig;
+        let cfg = FleetConfig {
+            clients: 8,
+            servers: 1,
+            server: ServerModelConfig {
+                queue_capacity: 2,
+                service_time: SimDuration::from_secs_f64(0.5),
+                ..ServerModelConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let mut net = FleetNet::new(&cfg, 21);
+        let mut pool = ServerPool::new(PoolConfig { size: 1, ..PoolConfig::default() }, 22);
+        let t = SimTime::from_secs(3);
+        net.advance_to(t);
+        let mut dropped = 0;
+        let mut ok = 0;
+        for c in 0..8u32 {
+            // Each fleet client owns its clock; a shared one would
+            // serialize the burst via the departure clamp.
+            let mut clock = test_clock(100 + c as u64);
+            let (chan, model) = net.lanes(c as usize, 0).expect("lane");
+            let (_, outcome) = perform_fleet_exchange(
+                chan,
+                pool.server_mut(0),
+                model,
+                &mut clock,
+                c,
+                t,
+                RequestShape::Sntp,
+            );
+            match outcome {
+                Err(ExchangeError::Blackholed) => dropped += 1,
+                Ok(_) => ok += 1,
+                Err(_) => {}
+            }
+        }
+        assert!(dropped > 0, "capacity 2 with 0.5 s service must drop a burst of 8");
+        assert!(ok > 0, "head of the burst should still be served");
+        let stats = net.server_model(0).expect("model").stats;
+        assert_eq!(stats.dropped, dropped);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod client;
 pub mod energy;
 pub mod exchange;
+pub mod fleet;
 pub mod pool;
 pub mod retry;
 pub mod server;
@@ -44,6 +45,7 @@ pub mod vendor;
 
 pub use client::{OffsetSample, ReplyOutcome, SntpClient};
 pub use energy::{EnergyMeter, EnergyModel};
+pub use fleet::{perform_fleet_exchange, FleetArrival, RequestShape};
 pub use exchange::{
     perform_exchange, perform_exchange_faulted, perform_exchange_traced, CompletedExchange,
     ExchangeError, TracedPacket,

@@ -55,30 +55,47 @@ impl SimServer {
     ) -> Result<(Vec<u8>, SimTime), WireError> {
         let request = NtpPacket::parse(request_bytes)?;
         // Rate limiting: answer a kiss-o'-death instead of time.
+        let mut too_fast = false;
         if let Some(min) = self.min_poll_interval {
-            let too_fast = self
+            too_fast = self
                 .last_request
                 .is_some_and(|prev| (arrival - prev).as_nanos() < min.as_nanos());
             self.last_request = Some(arrival);
-            if too_fast {
-                self.kod_sent += 1;
-                let departure = arrival + self.proc_delay;
-                let kod = NtpPacket {
-                    mode: ntp_wire::packet::Mode::Server,
-                    stratum: 0,
-                    reference_id: RefId::KISS_RATE,
-                    origin_ts: request.transmit_ts,
-                    transmit_ts: self.clock.now(departure),
-                    ..Default::default()
-                };
-                return Ok((kod.serialize(), departure));
-            }
+        }
+        let departure = arrival + self.proc_delay;
+        Ok(self.serve(&request, arrival, departure, too_fast))
+    }
+
+    /// Answer an already-parsed request with an externally decided fate:
+    /// the caller (either [`handle`](Self::handle) or a fleet-scale
+    /// service model) picks the departure time and whether to send a
+    /// RATE kiss; this method only stamps the packet from the server's
+    /// clock. Timestamp reads preserve the historical order — KoD reads
+    /// the clock once at `departure`; a time reply reads at `arrival`
+    /// then `departure`.
+    pub fn serve(
+        &mut self,
+        request: &NtpPacket,
+        arrival: SimTime,
+        departure: SimTime,
+        kod: bool,
+    ) -> (Vec<u8>, SimTime) {
+        if kod {
+            self.kod_sent += 1;
+            let kod_pkt = NtpPacket {
+                mode: ntp_wire::packet::Mode::Server,
+                stratum: 0,
+                reference_id: RefId::KISS_RATE,
+                origin_ts: request.transmit_ts,
+                transmit_ts: self.clock.now(departure),
+                ..Default::default()
+            };
+            return (kod_pkt.serialize(), departure);
         }
         let t2 = self.clock.now(arrival);
-        let departure = arrival + self.proc_delay;
         let t3 = self.clock.now(departure);
-        let reply = sntp_profile::server_reply(&request, t2, t3, self.stratum, self.refid, t2);
-        Ok((reply.serialize(), departure))
+        let reply = sntp_profile::server_reply(request, t2, t3, self.stratum, self.refid, t2);
+        (reply.serialize(), departure)
     }
 
     /// Build a well-behaved stratum-2 server with a given clock error.

@@ -118,3 +118,31 @@ fn grid_search_identical_serial_vs_parallel() {
     assert!(!serial.is_empty());
     assert_eq!(fingerprint(8), serial, "jobs=8 diverged from the serial sweep");
 }
+
+/// The fleet sweep steps thousands of clients through one shared world
+/// and feeds the collected server log through the analysis pipeline;
+/// its artifact must be byte-identical at any worker count.
+#[test]
+fn fleet_artifact_identical_serial_vs_parallel() {
+    let ids = ["fleet"];
+    let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
+        let out_dir = std::env::temp_dir().join(format!("mntp_equiv_fleet_{tag}"));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let opts = repro::Options {
+            quick: true,
+            selected: ids.iter().map(|s| s.to_string()).collect(),
+            out_dir: out_dir.clone(),
+            jobs: Some(jobs),
+            print: false,
+        };
+        let report = repro::run(&opts);
+        assert!(report.write_failures.is_empty(), "write failures: {:?}", report.write_failures);
+        let arts = read_artifacts(&out_dir, &ids);
+        let _ = std::fs::remove_dir_all(&out_dir);
+        arts
+    };
+    let serial = run_with(1, "serial");
+    let parallel = run_with(8, "parallel");
+    assert_eq!(serial[0].1, parallel[0].1, "fleet.txt differs between jobs=1 and jobs=8");
+}
