@@ -188,11 +188,61 @@ fn bench_exchange(s: &mut Suite) {
     });
 }
 
+fn bench_scheduler_backends(s: &mut Suite) {
+    use netsim::kernel::SchedulerKind;
+    // Same self-rescheduling poll-timer workload on both queue backends:
+    // 4096 concurrent timers rescheduling at mixed 64 ms – 8 s cadences
+    // until ~20k events have fired — the bounded-horizon, deep-queue
+    // shape the fleet presents (one poll timer per client), where the
+    // heap pays log(pending) per op. The heap variant is the reference
+    // for the speedup claim.
+    for (name, kind) in [
+        ("timing_wheel_poll_timers_4k", SchedulerKind::Wheel),
+        ("binary_heap_poll_timers_4k", SchedulerKind::Heap),
+    ] {
+        s.bench(name, move |b| {
+            b.iter(|| {
+                let mut sim: Sim<u64> = Sim::with_scheduler(kind);
+                let mut world = 0u64;
+                fn tick(w: &mut u64, sim: &mut Sim<u64>) {
+                    *w += 1;
+                    if *w < 20_000 {
+                        let d = 64i64 << (*w % 8);
+                        sim.schedule_fn_in(SimDuration::from_millis(d), tick);
+                    }
+                }
+                for i in 0..4096 {
+                    sim.schedule_fn_at(SimTime::from_millis(i), tick);
+                }
+                sim.run_to_completion(&mut world);
+                world
+            })
+        });
+    }
+}
+
 fn bench_fleet_kernel(s: &mut Suite) {
     use mntp::{run_fleet, Discipline, FleetClient, FleetRunConfig, SntpDiscipline};
     use netsim::fleet::{FleetConfig, FleetNet};
     use sntp::fleet::RequestShape;
-    use sntp::{PoolConfig, ServerPool};
+    use sntp::{PickLane, PoolConfig, ServerPool};
+
+    fn naive_clients(n: usize) -> Vec<FleetClient> {
+        (0..n)
+            .map(|i| FleetClient {
+                discipline: Box::new(SntpDiscipline::naive().self_paced(5.0))
+                    as Box<dyn Discipline>,
+                clock: {
+                    let osc =
+                        clocksim::OscillatorConfig::laptop().build(SimRng::new(100 + i as u64));
+                    clocksim::SimClock::new(osc, SimTime::ZERO)
+                },
+                select: PickLane::new(4, 200 + i as u64),
+                shape: RequestShape::Sntp,
+            })
+            .collect()
+    }
+
     // Fleet hot path at N=1k: one iteration builds 1000 naive SNTP
     // clients and steps them through 5 s of shared-world time against a
     // persistent world (≈2000 exchanges + 6000 client-ticks per iter).
@@ -205,20 +255,30 @@ fn bench_fleet_kernel(s: &mut Suite) {
             tick_secs: 1.0,
             sample_period_secs: 5.0,
             collect_arrivals: false,
+            steady_cutoff_secs: None,
         };
         b.iter(|| {
-            let mut clients: Vec<FleetClient> = (0..1000)
-                .map(|i| FleetClient {
-                    discipline: Box::new(SntpDiscipline::naive().self_paced(5.0))
-                        as Box<dyn Discipline>,
-                    clock: {
-                        let osc = clocksim::OscillatorConfig::laptop()
-                            .build(SimRng::new(100 + i as u64));
-                        clocksim::SimClock::new(osc, SimTime::ZERO)
-                    },
-                    shape: RequestShape::Sntp,
-                })
-                .collect();
+            let mut clients = naive_clients(1000);
+            run_fleet(&mut clients, &mut net, &mut pool, &cfg).polls_sent
+        })
+    });
+    // Same shape at N=100k with 8 kernel shards: the cache-linear
+    // ChannelBank tick and the epoch-barrier runner under the load the
+    // scale experiments use (steady-state sampling, serial worker).
+    s.bench("fleet_kernel_100k_clients", |b| {
+        let fcfg =
+            FleetConfig { clients: 100_000, servers: 4, shards: 8, ..FleetConfig::default() };
+        let mut net = FleetNet::new(&fcfg, 32);
+        let mut pool = ServerPool::new(PoolConfig { size: 4, ..PoolConfig::default() }, 33);
+        let cfg = FleetRunConfig {
+            duration_secs: 2,
+            tick_secs: 1.0,
+            sample_period_secs: 2.0,
+            collect_arrivals: false,
+            steady_cutoff_secs: Some(1.0),
+        };
+        b.iter(|| {
+            let mut clients = naive_clients(100_000);
             run_fleet(&mut clients, &mut net, &mut pool, &cfg).polls_sent
         })
     });
@@ -233,6 +293,7 @@ fn main() {
     bench_trend_filter(&mut s);
     bench_select(&mut s);
     bench_des_kernel(&mut s);
+    bench_scheduler_backends(&mut s);
     bench_par_pool(&mut s);
     bench_wifi_channel(&mut s);
     bench_exchange(&mut s);

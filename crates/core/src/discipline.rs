@@ -25,7 +25,7 @@
 use clocksim::{ClockCommand, ClockControl, SimClock};
 use clocksim::time::SimTime;
 use netsim::WirelessHints;
-use sntp::{CompletedExchange, ExchangeError, HealthTracker, ServerPool};
+use sntp::{CompletedExchange, ExchangeError, HealthTracker, ServerSelect};
 
 use crate::autotune::AutoTuner;
 use crate::config::MntpConfig;
@@ -69,7 +69,11 @@ pub struct ExchangeResult {
 /// local timestamp — the driver never pre-reads it for them, because
 /// exchanges advance the clock position and the *post*-exchange local
 /// time is what engines like MNTP observe.
-pub trait Discipline {
+///
+/// `Send` is a supertrait: the fleet runner moves boxed disciplines to
+/// worker threads when ticking shards in parallel. Every discipline is
+/// plain owned data, so the bound costs implementations nothing.
+pub trait Discipline: Send {
     /// Whether this discipline consumes link-layer wireless hints. The
     /// driver only samples (and thereby advances) the testbed's hint
     /// process for disciplines that want it, so hint-blind clients
@@ -78,13 +82,15 @@ pub trait Discipline {
         true
     }
 
-    /// Decide what to do at tick instant `t`.
+    /// Decide what to do at tick instant `t`. Server selection draws
+    /// from `select` — the shared `ServerPool` in single-client
+    /// drivers, a per-client `PickLane` in the fleet runner.
     fn poll(
         &mut self,
         t: SimTime,
         clock: &mut SimClock,
         hints: Option<&WirelessHints>,
-        pool: &mut ServerPool,
+        select: &mut dyn ServerSelect,
     ) -> Directive;
 
     /// Digest a completed query round (one entry per server queried, in
@@ -281,7 +287,7 @@ impl Discipline for MntpDiscipline {
         t: SimTime,
         clock: &mut SimClock,
         hints: Option<&WirelessHints>,
-        pool: &mut ServerPool,
+        select: &mut dyn ServerSelect,
     ) -> Directive {
         let now_local = clock.now(t);
         let deferred_before = self.engine.stats.deferred;
@@ -293,7 +299,7 @@ impl Discipline for MntpDiscipline {
                 self.round = RoundKind::Warmup;
                 let ids = match &mut self.health {
                     Some(h) => h.pick_distinct(n, t.as_secs_f64()),
-                    None => pool.pick_distinct(n),
+                    None => select.pick_distinct(n),
                 };
                 Directive::Query(ids)
             }
@@ -301,7 +307,7 @@ impl Discipline for MntpDiscipline {
                 self.round = RoundKind::Single;
                 let id = match &mut self.health {
                     Some(h) => h.pick(t.as_secs_f64()),
-                    None => pool.pick(),
+                    None => select.pick(),
                 };
                 Directive::Query(vec![id])
             }
@@ -385,7 +391,7 @@ impl Discipline for SntpDiscipline {
         t: SimTime,
         _clock: &mut SimClock,
         hints: Option<&WirelessHints>,
-        pool: &mut ServerPool,
+        select: &mut dyn ServerSelect,
     ) -> Directive {
         if let Some(period) = self.poll_period_secs {
             // Due when t reaches the next multiple of the period; both
@@ -400,7 +406,7 @@ impl Discipline for SntpDiscipline {
                 return Directive::Idle { record_deferred: true };
             }
         }
-        Directive::Query(vec![pool.pick()])
+        Directive::Query(vec![select.pick()])
     }
 
     fn complete(

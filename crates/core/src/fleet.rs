@@ -2,34 +2,63 @@
 //!
 //! The single-client [`crate::drive`] loop pairs one [`Discipline`] with
 //! one [`netsim::Testbed`]. This runner scales that out: every client
-//! owns its discipline, its clock, and one channel lane of a shared
-//! [`FleetNet`]; all of them contend for the same access point and the
-//! same capacity-limited servers. One trial therefore observes the full
-//! feedback loop the paper measures from both ends — client offset error
-//! under contention, and the server-side arrival/KoD process (Figures
-//! 11/12) that emerges from thousands of independent pollers.
+//! owns its discipline, its clock, its server-selection lane, and one
+//! channel lane of a shared [`FleetNet`]; all of them contend for the
+//! same access point and the same capacity-limited servers. One trial
+//! therefore observes the full feedback loop the paper measures from
+//! both ends — client offset error under contention, and the
+//! server-side arrival/KoD process (Figures 11/12) that emerges from
+//! thousands of independent pollers.
 //!
-//! Determinism: clients are stepped in id order within each tick, and
-//! every client's randomness lives in its own pre-forked lanes (channel,
-//! clock, discipline health), so a trial is byte-reproducible at any
-//! `--jobs` level. The id-order stepping delivers same-tick arrivals to
-//! the server model slightly out of true-time order; the model clamps
-//! them monotonically (documented approximation, see DESIGN.md).
+//! # Epoch-barrier phases
+//!
+//! The world is partitioned into `K` kernel shards
+//! ([`netsim::fleet::FleetShard`]); each driver tick is an epoch of
+//! three phases:
+//!
+//! 1. **Phase A (shard-parallel):** advance the shard kernel, poll every
+//!    client, stamp `t1` and pay the wireless uplink for each query
+//!    ([`begin_fleet_exchange`]). Touches only shard-private state.
+//! 2. **Phase B (serial barrier):** deliver every in-flight request to
+//!    the shared server models *in global client-id order*
+//!    ([`serve_fleet_exchange`]) — the one place cross-shard state
+//!    meets, so its order is fixed regardless of worker count.
+//! 3. **Phase C (shard-parallel):** pay the wireless downlink, stamp
+//!    `t4`, classify replies ([`complete_fleet_exchange`]), complete the
+//!    round, apply clock commands, sample ground truth.
+//!
+//! Every source of randomness is private to a shard (channel lanes,
+//! clocks, selection lanes) or touched only in the serial phase (server
+//! RNGs), so a trial is **byte-reproducible at any `--jobs` level and
+//! any shard count** — `tests/parallel_equivalence.rs` pins this.
+//!
+//! The id-order barrier delivers same-tick arrivals to the server model
+//! slightly out of true-time order; the model clamps them monotonically
+//! (documented approximation, see DESIGN.md §10).
 
 use clocksim::time::{SimDuration, SimTime};
 use clocksim::SimClock;
-use netsim::fleet::FleetNet;
-use sntp::fleet::{perform_fleet_exchange, FleetArrival, RequestShape};
-use sntp::ServerPool;
+use devtools::par::Pool;
+use netsim::fleet::{FleetNet, FleetShard};
+use sntp::fleet::{
+    begin_fleet_exchange, complete_fleet_exchange, serve_fleet_exchange, FleetArrival,
+    FleetReplyInFlight, FleetRequestInFlight, RequestShape,
+};
+use sntp::{ExchangeError, PickLane, ServerPool};
 
 use crate::discipline::{Directive, Discipline, ExchangeResult};
 
-/// One fleet member: a discipline, its own clock, and a wire shape.
+/// One fleet member: a discipline, its own clock, its own
+/// server-selection lane, and a wire shape.
 pub struct FleetClient {
     /// The client stack (naive SNTP, MNTP, or ntpd).
     pub discipline: Box<dyn Discipline>,
     /// The client's local clock.
     pub clock: SimClock,
+    /// Private server-selection RNG lane (see [`sntp::ServerSelect`]):
+    /// fleet clients must not share the pool's selection RNG, or the
+    /// draw order would couple every client through one mutable stream.
+    pub select: PickLane,
     /// Header shape of this client's requests.
     pub shape: RequestShape,
 }
@@ -46,6 +75,14 @@ pub struct FleetRunConfig {
     /// Keep the full server-side arrival log (request bytes included).
     /// Costly at large N; rate counters are always collected.
     pub collect_arrivals: bool,
+    /// When set, ground-truth sampling switches to the compact
+    /// steady-state form: per-client `|error|` as `f32`, only for
+    /// `t ≥` this cutoff, in [`FleetRun::steady_abs_ms`] (the
+    /// timestamped [`FleetRun::true_error_ms`] series stays empty).
+    /// At 1M clients the full `(f64, f64)` series is ~1 GB per
+    /// half-hour; the steady-state percentiles the experiments report
+    /// need none of it.
+    pub steady_cutoff_secs: Option<f64>,
 }
 
 impl Default for FleetRunConfig {
@@ -55,6 +92,7 @@ impl Default for FleetRunConfig {
             tick_secs: 1.0,
             sample_period_secs: 30.0,
             collect_arrivals: false,
+            steady_cutoff_secs: None,
         }
     }
 }
@@ -63,8 +101,12 @@ impl Default for FleetRunConfig {
 #[derive(Default)]
 pub struct FleetRun {
     /// Per-client ground-truth clock error `(t_secs, err_ms)` samples,
-    /// indexed by client id.
+    /// indexed by client id (empty in steady-state mode).
     pub true_error_ms: Vec<Vec<(f64, f64)>>,
+    /// Per-client steady-state `|error|` samples, ms, indexed by client
+    /// id (only in steady-state mode, see
+    /// [`FleetRunConfig::steady_cutoff_secs`]).
+    pub steady_abs_ms: Vec<Vec<f32>>,
     /// Server-side arrival log (only when
     /// [`FleetRunConfig::collect_arrivals`] is set).
     pub arrivals: Vec<FleetArrival>,
@@ -76,83 +118,298 @@ pub struct FleetRun {
     pub deferrals: u64,
 }
 
-/// Step every client through `cfg.duration_secs` of shared-world time.
+/// One queued exchange of one client's round, moving through the tick's
+/// three phases.
+enum Entry {
+    /// Failed before (or at) the server; carries the client-side error.
+    Fail(usize, ExchangeError),
+    /// Uplink paid, awaiting the serial server phase.
+    Sent(usize, FleetRequestInFlight),
+    /// Served, awaiting the downlink/completion phase.
+    Reply(usize, FleetRequestInFlight, FleetReplyInFlight),
+}
+
+/// One client's query round in flight across the epoch barrier.
+struct PendingRound {
+    /// Global client id.
+    ci: usize,
+    entries: Vec<Entry>,
+}
+
+/// What one shard's Phase A produced this tick.
+#[derive(Default)]
+struct TickOut {
+    deferrals: u64,
+    polls: u64,
+    rounds: Vec<PendingRound>,
+}
+
+/// Split `items` into consecutive chunks of the given lengths (the
+/// shards' client ranges).
+fn chunk_by<'a, T>(mut rest: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let (head, tail) = rest.split_at_mut(len);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Post-round bookkeeping for one client: apply clock commands, sample
+/// ground truth if due.
+fn finish_client(
+    client: &mut FleetClient,
+    t: SimTime,
+    sample_due: bool,
+    cfg: &FleetRunConfig,
+    series: &mut Vec<(f64, f64)>,
+    steady: &mut Vec<f32>,
+) {
+    for cmd in client.discipline.take_commands() {
+        cmd.apply(&mut client.clock, t);
+    }
+    if sample_due {
+        let err_ms = client.clock.true_error(t).as_millis_f64();
+        match cfg.steady_cutoff_secs {
+            Some(cutoff) => {
+                if t.as_secs_f64() >= cutoff {
+                    steady.push(err_ms.abs() as f32);
+                }
+            }
+            None => series.push((t.as_secs_f64(), err_ms)),
+        }
+    }
+}
+
+/// Phase A for one shard: advance the kernel, poll clients, transmit
+/// uplinks. Idle clients finish their tick here; querying clients park a
+/// [`PendingRound`] for the barrier.
+#[allow(clippy::too_many_arguments)]
+fn shard_poll_phase(
+    shard: &mut FleetShard,
+    clients: &mut [FleetClient],
+    series: &mut [Vec<(f64, f64)>],
+    steady: &mut [Vec<f32>],
+    t: SimTime,
+    sample_due: bool,
+    cfg: &FleetRunConfig,
+    server_count: usize,
+) -> TickOut {
+    shard.advance_to(t);
+    let lo = shard.client_lo();
+    let mut out = TickOut::default();
+    for (local, client) in clients.iter_mut().enumerate() {
+        let ci = lo + local;
+        let hints = if client.discipline.wants_hints() {
+            shard.lane(ci).map(|mut lane| lane.hints(t))
+        } else {
+            None
+        };
+        match client.discipline.poll(t, &mut client.clock, hints.as_ref(), &mut client.select) {
+            Directive::Idle { record_deferred } => {
+                if record_deferred {
+                    out.deferrals += 1;
+                }
+                if let (Some(se), Some(st)) = (series.get_mut(local), steady.get_mut(local)) {
+                    finish_client(client, t, sample_due, cfg, se, st);
+                }
+            }
+            Directive::Query(ids) => {
+                let mut entries = Vec::with_capacity(ids.len());
+                for id in ids {
+                    out.polls += 1;
+                    if id >= server_count {
+                        entries.push(Entry::Fail(id, ExchangeError::Blackholed));
+                        continue;
+                    }
+                    let Some(mut lane) = shard.lane(ci) else {
+                        entries.push(Entry::Fail(id, ExchangeError::Blackholed));
+                        continue;
+                    };
+                    match begin_fleet_exchange(&mut lane, &mut client.clock, ci as u32, t, client.shape)
+                    {
+                        Ok(inflight) => entries.push(Entry::Sent(id, inflight)),
+                        Err(e) => entries.push(Entry::Fail(id, e)),
+                    }
+                }
+                out.rounds.push(PendingRound { ci, entries });
+            }
+        }
+    }
+    out
+}
+
+/// Phase C for one shard: pay downlinks, classify replies, complete each
+/// parked round, then run the same per-client bookkeeping Phase A ran
+/// for idle clients.
+fn shard_complete_phase(
+    shard: &mut FleetShard,
+    clients: &mut [FleetClient],
+    series: &mut [Vec<(f64, f64)>],
+    steady: &mut [Vec<f32>],
+    rounds: Vec<PendingRound>,
+    t: SimTime,
+    sample_due: bool,
+    cfg: &FleetRunConfig,
+) {
+    let lo = shard.client_lo();
+    for round in rounds {
+        let ci = round.ci;
+        let Some(local) = ci.checked_sub(lo) else { continue };
+        let Some(client) = clients.get_mut(local) else { continue };
+        let mut results = Vec::with_capacity(round.entries.len());
+        for entry in round.entries {
+            let result = match entry {
+                Entry::Fail(id, e) => ExchangeResult { server_id: id, outcome: Err(e) },
+                // Unreachable: the barrier resolves every Sent entry.
+                Entry::Sent(id, _) => {
+                    ExchangeResult { server_id: id, outcome: Err(ExchangeError::Blackholed) }
+                }
+                Entry::Reply(id, mut inflight, reply) => {
+                    let outcome = match shard.lane(ci) {
+                        Some(mut lane) => complete_fleet_exchange(
+                            &mut lane,
+                            &mut client.clock,
+                            &mut inflight.client,
+                            &reply,
+                            id,
+                        ),
+                        None => Err(ExchangeError::Blackholed),
+                    };
+                    ExchangeResult { server_id: id, outcome }
+                }
+            };
+            results.push(result);
+        }
+        let _ = client.discipline.complete(t, &mut client.clock, &results);
+        if let (Some(se), Some(st)) = (series.get_mut(local), steady.get_mut(local)) {
+            finish_client(client, t, sample_due, cfg, se, st);
+        }
+    }
+}
+
+/// Step every client through `cfg.duration_secs` of shared-world time,
+/// ticking shards on `par`'s workers.
 ///
 /// `pool.len()` must equal `net.server_count()`: the pool holds the
 /// protocol side (clocks, packet codec) and the fleet world holds the
 /// capacity side of the same servers, joined by index.
-pub fn run_fleet(
+pub fn run_fleet_on(
+    par: &Pool,
     clients: &mut [FleetClient],
     net: &mut FleetNet,
     pool: &mut ServerPool,
     cfg: &FleetRunConfig,
 ) -> FleetRun {
     let ticks = (cfg.duration_secs as f64 / cfg.tick_secs).ceil() as u64;
+    let server_count = net.server_count();
     let mut run = FleetRun {
         true_error_ms: clients.iter().map(|_| Vec::new()).collect(),
+        steady_abs_ms: clients.iter().map(|_| Vec::new()).collect(),
         arrivals_per_sec: vec![0; cfg.duration_secs as usize + 2],
         ..FleetRun::default()
     };
+    let (shards, models) = net.parts();
+    let lens: Vec<usize> = shards.iter().map(FleetShard::client_count).collect();
     for i in 0..=ticks {
         let tick_offset_secs = i as f64 * cfg.tick_secs;
         let t = SimTime::ZERO + SimDuration::from_secs_f64(tick_offset_secs);
-        net.advance_to(t);
         let sample_due = tick_offset_secs % cfg.sample_period_secs < cfg.tick_secs;
-        for (ci, client) in clients.iter_mut().enumerate() {
-            let hints =
-                if client.discipline.wants_hints() { net.hints(ci, t) } else { None };
-            match client.discipline.poll(t, &mut client.clock, hints.as_ref(), pool) {
-                Directive::Idle { record_deferred } => {
-                    if record_deferred {
-                        run.deferrals += 1;
-                    }
-                }
-                Directive::Query(ids) => {
-                    let mut round = Vec::with_capacity(ids.len());
-                    for id in ids {
-                        run.polls_sent += 1;
-                        let Some((chan, model)) = net.lanes(ci, id) else {
-                            round.push(ExchangeResult {
-                                server_id: id,
-                                outcome: Err(sntp::ExchangeError::Blackholed),
-                            });
-                            continue;
-                        };
-                        let (arrival, outcome) = perform_fleet_exchange(
-                            chan,
-                            pool.server_mut(id),
-                            model,
-                            &mut client.clock,
-                            ci as u32,
-                            t,
-                            client.shape,
-                        );
-                        if let Some(arrival) = arrival {
-                            let sec = arrival.at.as_secs_f64() as usize;
-                            if let Some(bucket) = run.arrivals_per_sec.get_mut(sec) {
-                                *bucket += 1;
+
+        // Phase A: shard-parallel polling and uplinks.
+        let mut outs: Vec<TickOut> = {
+            let client_chunks = chunk_by(clients, &lens);
+            let series_chunks = chunk_by(&mut run.true_error_ms, &lens);
+            let steady_chunks = chunk_by(&mut run.steady_abs_ms, &lens);
+            let tasks: Vec<Box<dyn FnOnce() -> TickOut + Send + '_>> = shards
+                .iter_mut()
+                .zip(client_chunks)
+                .zip(series_chunks.into_iter().zip(steady_chunks))
+                .map(|((shard, cl), (se, st))| {
+                    let cfg = &*cfg;
+                    Box::new(move || {
+                        shard_poll_phase(shard, cl, se, st, t, sample_due, cfg, server_count)
+                    }) as Box<dyn FnOnce() -> TickOut + Send + '_>
+                })
+                .collect();
+            par.invoke(tasks)
+        };
+
+        // Phase B: the epoch barrier. Every in-flight request meets the
+        // shared server state here, serially, in global client-id order
+        // (shards are ordered by id range, rounds by id within a shard).
+        for out in &mut outs {
+            run.deferrals += out.deferrals;
+            run.polls_sent += out.polls;
+            for round in &mut out.rounds {
+                for entry in &mut round.entries {
+                    let taken =
+                        std::mem::replace(entry, Entry::Fail(0, ExchangeError::Blackholed));
+                    *entry = match taken {
+                        Entry::Sent(id, inflight) => {
+                            let Some(model) = models.get_mut(id) else {
+                                continue;
+                            };
+                            let (arrival, reply) = serve_fleet_exchange(
+                                &inflight,
+                                pool.server_mut(id),
+                                model,
+                                round.ci as u32,
+                            );
+                            if let Some(arrival) = arrival {
+                                let sec = arrival.at.as_secs_f64() as usize;
+                                if let Some(bucket) = run.arrivals_per_sec.get_mut(sec) {
+                                    *bucket += 1;
+                                }
+                                if cfg.collect_arrivals {
+                                    run.arrivals.push(arrival);
+                                }
                             }
-                            if cfg.collect_arrivals {
-                                run.arrivals.push(arrival);
+                            match reply {
+                                Ok(r) => Entry::Reply(id, inflight, r),
+                                Err(e) => Entry::Fail(id, e),
                             }
                         }
-                        round.push(ExchangeResult { server_id: id, outcome });
-                    }
-                    let _ = client.discipline.complete(t, &mut client.clock, &round);
-                }
-            }
-            for cmd in client.discipline.take_commands() {
-                cmd.apply(&mut client.clock, t);
-            }
-            if sample_due {
-                let err_ms = client.clock.true_error(t).as_millis_f64();
-                if let Some(series) = run.true_error_ms.get_mut(ci) {
-                    series.push((t.as_secs_f64(), err_ms));
+                        other => other,
+                    };
                 }
             }
         }
+
+        // Phase C: shard-parallel downlinks, completion, bookkeeping.
+        {
+            let client_chunks = chunk_by(clients, &lens);
+            let series_chunks = chunk_by(&mut run.true_error_ms, &lens);
+            let steady_chunks = chunk_by(&mut run.steady_abs_ms, &lens);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+                .iter_mut()
+                .zip(client_chunks)
+                .zip(series_chunks.into_iter().zip(steady_chunks))
+                .zip(outs)
+                .map(|(((shard, cl), (se, st)), out)| {
+                    let cfg = &*cfg;
+                    Box::new(move || {
+                        shard_complete_phase(
+                            shard, cl, se, st, out.rounds, t, sample_due, cfg,
+                        );
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            par.invoke(tasks);
+        }
     }
     run
+}
+
+/// Serial [`run_fleet_on`]: the historical single-threaded entry point.
+pub fn run_fleet(
+    clients: &mut [FleetClient],
+    net: &mut FleetNet,
+    pool: &mut ServerPool,
+    cfg: &FleetRunConfig,
+) -> FleetRun {
+    run_fleet_on(&Pool::with_jobs(1), clients, net, pool, cfg)
 }
 
 #[cfg(test)]
@@ -170,8 +427,8 @@ mod tests {
         SimClock::new(osc, SimTime::ZERO)
     }
 
-    fn small_fleet(n: usize, seed: u64) -> (Vec<FleetClient>, FleetNet, ServerPool) {
-        let fcfg = FleetConfig { clients: n, servers: 2, ..FleetConfig::default() };
+    fn small_fleet(n: usize, seed: u64, shards: usize) -> (Vec<FleetClient>, FleetNet, ServerPool) {
+        let fcfg = FleetConfig { clients: n, servers: 2, shards, ..FleetConfig::default() };
         let net = FleetNet::new(&fcfg, seed);
         let pool = ServerPool::new(
             PoolConfig { size: 2, false_ticker_fraction: 0.0, ..PoolConfig::default() },
@@ -186,6 +443,7 @@ mod tests {
                     Box::new(MntpDiscipline::full(MntpConfig::default()))
                 },
                 clock: clock(1000 + i as u64),
+                select: PickLane::new(2, seed ^ (0x30_000 + i as u64)),
                 shape: if i % 2 == 0 { RequestShape::Sntp } else { RequestShape::Ntpd },
             })
             .collect();
@@ -194,7 +452,7 @@ mod tests {
 
     #[test]
     fn fleet_run_produces_per_client_series_and_arrivals() {
-        let (mut clients, mut net, mut pool) = small_fleet(4, 3);
+        let (mut clients, mut net, mut pool) = small_fleet(4, 3, 1);
         let cfg = FleetRunConfig {
             duration_secs: 120,
             collect_arrivals: true,
@@ -212,12 +470,65 @@ mod tests {
     #[test]
     fn fleet_run_is_deterministic() {
         let cfg = FleetRunConfig { duration_secs: 90, ..FleetRunConfig::default() };
-        let (mut c1, mut n1, mut p1) = small_fleet(3, 7);
-        let (mut c2, mut n2, mut p2) = small_fleet(3, 7);
+        let (mut c1, mut n1, mut p1) = small_fleet(3, 7, 1);
+        let (mut c2, mut n2, mut p2) = small_fleet(3, 7, 1);
         let r1 = run_fleet(&mut c1, &mut n1, &mut p1, &cfg);
         let r2 = run_fleet(&mut c2, &mut n2, &mut p2, &cfg);
         assert_eq!(r1.true_error_ms, r2.true_error_ms);
         assert_eq!(r1.arrivals_per_sec, r2.arrivals_per_sec);
         assert_eq!(r1.polls_sent, r2.polls_sent);
+    }
+
+    /// The sharding/jobs contract end to end at the runner level: any
+    /// (shard count, worker count) combination must reproduce the
+    /// single-kernel serial run bit for bit.
+    #[test]
+    fn sharded_parallel_run_matches_serial() {
+        let cfg = FleetRunConfig {
+            duration_secs: 90,
+            collect_arrivals: true,
+            ..FleetRunConfig::default()
+        };
+        let fingerprint = |shards: usize, jobs: usize| {
+            let (mut c, mut n, mut p) = small_fleet(5, 17, shards);
+            let run = run_fleet_on(&Pool::with_jobs(jobs), &mut c, &mut n, &mut p, &cfg);
+            let err_bits: Vec<Vec<(u64, u64)>> = run
+                .true_error_ms
+                .iter()
+                .map(|s| s.iter().map(|(t, e)| (t.to_bits(), e.to_bits())).collect())
+                .collect();
+            let arrivals: Vec<(u32, usize, i64, bool, bool)> = run
+                .arrivals
+                .iter()
+                .map(|a| (a.client_id, a.server_id, a.at.as_nanos(), a.dropped, a.kod))
+                .collect();
+            (err_bits, arrivals, run.arrivals_per_sec.clone(), run.polls_sent, run.deferrals)
+        };
+        let reference = fingerprint(1, 1);
+        assert_eq!(fingerprint(3, 1), reference, "3 shards serial diverged");
+        assert_eq!(fingerprint(3, 4), reference, "3 shards x 4 jobs diverged");
+        assert_eq!(fingerprint(5, 2), reference, "one shard per client diverged");
+    }
+
+    /// Steady-state collection mode: same trial, compact samples.
+    #[test]
+    fn steady_state_mode_matches_series_tail() {
+        let mk = || small_fleet(3, 23, 2);
+        let full_cfg = FleetRunConfig { duration_secs: 120, ..FleetRunConfig::default() };
+        let steady_cfg =
+            FleetRunConfig { steady_cutoff_secs: Some(60.0), ..full_cfg.clone() };
+        let (mut c1, mut n1, mut p1) = mk();
+        let full = run_fleet(&mut c1, &mut n1, &mut p1, &full_cfg);
+        let (mut c2, mut n2, mut p2) = mk();
+        let steady = run_fleet(&mut c2, &mut n2, &mut p2, &steady_cfg);
+        assert!(steady.true_error_ms.iter().all(Vec::is_empty));
+        for (ci, samples) in steady.steady_abs_ms.iter().enumerate() {
+            let expect: Vec<f32> = full.true_error_ms[ci]
+                .iter()
+                .filter(|(t, _)| *t >= 60.0)
+                .map(|(_, e)| e.abs() as f32)
+                .collect();
+            assert_eq!(samples, &expect, "client {ci} steady samples diverged");
+        }
     }
 }

@@ -50,6 +50,6 @@ pub use driver::{
     MntpRunRecord, QueryOutcome, RobustConfig,
 };
 pub use engine::{Mntp, MntpAction, Phase, SampleVerdict};
-pub use fleet::{run_fleet, FleetClient, FleetRun, FleetRunConfig};
+pub use fleet::{run_fleet, run_fleet_on, FleetClient, FleetRun, FleetRunConfig};
 pub use filter::{FalseTickerVerdict, TrendFilter};
 pub use gate::HintGate;

@@ -26,16 +26,26 @@ use loganalysis::model::{IpVersion, ServerProfile};
 use loganalysis::synth::{LogRecord, ServerLog};
 use loganalysis::InterarrivalSummary;
 use mntp::{
-    run_fleet, Discipline, FleetClient, FleetRunConfig, MntpConfig, MntpDiscipline,
+    run_fleet_on, Discipline, FleetClient, FleetRunConfig, MntpConfig, MntpDiscipline,
     RobustConfig, SntpDiscipline,
 };
 use netsim::fleet::{FleetConfig, FleetNet};
 use ntpd_sim::{NtpdConfig, NtpdDiscipline};
 use sntp::fleet::{FleetArrival, RequestShape};
-use sntp::{PoolConfig, ServerPool};
+use sntp::{PickLane, PoolConfig, ServerPool};
 
 /// Number of servers every fleet trial runs against.
 const SERVERS: usize = 4;
+
+/// Kernel shards per fleet world. Fixed for every trial (shard count is
+/// not observable in results, but fixing it keeps artifact bytes
+/// independent of any future heuristic).
+const SHARDS: usize = 8;
+
+/// Populations at or above this size switch to compact steady-state
+/// sampling ([`FleetRunConfig::steady_cutoff_secs`]): per-client `f32`
+/// |error| samples instead of the full timestamped series.
+const STEADY_SAMPLING_MIN_CLIENTS: usize = 100_000;
 
 /// Client-stack mix by id: half naive SNTP, 3/10 MNTP, 2/10 ntpd —
 /// SNTP-dominant, as the paper's Figure 2 found on real servers.
@@ -143,11 +153,13 @@ fn build_clients(n: usize, seed: u64) -> Vec<FleetClient> {
     (0..n)
         .map(|i| {
             let clock = client_clock(seed ^ (0x10_000 + i as u64));
+            let select = PickLane::new(SERVERS, seed ^ (0x30_000 + i as u64));
             match stack_for(i) {
                 Stack::Sntp => FleetClient {
                     discipline: Box::new(SntpDiscipline::naive().self_paced(5.0))
                         as Box<dyn Discipline>,
                     clock,
+                    select,
                     shape: RequestShape::Sntp,
                 },
                 Stack::Mntp => {
@@ -162,6 +174,7 @@ fn build_clients(n: usize, seed: u64) -> Vec<FleetClient> {
                             SERVERS,
                         )),
                         clock,
+                        select,
                         shape: RequestShape::Sntp,
                     }
                 }
@@ -170,6 +183,7 @@ fn build_clients(n: usize, seed: u64) -> Vec<FleetClient> {
                         (0..SERVERS).collect(),
                     ))),
                     clock,
+                    select,
                     shape: RequestShape::Ntpd,
                 },
             }
@@ -185,44 +199,61 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted.get(idx).copied().unwrap_or(0.0)
 }
 
-/// Run one fleet trial. Returns the summary row plus the raw arrival
-/// log when `collect_log` is set (the log does not perturb the trial:
-/// collection only stores observations).
+/// Run one fleet trial, ticking its kernel shards over `jobs` worker
+/// threads (the output is identical at any job count). Returns the
+/// summary row plus the raw arrival log when `collect_log` is set (the
+/// log does not perturb the trial: collection only stores observations).
 pub fn fleet_trial(
     n: usize,
     seed: u64,
     duration_secs: u64,
     collect_log: bool,
+    jobs: usize,
 ) -> (FleetTrialResult, Vec<FleetArrival>) {
-    let fcfg = FleetConfig { clients: n, servers: SERVERS, ..FleetConfig::default() };
+    let fcfg =
+        FleetConfig { clients: n, servers: SERVERS, shards: SHARDS, ..FleetConfig::default() };
     let mut net = FleetNet::new(&fcfg, seed);
     let mut pool = ServerPool::new(
         PoolConfig { size: SERVERS, ..PoolConfig::default() },
         seed ^ 0x9001,
     );
     let mut clients = build_clients(n, seed);
+    // Steady state: second half of the trial. Large populations keep
+    // only the compact per-client |error| samples past the cutoff; the
+    // full timestamped series at 1M clients would dwarf the trial state.
+    let cutoff = duration_secs as f64 / 2.0;
+    let steady = n >= STEADY_SAMPLING_MIN_CLIENTS;
     let cfg = FleetRunConfig {
         duration_secs,
         tick_secs: 1.0,
         sample_period_secs: 30.0,
         collect_arrivals: collect_log,
+        steady_cutoff_secs: steady.then_some(cutoff),
     };
-    let run = run_fleet(&mut clients, &mut net, &mut pool, &cfg);
+    let run = run_fleet_on(&Pool::with_jobs(jobs), &mut clients, &mut net, &mut pool, &cfg);
 
-    // Steady state: second half of each client's ground-truth series.
-    let cutoff = duration_secs as f64 / 2.0;
     let mut arms = Vec::new();
     for stack in [Stack::Sntp, Stack::Mntp, Stack::Ntpd] {
         let mut errs: Vec<f64> = Vec::new();
         let mut members = 0usize;
-        for (i, series) in run.true_error_ms.iter().enumerate() {
-            if stack_for(i) != stack {
-                continue;
+        if steady {
+            for (i, samples) in run.steady_abs_ms.iter().enumerate() {
+                if stack_for(i) != stack {
+                    continue;
+                }
+                members += 1;
+                errs.extend(samples.iter().map(|&e| e as f64));
             }
-            members += 1;
-            errs.extend(
-                series.iter().filter(|(t, _)| *t >= cutoff).map(|(_, e)| e.abs()),
-            );
+        } else {
+            for (i, series) in run.true_error_ms.iter().enumerate() {
+                if stack_for(i) != stack {
+                    continue;
+                }
+                members += 1;
+                errs.extend(
+                    series.iter().filter(|(t, _)| *t >= cutoff).map(|(_, e)| e.abs()),
+                );
+            }
         }
         if members == 0 {
             continue;
@@ -321,7 +352,7 @@ pub fn sweep_sizes(quick: bool) -> Vec<usize> {
     if quick {
         vec![1, 100, 1000]
     } else {
-        vec![1, 100, 1000, 10_000]
+        vec![1, 100, 1000, 10_000, 100_000, 1_000_000]
     }
 }
 
@@ -332,18 +363,29 @@ pub fn run_sweep(seed: u64, quick: bool) -> FleetSweepResult {
 
 /// Run the sweep with trials fanned out over `pool`. Trials own all
 /// their state and seeds, so the output is identical at any job count.
+///
+/// Small populations run as one task each (trial-level parallelism);
+/// populations at the steady-sampling threshold and above run one at a
+/// time with their kernel shards fanned across `pool.jobs()` workers
+/// instead — at that size a single trial dominates the sweep, so
+/// shard-level parallelism is the useful axis.
 pub fn run_sweep_on(pool: &Pool, seed: u64, quick: bool) -> FleetSweepResult {
     let duration = if quick { 600 } else { 1800 };
-    let sizes = sweep_sizes(quick);
-    let tasks: Vec<Box<dyn FnOnce() -> (FleetTrialResult, Vec<FleetArrival>) + Send>> = sizes
+    let (small, big): (Vec<usize>, Vec<usize>) = sweep_sizes(quick)
+        .into_iter()
+        .partition(|&n| n < STEADY_SAMPLING_MIN_CLIENTS);
+    let tasks: Vec<Box<dyn FnOnce() -> (FleetTrialResult, Vec<FleetArrival>) + Send>> = small
         .into_iter()
         .map(|n| {
             let collect = n == 1000;
-            Box::new(move || fleet_trial(n, seed, duration, collect))
+            Box::new(move || fleet_trial(n, seed, duration, collect, 1))
                 as Box<dyn FnOnce() -> (FleetTrialResult, Vec<FleetArrival>) + Send>
         })
         .collect();
-    let results = pool.invoke(tasks);
+    let mut results = pool.invoke(tasks);
+    for n in big {
+        results.push(fleet_trial(n, seed, duration, false, pool.jobs()));
+    }
     let mut trials = Vec::new();
     let mut log = None;
     for (row, arrivals) in results {
@@ -428,7 +470,7 @@ mod tests {
 
     #[test]
     fn tiny_trial_reports_all_three_stacks() {
-        let (row, _) = fleet_trial(10, 77, 120, false);
+        let (row, _) = fleet_trial(10, 77, 120, false, 1);
         assert_eq!(row.n_clients, 10);
         assert_eq!(row.arms.len(), 3);
         assert_eq!(row.arms.iter().map(|a| a.clients).sum::<usize>(), 10);
@@ -437,14 +479,14 @@ mod tests {
 
     #[test]
     fn trial_is_deterministic() {
-        let (a, _) = fleet_trial(12, 5, 90, false);
-        let (b, _) = fleet_trial(12, 5, 90, false);
+        let (a, _) = fleet_trial(12, 5, 90, false, 1);
+        let (b, _) = fleet_trial(12, 5, 90, false, 1);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]
     fn collected_log_feeds_pipeline() {
-        let (_, arrivals) = fleet_trial(20, 9, 180, true);
+        let (_, arrivals) = fleet_trial(20, 9, 180, true, 1);
         assert!(!arrivals.is_empty());
         let analysis = analyze_log(20, &arrivals);
         assert!(analysis.records == arrivals.len());
@@ -457,8 +499,8 @@ mod tests {
     #[test]
     fn render_mentions_every_trial() {
         // Miniature sweep through the public entry point shape.
-        let (row1, _) = fleet_trial(1, 3, 60, false);
-        let (row2, arr) = fleet_trial(8, 3, 60, true);
+        let (row1, _) = fleet_trial(1, 3, 60, false, 1);
+        let (row2, arr) = fleet_trial(8, 3, 60, true, 1);
         let r = FleetSweepResult {
             trials: vec![row1, row2],
             log: analyze_log(8, &arr),

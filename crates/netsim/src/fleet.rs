@@ -9,16 +9,31 @@
 //! server-side arrival process the paper measured from production logs
 //! (Figures 11/12).
 //!
+//! # Sharding
+//!
+//! At fleet scale (100k–1M clients) the world is partitioned by client id
+//! into `K` contiguous [`FleetShard`]s, each owning its own deterministic
+//! [`Sim`] kernel and a struct-of-arrays [`ChannelBank`] for its id range.
+//! Shards share *nothing* mutable: the one world-coupling process — the
+//! cross-traffic source behind the AP — is replicated per shard from an
+//! identical RNG stream, so every shard computes the same utilization
+//! schedule independently. Server models stay global (they are driven
+//! serially, in client-id order, by the fleet runner's epoch barrier — see
+//! `mntp::fleet`). Consequently `K` is an execution detail: any shard
+//! count produces byte-identical worlds, which is what lets the runner
+//! tick shards on parallel workers.
+//!
 //! # RNG lanes
 //!
 //! All randomness is split deterministically from the trial seed so a
 //! fleet trial is reproducible at any parallelism and stable under
-//! population growth (client `i`'s lane does not depend on `N`):
+//! population growth (client `i`'s lane does not depend on `N` or on the
+//! shard count):
 //!
 //! ```text
 //! root = SimRng::new(seed)
 //! ├── root.fork(1) = channel lane root;  channel i ← chan_root.fork(i)
-//! ├── root.fork(2) = cross-traffic source
+//! ├── root.fork(2) = cross-traffic source (replicated per shard)
 //! └── (server models are deterministic queues: no RNG lane)
 //! ```
 //!
@@ -34,7 +49,6 @@
 //! to the 64 s back-off `sntp::health` imposes after a RATE kiss — so a
 //! client that honours its ban is never re-RATEd by the same server.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use clocksim::rng::SimRng;
@@ -42,7 +56,8 @@ use clocksim::time::{SimDuration, SimTime};
 
 use crate::crosstraffic::{CrossTraffic, CrossTrafficConfig};
 use crate::kernel::Sim;
-use crate::wifi::{WifiChannel, WifiConfig, WirelessHints};
+use crate::lanes::{ChannelBank, Lane};
+use crate::wifi::{WifiConfig, WirelessHints};
 
 /// Capacity and rate-limit policy of one simulated server.
 #[derive(Clone, Debug)]
@@ -127,8 +142,12 @@ pub struct ServerModel {
     /// within one driver tick (clients are iterated in id order, not
     /// arrival order — a documented approximation; see DESIGN.md).
     horizon: SimTime,
-    /// Last accepted arrival per client id, for the RATE policy.
-    last_seen: BTreeMap<u32, SimTime>,
+    /// Last accepted arrival per client id for the RATE policy, in
+    /// nanoseconds (`i64::MIN` = never seen), indexed by client id and
+    /// grown on demand. Dense storage rather than a map: at fleet scale
+    /// every client shows up, and arrival admission is the server-side
+    /// hot path.
+    last_seen: Vec<i64>,
     /// Counters.
     pub stats: ServerModelStats,
 }
@@ -145,7 +164,7 @@ impl ServerModel {
             queue: VecDeque::new(),
             busy_until: SimTime::ZERO,
             horizon: SimTime::ZERO,
-            last_seen: BTreeMap::new(),
+            last_seen: Vec::new(),
             stats: ServerModelStats::default(),
         }
     }
@@ -183,15 +202,19 @@ impl ServerModel {
         // RATE policy: hard floor always; overload floor (≤ the 64 s
         // health ban) while the backlog is deep.
         let overloaded = self.queue.len() >= self.cfg.overload_backlog;
-        let kod = match self.last_seen.get(&client) {
-            Some(prev) => {
-                let gap = (at - *prev).as_secs_f64();
-                gap < self.cfg.min_poll_secs
-                    || (overloaded && gap < self.cfg.overload_min_poll_secs)
-            }
-            None => false,
+        let idx = client as usize;
+        let prev = self.last_seen.get(idx).copied().unwrap_or(i64::MIN);
+        let kod = prev != i64::MIN && {
+            let gap = (at - SimTime(prev)).as_secs_f64();
+            gap < self.cfg.min_poll_secs
+                || (overloaded && gap < self.cfg.overload_min_poll_secs)
         };
-        self.last_seen.insert(client, at);
+        if idx >= self.last_seen.len() {
+            self.last_seen.resize(idx + 1, i64::MIN);
+        }
+        if let Some(slot) = self.last_seen.get_mut(idx) {
+            *slot = at.as_nanos();
+        }
 
         let start = self.busy_until.max(at);
         let depart = start + self.cfg.service_time;
@@ -221,6 +244,11 @@ pub struct FleetConfig {
     pub initial_frequency: f64,
     /// Service model applied to every server.
     pub server: ServerModelConfig,
+    /// Number of deterministic kernel shards the client population is
+    /// partitioned across (contiguous id ranges). Purely an execution
+    /// detail: any value ≥ 1 produces a byte-identical world; clamped to
+    /// the client count.
+    pub shards: usize,
 }
 
 impl Default for FleetConfig {
@@ -232,38 +260,80 @@ impl Default for FleetConfig {
             cross: CrossTrafficConfig::default(),
             initial_frequency: 0.4,
             server: ServerModelConfig::default(),
+            shards: 1,
         }
     }
 }
 
-/// Mutable world state owned by the fleet kernel.
-pub struct FleetState {
-    /// One last-hop channel per client, indexed by client id. All share
-    /// the same access point, so cross-traffic utilization is applied to
-    /// every channel at each decision instant.
-    channels: Vec<WifiChannel>,
-    /// One service model per server, indexed by server id.
-    servers: Vec<ServerModel>,
-    /// The shared download source contending for the AP uplink.
+/// Mutable world state owned by one shard's kernel.
+pub struct ShardState {
+    /// Last-hop channels for this shard's id range, column-wise.
+    bank: ChannelBank,
+    /// This shard's replica of the shared download source contending for
+    /// the AP uplink. Every shard holds an identical copy (same config,
+    /// same RNG stream), so all shards compute the same utilization
+    /// schedule without communicating.
     cross: CrossTraffic,
 }
 
-/// The shared multi-client world: a [`Sim`] kernel plus [`FleetState`].
-pub struct FleetNet {
-    sim: Sim<FleetState>,
-    /// World state (public for experiment post-processing).
-    pub state: FleetState,
+/// One shard of the fleet world: a deterministic [`Sim`] kernel driving
+/// the cross-traffic replica, plus the channel bank for a contiguous
+/// range of client ids.
+pub struct FleetShard {
+    sim: Sim<ShardState>,
+    state: ShardState,
+    /// First global client id owned by this shard.
+    lo: usize,
 }
 
-/// Background process: the shared cross-traffic source re-decides and
-/// pushes the new utilization to every client channel.
-fn cross_tick(state: &mut FleetState, sim: &mut Sim<FleetState>) {
+/// Background process: the cross-traffic replica re-decides and pushes
+/// the new utilization target to the shard's channel bank.
+fn cross_tick(state: &mut ShardState, sim: &mut Sim<ShardState>) {
     let t = sim.now();
     let util = state.cross.decide(t);
-    for ch in &mut state.channels {
-        ch.set_utilization(util);
-    }
+    state.bank.set_utilization(util);
     sim.schedule_fn_in(state.cross.decision_interval(), cross_tick);
+}
+
+impl FleetShard {
+    /// Current kernel time of this shard.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Run this shard's background processes up to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sim.run_until(&mut self.state, t);
+    }
+
+    /// First global client id owned by this shard.
+    pub fn client_lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Number of clients owned by this shard.
+    pub fn client_count(&self) -> usize {
+        self.state.bank.len()
+    }
+
+    /// Whether global client id `client` lives in this shard.
+    pub fn contains(&self, client: usize) -> bool {
+        client >= self.lo && client - self.lo < self.state.bank.len()
+    }
+
+    /// The lane of *global* client id `client`, or `None` when the id is
+    /// outside this shard's range.
+    pub fn lane(&mut self, client: usize) -> Option<Lane<'_>> {
+        let local = client.checked_sub(self.lo)?;
+        self.state.bank.lane(local)
+    }
+}
+
+/// The shared multi-client world: `K` deterministic kernel shards plus
+/// the global server-side service models.
+pub struct FleetNet {
+    shards: Vec<FleetShard>,
+    servers: Vec<ServerModel>,
 }
 
 impl FleetNet {
@@ -273,63 +343,90 @@ impl FleetNet {
         let mut root = SimRng::new(seed);
         let mut chan_root = root.fork(1);
         let cross_rng = root.fork(2);
-        let channels = (0..cfg.clients)
-            .map(|i| WifiChannel::new(cfg.wifi.clone(), chan_root.fork(i as u64)))
-            .collect();
+        // Lane RNGs are forked serially in global id order — client i's
+        // stream depends only on (seed, i), never on N or the shard count.
+        let mut lane_rngs: Vec<SimRng> =
+            (0..cfg.clients).map(|i| chan_root.fork(i as u64)).collect();
         let servers = (0..cfg.servers)
             .map(|_| ServerModel::new(cfg.server.clone()))
             .collect();
-        let cross = CrossTraffic::new(cfg.cross.clone(), cfg.initial_frequency, cross_rng);
-        let mut sim = Sim::default();
-        sim.schedule_fn_at(SimTime::ZERO, cross_tick);
-        FleetNet {
-            sim,
-            state: FleetState { channels, servers, cross },
+        let k = cfg.shards.max(1).min(cfg.clients.max(1));
+        let base = cfg.clients / k;
+        let rem = cfg.clients % k;
+        let mut shards = Vec::with_capacity(k);
+        let mut lo = 0usize;
+        for s in 0..k {
+            let len = base + usize::from(s < rem);
+            let rngs: Vec<SimRng> = lane_rngs.drain(..len).collect();
+            let bank = ChannelBank::new(cfg.wifi.clone(), rngs);
+            let cross =
+                CrossTraffic::new(cfg.cross.clone(), cfg.initial_frequency, cross_rng.clone());
+            let mut sim = Sim::default();
+            sim.schedule_fn_at(SimTime::ZERO, cross_tick);
+            shards.push(FleetShard { sim, state: ShardState { bank, cross }, lo });
+            lo += len;
         }
+        FleetNet { shards, servers }
     }
 
-    /// Current kernel time.
+    /// Current kernel time (all shards advance in lockstep under
+    /// [`FleetNet::advance_to`]).
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.shards.first().map_or(SimTime::ZERO, FleetShard::now)
     }
 
-    /// Run background processes (cross-traffic decisions) up to `t`.
+    /// Run background processes (cross-traffic decisions) on every shard
+    /// up to `t`.
     pub fn advance_to(&mut self, t: SimTime) {
-        self.sim.run_until(&mut self.state, t);
+        for shard in &mut self.shards {
+            shard.advance_to(t);
+        }
     }
 
     /// Cross-layer hints for one client's channel at `t`, advancing the
     /// world first. `None` for an out-of-range client id.
     pub fn hints(&mut self, client: usize, t: SimTime) -> Option<WirelessHints> {
         self.advance_to(t);
-        self.state.channels.get_mut(client).map(|ch| ch.hints(t))
+        let shard = self.shards.iter_mut().find(|s| s.contains(client))?;
+        shard.lane(client).map(|mut lane| lane.hints(t))
     }
 
-    /// Simultaneous mutable access to one client's channel and one
-    /// server's service model (the two ends of an exchange). `None` if
-    /// either id is out of range.
-    pub fn lanes(
-        &mut self,
-        client: usize,
-        server: usize,
-    ) -> Option<(&mut WifiChannel, &mut ServerModel)> {
-        let FleetState { channels, servers, .. } = &mut self.state;
-        Some((channels.get_mut(client)?, servers.get_mut(server)?))
+    /// Simultaneous mutable access to one client's lane and one server's
+    /// service model (the two ends of an exchange). `None` if either id
+    /// is out of range.
+    pub fn lanes(&mut self, client: usize, server: usize) -> Option<(Lane<'_>, &mut ServerModel)> {
+        let server = self.servers.get_mut(server)?;
+        let shard = self.shards.iter_mut().find(|s| s.contains(client))?;
+        let lane = shard.lane(client)?;
+        Some((lane, server))
+    }
+
+    /// Simultaneous mutable access to the shard array and the global
+    /// server models — the split the epoch-barrier fleet runner needs to
+    /// tick shards on parallel workers while serializing server-side
+    /// admission.
+    pub fn parts(&mut self) -> (&mut [FleetShard], &mut [ServerModel]) {
+        (&mut self.shards, &mut self.servers)
     }
 
     /// One server's service model, for post-run stats collection.
     pub fn server_model(&self, server: usize) -> Option<&ServerModel> {
-        self.state.servers.get(server)
+        self.servers.get(server)
     }
 
-    /// Number of client channels.
+    /// Number of client channels across all shards.
     pub fn client_count(&self) -> usize {
-        self.state.channels.len()
+        self.shards.iter().map(FleetShard::client_count).sum()
     }
 
     /// Number of server models.
     pub fn server_count(&self) -> usize {
-        self.state.servers.len()
+        self.servers.len()
+    }
+
+    /// Number of kernel shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -457,6 +554,38 @@ mod tests {
                 assert_eq!(a.hints(c, t), b.hints(c, t), "client {c} step {step}");
             }
         }
+    }
+
+    #[test]
+    fn shard_count_is_not_observable() {
+        // The whole sharding contract in one assertion: partitioning the
+        // same seeded world across K kernels must not change a single
+        // hint or transmit delay for any client.
+        let mk = |shards| FleetConfig { clients: 7, servers: 2, shards, ..FleetConfig::default() };
+        let mut a = FleetNet::new(&mk(1), 99);
+        let mut b = FleetNet::new(&mk(3), 99);
+        assert_eq!(a.shard_count(), 1);
+        assert_eq!(b.shard_count(), 3);
+        assert_eq!(a.client_count(), b.client_count());
+        for step in 1..=30usize {
+            let t = secs(step as f64 * 0.7);
+            for c in 0..7 {
+                assert_eq!(a.hints(c, t), b.hints(c, t), "hints client {c} step {step}");
+            }
+            let c = step % 7;
+            let (mut la, _) = a.lanes(c, 0).expect("lane");
+            let da = la.transmit_up(t);
+            let (mut lb, _) = b.lanes(c, 0).expect("lane");
+            assert_eq!(da, lb.transmit_up(t), "uplink client {c} step {step}");
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_population() {
+        let cfg = FleetConfig { clients: 3, servers: 1, shards: 16, ..FleetConfig::default() };
+        let net = FleetNet::new(&cfg, 5);
+        assert_eq!(net.shard_count(), 3);
+        assert_eq!(net.client_count(), 3);
     }
 
     #[test]

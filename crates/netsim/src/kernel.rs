@@ -11,15 +11,29 @@
 //!
 //! ## Hot-path layout
 //!
-//! The priority queue is split into two structures so the comparisons a
-//! heap sift performs stay cheap and the event payloads never move:
+//! The priority queue is split into two structures so the comparisons the
+//! scheduler performs stay cheap and the event payloads never move:
 //!
-//! * a [`BinaryHeap`] of packed `u128` keys — `(biased time, sequence,
-//!   slot)` in one integer, so an entire heap entry is 16 bytes and a
-//!   comparison is a single wide-integer compare;
+//! * a queue of 24-byte [`Entry`] records — a packed `u128` key
+//!   `(biased time, 64-bit sequence)` plus the slab slot — ordered by the
+//!   key alone, so a comparison is a single wide-integer compare;
 //! * a slab of event callbacks indexed by slot, with a free list so the
 //!   dominant periodic-poll pattern (pop one event, schedule the next
 //!   tick) recycles the same slot instead of growing the arena.
+//!
+//! Two interchangeable queue backends implement that contract
+//! ([`SchedulerKind`]):
+//!
+//! * [`SchedulerKind::Wheel`] (the default) — a hierarchical timing
+//!   wheel ([`crate::wheel::Wheel`]) with O(1) schedule and amortized
+//!   O(1) pop for the bounded-horizon poll-timer workload that dominates
+//!   fleet simulation, falling back to a far-future overflow heap beyond
+//!   its ~4.9 h horizon;
+//! * [`SchedulerKind::Heap`] — the classic [`BinaryHeap`], kept as the
+//!   reference implementation the wheel is property-tested against.
+//!
+//! Both backends fire any schedule in the identical sequence, so the
+//! choice is a performance knob, never an observable one.
 //!
 //! Callbacks come in two flavors: [`Sim::schedule_fn_at`] takes a plain
 //! `fn` pointer (the periodic ticks that dominate every workload —
@@ -31,12 +45,16 @@ use std::collections::BinaryHeap;
 
 use clocksim::time::SimTime;
 
+use crate::wheel::Wheel;
+
 /// An event callback: receives the world and the simulator (so it can
 /// schedule follow-up events). `Plain` is the allocation-free fast path
 /// for capture-less periodic ticks; `Boxed` carries arbitrary closures.
 enum EventFn<W> {
     Plain(fn(&mut W, &mut Sim<W>)),
-    Boxed(Box<dyn FnOnce(&mut W, &mut Sim<W>)>),
+    // `Send` so a whole kernel (with its pending events) can move to a
+    // worker thread — the fleet runner ticks shard kernels in parallel.
+    Boxed(Box<dyn FnOnce(&mut W, &mut Sim<W>) + Send>),
 }
 
 impl<W> EventFn<W> {
@@ -49,34 +67,93 @@ impl<W> EventFn<W> {
     }
 }
 
-/// Pack `(at, seq, slot)` into one orderable integer. The time is
-/// sign-flipped into the top 64 bits (so `i64` order survives the
-/// unsigned compare), the 32-bit sequence sits above the 32-bit slot;
-/// `seq` alone already makes keys unique among pending events, the slot
-/// just rides along to locate the callback.
+/// One queued event: an orderable key plus the slab slot holding its
+/// callback. Ordering is by `key` alone (the derive compares `key`
+/// first and `key` is unique among pending events — the sequence half
+/// never collides), the slot just rides along to locate the callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Entry {
+    pub(crate) key: u128,
+    pub(crate) slot: u32,
+}
+
+/// Pack `(at, seq)` into one orderable integer. The time is sign-flipped
+/// into the top 64 bits (so `i64` order survives the unsigned compare);
+/// the full 64-bit sequence occupies the low half, so same-instant FIFO
+/// order survives any schedule count a simulation can reach.
 #[inline]
-fn pack_key(at: SimTime, seq: u32, slot: u32) -> u128 {
+pub(crate) fn pack_key(at: SimTime, seq: u64) -> u128 {
     let biased = (at.as_nanos() as u64) ^ (1u64 << 63);
-    ((biased as u128) << 64) | ((seq as u128) << 32) | slot as u128
+    ((biased as u128) << 64) | seq as u128
 }
 
 #[inline]
-fn key_time(key: u128) -> SimTime {
+pub(crate) fn key_time(key: u128) -> SimTime {
     SimTime((((key >> 64) as u64) ^ (1u64 << 63)) as i64)
 }
 
-#[inline]
-fn key_slot(key: u128) -> u32 {
-    key as u32
+/// Which priority-queue backend a [`Sim`] runs on. See the module docs;
+/// the two fire identical schedules in the identical order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel with heap overflow (the default).
+    #[default]
+    Wheel,
+    /// Plain binary heap (the reference backend).
+    Heap,
+}
+
+enum Queue {
+    Heap(BinaryHeap<Reverse<Entry>>),
+    Wheel(Box<Wheel>),
+}
+
+impl Queue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => Queue::Heap(BinaryHeap::new()),
+            SchedulerKind::Wheel => Queue::Wheel(Box::new(Wheel::new())),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, e: Entry) {
+        match self {
+            Queue::Heap(h) => h.push(Reverse(e)),
+            Queue::Wheel(w) => w.push(e),
+        }
+    }
+
+    /// Remove and return the minimum entry if its time is `<= t`.
+    #[inline]
+    fn pop_before(&mut self, t: SimTime) -> Option<Entry> {
+        match self {
+            Queue::Heap(h) => {
+                let &Reverse(e) = h.peek()?;
+                if key_time(e.key) > t {
+                    return None;
+                }
+                h.pop().map(|Reverse(e)| e)
+            }
+            Queue::Wheel(w) => w.pop_before(t),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Heap(h) => h.len(),
+            Queue::Wheel(w) => w.len(),
+        }
+    }
 }
 
 /// Discrete-event simulator over world type `W`.
 pub struct Sim<W> {
     now: SimTime,
-    seq: u32,
-    heap: BinaryHeap<Reverse<u128>>,
-    /// Slab of pending callbacks, addressed by the slot packed into the
-    /// heap key. `None` marks a free slot (tracked in `free`).
+    seq: u64,
+    queue: Queue,
+    /// Slab of pending callbacks, addressed by the slot carried in each
+    /// queue entry. `None` marks a free slot (tracked in `free`).
     slots: Vec<Option<EventFn<W>>>,
     free: Vec<u32>,
     fired: u64,
@@ -89,12 +166,18 @@ impl<W> Default for Sim<W> {
 }
 
 impl<W> Sim<W> {
-    /// A simulator positioned at the epoch with an empty queue.
+    /// A simulator positioned at the epoch with an empty queue, on the
+    /// default backend ([`SchedulerKind::Wheel`]).
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::default())
+    }
+
+    /// A simulator on an explicitly chosen queue backend.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: Queue::new(kind),
             slots: Vec::new(),
             free: Vec::new(),
             fired: 0,
@@ -114,18 +197,27 @@ impl<W> Sim<W> {
 
     /// Number of events currently queued.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
+    }
+
+    /// Seed the tie-breaker sequence counter (tests only): lets a
+    /// regression test start just below a wrap boundary without
+    /// scheduling billions of events first.
+    #[cfg(test)]
+    pub(crate) fn set_seq_for_test(&mut self, seq: u64) {
+        self.seq = seq;
     }
 
     fn push(&mut self, at: SimTime, f: EventFn<W>) {
         // Clamp to now: scheduling in the past fires at the current time
         // instead (never travels backwards).
         let at = at.max(self.now);
+        // Sequence numbers order same-instant events. 64 bits cannot
+        // wrap in any physically runnable simulation (5 billion events
+        // per second for a century falls short), so FIFO order among
+        // ties holds unconditionally.
         let seq = self.seq;
-        // Sequence numbers order same-instant events. 32 bits only wrap
-        // after 4 billion schedules in one run — far past any workload
-        // here — and even a wrap would stay deterministic.
-        self.seq = self.seq.wrapping_add(1);
+        self.seq += 1;
         let slot = match self.free.pop() {
             Some(s) => {
                 // lint:allow(no-slice-index) — `s` came off the free list, which only ever holds indices of existing slots
@@ -134,25 +226,32 @@ impl<W> Sim<W> {
             }
             None => {
                 self.slots.push(Some(f));
-                (self.slots.len() - 1) as u32
+                let idx = self.slots.len() - 1;
+                let Ok(slot) = u32::try_from(idx) else {
+                    // Cold path: >4 billion *live* events means the
+                    // workload leaked its schedule; refuse loudly
+                    // rather than alias slot indices.
+                    // lint:allow(no-panic) — explicit capacity check on a cold path; aliasing slot 0 silently would corrupt the schedule
+                    panic!("event slab overflowed the u32 slot index ({idx} live events)");
+                };
+                slot
             }
         };
-        self.heap.push(Reverse(pack_key(at, seq, slot)));
+        self.queue.push(Entry { key: pack_key(at, seq), slot });
     }
 
-    fn pop(&mut self) -> Option<(SimTime, EventFn<W>)> {
-        let Reverse(key) = self.heap.pop()?;
-        let slot = key_slot(key);
-        // lint:allow(no-slice-index) — the slot index was packed into the key by `push`, which stored into that slot
-        // lint:allow(no-unwrap) — push/pop pairing: every queued key's slot holds its callback until this take()
-        let f = self.slots[slot as usize].take().expect("queued slot holds a callback");
-        self.free.push(slot);
-        Some((key_time(key), f))
+    #[inline]
+    fn take_slot(&mut self, e: Entry) -> (SimTime, EventFn<W>) {
+        // lint:allow(no-slice-index) — the slot index was packed into the entry by `push`, which stored into that slot
+        // lint:allow(no-unwrap) — push/pop pairing: every queued entry's slot holds its callback until this take()
+        let f = self.slots[e.slot as usize].take().expect("queued slot holds a callback");
+        self.free.push(e.slot);
+        (key_time(e.key), f)
     }
 
     /// Schedule `f` at absolute time `at`. Scheduling in the past fires the
     /// event at the current time instead (never travels backwards).
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static) {
         self.push(at, EventFn::Boxed(Box::new(f)));
     }
 
@@ -160,7 +259,7 @@ impl<W> Sim<W> {
     pub fn schedule_in(
         &mut self,
         delay: clocksim::time::SimDuration,
-        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
     ) {
         self.schedule_at(self.now + delay.max_zero(), f);
     }
@@ -180,11 +279,8 @@ impl<W> Sim<W> {
     /// Fire every event with `at <= t`, then advance the clock to exactly
     /// `t`. Events may schedule new events, including at the current time.
     pub fn run_until(&mut self, world: &mut W, t: SimTime) {
-        while let Some(&Reverse(key)) = self.heap.peek() {
-            if key_time(key) > t {
-                break;
-            }
-            let Some((at, f)) = self.pop() else { break };
+        while let Some(e) = self.queue.pop_before(t) {
+            let (at, f) = self.take_slot(e);
             self.now = at;
             self.fired += 1;
             f.call(world, self);
@@ -196,7 +292,8 @@ impl<W> Sim<W> {
 
     /// Fire events until the queue drains (for self-terminating workloads).
     pub fn run_to_completion(&mut self, world: &mut W) {
-        while let Some((at, f)) = self.pop() {
+        while let Some(e) = self.queue.pop_before(SimTime(i64::MAX)) {
+            let (at, f) = self.take_slot(e);
             self.now = at;
             self.fired += 1;
             f.call(world, self);
@@ -224,14 +321,42 @@ mod tests {
 
     #[test]
     fn ties_fire_in_scheduling_order() {
-        let mut sim: Sim<Vec<u32>> = Sim::new();
-        let mut world = Vec::new();
-        let t = SimTime::from_secs(1);
-        for i in 0..10 {
-            sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut sim: Sim<Vec<u32>> = Sim::with_scheduler(kind);
+            let mut world = Vec::new();
+            let t = SimTime::from_secs(1);
+            for i in 0..10 {
+                sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            sim.run_until(&mut world, t);
+            assert_eq!(world, (0..10).collect::<Vec<_>>(), "{kind:?}");
         }
-        sim.run_until(&mut world, t);
-        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Regression test for the tie-breaker wrap bug: the old kernel kept
+    /// `seq` in 32 bits and wrapped it, so the 2^32-th schedule in a run
+    /// sorted *before* same-instant events scheduled earlier — FIFO order
+    /// among ties silently inverted (a 1M-client × 30-min fleet run blows
+    /// past 2^32 events). With the sequence seeded just below the old
+    /// wrap point, the old kernel fires 2, 3, 0, 1; the 64-bit sequence
+    /// keeps 0, 1, 2, 3.
+    #[test]
+    fn same_instant_fifo_survives_u32_seq_boundary() {
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut sim: Sim<Vec<u32>> = Sim::with_scheduler(kind);
+            sim.set_seq_for_test(u64::from(u32::MAX) - 1);
+            let mut world = Vec::new();
+            let t = SimTime::from_secs(7);
+            for i in 0..4 {
+                sim.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+            }
+            sim.run_until(&mut world, t);
+            assert_eq!(
+                world,
+                vec![0, 1, 2, 3],
+                "same-instant FIFO order must survive the u32 sequence boundary ({kind:?})"
+            );
+        }
     }
 
     #[test]
@@ -290,14 +415,16 @@ mod tests {
 
     #[test]
     fn run_to_completion_drains() {
-        let mut sim: Sim<u32> = Sim::new();
-        let mut world = 0u32;
-        for i in 0..100 {
-            sim.schedule_at(SimTime::from_secs(i), |w: &mut u32, _| *w += 1);
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut sim: Sim<u32> = Sim::with_scheduler(kind);
+            let mut world = 0u32;
+            for i in 0..100 {
+                sim.schedule_at(SimTime::from_secs(i), |w: &mut u32, _| *w += 1);
+            }
+            sim.run_to_completion(&mut world);
+            assert_eq!(world, 100);
+            assert_eq!(sim.pending(), 0);
         }
-        sim.run_to_completion(&mut world);
-        assert_eq!(world, 100);
-        assert_eq!(sim.pending(), 0);
     }
 
     #[test]
@@ -313,12 +440,14 @@ mod tests {
                 sim.schedule_fn_in(SimDuration::from_millis(1), tick);
             }
         }
-        let mut sim = Sim::new();
-        let mut world = W { count: 0 };
-        sim.schedule_fn_at(SimTime::ZERO, tick);
-        sim.run_to_completion(&mut world);
-        assert_eq!(world.count, 10_000);
-        assert_eq!(sim.slots.len(), 1, "periodic reschedule must reuse one slot");
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut sim = Sim::with_scheduler(kind);
+            let mut world = W { count: 0 };
+            sim.schedule_fn_at(SimTime::ZERO, tick);
+            sim.run_to_completion(&mut world);
+            assert_eq!(world.count, 10_000);
+            assert_eq!(sim.slots.len(), 1, "periodic reschedule must reuse one slot ({kind:?})");
+        }
     }
 
     #[test]
@@ -340,10 +469,11 @@ mod tests {
     fn key_packing_orders_by_time_then_seq() {
         let t0 = SimTime::from_secs(0);
         let t1 = SimTime::from_secs(1);
-        assert!(pack_key(t0, 5, 99) < pack_key(t1, 0, 0));
-        assert!(pack_key(t1, 0, 7) < pack_key(t1, 1, 0));
-        assert_eq!(key_time(pack_key(t1, 3, 4)), t1);
-        assert_eq!(key_slot(pack_key(t1, 3, 4)), 4);
+        assert!(pack_key(t0, 5) < pack_key(t1, 0));
+        assert!(pack_key(t1, 0) < pack_key(t1, 1));
+        // The 64-bit sequence never folds into the time half.
+        assert!(pack_key(t1, u64::MAX) < pack_key(SimTime(t1.0 + 1), 0));
+        assert_eq!(key_time(pack_key(t1, 3)), t1);
     }
 
     #[test]
@@ -357,6 +487,22 @@ mod tests {
         sim.run_until(&mut world, SimTime::from_secs(1));
         assert_eq!(world, vec!["outer", "inner"]);
     }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        // Events beyond the wheel's ~4.9 h horizon live in the overflow
+        // heap and must still fire in order after migration.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        for (i, secs) in [36_000i64, 1, 72_000, 2, 18_000].iter().enumerate() {
+            sim.schedule_at(SimTime::from_secs(*secs), move |w: &mut Vec<u32>, _| {
+                w.push(i as u32);
+            });
+        }
+        sim.run_to_completion(&mut world);
+        assert_eq!(world, vec![1, 3, 4, 0, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(72_000));
+    }
 }
 
 #[cfg(test)]
@@ -367,21 +513,23 @@ mod proptests {
 
     props! {
         /// For any schedule of events, firing order is sorted by
-        /// (time, insertion order).
+        /// (time, insertion order) — on both queue backends.
         fn firing_order_is_stable_sort(times in prop::vecs(prop::ints(0..1000), 1..60)) {
-            let mut sim: Sim<Vec<(i64, usize)>> = Sim::new();
-            let mut world: Vec<(i64, usize)> = Vec::new();
-            for (idx, &t) in times.iter().enumerate() {
-                sim.schedule_at(SimTime::from_secs(t), move |w: &mut Vec<(i64, usize)>, _| {
-                    w.push((t, idx));
-                });
-            }
-            sim.run_to_completion(&mut world);
-            prop_assert_eq!(world.len(), times.len());
-            for pair in world.windows(2) {
-                let (ta, ia) = pair[0];
-                let (tb, ib) = pair[1];
-                prop_assert!(ta < tb || (ta == tb && ia < ib), "{pair:?}");
+            for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+                let mut sim: Sim<Vec<(i64, usize)>> = Sim::with_scheduler(kind);
+                let mut world: Vec<(i64, usize)> = Vec::new();
+                for (idx, &t) in times.iter().enumerate() {
+                    sim.schedule_at(SimTime::from_secs(t), move |w: &mut Vec<(i64, usize)>, _| {
+                        w.push((t, idx));
+                    });
+                }
+                sim.run_to_completion(&mut world);
+                prop_assert_eq!(world.len(), times.len());
+                for pair in world.windows(2) {
+                    let (ta, ia) = pair[0];
+                    let (tb, ib) = pair[1];
+                    prop_assert!(ta < tb || (ta == tb && ia < ib), "{pair:?}");
+                }
             }
         }
     }

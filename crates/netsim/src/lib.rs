@@ -44,15 +44,18 @@ pub mod crosstraffic;
 pub mod faults;
 pub mod fleet;
 pub mod kernel;
+pub mod lanes;
 pub mod link;
 pub mod pcap;
 pub mod scenarios;
 pub mod testbed;
+mod wheel;
 pub mod wifi;
 
 pub use faults::{FaultInjector, FaultKind, FaultSchedule, FaultWindow, PacketFate, ServerSet};
 pub use fleet::{FleetConfig, FleetNet, ServerModel, ServerModelConfig, ServiceDecision};
-pub use kernel::Sim;
+pub use kernel::{SchedulerKind, Sim};
+pub use lanes::{ChannelBank, Lane};
 pub use link::{DelayModel, Link, LossModel};
 pub use testbed::{LastHop, Testbed, TestbedConfig};
-pub use wifi::{WifiChannel, WifiConfig, WirelessHints};
+pub use wifi::{ChannelIo, WifiChannel, WifiConfig, WirelessHints};

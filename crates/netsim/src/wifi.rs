@@ -179,23 +179,23 @@ impl Default for WifiConfig {
 /// verbatim. Keyed on `dt`: any change recomputes, so results are
 /// bit-identical to the uncached math for *every* call pattern.
 #[derive(Clone, Debug)]
-struct StepCoeffs {
+pub(crate) struct StepCoeffs {
     /// The `dt` these coefficients were computed for (`NaN` = never).
-    dt: f64,
+    pub(crate) dt: f64,
     /// `exp(-dt/shadow_tau)`.
-    shadow_a: f64,
+    pub(crate) shadow_a: f64,
     /// `shadow_sigma * sqrt(1 - shadow_a²)`.
-    shadow_c: f64,
+    pub(crate) shadow_c: f64,
     /// `exp(-dt/noise_jitter_tau)`.
-    noise_a: f64,
+    pub(crate) noise_a: f64,
     /// `noise_jitter_sigma * sqrt(1 - noise_a²)`.
-    noise_c: f64,
+    pub(crate) noise_c: f64,
     /// `exp(-dt/util_ramp_tau)`.
-    util_a: f64,
+    pub(crate) util_a: f64,
 }
 
 impl StepCoeffs {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         StepCoeffs {
             dt: f64::NAN,
             shadow_a: 0.0,
@@ -207,7 +207,7 @@ impl StepCoeffs {
     }
 
     #[inline]
-    fn for_dt(cfg: &WifiConfig, dt: f64) -> Self {
+    pub(crate) fn for_dt(cfg: &WifiConfig, dt: f64) -> Self {
         let shadow_a = (-dt / cfg.shadow_tau_secs).exp();
         let noise_a = (-dt / cfg.noise_jitter_tau_secs).exp();
         StepCoeffs {
@@ -219,6 +219,132 @@ impl StepCoeffs {
             util_a: (-dt / cfg.util_ramp_tau_secs).exp(),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Channel math, factored as free functions over scalar state.
+//
+// `WifiChannel` (one struct per lane) and `lanes::ChannelBank` (one Vec per
+// field, for fleet-scale populations) both delegate here, so the two layouts
+// are bit-identical by construction: same expressions, same RNG call order.
+// ---------------------------------------------------------------------------
+
+/// One OU/ramp step. RNG order: shadow gauss, then noise gauss.
+#[inline]
+pub(crate) fn ou_step(
+    c: &StepCoeffs,
+    shadow_db: &mut f64,
+    noise_jitter_db: &mut f64,
+    utilization: &mut f64,
+    target_utilization: f64,
+    rng: &mut SimRng,
+) {
+    *shadow_db = *shadow_db * c.shadow_a + c.shadow_c * rng.gauss();
+    *noise_jitter_db = *noise_jitter_db * c.noise_a + c.noise_c * rng.gauss();
+    // Utilization ramps toward its target.
+    *utilization = target_utilization + (*utilization - target_utilization) * c.util_a;
+}
+
+/// Deterministic mobility path-loss modulation at absolute time `t_secs`.
+#[inline]
+pub(crate) fn mobility_extra_db(cfg: &WifiConfig, t_secs: f64) -> f64 {
+    match cfg.mobility {
+        MobilityProfile::Static => 0.0,
+        MobilityProfile::Pace { amplitude_db, period_secs } => {
+            amplitude_db * (2.0 * std::f64::consts::PI * t_secs / period_secs).sin()
+        }
+        MobilityProfile::WalkAway { db_per_minute, max_extra_db } => {
+            (db_per_minute * t_secs / 60.0).min(max_extra_db)
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn rssi_dbm(cfg: &WifiConfig, tx_power_dbm: f64, shadow_db: f64, t_secs: f64) -> f64 {
+    tx_power_dbm - cfg.path_loss_db - shadow_db - mobility_extra_db(cfg, t_secs)
+}
+
+#[inline]
+pub(crate) fn noise_dbm(cfg: &WifiConfig, utilization: f64, noise_jitter_db: f64) -> f64 {
+    cfg.noise_floor_dbm
+        + cfg.interference_gain_db * utilization.powf(cfg.interference_exp)
+        + noise_jitter_db
+}
+
+/// Per-attempt frame error probability at the given SNR plus
+/// utilization-driven collision probability.
+#[inline]
+pub(crate) fn attempt_failure_prob(cfg: &WifiConfig, rssi: f64, noise: f64, utilization: f64) -> f64 {
+    let snr = rssi - noise;
+    let p_err = 1.0 / (1.0 + ((snr - cfg.snr50_db) / cfg.snr_slope_db).exp());
+    let p_coll = cfg.collision_at_full * utilization;
+    (p_err + (1.0 - p_err) * p_coll).clamp(0.0, 1.0)
+}
+
+/// The DCF attempt loop: returns `Some(link delay)` on success within
+/// `max_attempts`, `None` when the frame is dropped. RNG order: exponential
+/// access delay; [tail chance, then pareto if it hits]; per-retry chance plus
+/// uniform backoff.
+pub(crate) fn transmit_frame_delay(
+    cfg: &WifiConfig,
+    p_fail: f64,
+    utilization: f64,
+    rng: &mut SimRng,
+) -> Option<SimDuration> {
+    let u = utilization;
+    // Medium-access (queueing + contention) delay.
+    let queue_factor = (u / (1.0 - u.min(0.95))).min(12.0);
+    let mean_access = cfg.base_access_ms + cfg.queue_gain_ms * queue_factor;
+    let mut delay_ms = rng.exponential(mean_access);
+    let excess = (u - cfg.tail_util_threshold).max(0.0);
+    if excess > 0.0 && rng.chance(cfg.tail_prob_gain * excess) {
+        delay_ms += rng.pareto(cfg.tail_scale_ms, cfg.tail_alpha);
+    }
+    // Retry loop with binary exponential backoff.
+    let mut attempt = 0;
+    loop {
+        if !rng.chance(p_fail) {
+            break; // delivered
+        }
+        attempt += 1;
+        if attempt >= cfg.max_attempts {
+            return None;
+        }
+        // Backoff window doubles per attempt; slot ≈ 0.3 ms equivalent
+        // (includes retransmission airtime at low rate).
+        let window_ms = 0.3 * (1 << attempt.min(6)) as f64;
+        delay_ms += rng.uniform_range(0.0, window_ms) + 1.0;
+    }
+    Some(SimDuration::from_millis_f64(delay_ms.min(cfg.delay_cap_ms)))
+}
+
+/// AP-queue bufferbloat behind cross-traffic, ms. Consumes one exponential
+/// draw only above the knee.
+#[inline]
+pub(crate) fn downlink_bloat_ms(cfg: &WifiConfig, utilization: f64, rng: &mut SimRng) -> f64 {
+    if utilization > cfg.bloat_util_knee {
+        // Mean queue depth grows superlinearly with utilization; the
+        // exponential tail is capped — the AP queue is finite.
+        cfg.downlink_bloat_ms * utilization.powf(1.7) * rng.exponential(1.0).min(2.5)
+    } else {
+        0.0
+    }
+}
+
+/// The last-hop transmit surface shared by [`WifiChannel`] (one struct per
+/// lane) and [`crate::lanes::Lane`] (a view into the struct-of-arrays
+/// [`crate::lanes::ChannelBank`]). Exchange drivers that only need to move
+/// packets and read hints are generic over this, so the same code serves the
+/// single-device testbed and the million-client fleet.
+pub trait ChannelIo {
+    /// Evolve the channel state up to `t`.
+    fn advance_to(&mut self, t: SimTime);
+    /// Current wireless hints (advances the channel to `t` first).
+    fn hints(&mut self, t: SimTime) -> WirelessHints;
+    /// Transmit an uplink (station → WAP) packet at time `t`.
+    fn transmit_up(&mut self, t: SimTime) -> Option<SimDuration>;
+    /// Transmit a downlink (WAP → station) packet at time `t`.
+    fn transmit_down(&mut self, t: SimTime) -> Option<SimDuration>;
 }
 
 /// Live channel state.
@@ -262,12 +388,14 @@ impl WifiChannel {
         if self.coeffs.dt != dt {
             self.coeffs = StepCoeffs::for_dt(&self.cfg, dt);
         }
-        let c = &self.coeffs;
-        self.shadow_db = self.shadow_db * c.shadow_a + c.shadow_c * self.rng.gauss();
-        self.noise_jitter_db = self.noise_jitter_db * c.noise_a + c.noise_c * self.rng.gauss();
-        // Utilization ramps toward its target.
-        self.utilization =
-            self.target_utilization + (self.utilization - self.target_utilization) * c.util_a;
+        ou_step(
+            &self.coeffs,
+            &mut self.shadow_db,
+            &mut self.noise_jitter_db,
+            &mut self.utilization,
+            self.target_utilization,
+            &mut self.rng,
+        );
         self.last_update = t;
     }
 
@@ -277,27 +405,12 @@ impl WifiChannel {
         WirelessHints { rssi_dbm: self.rssi_dbm(), noise_dbm: self.noise_dbm() }
     }
 
-    fn mobility_extra_db(&self) -> f64 {
-        let t = self.last_update.as_secs_f64();
-        match self.cfg.mobility {
-            MobilityProfile::Static => 0.0,
-            MobilityProfile::Pace { amplitude_db, period_secs } => {
-                amplitude_db * (2.0 * std::f64::consts::PI * t / period_secs).sin()
-            }
-            MobilityProfile::WalkAway { db_per_minute, max_extra_db } => {
-                (db_per_minute * t / 60.0).min(max_extra_db)
-            }
-        }
-    }
-
     fn rssi_dbm(&self) -> f64 {
-        self.tx_power_dbm - self.cfg.path_loss_db - self.shadow_db - self.mobility_extra_db()
+        rssi_dbm(&self.cfg, self.tx_power_dbm, self.shadow_db, self.last_update.as_secs_f64())
     }
 
     fn noise_dbm(&self) -> f64 {
-        self.cfg.noise_floor_dbm
-            + self.cfg.interference_gain_db * self.utilization.powf(self.cfg.interference_exp)
-            + self.noise_jitter_db
+        noise_dbm(&self.cfg, self.utilization, self.noise_jitter_db)
     }
 
     /// Current SNR, dB (RSSI − noise).
@@ -341,44 +454,12 @@ impl WifiChannel {
         self.tx_power_dbm
     }
 
-    /// Per-attempt frame error probability at the current SNR plus
-    /// utilization-driven collision probability.
-    fn attempt_failure_prob(&self) -> f64 {
-        let snr = self.rssi_dbm() - self.noise_dbm();
-        let p_err = 1.0 / (1.0 + ((snr - self.cfg.snr50_db) / self.cfg.snr_slope_db).exp());
-        let p_coll = self.cfg.collision_at_full * self.utilization;
-        (p_err + (1.0 - p_err) * p_coll).clamp(0.0, 1.0)
-    }
-
     /// Simulate the DCF attempt loop: returns `Some(link delay)` on
     /// success within `max_attempts`, `None` when the frame is dropped.
     fn transmit_frame(&mut self) -> Option<SimDuration> {
-        let p_fail = self.attempt_failure_prob();
-        let u = self.utilization;
-        // Medium-access (queueing + contention) delay.
-        let queue_factor = (u / (1.0 - u.min(0.95))).min(12.0);
-        let mean_access = self.cfg.base_access_ms + self.cfg.queue_gain_ms * queue_factor;
-        let mut delay_ms = self.rng.exponential(mean_access);
-        let excess = (u - self.cfg.tail_util_threshold).max(0.0);
-        if excess > 0.0 && self.rng.chance(self.cfg.tail_prob_gain * excess) {
-            delay_ms += self.rng.pareto(self.cfg.tail_scale_ms, self.cfg.tail_alpha);
-        }
-        // Retry loop with binary exponential backoff.
-        let mut attempt = 0;
-        loop {
-            if !self.rng.chance(p_fail) {
-                break; // delivered
-            }
-            attempt += 1;
-            if attempt >= self.cfg.max_attempts {
-                return None;
-            }
-            // Backoff window doubles per attempt; slot ≈ 0.3 ms equivalent
-            // (includes retransmission airtime at low rate).
-            let window_ms = 0.3 * (1 << attempt.min(6)) as f64;
-            delay_ms += self.rng.uniform_range(0.0, window_ms) + 1.0;
-        }
-        Some(SimDuration::from_millis_f64(delay_ms.min(self.cfg.delay_cap_ms)))
+        let p_fail =
+            attempt_failure_prob(&self.cfg, self.rssi_dbm(), self.noise_dbm(), self.utilization);
+        transmit_frame_delay(&self.cfg, p_fail, self.utilization, &mut self.rng)
     }
 
     /// Transmit an uplink (station → WAP) packet at time `t`.
@@ -392,16 +473,24 @@ impl WifiChannel {
     pub fn transmit_down(&mut self, t: SimTime) -> Option<SimDuration> {
         self.advance_to(t);
         let frame = self.transmit_frame()?;
-        let u = self.utilization;
-        let bloat_ms = if u > self.cfg.bloat_util_knee {
-            // Mean queue depth grows superlinearly with utilization; the
-            // exponential tail is capped — the AP queue is finite.
-            self.cfg.downlink_bloat_ms * u.powf(1.7) * self.rng.exponential(1.0).min(2.5)
-        } else {
-            0.0
-        };
+        let bloat_ms = downlink_bloat_ms(&self.cfg, self.utilization, &mut self.rng);
         let total = frame.as_millis_f64() + bloat_ms;
         Some(SimDuration::from_millis_f64(total.min(self.cfg.delay_cap_ms)))
+    }
+}
+
+impl ChannelIo for WifiChannel {
+    fn advance_to(&mut self, t: SimTime) {
+        WifiChannel::advance_to(self, t);
+    }
+    fn hints(&mut self, t: SimTime) -> WirelessHints {
+        WifiChannel::hints(self, t)
+    }
+    fn transmit_up(&mut self, t: SimTime) -> Option<SimDuration> {
+        WifiChannel::transmit_up(self, t)
+    }
+    fn transmit_down(&mut self, t: SimTime) -> Option<SimDuration> {
+        WifiChannel::transmit_down(self, t)
     }
 }
 

@@ -233,7 +233,7 @@ impl mntp::Discipline for NtpdDiscipline {
         t: SimTime,
         clock: &mut SimClock,
         _hints: Option<&netsim::WirelessHints>,
-        _pool: &mut ServerPool,
+        _select: &mut dyn sntp::ServerSelect,
     ) -> mntp::Directive {
         self.now_local_secs = clock.now_local_nanos(t) as f64 / 1e9;
         let due = self.daemon.due_peers(self.now_local_secs);

@@ -3,18 +3,36 @@
 //!
 //! [`perform_fleet_exchange`] is the multi-client sibling of
 //! [`crate::perform_exchange`]: the last hop is one lane of a shared
-//! [`netsim::fleet::FleetNet`] (a [`WifiChannel`] borrowed via
-//! `FleetNet::lanes`), and the server is fronted by a
-//! [`netsim::fleet::ServerModel`] that can drop the request on backlog
-//! overflow or answer a RATE kiss under load. Alongside the client-side
-//! outcome it emits the *server-side* observation — the raw request
-//! bytes and true arrival time — so a simulated fleet produces exactly
-//! the kind of log the paper's §3.1 measurement pipeline consumes.
+//! [`netsim::fleet::FleetNet`] (any [`ChannelIo`] — a standalone
+//! `WifiChannel` or a `Lane` view of the struct-of-arrays bank), and the
+//! server is fronted by a [`netsim::fleet::ServerModel`] that can drop
+//! the request on backlog overflow or answer a RATE kiss under load.
+//! Alongside the client-side outcome it emits the *server-side*
+//! observation — the raw request bytes and true arrival time — so a
+//! simulated fleet produces exactly the kind of log the paper's §3.1
+//! measurement pipeline consumes.
+//!
+//! # Phases
+//!
+//! The round trip is factored into three phase functions so the sharded
+//! fleet runner can pipeline them across an epoch barrier:
+//!
+//! 1. [`begin_fleet_exchange`] — client side: stamp `t1`, shape the
+//!    request, pay the wireless uplink. Touches only the client's own
+//!    clock and channel lane → safe to run shard-parallel.
+//! 2. [`serve_fleet_exchange`] — server side: backbone up, capacity
+//!    decision, serve, backbone down. Touches the shared server state →
+//!    the runner executes these serially in global client-id order.
+//! 3. [`complete_fleet_exchange`] — client side again: wireless
+//!    downlink, stamp `t4`, classify the reply → shard-parallel.
+//!
+//! [`perform_fleet_exchange`] is exactly the three phases composed, so
+//! single-exchange callers keep the original one-call surface.
 
-use clocksim::time::SimTime;
+use clocksim::time::{SimDuration, SimTime};
 use clocksim::ClockControl;
 use netsim::fleet::{ServerModel, ServiceDecision};
-use netsim::wifi::WifiChannel;
+use netsim::wifi::ChannelIo;
 use ntp_wire::{refid::RefId, NtpDuration, NtpPacket, NtpShort};
 
 use crate::client::{ReplyOutcome, SntpClient};
@@ -69,24 +87,50 @@ fn ntpd_shape(request: &mut NtpPacket, client_id: u32) {
         .wrapping_add_duration(NtpDuration::from_seconds_f64(-64.0));
 }
 
-/// One request/reply round trip for fleet client `client_id` at true
-/// time `t`, through its own channel lane, against `server` fronted by
-/// `model`.
-///
-/// Returns the server-side arrival observation (when the request reached
-/// the server at all) alongside the client-side outcome. A
-/// [`ServiceDecision::Dropped`] request surfaces to the client as
-/// [`ExchangeError::Blackholed`] — from the phone's point of view a
-/// queue-overflow drop and a blackholed packet are indistinguishable.
-pub fn perform_fleet_exchange(
-    chan: &mut WifiChannel,
-    server: &mut SimServer,
-    model: &mut ServerModel,
+/// A request that has left the station but not yet crossed the backbone:
+/// everything phase 2 (the server side) and phase 3 (reply completion)
+/// need from phase 1.
+#[derive(Clone, Debug)]
+pub struct FleetRequestInFlight {
+    /// The client protocol state (holds the origin timestamp for the
+    /// echo check on the reply).
+    pub client: SntpClient,
+    /// Parsed (and possibly ntpd-shaped) request.
+    pub request: NtpPacket,
+    /// Serialized request bytes, as a capture would record them.
+    pub request_bytes: Vec<u8>,
+    /// Wireless uplink delay already paid.
+    pub hop_up: SimDuration,
+    /// Effective transmit instant (`t` clamped forward to the client
+    /// clock's position).
+    pub t_eff: SimTime,
+}
+
+/// A reply that has left the server but not yet crossed the last hop:
+/// everything phase 3 needs from phase 2.
+#[derive(Clone, Debug)]
+pub struct FleetReplyInFlight {
+    /// Serialized reply bytes.
+    pub reply_bytes: Vec<u8>,
+    /// True departure time of the reply at the server.
+    pub departure: SimTime,
+    /// Backbone downlink delay already paid.
+    pub bb_down: SimDuration,
+    /// Arrival time at the WAP (`departure + bb_down`).
+    pub at_wap: SimTime,
+    /// True forward path delay (`hop_up + bb_up`), for ground truth.
+    pub fwd: SimDuration,
+}
+
+/// Phase 1 (client side): stamp `t1`, shape and serialize the request,
+/// pay the wireless uplink.
+pub fn begin_fleet_exchange<C: ChannelIo>(
+    chan: &mut C,
     clock: &mut dyn ClockControl,
     client_id: u32,
     t: SimTime,
     shape: RequestShape,
-) -> (Option<FleetArrival>, Result<CompletedExchange, ExchangeError>) {
+) -> Result<FleetRequestInFlight, ExchangeError> {
     let t = t.max(clock.position());
     let mut client = SntpClient::new();
     let t1 = clock.now(t);
@@ -98,14 +142,32 @@ pub fn perform_fleet_exchange(
             }
             p
         }
-        Err(_) => return (None, Err(ExchangeError::RejectedReply)),
+        Err(_) => return Err(ExchangeError::RejectedReply),
     };
     let request_bytes = request.serialize();
 
     // Client → WAP over this client's channel lane.
     let Some(hop_up) = chan.transmit_up(t) else {
-        return (None, Err(ExchangeError::LostLastHopUp));
+        return Err(ExchangeError::LostLastHopUp);
     };
+    Ok(FleetRequestInFlight { client, request, request_bytes, hop_up, t_eff: t })
+}
+
+/// Phase 2 (server side): backbone uplink, capacity decision, service,
+/// backbone downlink. Touches shared server state — the fleet runner
+/// calls this serially in global client-id order.
+///
+/// Returns the server-side arrival observation (when the request reached
+/// the server at all) alongside the in-flight reply. A
+/// [`ServiceDecision::Dropped`] request surfaces to the client as
+/// [`ExchangeError::Blackholed`] — from the phone's point of view a
+/// queue-overflow drop and a blackholed packet are indistinguishable.
+pub fn serve_fleet_exchange(
+    inflight: &FleetRequestInFlight,
+    server: &mut SimServer,
+    model: &mut ServerModel,
+    client_id: u32,
+) -> (Option<FleetArrival>, Result<FleetReplyInFlight, ExchangeError>) {
     // WAP → server across the backbone.
     let bb_up = {
         let SimServer { backbone_up, rng, .. } = server;
@@ -114,8 +176,8 @@ pub fn perform_fleet_exchange(
     let Some(bb_up) = bb_up else {
         return (None, Err(ExchangeError::LostBackboneUp));
     };
-    let fwd = hop_up + bb_up;
-    let arrival_at = t + fwd;
+    let fwd = inflight.hop_up + bb_up;
+    let arrival_at = inflight.t_eff + fwd;
 
     // The capacity model decides the request's fate.
     let decision = model.on_arrival(client_id, arrival_at);
@@ -123,7 +185,7 @@ pub fn perform_fleet_exchange(
         client_id,
         server_id: server.id,
         at: arrival_at,
-        request: request_bytes,
+        request: inflight.request_bytes.clone(),
         dropped: false,
         kod: false,
     };
@@ -135,9 +197,9 @@ pub fn perform_fleet_exchange(
         ServiceDecision::Served { depart, kod } => (depart, kod),
     };
     arrival.kod = kod;
-    let (reply_bytes, departure) = server.serve(&request, arrival_at, depart, kod);
+    let (reply_bytes, departure) = server.serve(&inflight.request, arrival_at, depart, kod);
 
-    // Server → WAP → client.
+    // Server → WAP.
     let bb_down = {
         let SimServer { backbone_down, rng, .. } = server;
         backbone_down.transmit(rng)
@@ -146,25 +208,61 @@ pub fn perform_fleet_exchange(
         return (Some(arrival), Err(ExchangeError::LostBackboneDown));
     };
     let at_wap = departure + bb_down;
-    let Some(hop_down) = chan.transmit_down(at_wap) else {
-        return (Some(arrival), Err(ExchangeError::LostLastHopDown));
+    (Some(arrival), Ok(FleetReplyInFlight { reply_bytes, departure, bb_down, at_wap, fwd }))
+}
+
+/// Phase 3 (client side): wireless downlink, stamp `t4`, classify the
+/// reply.
+pub fn complete_fleet_exchange<C: ChannelIo>(
+    chan: &mut C,
+    clock: &mut dyn ClockControl,
+    client: &mut SntpClient,
+    reply: &FleetReplyInFlight,
+    server_id: usize,
+) -> Result<CompletedExchange, ExchangeError> {
+    let Some(hop_down) = chan.transmit_down(reply.at_wap) else {
+        return Err(ExchangeError::LostLastHopDown);
     };
-    let back = bb_down + hop_down;
-    let completed_at = departure + back;
+    let back = reply.bb_down + hop_down;
+    let completed_at = reply.departure + back;
 
     let t4 = clock.now(completed_at);
-    let outcome = match client.on_reply_classified(&reply_bytes, t4) {
+    match client.on_reply_classified(&reply.reply_bytes, t4) {
         Ok(ReplyOutcome::Sample(sample)) => Ok(CompletedExchange {
             sample,
-            true_fwd: fwd,
+            true_fwd: reply.fwd,
             true_back: back,
             completed_at,
-            server_id: server.id,
+            server_id,
         }),
         Ok(ReplyOutcome::KissODeath(code)) => Err(ExchangeError::KissODeath(code)),
         Err(_) => Err(ExchangeError::RejectedReply),
+    }
+}
+
+/// One request/reply round trip for fleet client `client_id` at true
+/// time `t`, through its own channel lane, against `server` fronted by
+/// `model` — the three phase functions composed back-to-back.
+pub fn perform_fleet_exchange<C: ChannelIo>(
+    chan: &mut C,
+    server: &mut SimServer,
+    model: &mut ServerModel,
+    clock: &mut dyn ClockControl,
+    client_id: u32,
+    t: SimTime,
+    shape: RequestShape,
+) -> (Option<FleetArrival>, Result<CompletedExchange, ExchangeError>) {
+    let mut inflight = match begin_fleet_exchange(chan, clock, client_id, t, shape) {
+        Ok(f) => f,
+        Err(e) => return (None, Err(e)),
     };
-    (Some(arrival), outcome)
+    let (arrival, reply) = serve_fleet_exchange(&inflight, server, model, client_id);
+    let reply = match reply {
+        Ok(r) => r,
+        Err(e) => return (arrival, Err(e)),
+    };
+    let outcome = complete_fleet_exchange(chan, clock, &mut inflight.client, &reply, server.id);
+    (arrival, outcome)
 }
 
 #[cfg(test)]
@@ -196,9 +294,9 @@ mod tests {
         let (mut net, mut pool, mut clock) = setup();
         let t = SimTime::from_secs(5);
         net.advance_to(t);
-        let (chan, model) = net.lanes(0, 0).expect("lane 0/0");
+        let (mut chan, model) = net.lanes(0, 0).expect("lane 0/0");
         let (arrival, outcome) = perform_fleet_exchange(
-            chan,
+            &mut chan,
             pool.server_mut(0),
             model,
             &mut clock,
@@ -223,9 +321,9 @@ mod tests {
         let (mut net, mut pool, mut clock) = setup();
         let t = SimTime::from_secs(5);
         net.advance_to(t);
-        let (chan, model) = net.lanes(1, 0).expect("lane 1/0");
+        let (mut chan, model) = net.lanes(1, 0).expect("lane 1/0");
         let (arrival, outcome) = perform_fleet_exchange(
-            chan,
+            &mut chan,
             pool.server_mut(0),
             model,
             &mut clock,
@@ -261,9 +359,9 @@ mod tests {
             // Each fleet client owns its clock; a shared one would
             // serialize the burst via the departure clamp.
             let mut clock = test_clock(100 + c as u64);
-            let (chan, model) = net.lanes(c as usize, 0).expect("lane");
+            let (mut chan, model) = net.lanes(c as usize, 0).expect("lane");
             let (_, outcome) = perform_fleet_exchange(
-                chan,
+                &mut chan,
                 pool.server_mut(0),
                 model,
                 &mut clock,

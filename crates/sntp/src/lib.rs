@@ -45,11 +45,16 @@ pub mod vendor;
 
 pub use client::{OffsetSample, ReplyOutcome, SntpClient};
 pub use energy::{EnergyMeter, EnergyModel};
-pub use fleet::{perform_fleet_exchange, FleetArrival, RequestShape};
+pub use fleet::{
+    begin_fleet_exchange, complete_fleet_exchange, perform_fleet_exchange, serve_fleet_exchange,
+    FleetArrival, FleetReplyInFlight, FleetRequestInFlight, RequestShape,
+};
 pub use exchange::{
     perform_exchange, perform_exchange_faulted, perform_exchange_traced, CompletedExchange,
     ExchangeError, TracedPacket,
 };
-pub use pool::{HealthConfig, HealthTracker, PoolConfig, ServerHealth, ServerPool};
+pub use pool::{
+    HealthConfig, HealthTracker, PickLane, PoolConfig, ServerHealth, ServerPool, ServerSelect,
+};
 pub use retry::{Backoff, BackoffConfig};
 pub use server::SimServer;

@@ -134,6 +134,79 @@ impl ServerPool {
     }
 }
 
+/// Random server selection, abstracted away from the pool that owns the
+/// server state.
+///
+/// Single-client drivers hand disciplines the [`ServerPool`] itself:
+/// selection draws from the pool's own RNG. At fleet scale that shared
+/// RNG would serialize every client through one mutable pool — and make
+/// the draw order depend on scheduling — so each fleet client instead
+/// owns a [`PickLane`]: a private selection RNG over the same server
+/// index space. Disciplines only see `&mut dyn ServerSelect` and work
+/// unchanged in both worlds.
+pub trait ServerSelect {
+    /// Number of selectable servers.
+    fn len(&self) -> usize;
+
+    /// True when no servers are selectable.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pick a uniformly random server index (a fresh DNS resolution of
+    /// `N.pool.ntp.org`).
+    fn pick(&mut self) -> usize;
+
+    /// Pick `n` *distinct* random server indices — what querying
+    /// `0/1/3.pool.ntp.org` in parallel yields.
+    fn pick_distinct(&mut self, n: usize) -> Vec<usize>;
+}
+
+impl ServerSelect for ServerPool {
+    fn len(&self) -> usize {
+        ServerPool::len(self)
+    }
+    fn pick(&mut self) -> usize {
+        ServerPool::pick(self)
+    }
+    fn pick_distinct(&mut self, n: usize) -> Vec<usize> {
+        ServerPool::pick_distinct(self, n)
+    }
+}
+
+/// A per-client server-selection lane: the same uniform pick /
+/// distinct-shuffle draws as [`ServerPool`], from a private RNG stream,
+/// over a server index space owned elsewhere.
+#[derive(Clone, Debug)]
+pub struct PickLane {
+    rng: SimRng,
+    servers: usize,
+}
+
+impl PickLane {
+    /// A selection lane over `servers` indices, seeded independently of
+    /// every other client's lane.
+    pub fn new(servers: usize, seed: u64) -> Self {
+        PickLane { rng: SimRng::new(seed), servers }
+    }
+}
+
+impl ServerSelect for PickLane {
+    fn len(&self) -> usize {
+        self.servers
+    }
+    fn pick(&mut self) -> usize {
+        self.rng.index(self.servers)
+    }
+    fn pick_distinct(&mut self, n: usize) -> Vec<usize> {
+        let n = n.min(self.servers);
+        let mut ids: Vec<usize> = (0..self.servers).collect();
+        self.rng.shuffle(&mut ids);
+        ids.truncate(n);
+        ids
+    }
+}
+
 /// Health-tracking policy knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct HealthConfig {

@@ -38,8 +38,7 @@ cargo run --release --offline -p mntp-bench --bin compare -- \
 echo "== repro smoke (quick suite, release) =="
 MNTP_SMOKE=1 cargo test -q --release --offline --test repro_smoke
 
-echo "== fleet artifact is jobs-invariant (serial vs parallel) =="
-cargo test -q --release --offline --test parallel_equivalence \
-    fleet_artifact_identical_serial_vs_parallel
+echo "== fleet is jobs-invariant (artifact + sharded trial) =="
+cargo test -q --release --offline --test parallel_equivalence fleet
 
 echo "CI OK"

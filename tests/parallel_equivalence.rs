@@ -146,3 +146,23 @@ fn fleet_artifact_identical_serial_vs_parallel() {
     let parallel = run_with(8, "parallel");
     assert_eq!(serial[0].1, parallel[0].1, "fleet.txt differs between jobs=1 and jobs=8");
 }
+
+/// The sharded fleet runner itself: one trial's kernel shards ticked by
+/// one worker vs. many must agree on every statistic and on the raw
+/// server-side arrival log, byte for byte. (The artifact test above
+/// parallelizes across trials; this one parallelizes inside a trial.)
+#[test]
+fn fleet_trial_identical_serial_vs_sharded_parallel() {
+    let fingerprint = |jobs: usize| {
+        let (row, arrivals) = experiments::fleet::fleet_trial(600, 41, 120, true, jobs);
+        let log: Vec<(u32, usize, i64, bool, bool, Vec<u8>)> = arrivals
+            .into_iter()
+            .map(|a| (a.client_id, a.server_id, a.at.as_nanos(), a.dropped, a.kod, a.request))
+            .collect();
+        (format!("{row:?}"), log)
+    };
+    let serial = fingerprint(1);
+    assert!(!serial.1.is_empty(), "trial produced no arrivals");
+    assert_eq!(fingerprint(4), serial, "jobs=4 diverged from the serial trial");
+    assert_eq!(fingerprint(8), serial, "jobs=8 diverged from the serial trial");
+}
