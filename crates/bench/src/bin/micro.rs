@@ -284,6 +284,91 @@ fn bench_fleet_kernel(s: &mut Suite) {
     });
 }
 
+fn bench_server_core(s: &mut Suite) {
+    use devtools::par::Pool;
+    use sntp::server_core::{CoreConfig, ReplyRing, RequestRing, ServerCore};
+
+    const BATCH: usize = 4096;
+    fn fill_batch_n(n: usize) -> RequestRing {
+        let mut reqs = RequestRing::with_capacity(n);
+        for i in 0..n as u64 {
+            let at = SimTime::from_millis(10_000 + i as i64);
+            let wire = sntp_profile::client_request(at.to_ntp()).serialize();
+            reqs.push(i, at, &wire);
+        }
+        reqs
+    }
+    fn fill_batch() -> RequestRing {
+        fill_batch_n(BATCH)
+    }
+    let cfg = CoreConfig {
+        min_poll_interval: Some(SimDuration::from_secs(16)),
+        table_capacity: BATCH,
+        ..CoreConfig::default()
+    };
+    // Stage 1 in isolation: zero-copy parse + wire-shape classification
+    // over a full ring, no table or reply work.
+    s.bench("server_core_classify_4k", |b| {
+        let reqs = fill_batch();
+        let mut core = ServerCore::new(cfg);
+        b.iter(|| core.classify_batch(&reqs))
+    });
+    // The headline single-core number: full classify → rate-limit →
+    // emit over a 4096-request batch (pkt/s = 4096 / mean). Arrivals
+    // advance 32 s per iteration so the limiter keeps taking the served
+    // path instead of collapsing into the cheaper KoD write.
+    s.bench("server_core_parse_reply_4k", |b| {
+        let mut reqs = fill_batch();
+        let mut core = ServerCore::new(cfg);
+        let mut out = ReplyRing::new();
+        b.iter(|| {
+            reqs.advance_arrivals(SimDuration::from_secs(32));
+            core.process_batch(&reqs, &mut out);
+            out.len()
+        })
+    });
+    // Stage 2 ablated: rate limiting off, so the delta against the
+    // bench above is the table bookkeeping cost.
+    s.bench("server_core_parse_reply_4k_nolimit", |b| {
+        let mut reqs = fill_batch();
+        let mut core = ServerCore::new(CoreConfig { min_poll_interval: None, ..cfg });
+        let mut out = ReplyRing::new();
+        b.iter(|| {
+            reqs.advance_arrivals(SimDuration::from_secs(32));
+            core.process_batch(&reqs, &mut out);
+            out.len()
+        })
+    });
+    // Sharded scale-out at a batch size where shard work dwarfs the
+    // pool's per-dispatch cost (~90 us, see par_map_256_trivial_jobs4):
+    // a 64k-request batch serially vs 8 shards over 4 workers. Output is
+    // byte-identical either way (the property tests pin that; this pair
+    // measures what the parallelism buys).
+    const BIG: usize = 65_536;
+    s.bench("server_core_parse_reply_64k", |b| {
+        let mut reqs = fill_batch_n(BIG);
+        let mut core = ServerCore::new(CoreConfig { table_capacity: BIG, ..cfg });
+        let mut out = ReplyRing::new();
+        b.iter(|| {
+            reqs.advance_arrivals(SimDuration::from_secs(32));
+            core.process_batch(&reqs, &mut out);
+            out.len()
+        })
+    });
+    s.bench("server_core_parse_reply_64k_sharded8", |b| {
+        let mut reqs = fill_batch_n(BIG);
+        let mut core =
+            ServerCore::new(CoreConfig { shards: 8, table_capacity: BIG, ..cfg });
+        let pool = Pool::with_jobs(4);
+        let mut out = ReplyRing::new();
+        b.iter(|| {
+            reqs.advance_arrivals(SimDuration::from_secs(32));
+            core.process_batch_on(&reqs, &mut out, &pool);
+            out.len()
+        })
+    });
+}
+
 fn main() {
     let mut s = Suite::from_args("micro");
     bench_packet_codec(&mut s);
@@ -298,5 +383,6 @@ fn main() {
     bench_wifi_channel(&mut s);
     bench_exchange(&mut s);
     bench_fleet_kernel(&mut s);
+    bench_server_core(&mut s);
     s.finish().expect("write bench report");
 }

@@ -24,6 +24,7 @@
 //! | [`validation`] | Beyond-paper: estimator checks against ground truth |
 //! | [`faultsweep`] | Beyond-paper: fault-injection survival grid |
 //! | [`fleet`] | Beyond-paper: fleet-scale sweep + simulated server-log analysis |
+//! | [`servercore`] | Beyond-paper: batched server engine under fleet-shaped ingest |
 //!
 //! Every experiment takes an explicit seed; the default seeds used by
 //! `repro` are fixed so the committed EXPERIMENTS.md numbers regenerate
@@ -49,6 +50,7 @@ pub mod fig9and10;
 pub mod harness;
 pub mod render;
 pub mod repro;
+pub mod servercore;
 pub mod table1;
 pub mod table2;
 pub mod validation;

@@ -122,6 +122,7 @@ pub fn expected_ids(quick: bool) -> Vec<&'static str> {
         "extended_scenarios",
         "faultsweep",
         "fleet",
+        "servercore",
     ]);
     ids
 }
@@ -283,6 +284,16 @@ pub fn run(opts: &Options) -> Report {
         tasks.push(Box::new(move || {
             let inner = Pool::with_jobs(1);
             vec![("fleet", fleet::render(&fleet::run_sweep_on(&inner, SEED, quick)))]
+        }));
+    }
+
+    if opts.want("servercore") {
+        // The harness drives the sharded engine itself; serial inner
+        // pool keeps the worker budget at `jobs` overall (the artifact
+        // is pool-invariant regardless).
+        tasks.push(Box::new(move || {
+            let inner = Pool::with_jobs(1);
+            vec![("servercore", servercore::render(&servercore::run_on(&inner, SEED, quick)))]
         }));
     }
 

@@ -21,6 +21,8 @@
 //!   from the (T1, T2, T3, T4) timestamps of one client/server exchange.
 //! * [`sntp_profile`] — RFC 4330 client request construction and the reply
 //!   sanity checks a minimal SNTP client must perform.
+//! * [`view`] — [`view::PacketView`]: zero-copy borrowed parse for the
+//!   batched server-core fast path.
 //!
 //! [RFC 5905]: https://www.rfc-editor.org/rfc/rfc5905
 //! [RFC 4330]: https://www.rfc-editor.org/rfc/rfc4330
@@ -34,9 +36,11 @@ pub mod packet;
 pub mod refid;
 pub mod sntp_profile;
 pub mod timestamp;
+pub mod view;
 
 pub use error::WireError;
 pub use math::Exchange;
 pub use packet::{LeapIndicator, Mode, NtpPacket, Version, PACKET_LEN};
 pub use refid::RefId;
 pub use timestamp::{NtpDuration, NtpShort, NtpTimestamp};
+pub use view::PacketView;

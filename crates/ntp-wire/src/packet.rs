@@ -170,44 +170,88 @@ impl Default for NtpPacket {
     }
 }
 
-/// Write a big-endian `u32` at a fixed offset.
+/// Write a big-endian `u32` at a fixed offset. Every call site passes a
+/// compile-time offset into a ≥48-byte buffer; an out-of-range write is
+/// a no-op rather than a panic (panic-free hot-path policy).
 #[inline]
-fn put_u32_be(buf: &mut [u8], at: usize, v: u32) {
-    buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
+pub(crate) fn put_u32_be(buf: &mut [u8], at: usize, v: u32) {
+    if let Some(dst) = buf.get_mut(at..at + 4) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    }
 }
 
-/// Write a big-endian `u64` at a fixed offset.
+/// Write a big-endian `u64` at a fixed offset (see [`put_u32_be`]).
 #[inline]
-fn put_u64_be(buf: &mut [u8], at: usize, v: u64) {
-    buf[at..at + 8].copy_from_slice(&v.to_be_bytes());
+pub(crate) fn put_u64_be(buf: &mut [u8], at: usize, v: u64) {
+    if let Some(dst) = buf.get_mut(at..at + 8) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    }
 }
 
-/// Read a big-endian `u32` from a fixed offset.
+/// Read a big-endian `u32` from a fixed offset. Call sites pass
+/// compile-time offsets into length-checked buffers; an out-of-range
+/// read yields zero rather than a panic (panic-free hot-path policy).
 #[inline]
-fn get_u32_be(buf: &[u8], at: usize) -> u32 {
-    u32::from_be_bytes(buf[at..at + 4].try_into().expect("4-byte slice"))
+pub(crate) fn get_u32_be(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    if let Some(src) = buf.get(at..at + 4) {
+        b.copy_from_slice(src);
+    }
+    u32::from_be_bytes(b)
 }
 
-/// Read a big-endian `u64` from a fixed offset.
+/// Read a big-endian `u64` from a fixed offset (see [`get_u32_be`]).
 #[inline]
-fn get_u64_be(buf: &[u8], at: usize) -> u64 {
-    u64::from_be_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
+pub(crate) fn get_u64_be(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    if let Some(src) = buf.get(at..at + 8) {
+        b.copy_from_slice(src);
+    }
+    u64::from_be_bytes(b)
 }
 
 impl NtpPacket {
-    /// Serialize into a fresh 48-byte vector.
+    /// Serialize into a fresh 48-byte vector — a thin wrapper over
+    /// [`NtpPacket::to_bytes`] for callers that want an owned buffer.
+    /// Hot paths should use [`NtpPacket::serialize_into`] (write into a
+    /// preallocated arena) or [`NtpPacket::to_bytes`] (stack array)
+    /// instead; both are allocation-free.
     pub fn serialize(&self) -> Vec<u8> {
+        self.to_bytes().to_vec()
+    }
+
+    /// Encode into a fixed 48-byte array on the stack (no heap).
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; PACKET_LEN] {
         let mut buf = [0u8; PACKET_LEN];
         self.write_bytes(&mut buf);
-        buf.to_vec()
+        buf
+    }
+
+    /// Encode into the first 48 bytes of a caller-provided buffer
+    /// without allocating; bytes past [`PACKET_LEN`] are untouched.
+    /// Fails (writing nothing) when the buffer is too short.
+    #[inline]
+    pub fn serialize_into(&self, buf: &mut [u8]) -> Result<(), WireError> {
+        let have = buf.len();
+        let head: Option<&mut [u8; PACKET_LEN]> =
+            buf.get_mut(..PACKET_LEN).and_then(|s| s.try_into().ok());
+        match head {
+            Some(arr) => {
+                self.write_bytes(arr);
+                Ok(())
+            }
+            None => Err(WireError::Truncated { have, need: PACKET_LEN }),
+        }
     }
 
     /// Encode into a caller-provided 48-byte buffer (no allocation).
     pub fn write_bytes(&self, buf: &mut [u8; PACKET_LEN]) {
-        buf[0] = ((self.leap as u8) << 6) | ((self.version.0 & 0b111) << 3) | self.mode as u8;
-        buf[1] = self.stratum;
-        buf[2] = self.poll as u8;
-        buf[3] = self.precision as u8;
+        let [b0, b1, b2, b3, ..] = buf;
+        *b0 = ((self.leap as u8) << 6) | ((self.version.0 & 0b111) << 3) | self.mode as u8;
+        *b1 = self.stratum;
+        *b2 = self.poll as u8;
+        *b3 = self.precision as u8;
         put_u32_be(buf, 4, self.root_delay.to_bits());
         put_u32_be(buf, 8, self.root_dispersion.to_bits());
         put_u32_be(buf, 12, self.reference_id.0);
@@ -220,10 +264,12 @@ impl NtpPacket {
     /// Parse from a byte slice. Trailing bytes (extension fields, MAC) are
     /// ignored, mirroring how a minimal SNTP client treats them.
     pub fn parse(data: &[u8]) -> Result<Self, WireError> {
+        let &[first, stratum, poll, precision, ..] = data else {
+            return Err(WireError::Truncated { have: data.len(), need: PACKET_LEN });
+        };
         if data.len() < PACKET_LEN {
             return Err(WireError::Truncated { have: data.len(), need: PACKET_LEN });
         }
-        let first = data[0];
         let leap = LeapIndicator::from_bits(first >> 6);
         let version = (first >> 3) & 0b111;
         if !(1..=4).contains(&version) {
@@ -234,9 +280,9 @@ impl NtpPacket {
             leap,
             version: Version(version),
             mode,
-            stratum: data[1],
-            poll: data[2] as i8,
-            precision: data[3] as i8,
+            stratum,
+            poll: poll as i8,
+            precision: precision as i8,
             root_delay: NtpShort::from_bits(get_u32_be(data, 4)),
             root_dispersion: NtpShort::from_bits(get_u32_be(data, 8)),
             reference_id: RefId(get_u32_be(data, 12)),
@@ -408,6 +454,35 @@ mod tests {
         let mut buf = [0u8; PACKET_LEN];
         sample().write_bytes(&mut buf);
         assert_eq!(buf.to_vec(), sample().serialize());
+    }
+
+    #[test]
+    fn serialize_into_matches_serialize_and_spares_the_tail() {
+        let p = sample();
+        // Exactly 48 bytes.
+        let mut exact = [0u8; PACKET_LEN];
+        p.serialize_into(&mut exact).unwrap();
+        assert_eq!(exact.to_vec(), p.serialize());
+        // A longer arena slot: the 16 trailing bytes must survive.
+        let mut arena = [0xAAu8; PACKET_LEN + 16];
+        p.serialize_into(&mut arena).unwrap();
+        assert_eq!(arena[..PACKET_LEN].to_vec(), p.serialize());
+        assert_eq!(arena[PACKET_LEN..], [0xAAu8; 16]);
+    }
+
+    #[test]
+    fn serialize_into_short_buffer_rejected_untouched() {
+        let p = sample();
+        let mut short = [0x55u8; PACKET_LEN - 1];
+        let err = p.serialize_into(&mut short).unwrap_err();
+        assert_eq!(err, WireError::Truncated { have: PACKET_LEN - 1, need: PACKET_LEN });
+        assert_eq!(short, [0x55u8; PACKET_LEN - 1], "failed write must not scribble");
+    }
+
+    #[test]
+    fn to_bytes_matches_serialize() {
+        let p = sample();
+        assert_eq!(p.to_bytes().to_vec(), p.serialize());
     }
 
     #[test]

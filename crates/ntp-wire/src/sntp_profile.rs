@@ -10,8 +10,9 @@
 //! behaviour (including vendor quirks) on top.
 
 use crate::error::WireError;
-use crate::packet::{LeapIndicator, Mode, NtpPacket, Version};
+use crate::packet::{put_u32_be, put_u64_be, LeapIndicator, Mode, NtpPacket, Version, PACKET_LEN};
 use crate::timestamp::NtpTimestamp;
+use crate::view::PacketView;
 
 /// Build an SNTP client request per RFC 4330 §4: all fields zero except the
 /// first octet and the transmit timestamp, which carries the client's send
@@ -45,6 +46,64 @@ pub fn server_reply(
         receive_ts: t2,
         transmit_ts: t3,
     }
+}
+
+/// Allocation-free [`server_reply`]: write the reply straight into a
+/// caller-provided 48-byte slot, echoing the request's version, poll, and
+/// transmit timestamp directly from the borrowed [`PacketView`] — no
+/// intermediate [`NtpPacket`] is built on either side. Byte-identical to
+/// `server_reply(&request.to_packet(), ...).serialize()`, pinned by a
+/// property test below.
+#[inline]
+pub fn write_server_reply_into(
+    request: &PacketView<'_>,
+    t2: NtpTimestamp,
+    t3: NtpTimestamp,
+    stratum: u8,
+    reference_id: crate::refid::RefId,
+    reference_ts: NtpTimestamp,
+    out: &mut [u8; PACKET_LEN],
+) {
+    // LI = NoWarning (0), VN echoed from the request, Mode = Server.
+    // Fixed-array destructure: no bounds checks, structurally panic-free.
+    let [b0, b1, b2, b3, ..] = out;
+    *b0 = ((request.version().0 & 0b111) << 3) | Mode::Server as u8;
+    *b1 = stratum;
+    *b2 = request.poll() as u8;
+    *b3 = (-20i8) as u8;
+    let one_ms = crate::timestamp::NtpShort::from_millis(1).to_bits();
+    put_u32_be(out, 4, one_ms); // root delay
+    put_u32_be(out, 8, one_ms); // root dispersion
+    put_u32_be(out, 12, reference_id.0);
+    put_u64_be(out, 16, reference_ts.to_bits());
+    // Origin = request transmit, copied as raw wire bytes (zero decode).
+    if let Some(dst) = out.get_mut(24..32) {
+        dst.copy_from_slice(request.transmit_ts_raw());
+    }
+    put_u64_be(out, 32, t2.to_bits());
+    put_u64_be(out, 40, t3.to_bits());
+}
+
+/// Allocation-free kiss-o'-death writer: stratum-0 server reply carrying
+/// `kiss` as its reference id, origin echoing the request, transmit `t3`,
+/// every other field zero (the layout `SimServer` KoDs have always used:
+/// default version 4, zero poll/precision, zero receive timestamp).
+#[inline]
+pub fn write_kod_into(
+    request: &PacketView<'_>,
+    kiss: crate::refid::RefId,
+    t3: NtpTimestamp,
+    out: &mut [u8; PACKET_LEN],
+) {
+    out.fill(0);
+    // LI = NoWarning, VN = 4 (default — deliberately NOT echoed), Mode = Server.
+    let [b0, ..] = out;
+    *b0 = ((Version::V4.0 & 0b111) << 3) | Mode::Server as u8;
+    put_u32_be(out, 12, kiss.0);
+    if let Some(dst) = out.get_mut(24..32) {
+        dst.copy_from_slice(request.transmit_ts_raw());
+    }
+    put_u64_be(out, 40, t3.to_bits());
 }
 
 /// What a structurally valid reply turned out to be.
@@ -242,5 +301,119 @@ mod tests {
         let (req, rep) = good_pair();
         assert_eq!(rep.origin_ts, req.transmit_ts);
         assert_eq!(rep.version, req.version);
+    }
+
+    #[test]
+    fn write_server_reply_into_matches_builder_path() {
+        let req = client_request(ts(500));
+        let req_bytes = req.serialize();
+        let view = PacketView::new(&req_bytes).unwrap();
+        let mut fast = [0u8; PACKET_LEN];
+        write_server_reply_into(
+            &view,
+            ts(501),
+            ts(502),
+            2,
+            RefId::ipv4(9, 8, 7, 6),
+            ts(490),
+            &mut fast,
+        );
+        let slow =
+            server_reply(&req, ts(501), ts(502), 2, RefId::ipv4(9, 8, 7, 6), ts(490)).serialize();
+        assert_eq!(fast.to_vec(), slow);
+    }
+
+    #[test]
+    fn write_kod_into_matches_builder_path() {
+        // The reference layout SimServer has always emitted: default
+        // packet + Server mode, stratum 0, kiss refid, origin echo, t3.
+        let req = client_request(ts(700));
+        let req_bytes = req.serialize();
+        let view = PacketView::new(&req_bytes).unwrap();
+        let mut fast = [0xFFu8; PACKET_LEN]; // prove the fill(0) matters
+        write_kod_into(&view, RefId::KISS_RATE, ts(701), &mut fast);
+        let slow = NtpPacket {
+            mode: Mode::Server,
+            stratum: 0,
+            reference_id: RefId::KISS_RATE,
+            origin_ts: req.transmit_ts,
+            transmit_ts: ts(701),
+            ..Default::default()
+        }
+        .serialize();
+        assert_eq!(fast.to_vec(), slow);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::refid::RefId;
+    use devtools::prop::{self, Gen};
+    use devtools::{prop_assert_eq, props};
+
+    /// An arbitrary *valid* request header as raw parts: first octet with
+    /// version 1..=4 and mode 1..=7, plus poll and transmit-ts entropy
+    /// (the only request fields a reply echoes).
+    fn arb_request() -> impl Gen<Value = (i64, i64, i64, u64, u64)> {
+        (
+            prop::ints_incl(1, 4), // version
+            prop::ints_incl(1, 7), // mode bits
+            prop::ints_incl(-128, 127), // poll
+            prop::any_u64(),       // transmit ts bits
+            prop::any_u64(),       // t2 bits (t3 derived)
+        )
+    }
+
+    fn request_packet(vn: i64, mode: i64, poll: i64, tx: u64) -> NtpPacket {
+        NtpPacket {
+            version: crate::packet::Version(vn as u8),
+            mode: crate::packet::Mode::from_bits(mode as u8).unwrap(),
+            poll: poll as i8,
+            transmit_ts: NtpTimestamp::from_bits(tx),
+            ..Default::default()
+        }
+    }
+
+    props! {
+        /// The zero-copy reply writer is byte-identical to building a
+        /// packet with `server_reply` and serializing it, for any valid
+        /// request header and timestamps.
+        fn fast_reply_matches_slow(parts in arb_request()) {
+            let (vn, mode, poll, tx, t2_bits) = parts;
+            let req = request_packet(vn, mode, poll, tx);
+            let req_bytes = req.serialize();
+            let view = PacketView::new(&req_bytes).unwrap();
+            let t2 = NtpTimestamp::from_bits(t2_bits);
+            let t3 = NtpTimestamp::from_bits(t2_bits.wrapping_add(1 << 20));
+            let refid = RefId::ipv4(172, 16, 0, 1);
+            let reference_ts = NtpTimestamp::from_bits(t2_bits.wrapping_sub(1 << 32));
+            let mut fast = [0u8; PACKET_LEN];
+            write_server_reply_into(&view, t2, t3, 2, refid, reference_ts, &mut fast);
+            let slow = server_reply(&req, t2, t3, 2, refid, reference_ts).serialize();
+            prop_assert_eq!(fast.to_vec(), slow);
+        }
+
+        /// Same for the kiss-o'-death writer against the packet-builder
+        /// layout the sim server emits.
+        fn fast_kod_matches_slow(parts in arb_request()) {
+            let (vn, mode, poll, tx, t3_bits) = parts;
+            let req = request_packet(vn, mode, poll, tx);
+            let req_bytes = req.serialize();
+            let view = PacketView::new(&req_bytes).unwrap();
+            let t3 = NtpTimestamp::from_bits(t3_bits);
+            let mut fast = [0xAAu8; PACKET_LEN];
+            write_kod_into(&view, RefId::KISS_RATE, t3, &mut fast);
+            let slow = NtpPacket {
+                mode: crate::packet::Mode::Server,
+                stratum: 0,
+                reference_id: RefId::KISS_RATE,
+                origin_ts: req.transmit_ts,
+                transmit_ts: t3,
+                ..Default::default()
+            }
+            .serialize();
+            prop_assert_eq!(fast.to_vec(), slow);
+        }
     }
 }

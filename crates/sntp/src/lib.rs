@@ -25,6 +25,9 @@
 //!   ramp and tail costs.
 //! * [`retry`] — capped exponential backoff with deterministic jitter,
 //!   the pacing policy hardened clients use after failures.
+//! * [`server_core`] — the batched byte-level server engine: arena-backed
+//!   zero-copy parse → classify → sharded rate-limit → in-place reply
+//!   emission, behaviorally pinned to [`server::SimServer`].
 //!
 //! The hardened-client surface ([`exchange::perform_exchange_faulted`],
 //! [`pool::HealthTracker`], kiss-o'-death handling via
@@ -41,6 +44,7 @@ pub mod fleet;
 pub mod pool;
 pub mod retry;
 pub mod server;
+pub mod server_core;
 pub mod vendor;
 
 pub use client::{OffsetSample, ReplyOutcome, SntpClient};
@@ -58,3 +62,4 @@ pub use pool::{
 };
 pub use retry::{Backoff, BackoffConfig};
 pub use server::SimServer;
+pub use server_core::{CoreConfig, CoreStats, RateTable, ReplyRing, RequestRing, ServerCore};

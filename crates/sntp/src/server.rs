@@ -13,6 +13,8 @@ use clocksim::ReferenceClock;
 use netsim::link::Link;
 use ntp_wire::{refid::RefId, sntp_profile, NtpPacket, WireError};
 
+use crate::server_core::RateTable;
+
 /// A simulated NTP server.
 pub struct SimServer {
     /// Server index within its pool.
@@ -39,8 +41,9 @@ pub struct SimServer {
     /// from one client before the server answers `RATE` (public pool
     /// servers enforce exactly this against abusive SNTP clients).
     pub min_poll_interval: Option<SimDuration>,
-    /// Arrival time of the previous request (rate-limit state).
-    last_request: Option<SimTime>,
+    /// Per-client arrival times of the previous request (rate-limit
+    /// state, keyed the way a real pool server keys it: by source).
+    last_request: RateTable,
     /// KoD replies sent (diagnostics).
     pub kod_sent: u64,
 }
@@ -48,8 +51,29 @@ pub struct SimServer {
 impl SimServer {
     /// Answer a request that arrived (fully parsed) at true time
     /// `arrival`. Returns serialized reply bytes and the departure time.
+    ///
+    /// This is the classic single-client pool path: the whole
+    /// `pool`/`exchange` stack drives one simulated device against its
+    /// server pool, so every request through here is that one device and
+    /// rate-limit state is keyed under a single implicit client. For
+    /// multi-client use, call [`SimServer::handle_from`] with a distinct
+    /// key per source, or requests from different clients would be
+    /// conflated into one spacing stream and KoD each other.
     pub fn handle(
         &mut self,
+        request_bytes: &[u8],
+        arrival: SimTime,
+    ) -> Result<(Vec<u8>, SimTime), WireError> {
+        self.handle_from(0, request_bytes, arrival)
+    }
+
+    /// Answer a request from a specific client key (source surrogate).
+    /// Rate limiting compares this client's arrival spacing only against
+    /// its own previous request, exactly like the batched
+    /// [`crate::server_core::ServerCore`] pipeline.
+    pub fn handle_from(
+        &mut self,
+        client: u64,
         request_bytes: &[u8],
         arrival: SimTime,
     ) -> Result<(Vec<u8>, SimTime), WireError> {
@@ -57,10 +81,9 @@ impl SimServer {
         // Rate limiting: answer a kiss-o'-death instead of time.
         let mut too_fast = false;
         if let Some(min) = self.min_poll_interval {
-            too_fast = self
-                .last_request
-                .is_some_and(|prev| (arrival - prev).as_nanos() < min.as_nanos());
-            self.last_request = Some(arrival);
+            let arrival_ns = arrival.as_nanos();
+            let prev = self.last_request.upsert(client, arrival_ns);
+            too_fast = prev.is_some_and(|p| arrival_ns - p < min.as_nanos());
         }
         let departure = arrival + self.proc_delay;
         Ok(self.serve(&request, arrival, departure, too_fast))
@@ -112,7 +135,7 @@ impl SimServer {
             true_error_ms: error_ms,
             rng: rng.fork(1000 + id as u64),
             min_poll_interval: None,
-            last_request: None,
+            last_request: RateTable::with_capacity(16),
             kod_sent: 0,
         }
     }
@@ -184,6 +207,32 @@ mod tests {
         // After backing off, service resumes.
         let (r3, _) = s.handle(&req, SimTime::from_secs(30)).unwrap();
         assert!(!NtpPacket::parse(&r3).unwrap().is_kiss_of_death());
+    }
+
+    /// Two clients interleaving requests must not trip each other's rate
+    /// limit: each polls at a compliant 10 s cadence, but their combined
+    /// arrival stream at the server is one request every 5 s — under the
+    /// 8 s minimum. With the old single-slot `last_request` this KoD'd
+    /// every request after the first; per-client keying serves them all.
+    #[test]
+    fn interleaved_clients_do_not_kod_each_other() {
+        let mut s = server(0.0).with_rate_limit(SimDuration::from_secs(8));
+        let req = sntp_profile::client_request(NtpTimestamp::from_parts(1, 0)).serialize();
+        for i in 0..8i64 {
+            let client = (i % 2) as u64 + 1;
+            let arrival = SimTime::from_secs(i * 5);
+            let (reply, _) = s.handle_from(client, &req, arrival).unwrap();
+            assert!(
+                !NtpPacket::parse(&reply).unwrap().is_kiss_of_death(),
+                "client {client} KoD'd at t={}s by its peer's traffic",
+                i * 5
+            );
+        }
+        assert_eq!(s.kod_sent, 0);
+        // The limit still bites a genuinely abusive client.
+        let (reply, _) = s.handle_from(1, &req, SimTime::from_secs(37)).unwrap();
+        assert!(NtpPacket::parse(&reply).unwrap().is_kiss_of_death());
+        assert_eq!(s.kod_sent, 1);
     }
 
     #[test]

@@ -41,4 +41,8 @@ MNTP_SMOKE=1 cargo test -q --release --offline --test repro_smoke
 echo "== fleet is jobs-invariant (artifact + sharded trial) =="
 cargo test -q --release --offline --test parallel_equivalence fleet
 
+echo "== server core: pinned to SimServer, (shards, jobs)-invariant =="
+cargo test -q --release --offline --test server_core_equivalence
+cargo test -q --release --offline --test parallel_equivalence servercore
+
 echo "CI OK"

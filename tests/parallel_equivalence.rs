@@ -147,6 +147,43 @@ fn fleet_artifact_identical_serial_vs_parallel() {
     assert_eq!(serial[0].1, parallel[0].1, "fleet.txt differs between jobs=1 and jobs=8");
 }
 
+/// The server-core ingest harness: its artifact folds in a lockstep
+/// serial-vs-sharded engine comparison over every batch, and the
+/// rendered bytes (traffic shape, fates, the equality verdict) must not
+/// depend on the worker count driving the sharded engine.
+#[test]
+fn servercore_artifact_identical_serial_vs_parallel() {
+    let ids = ["servercore"];
+    let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
+        let out_dir = std::env::temp_dir().join(format!("mntp_equiv_servercore_{tag}"));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let opts = repro::Options {
+            quick: true,
+            selected: ids.iter().map(|s| s.to_string()).collect(),
+            out_dir: out_dir.clone(),
+            jobs: Some(jobs),
+            print: false,
+        };
+        let report = repro::run(&opts);
+        assert!(report.write_failures.is_empty(), "write failures: {:?}", report.write_failures);
+        let arts = read_artifacts(&out_dir, &ids);
+        let _ = std::fs::remove_dir_all(&out_dir);
+        arts
+    };
+    let serial = run_with(1, "serial");
+    let parallel = run_with(8, "parallel");
+    assert_eq!(
+        serial[0].1, parallel[0].1,
+        "servercore.txt differs between jobs=1 and jobs=8"
+    );
+    let body = String::from_utf8_lossy(&serial[0].1).into_owned();
+    assert!(
+        body.contains("== serial reply stream: yes"),
+        "lockstep engine comparison failed:\n{body}"
+    );
+}
+
 /// The sharded fleet runner itself: one trial's kernel shards ticked by
 /// one worker vs. many must agree on every statistic and on the raw
 /// server-side arrival log, byte for byte. (The artifact test above
