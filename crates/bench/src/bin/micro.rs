@@ -251,6 +251,7 @@ fn bench_fleet_kernel(s: &mut Suite) {
         let mut net = FleetNet::new(&fcfg, 30);
         let mut pool = ServerPool::new(PoolConfig { size: 4, ..PoolConfig::default() }, 31);
         let cfg = FleetRunConfig {
+            start_secs: 0.0,
             duration_secs: 5,
             tick_secs: 1.0,
             sample_period_secs: 5.0,
@@ -271,6 +272,7 @@ fn bench_fleet_kernel(s: &mut Suite) {
         let mut net = FleetNet::new(&fcfg, 32);
         let mut pool = ServerPool::new(PoolConfig { size: 4, ..PoolConfig::default() }, 33);
         let cfg = FleetRunConfig {
+            start_secs: 0.0,
             duration_secs: 2,
             tick_secs: 1.0,
             sample_period_secs: 2.0,
@@ -282,6 +284,85 @@ fn bench_fleet_kernel(s: &mut Suite) {
             run_fleet(&mut clients, &mut net, &mut pool, &cfg).polls_sent
         })
     });
+}
+
+fn bench_chaos_fleet(s: &mut Suite) {
+    use devtools::par::Pool;
+    use mntp::{
+        run_fleet_chaos_on, ChaosSession, Discipline, FleetClient, FleetRunConfig, SntpDiscipline,
+    };
+    use netsim::chaos::{ChaosEvent, ClientRange, FleetFaultPlan};
+    use netsim::fleet::{FleetConfig, FleetNet};
+    use netsim::ServerSet;
+    use sntp::fleet::RequestShape;
+    use sntp::{PickLane, PoolConfig, ServerPool};
+
+    const N: usize = 10_000;
+    fn clients() -> Vec<FleetClient> {
+        (0..N)
+            .map(|i| FleetClient {
+                discipline: Box::new(SntpDiscipline::naive().self_paced(5.0))
+                    as Box<dyn Discipline>,
+                clock: {
+                    let osc =
+                        clocksim::OscillatorConfig::laptop().build(SimRng::new(400 + i as u64));
+                    clocksim::SimClock::new(osc, SimTime::ZERO)
+                },
+                select: PickLane::new(4, 500 + i as u64),
+                shape: RequestShape::Sntp,
+            })
+            .collect()
+    }
+    // The chaos runner's per-tick overhead: the same 10k-client step
+    // with an empty plan vs one whose windows fire mid-run (a storm,
+    // an outage, and a step wave all active). The pair bounds what the
+    // fault-injection layer costs the un-faulted hot path (<5% is the
+    // acceptance bar; the latch scan is O(windows) per client-tick).
+    let plans: [(&str, fn() -> FleetFaultPlan); 2] = [
+        ("chaosfleet_10k_step_noplan", FleetFaultPlan::none as fn() -> FleetFaultPlan),
+        ("chaosfleet_10k_step", || {
+            FleetFaultPlan::new(9)
+                .window(
+                    1.0,
+                    4.0,
+                    ChaosEvent::RegionalLossStorm {
+                        region: ClientRange::new(0, (N / 4) as u32),
+                        loss_prob: 0.5,
+                    },
+                )
+                .window(1.0, 4.0, ChaosEvent::ServerOutage { servers: ServerSet::One(0) })
+                .window(
+                    2.0,
+                    3.0,
+                    ChaosEvent::ClockStepWave {
+                        region: ClientRange::new(0, (N / 4) as u32),
+                        offset_ms: -80.0,
+                    },
+                )
+        }),
+    ];
+    for (name, mk_plan) in plans {
+        s.bench(name, move |b| {
+            let fcfg = FleetConfig { clients: N, servers: 4, shards: 8, ..FleetConfig::default() };
+            let mut net = FleetNet::new(&fcfg, 40);
+            let mut pool = ServerPool::new(PoolConfig { size: 4, ..PoolConfig::default() }, 41);
+            let par = Pool::with_jobs(1);
+            let cfg = FleetRunConfig {
+                start_secs: 0.0,
+                duration_secs: 5,
+                tick_secs: 1.0,
+                sample_period_secs: 5.0,
+                collect_arrivals: false,
+                steady_cutoff_secs: Some(1.0),
+            };
+            b.iter(|| {
+                let mut cl = clients();
+                let mut session = ChaosSession::new(mk_plan(), &mut net, Vec::new(), 0);
+                run_fleet_chaos_on(&par, &mut cl, &mut net, &mut pool, &cfg, &mut session)
+                    .polls_sent
+            })
+        });
+    }
 }
 
 fn bench_server_core(s: &mut Suite) {
@@ -383,6 +464,7 @@ fn main() {
     bench_wifi_channel(&mut s);
     bench_exchange(&mut s);
     bench_fleet_kernel(&mut s);
+    bench_chaos_fleet(&mut s);
     bench_server_core(&mut s);
     s.finish().expect("write bench report");
 }

@@ -54,6 +54,23 @@ pub struct MntpConfig {
     pub drift_correction: bool,
     /// What to do with accepted offsets.
     pub apply_mode: ApplyMode,
+    /// In [`ApplyMode::Slew`], step instead of slewing when an accepted
+    /// offset exceeds this many ms (ntpd's step threshold, `STEPT`).
+    /// A slew is rate-capped, so a large correction takes minutes to
+    /// apply — during which every new sample still measures the
+    /// uncorrected remainder and fights the trend filter's translated
+    /// frame. Stepping past the threshold keeps the filter's
+    /// instant-application assumption true. `None` always slews.
+    pub step_threshold_ms: Option<f64>,
+    /// ntpd's stepout analogue: after this many *consecutive* trend
+    /// rejections whose median offset exceeds
+    /// [`step_threshold_ms`](MntpConfig::step_threshold_ms), step the
+    /// clock by that median anyway. A trend filter on a noisy channel
+    /// can reject a genuinely stepped clock forever (its re-anchor
+    /// needs a cleaner cluster than the channel will ever produce); a
+    /// persistently large offset must eventually win over the filter's
+    /// opinion. `None` disables; requires `step_threshold_ms`.
+    pub stepout_rejects: Option<u32>,
 
     // ---- robustness / holdover knobs (beyond the paper) ----
     /// Consecutive regular-phase query failures before the engine gives
@@ -85,6 +102,8 @@ impl Default for MntpConfig {
             reestimate_drift: true,
             drift_correction: true,
             apply_mode: ApplyMode::RecordOnly,
+            step_threshold_ms: None,
+            stepout_rejects: None,
             holdover_after_failures: 3,
             holdover_base_wait_secs: 30.0,
             holdover_max_wait_secs: 480.0,

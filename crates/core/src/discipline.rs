@@ -126,6 +126,11 @@ pub struct MntpDiscipline {
     tuner: Option<AutoTuner>,
     health: Option<HealthTracker>,
     round: RoundKind,
+    /// When set, regular-phase rounds query this many *distinct*
+    /// servers and run intersection/cluster/combine selection
+    /// ([`crate::selection::select_round`]) over the answers instead of
+    /// trusting a single source.
+    resilient_fanout: Option<usize>,
 }
 
 impl MntpDiscipline {
@@ -136,6 +141,7 @@ impl MntpDiscipline {
             tuner: None,
             health: None,
             round: RoundKind::Single,
+            resilient_fanout: None,
         }
     }
 
@@ -146,6 +152,7 @@ impl MntpDiscipline {
             tuner: Some(AutoTuner::new(tune)),
             health: None,
             round: RoundKind::Single,
+            resilient_fanout: None,
         }
     }
 
@@ -158,7 +165,37 @@ impl MntpDiscipline {
             tuner: None,
             health: Some(HealthTracker::new(pool_len, rcfg.health.clone(), rcfg.health_seed)),
             round: RoundKind::Single,
+            resilient_fanout: None,
         }
+    }
+
+    /// The falseticker-resilient stack: [`hardened`] plus regular-phase
+    /// fan-out — every regular round queries `fanout` distinct servers
+    /// and feeds the answers through the RFC 5905-style
+    /// intersection/cluster/combine selection, so a pool member that
+    /// turns falseticker *mid-run* (after warmup vetting) is outvoted
+    /// and demoted instead of steering the clock.
+    ///
+    /// [`hardened`]: MntpDiscipline::hardened
+    pub fn resilient(
+        cfg: MntpConfig,
+        rcfg: &RobustConfig,
+        pool_len: usize,
+        fanout: usize,
+    ) -> Self {
+        let mut d = MntpDiscipline::hardened(cfg, rcfg, pool_len);
+        d.resilient_fanout = Some(fanout.clamp(2, pool_len.max(2)));
+        d
+    }
+
+    /// Attach an AIMD wait tuner to any stack (builder-style). The
+    /// hardened and resilient constructors ship without one; a fleet
+    /// that wants rejection streaks to speed sampling up — so a stepped
+    /// or re-anchoring client re-converges in rounds, not multiples of
+    /// the full regular wait — opts in here.
+    pub fn with_autotune(mut self, tune: crate::autotune::AutoTuneConfig) -> Self {
+        self.tuner = Some(AutoTuner::new(tune));
+        self
     }
 
     /// Hand the tuner back (for reporting), consuming the discipline.
@@ -214,6 +251,76 @@ impl MntpDiscipline {
         QueryOutcome::WarmupRound {
             offsets_ms: offsets,
             false_tickers: (self.engine.stats.false_tickers_rejected - before) as usize,
+        }
+    }
+
+    /// A fan-out regular round: health accounting for every entry, then
+    /// selection over the answers. The combined offset feeds the engine
+    /// exactly like a single-server sample; servers the selection
+    /// discarded are demoted in the health tracker so future rounds
+    /// de-prioritize them.
+    fn resilient_complete(
+        &mut self,
+        t: SimTime,
+        clock: &mut SimClock,
+        round: &[ExchangeResult],
+    ) -> QueryOutcome {
+        let ts = t.as_secs_f64();
+        for r in round {
+            match r.outcome {
+                Ok(_) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_success(r.server_id, ts);
+                    }
+                }
+                Err(ExchangeError::KissODeath(code)) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_kod(r.server_id, code, ts);
+                    }
+                }
+                Err(_) => {
+                    if let Some(h) = &mut self.health {
+                        h.on_failure(r.server_id, ts);
+                    }
+                }
+            }
+        }
+        match crate::selection::select_round(round) {
+            Some(sel) => {
+                if let Some(h) = &mut self.health {
+                    for id in &sel.discarded {
+                        h.on_failure(*id, ts);
+                    }
+                }
+                let verdict = self.engine.on_regular_sample(clock.now(t), sel.offset_ms);
+                if let Some(tu) = &mut self.tuner {
+                    self.engine.set_regular_wait_secs(tu.on_verdict(&verdict));
+                }
+                match verdict {
+                    SampleVerdict::Accepted { offset_ms } => QueryOutcome::Accepted { offset_ms },
+                    SampleVerdict::Rejected { offset_ms } => QueryOutcome::Rejected { offset_ms },
+                    SampleVerdict::Recovered { offset_ms } => QueryOutcome::Recovered { offset_ms },
+                }
+            }
+            None => {
+                // No majority clique (or nothing answered): the round
+                // produced no trustworthy sample. Surface a KoD if one
+                // arrived — the fleet's rate accounting depends on it.
+                let kod = round.iter().find_map(|r| match r.outcome {
+                    Err(ExchangeError::KissODeath(code)) => Some(code),
+                    _ => None,
+                });
+                self.engine.on_query_failed(clock.now(t));
+                match kod {
+                    Some(code) => QueryOutcome::KissODeath { code },
+                    None if self.engine.phase() == Phase::Holdover => {
+                        QueryOutcome::HoldoverFailed {
+                            predicted_ms: self.engine.predicted_offset_ms(clock.now(t)),
+                        }
+                    }
+                    None => QueryOutcome::Failed,
+                }
+            }
         }
     }
 
@@ -305,11 +412,22 @@ impl Discipline for MntpDiscipline {
             }
             MntpAction::QuerySingle => {
                 self.round = RoundKind::Single;
-                let id = match &mut self.health {
-                    Some(h) => h.pick(t.as_secs_f64()),
-                    None => select.pick(),
-                };
-                Directive::Query(vec![id])
+                match self.resilient_fanout {
+                    Some(n) => {
+                        let ids = match &mut self.health {
+                            Some(h) => h.pick_distinct(n, t.as_secs_f64()),
+                            None => select.pick_distinct(n),
+                        };
+                        Directive::Query(ids)
+                    }
+                    None => {
+                        let id = match &mut self.health {
+                            Some(h) => h.pick(t.as_secs_f64()),
+                            None => select.pick(),
+                        };
+                        Directive::Query(vec![id])
+                    }
+                }
             }
         }
     }
@@ -322,6 +440,9 @@ impl Discipline for MntpDiscipline {
     ) -> Option<QueryOutcome> {
         Some(match self.round {
             RoundKind::Warmup => self.warmup_complete(t, clock, round),
+            RoundKind::Single if self.resilient_fanout.is_some() => {
+                self.resilient_complete(t, clock, round)
+            }
             RoundKind::Single => self.single_complete(t, clock, round),
         })
     }
@@ -441,5 +562,191 @@ impl Discipline for SntpDiscipline {
 
     fn take_commands(&mut self) -> Vec<ClockCommand> {
         std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksim::rng::SimRng;
+    use clocksim::time::SimDuration;
+    use clocksim::OscillatorConfig;
+    use ntp_wire::NtpDuration;
+    use sntp::exchange::CompletedExchange;
+    use sntp::{OffsetSample, PickLane};
+
+    fn mk_clock(seed: u64) -> SimClock {
+        let osc = OscillatorConfig::laptop().with_skew_ppm(20.0).build(SimRng::new(seed));
+        SimClock::new(osc, SimTime::ZERO)
+    }
+
+    fn good_hints() -> WirelessHints {
+        WirelessHints { rssi_dbm: -40.0, noise_dbm: -95.0 }
+    }
+
+    fn ok(server_id: usize, offset_ms: f64) -> ExchangeResult {
+        let sample = OffsetSample {
+            offset: NtpDuration::from_seconds_f64(offset_ms / 1e3),
+            delay: NtpDuration::from_seconds_f64(0.02),
+            t1: ntp_wire::NtpTimestamp::from_parts(0, 0),
+            t4: ntp_wire::NtpTimestamp::from_parts(0, 0),
+            stratum: 2,
+        };
+        ExchangeResult {
+            server_id,
+            outcome: Ok(CompletedExchange {
+                sample,
+                true_fwd: SimDuration::from_millis(10),
+                true_back: SimDuration::from_millis(10),
+                completed_at: SimTime::ZERO,
+                server_id,
+            }),
+        }
+    }
+
+    /// Drive a discipline for `secs` one-second ticks, answering every
+    /// queried server via `respond`. Returns how many query rounds the
+    /// discipline issued in each half of the horizon.
+    fn drive_for(
+        d: &mut MntpDiscipline,
+        clk: &mut SimClock,
+        secs: u64,
+        mut respond: impl FnMut(usize, usize) -> ExchangeResult,
+    ) -> (u64, u64) {
+        let hints = good_hints();
+        let mut lane = PickLane::new(4, 0x77);
+        let (mut first_half, mut second_half) = (0u64, 0u64);
+        let mut rounds_done = 0usize;
+        for s in 0..secs {
+            let t = SimTime::ZERO + SimDuration::from_secs_f64(s as f64);
+            match d.poll(t, clk, Some(&hints), &mut lane) {
+                Directive::Idle { .. } => {}
+                Directive::Query(ids) => {
+                    if s < secs / 2 {
+                        first_half += 1;
+                    } else {
+                        second_half += 1;
+                    }
+                    let round: Vec<ExchangeResult> =
+                        ids.iter().map(|id| respond(*id, rounds_done)).collect();
+                    rounds_done += 1;
+                    let _ = d.complete(t, clk, &round);
+                }
+            }
+            for cmd in d.take_commands() {
+                cmd.apply(clk, t);
+            }
+        }
+        (first_half, second_half)
+    }
+
+    /// A pool member that turns falseticker mid-run is outvoted: the
+    /// resilient fan-out keeps accepted regular-phase offsets near the
+    /// honest servers' truth instead of following the liar.
+    #[test]
+    fn resilient_round_outvotes_midrun_falseticker() {
+        let rcfg = RobustConfig::default();
+        let mut d = MntpDiscipline::resilient(MntpConfig::default(), &rcfg, 4, 3);
+        let mut clk = mk_clock(5);
+        let hints = good_hints();
+        let mut lane = PickLane::new(4, 0x99);
+        let mut accepted = Vec::new();
+        let mut saw_fanout_round = false;
+        for s in 0..4000u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs_f64(s as f64);
+            match d.poll(t, &mut clk, Some(&hints), &mut lane) {
+                Directive::Idle { .. } => {}
+                Directive::Query(ids) => {
+                    let regular = d.phase() == Phase::Regular;
+                    if regular && ids.len() >= 2 {
+                        saw_fanout_round = true;
+                    }
+                    // Server 3 goes bad at t=1000s: +500 ms forever.
+                    let round: Vec<ExchangeResult> = ids
+                        .iter()
+                        .map(|id| {
+                            if *id == 3 && s >= 1000 {
+                                ok(*id, 505.0)
+                            } else {
+                                ok(*id, 5.0)
+                            }
+                        })
+                        .collect();
+                    if let Some(QueryOutcome::Accepted { offset_ms }) =
+                        d.complete(t, &mut clk, &round)
+                    {
+                        if regular && s >= 1000 {
+                            accepted.push(offset_ms);
+                        }
+                    }
+                }
+            }
+            for cmd in d.take_commands() {
+                cmd.apply(&mut clk, t);
+            }
+        }
+        assert!(saw_fanout_round, "resilient discipline never fanned out a regular round");
+        assert!(!accepted.is_empty(), "no regular samples accepted after onset");
+        for ms in &accepted {
+            assert!(
+                ms.abs() < 100.0,
+                "falseticker steered an accepted regular sample: {ms} ms"
+            );
+        }
+    }
+
+    /// Fanout is clamped into [2, pool size].
+    #[test]
+    fn resilient_fanout_is_clamped() {
+        let rcfg = RobustConfig::default();
+        let d = MntpDiscipline::resilient(MntpConfig::default(), &rcfg, 4, 99);
+        assert_eq!(d.resilient_fanout, Some(4));
+        let d = MntpDiscipline::resilient(MntpConfig::default(), &rcfg, 4, 0);
+        assert_eq!(d.resilient_fanout, Some(2));
+    }
+
+    mod proptests {
+        use super::*;
+        use devtools::prop;
+        use devtools::{prop_assert, props};
+
+        fn outcome_for(code: i64, server_id: usize) -> ExchangeResult {
+            match code {
+                0 => ok(server_id, 5.0),
+                1 => ExchangeResult {
+                    server_id,
+                    outcome: Err(ExchangeError::KissODeath(*b"RATE")),
+                },
+                2 => ExchangeResult { server_id, outcome: Err(ExchangeError::Blackholed) },
+                _ => ExchangeResult { server_id, outcome: Err(ExchangeError::RejectedReply) },
+            }
+        }
+
+        props! {
+            /// Robustness floor for the fleet's hardened stacks: no
+            /// success/KoD/failure sequence wedges the client — whatever
+            /// the servers did historically, it keeps issuing queries.
+            fn no_outcome_sequence_wedges_hardened_client(
+                codes in prop::vecs(prop::ints(0..4), 1..40),
+                resilient in prop::ints(0..2),
+            ) {
+                let rcfg = RobustConfig::default();
+                let mut d = if resilient == 1 {
+                    MntpDiscipline::resilient(MntpConfig::default(), &rcfg, 4, 3)
+                } else {
+                    MntpDiscipline::hardened(MntpConfig::default(), &rcfg, 4)
+                };
+                let mut clk = mk_clock(11);
+                let (first, second) = drive_for(&mut d, &mut clk, 4000, |id, round| {
+                    let code = codes.get(round % codes.len()).copied().unwrap_or(0);
+                    outcome_for(code, id)
+                });
+                prop_assert!(first > 0, "client never queried at all");
+                prop_assert!(
+                    second > 0,
+                    "client wedged: {first} rounds early, none in the second half"
+                );
+            }
+        }
     }
 }

@@ -111,6 +111,8 @@ pub struct MntpStats {
     pub holdovers: u64,
     /// Holdover episodes ended by a successful sample.
     pub recoveries: u64,
+    /// Forced steps after a rejection streak (ntpd stepout analogue).
+    pub stepouts: u64,
 }
 
 /// The MNTP engine.
@@ -129,6 +131,9 @@ pub struct Mntp {
     /// Query rounds failed since the last success (holdover trigger and
     /// backoff exponent).
     consecutive_failures: u32,
+    /// Offsets of consecutive rejected regular samples (stepout
+    /// tracking; cleared on any accept/recover/reset).
+    reject_streak: Vec<f64>,
     pending: Vec<ClockCommand>,
     /// Public counters.
     pub stats: MntpStats,
@@ -148,6 +153,7 @@ impl Mntp {
             next_request: None,
             applied_trim_ppm: 0.0,
             consecutive_failures: 0,
+            reject_streak: Vec::new(),
             pending: Vec::new(),
             stats: MntpStats::default(),
         }
@@ -199,6 +205,7 @@ impl Mntp {
 
     fn reset(&mut self, now: NtpTimestamp) {
         self.phase = Phase::Warmup;
+        self.reject_streak.clear();
         self.cycle_start = Some(now);
         self.next_request = Some(now);
         self.filter = TrendFilter::new(self.cfg.filter_sigma, self.cfg.reestimate_drift);
@@ -333,6 +340,7 @@ impl Mntp {
         }
         let t = elapsed_secs(self.cycle_start.unwrap_or(now), now);
         if self.filter.offer(t, offset_ms) {
+            self.reject_streak.clear();
             self.stats.accepted += 1;
             let offset = NtpDuration::from_seconds_f64(offset_ms / 1e3);
             match self.cfg.apply_mode {
@@ -342,14 +350,49 @@ impl Mntp {
                     self.filter.translate(-offset_ms);
                 }
                 ApplyMode::Slew => {
-                    self.pending.push(ClockCommand::Slew(offset));
+                    // Past the step threshold a rate-capped slew takes
+                    // minutes, during which every new sample measures
+                    // the uncorrected remainder against an
+                    // already-translated trend: step instead.
+                    if self.cfg.step_threshold_ms.is_some_and(|t| offset_ms.abs() > t) {
+                        self.pending.push(ClockCommand::Step(offset));
+                    } else {
+                        self.pending.push(ClockCommand::Slew(offset));
+                    }
                     self.filter.translate(-offset_ms);
                 }
             }
             SampleVerdict::Accepted { offset_ms }
         } else {
             self.stats.rejected += 1;
+            self.stepout(offset_ms);
             SampleVerdict::Rejected { offset_ms }
+        }
+    }
+
+    /// Track a rejected offset and force a step once the streak says
+    /// the filter — not the clock — is the thing that's wrong. The
+    /// trend itself is untouched: it was predicting the *corrected*
+    /// clock all along, so stepping the clock to it reconciles the two
+    /// without a translate.
+    fn stepout(&mut self, offset_ms: f64) {
+        let (Some(k), Some(threshold)) = (self.cfg.stepout_rejects, self.cfg.step_threshold_ms)
+        else {
+            return;
+        };
+        self.reject_streak.push(offset_ms);
+        if self.reject_streak.len() < k.max(1) as usize {
+            return;
+        }
+        let mut sorted = self.reject_streak.clone();
+        sorted.sort_by(f64::total_cmp);
+        let Some(&median) = sorted.get(sorted.len() / 2) else {
+            return; // unreachable: the streak was just pushed to
+        };
+        self.reject_streak.clear();
+        if median.abs() > threshold && self.cfg.apply_mode != ApplyMode::RecordOnly {
+            self.stats.stepouts += 1;
+            self.pending.push(ClockCommand::Step(NtpDuration::from_seconds_f64(median / 1e3)));
         }
     }
 
@@ -388,11 +431,18 @@ impl Mntp {
     fn recover(&mut self, now: NtpTimestamp, offset_ms: f64) -> SampleVerdict {
         self.stats.recoveries += 1;
         self.consecutive_failures = 0;
+        self.reject_streak.clear();
         let offset = NtpDuration::from_seconds_f64(offset_ms / 1e3);
         match self.cfg.apply_mode {
             ApplyMode::RecordOnly => {}
             ApplyMode::Step => self.pending.push(ClockCommand::Step(offset)),
-            ApplyMode::Slew => self.pending.push(ClockCommand::Slew(offset)),
+            ApplyMode::Slew => {
+                if self.cfg.step_threshold_ms.is_some_and(|t| offset_ms.abs() > t) {
+                    self.pending.push(ClockCommand::Step(offset));
+                } else {
+                    self.pending.push(ClockCommand::Slew(offset));
+                }
+            }
         }
         self.phase = Phase::Warmup;
         self.cycle_start = Some(now);
@@ -579,6 +629,78 @@ mod tests {
             cmds.iter().any(|c| matches!(c, ClockCommand::Step(_))),
             "expected a step, got {cmds:?}"
         );
+    }
+
+    #[test]
+    fn slew_mode_steps_past_the_threshold() {
+        let mk = |threshold| {
+            let cfg = MntpConfig {
+                apply_mode: crate::config::ApplyMode::Slew,
+                step_threshold_ms: threshold,
+                ..fast_cfg()
+            };
+            let mut m = Mntp::new(cfg);
+            let mut t = 0.0;
+            while m.phase() == Phase::Warmup && t < 400.0 {
+                if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                    m.on_warmup_round(ts(t), &[2.0, 2.1, 1.9]);
+                }
+                t += 1.0;
+            }
+            m.on_tick(ts(t + 20.0), Some(&good_hints()));
+            m.on_regular_sample(ts(t + 20.0), 2.0);
+            m.take_commands()
+        };
+        // Under the threshold (or with none set): a bounded-rate slew.
+        assert!(mk(None).iter().any(|c| matches!(c, ClockCommand::Slew(_))));
+        assert!(mk(Some(10.0)).iter().any(|c| matches!(c, ClockCommand::Slew(_))));
+        // Past it: the correction is applied as a step.
+        assert!(mk(Some(0.5)).iter().any(|c| matches!(c, ClockCommand::Step(_))));
+    }
+
+    #[test]
+    fn rejection_streak_forces_a_stepout() {
+        let cfg = MntpConfig {
+            apply_mode: crate::config::ApplyMode::Slew,
+            step_threshold_ms: Some(50.0),
+            stepout_rejects: Some(3),
+            ..fast_cfg()
+        };
+        let mut m = Mntp::new(cfg);
+        let mut t = 0.0;
+        while m.phase() == Phase::Warmup && t < 400.0 {
+            if let MntpAction::QueryMultiple(_) = m.on_tick(ts(t), Some(&good_hints())) {
+                m.on_warmup_round(ts(t), &[1.0, 1.1, 0.9]);
+            }
+            t += 1.0;
+        }
+        // Noisy +80 ms-ish samples: each is rejected by the trend, and
+        // the spread keeps the filter's own re-anchor (residual bar a
+        // few ms) from firing — the stuck-client shape.
+        let offsets = [71.0, 95.0, 83.0];
+        let mut stepped = Vec::new();
+        for off in offsets {
+            m.on_tick(ts(t + 20.0), Some(&good_hints()));
+            t += 20.0;
+            assert!(matches!(m.on_regular_sample(ts(t), off), SampleVerdict::Rejected { .. }));
+            stepped.extend(m.take_commands());
+        }
+        assert_eq!(m.stats.stepouts, 1);
+        let step = stepped
+            .iter()
+            .find_map(|c| match c {
+                ClockCommand::Step(d) => Some(d.as_seconds_f64() * 1e3),
+                _ => None,
+            })
+            .expect("third consecutive reject forces a step");
+        assert!((step - 83.0).abs() < 1e-6, "steps by the streak median, got {step}");
+        // The streak is consumed: three more small rejects don't step.
+        for off in [9.0, 9.5, 10.0] {
+            m.on_tick(ts(t + 20.0), Some(&good_hints()));
+            t += 20.0;
+            m.on_regular_sample(ts(t), off);
+        }
+        assert_eq!(m.stats.stepouts, 1);
     }
 
     #[test]

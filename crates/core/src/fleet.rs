@@ -37,9 +37,11 @@
 //! (documented approximation, see DESIGN.md §10).
 
 use clocksim::time::{SimDuration, SimTime};
-use clocksim::SimClock;
+use clocksim::{ClockCommand, ClockControl, SimClock};
 use devtools::par::Pool;
+use netsim::chaos::{ClientChaosLatch, FleetFaultPlan, ServerChaosLatch};
 use netsim::fleet::{FleetNet, FleetShard};
+use ntp_wire::NtpDuration;
 use sntp::fleet::{
     begin_fleet_exchange, complete_fleet_exchange, serve_fleet_exchange, FleetArrival,
     FleetReplyInFlight, FleetRequestInFlight, RequestShape,
@@ -66,6 +68,13 @@ pub struct FleetClient {
 /// Fleet trial parameters.
 #[derive(Clone, Debug)]
 pub struct FleetRunConfig {
+    /// True-time offset of the trial's first tick, seconds. Zero for a
+    /// standalone trial; a later segment of a chained timeline (see
+    /// [`run_fleet_chaos_on`]) sets this to where the previous segment
+    /// stopped, so absolute-time fault windows and sampling cadences
+    /// line up across segments. When nonzero, the boundary tick itself
+    /// is skipped (the previous segment already ran it).
+    pub start_secs: f64,
     /// Trial length, seconds.
     pub duration_secs: u64,
     /// Driver tick, seconds.
@@ -88,6 +97,7 @@ pub struct FleetRunConfig {
 impl Default for FleetRunConfig {
     fn default() -> Self {
         FleetRunConfig {
+            start_secs: 0.0,
             duration_secs: 600,
             tick_secs: 1.0,
             sample_period_secs: 30.0,
@@ -116,6 +126,36 @@ pub struct FleetRun {
     pub polls_sent: u64,
     /// Idle ticks the disciplines chose to record as deferrals.
     pub deferrals: u64,
+    /// Requests destroyed by the chaos plan before reaching a server
+    /// (uplink storms and server outages).
+    pub chaos_dropped_up: u64,
+    /// Replies destroyed by the chaos plan on the way back.
+    pub chaos_dropped_down: u64,
+    /// Per-group error quantiles over time, indexed by group id (only
+    /// in chaos runs with a grouped [`ChaosSession`]).
+    pub group_quantiles: Vec<Vec<GroupSample>>,
+}
+
+/// One ground-truth quantile snapshot of a client group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupSample {
+    /// Sample instant, seconds of true time.
+    pub t_secs: f64,
+    /// Median `|error|` across the group, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile `|error|` across the group, ms.
+    pub p99_ms: f64,
+    /// Worst `|error|` across the group, ms.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0 when empty).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted.get(idx).or(sorted.last()).copied().unwrap_or(0.0)
 }
 
 /// One queued exchange of one client's round, moving through the tick's
@@ -141,6 +181,7 @@ struct PendingRound {
 struct TickOut {
     deferrals: u64,
     polls: u64,
+    chaos_dropped_up: u64,
     rounds: Vec<PendingRound>,
 }
 
@@ -195,12 +236,22 @@ fn shard_poll_phase(
     sample_due: bool,
     cfg: &FleetRunConfig,
     server_count: usize,
+    plan: Option<&FleetFaultPlan>,
+    mut latch: Option<&mut ClientChaosLatch>,
 ) -> TickOut {
     shard.advance_to(t);
     let lo = shard.client_lo();
     let mut out = TickOut::default();
     for (local, client) in clients.iter_mut().enumerate() {
         let ci = lo + local;
+        // Chaos clock-step waves fire before the poll, so the
+        // discipline sees (and gets to repair) the stepped clock.
+        if let (Some(plan), Some(latch)) = (plan, latch.as_deref_mut()) {
+            if let Some(step_ms) = plan.take_client_steps(latch, local, ci as u32, t) {
+                ClockCommand::Step(NtpDuration::from_seconds_f64(step_ms / 1e3))
+                    .apply(&mut client.clock, t);
+            }
+        }
         let hints = if client.discipline.wants_hints() {
             shard.lane(ci).map(|mut lane| lane.hints(t))
         } else {
@@ -229,7 +280,18 @@ fn shard_poll_phase(
                     };
                     match begin_fleet_exchange(&mut lane, &mut client.clock, ci as u32, t, client.shape)
                     {
-                        Ok(inflight) => entries.push(Entry::Sent(id, inflight)),
+                        Ok(mut inflight) => {
+                            if let Some(plan) = plan {
+                                if plan.drop_uplink(ci as u32, id, inflight.t_eff) {
+                                    out.chaos_dropped_up += 1;
+                                    entries.push(Entry::Fail(id, ExchangeError::Blackholed));
+                                    continue;
+                                }
+                                inflight.hop_up =
+                                    inflight.hop_up + plan.extra_delay_up(ci as u32, inflight.t_eff);
+                            }
+                            entries.push(Entry::Sent(id, inflight));
+                        }
                         Err(e) => entries.push(Entry::Fail(id, e)),
                     }
                 }
@@ -242,7 +304,9 @@ fn shard_poll_phase(
 
 /// Phase C for one shard: pay downlinks, classify replies, complete each
 /// parked round, then run the same per-client bookkeeping Phase A ran
-/// for idle clients.
+/// for idle clients. Returns the number of replies the chaos plan
+/// destroyed on the downlink.
+#[allow(clippy::too_many_arguments)]
 fn shard_complete_phase(
     shard: &mut FleetShard,
     clients: &mut [FleetClient],
@@ -252,8 +316,10 @@ fn shard_complete_phase(
     t: SimTime,
     sample_due: bool,
     cfg: &FleetRunConfig,
-) {
+    plan: Option<&FleetFaultPlan>,
+) -> u64 {
     let lo = shard.client_lo();
+    let mut chaos_dropped_down = 0;
     for round in rounds {
         let ci = round.ci;
         let Some(local) = ci.checked_sub(lo) else { continue };
@@ -266,16 +332,32 @@ fn shard_complete_phase(
                 Entry::Sent(id, _) => {
                     ExchangeResult { server_id: id, outcome: Err(ExchangeError::Blackholed) }
                 }
-                Entry::Reply(id, mut inflight, reply) => {
-                    let outcome = match shard.lane(ci) {
-                        Some(mut lane) => complete_fleet_exchange(
-                            &mut lane,
-                            &mut client.clock,
-                            &mut inflight.client,
-                            &reply,
-                            id,
-                        ),
-                        None => Err(ExchangeError::Blackholed),
+                Entry::Reply(id, mut inflight, mut reply) => {
+                    let chaos_fate = match plan {
+                        Some(plan) if plan.drop_downlink(ci as u32, id, reply.departure) => {
+                            chaos_dropped_down += 1;
+                            Some(Err(ExchangeError::Blackholed))
+                        }
+                        Some(plan) => {
+                            let extra = plan.extra_delay_down(ci as u32, reply.departure);
+                            reply.bb_down = reply.bb_down + extra;
+                            reply.at_wap = reply.at_wap + extra;
+                            None
+                        }
+                        None => None,
+                    };
+                    let outcome = match chaos_fate {
+                        Some(fate) => fate,
+                        None => match shard.lane(ci) {
+                            Some(mut lane) => complete_fleet_exchange(
+                                &mut lane,
+                                &mut client.clock,
+                                &mut inflight.client,
+                                &reply,
+                                id,
+                            ),
+                            None => Err(ExchangeError::Blackholed),
+                        },
                     };
                     ExchangeResult { server_id: id, outcome }
                 }
@@ -287,33 +369,82 @@ fn shard_complete_phase(
             finish_client(client, t, sample_due, cfg, se, st);
         }
     }
+    chaos_dropped_down
 }
 
-/// Step every client through `cfg.duration_secs` of shared-world time,
-/// ticking shards on `par`'s workers.
+/// Per-trial chaos state: a [`FleetFaultPlan`] plus the one-shot
+/// latches and the group map for per-group quantile collection.
 ///
-/// `pool.len()` must equal `net.server_count()`: the pool holds the
-/// protocol side (clocks, packet codec) and the fleet world holds the
-/// capacity side of the same servers, joined by index.
-pub fn run_fleet_on(
+/// The session owns the latches so a timeline can be run as chained
+/// segments (each with its own [`FleetRunConfig::start_secs`]) without
+/// refiring one-shot events: the latches persist across
+/// [`run_fleet_chaos_on`] calls.
+pub struct ChaosSession {
+    plan: FleetFaultPlan,
+    /// Group id per client (for quantile collection only; the plan's
+    /// fault domains are independent of this map).
+    groups: Vec<u8>,
+    group_count: usize,
+    /// One latch chunk per shard, local indexing.
+    client_latches: Vec<ClientChaosLatch>,
+    server_latch: ServerChaosLatch,
+}
+
+impl ChaosSession {
+    /// Build a session for `plan` over `net`'s shard layout. `groups`
+    /// maps each client id to a reporting group in `0..group_count`;
+    /// pass an empty map to skip group quantile collection.
+    pub fn new(plan: FleetFaultPlan, net: &mut FleetNet, groups: Vec<u8>, group_count: usize) -> Self {
+        let (shards, _) = net.parts();
+        let client_latches =
+            shards.iter().map(|s| ClientChaosLatch::new(&plan, s.client_count())).collect();
+        let server_latch = ServerChaosLatch::new(&plan);
+        ChaosSession { plan, groups, group_count, client_latches, server_latch }
+    }
+
+    /// The fault plan this session replays.
+    pub fn plan(&self) -> &FleetFaultPlan {
+        &self.plan
+    }
+}
+
+/// The shared tick loop behind [`run_fleet_on`] (no chaos) and
+/// [`run_fleet_chaos_on`] (fault plan active).
+fn run_fleet_impl(
     par: &Pool,
     clients: &mut [FleetClient],
     net: &mut FleetNet,
     pool: &mut ServerPool,
     cfg: &FleetRunConfig,
+    session: Option<&mut ChaosSession>,
 ) -> FleetRun {
     let ticks = (cfg.duration_secs as f64 / cfg.tick_secs).ceil() as u64;
     let server_count = net.server_count();
+    let start_secs = cfg.start_secs.max(0.0);
+    let (plan, client_latches, mut server_latch, groups, group_count) = match session {
+        Some(s) => (
+            Some(&s.plan),
+            s.client_latches.as_mut_slice(),
+            Some(&mut s.server_latch),
+            s.groups.as_slice(),
+            s.group_count,
+        ),
+        None => (None, &mut [] as &mut [ClientChaosLatch], None, &[] as &[u8], 0),
+    };
     let mut run = FleetRun {
         true_error_ms: clients.iter().map(|_| Vec::new()).collect(),
         steady_abs_ms: clients.iter().map(|_| Vec::new()).collect(),
-        arrivals_per_sec: vec![0; cfg.duration_secs as usize + 2],
+        arrivals_per_sec: vec![0; (start_secs + cfg.duration_secs as f64) as usize + 2],
+        group_quantiles: vec![Vec::new(); group_count],
         ..FleetRun::default()
     };
     let (shards, models) = net.parts();
     let lens: Vec<usize> = shards.iter().map(FleetShard::client_count).collect();
-    for i in 0..=ticks {
-        let tick_offset_secs = i as f64 * cfg.tick_secs;
+    // A chained segment skips its boundary tick: the previous segment
+    // already ran the world at `start_secs`.
+    let first_tick = if start_secs > 0.0 { 1 } else { 0 };
+    for i in first_tick..=ticks {
+        let tick_offset_secs = start_secs + i as f64 * cfg.tick_secs;
         let t = SimTime::ZERO + SimDuration::from_secs_f64(tick_offset_secs);
         let sample_due = tick_offset_secs % cfg.sample_period_secs < cfg.tick_secs;
 
@@ -322,19 +453,42 @@ pub fn run_fleet_on(
             let client_chunks = chunk_by(clients, &lens);
             let series_chunks = chunk_by(&mut run.true_error_ms, &lens);
             let steady_chunks = chunk_by(&mut run.steady_abs_ms, &lens);
+            let mut latch_iter = client_latches.iter_mut();
             let tasks: Vec<Box<dyn FnOnce() -> TickOut + Send + '_>> = shards
                 .iter_mut()
                 .zip(client_chunks)
                 .zip(series_chunks.into_iter().zip(steady_chunks))
                 .map(|((shard, cl), (se, st))| {
                     let cfg = &*cfg;
+                    let latch = latch_iter.next();
                     Box::new(move || {
-                        shard_poll_phase(shard, cl, se, st, t, sample_due, cfg, server_count)
+                        shard_poll_phase(
+                            shard, cl, se, st, t, sample_due, cfg, server_count, plan, latch,
+                        )
                     }) as Box<dyn FnOnce() -> TickOut + Send + '_>
                 })
                 .collect();
             par.invoke(tasks)
         };
+
+        // Chaos server events for this tick, serially by server id:
+        // restarts (outage windows that just ended) re-warm rate state,
+        // falseticker onsets step reference clocks. Both must land
+        // before any of this tick's requests are served.
+        if let (Some(plan), Some(latch)) = (plan, server_latch.as_deref_mut()) {
+            for sid in 0..server_count {
+                if plan.take_restarts(latch, sid, t) {
+                    if let Some(model) = models.get_mut(sid) {
+                        model.restart(t);
+                    }
+                }
+                if let Some(err_ms) = plan.take_falseticker_onsets(latch, sid, t) {
+                    pool.server_mut(sid)
+                        .clock
+                        .step(t, NtpDuration::from_seconds_f64(err_ms / 1e3));
+                }
+            }
+        }
 
         // Phase B: the epoch barrier. Every in-flight request meets the
         // shared server state here, serially, in global client-id order
@@ -342,6 +496,7 @@ pub fn run_fleet_on(
         for out in &mut outs {
             run.deferrals += out.deferrals;
             run.polls_sent += out.polls;
+            run.chaos_dropped_up += out.chaos_dropped_up;
             for round in &mut out.rounds {
                 for entry in &mut round.entries {
                     let taken =
@@ -351,6 +506,16 @@ pub fn run_fleet_on(
                             let Some(model) = models.get_mut(id) else {
                                 continue;
                             };
+                            // An outage swallows the request at the WAP→
+                            // backbone boundary: the server model never
+                            // sees it (no arrival, no KoD accounting).
+                            if plan
+                                .is_some_and(|p| p.server_down(id, inflight.t_eff + inflight.hop_up))
+                            {
+                                run.chaos_dropped_up += 1;
+                                *entry = Entry::Fail(id, ExchangeError::Blackholed);
+                                continue;
+                            }
                             let (arrival, reply) = serve_fleet_exchange(
                                 &inflight,
                                 pool.server_mut(id),
@@ -382,7 +547,7 @@ pub fn run_fleet_on(
             let client_chunks = chunk_by(clients, &lens);
             let series_chunks = chunk_by(&mut run.true_error_ms, &lens);
             let steady_chunks = chunk_by(&mut run.steady_abs_ms, &lens);
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = shards
                 .iter_mut()
                 .zip(client_chunks)
                 .zip(series_chunks.into_iter().zip(steady_chunks))
@@ -391,15 +556,74 @@ pub fn run_fleet_on(
                     let cfg = &*cfg;
                     Box::new(move || {
                         shard_complete_phase(
-                            shard, cl, se, st, out.rounds, t, sample_due, cfg,
-                        );
-                    }) as Box<dyn FnOnce() + Send + '_>
+                            shard, cl, se, st, out.rounds, t, sample_due, cfg, plan,
+                        )
+                    }) as Box<dyn FnOnce() -> u64 + Send + '_>
                 })
                 .collect();
-            par.invoke(tasks);
+            run.chaos_dropped_down += par.invoke(tasks).into_iter().sum::<u64>();
+        }
+
+        // Group quantiles: a serial pass in global client-id order, so
+        // any (shards, jobs) collects identical series. `true_error` is
+        // idempotent at the tick instant the bookkeeping above already
+        // advanced every clock to.
+        if group_count > 0 && sample_due {
+            let mut per_group: Vec<Vec<f64>> = vec![Vec::new(); group_count];
+            for (ci, client) in clients.iter_mut().enumerate() {
+                let g = groups.get(ci).copied().unwrap_or(0) as usize;
+                let err_ms = client.clock.true_error(t).as_millis_f64().abs();
+                if let Some(bucket) = per_group.get_mut(g) {
+                    bucket.push(err_ms);
+                }
+            }
+            for (g, mut vals) in per_group.into_iter().enumerate() {
+                vals.sort_by(|a, b| a.total_cmp(b));
+                let sample = GroupSample {
+                    t_secs: t.as_secs_f64(),
+                    p50_ms: quantile(&vals, 0.50),
+                    p99_ms: quantile(&vals, 0.99),
+                    max_ms: vals.last().copied().unwrap_or(0.0),
+                };
+                if let Some(series) = run.group_quantiles.get_mut(g) {
+                    series.push(sample);
+                }
+            }
         }
     }
     run
+}
+
+/// Step every client through `cfg.duration_secs` of shared-world time,
+/// ticking shards on `par`'s workers.
+///
+/// `pool.len()` must equal `net.server_count()`: the pool holds the
+/// protocol side (clocks, packet codec) and the fleet world holds the
+/// capacity side of the same servers, joined by index.
+pub fn run_fleet_on(
+    par: &Pool,
+    clients: &mut [FleetClient],
+    net: &mut FleetNet,
+    pool: &mut ServerPool,
+    cfg: &FleetRunConfig,
+) -> FleetRun {
+    run_fleet_impl(par, clients, net, pool, cfg, None)
+}
+
+/// [`run_fleet_on`] under a population fault plan: the session's
+/// [`FleetFaultPlan`] drops/delays packets, blackholes and restarts
+/// servers, turns pool members into falsetickers, and steps client
+/// clocks in waves — all seed-deterministically at any (shards, jobs).
+/// With an empty plan this is byte-identical to [`run_fleet_on`].
+pub fn run_fleet_chaos_on(
+    par: &Pool,
+    clients: &mut [FleetClient],
+    net: &mut FleetNet,
+    pool: &mut ServerPool,
+    cfg: &FleetRunConfig,
+    session: &mut ChaosSession,
+) -> FleetRun {
+    run_fleet_impl(par, clients, net, pool, cfg, Some(session))
 }
 
 /// Serial [`run_fleet_on`]: the historical single-threaded entry point.
@@ -508,6 +732,158 @@ mod tests {
         assert_eq!(fingerprint(3, 1), reference, "3 shards serial diverged");
         assert_eq!(fingerprint(3, 4), reference, "3 shards x 4 jobs diverged");
         assert_eq!(fingerprint(5, 2), reference, "one shard per client diverged");
+    }
+
+    /// An empty chaos plan is the identity: the chaos entry point must
+    /// reproduce the plain runner byte for byte.
+    #[test]
+    fn chaos_run_with_empty_plan_matches_plain_run() {
+        let cfg = FleetRunConfig {
+            duration_secs: 90,
+            collect_arrivals: true,
+            ..FleetRunConfig::default()
+        };
+        let (mut c1, mut n1, mut p1) = small_fleet(4, 31, 2);
+        let plain = run_fleet_on(&Pool::with_jobs(1), &mut c1, &mut n1, &mut p1, &cfg);
+        let (mut c2, mut n2, mut p2) = small_fleet(4, 31, 2);
+        let mut session = ChaosSession::new(FleetFaultPlan::none(), &mut n2, Vec::new(), 0);
+        let chaos =
+            run_fleet_chaos_on(&Pool::with_jobs(1), &mut c2, &mut n2, &mut p2, &cfg, &mut session);
+        assert_eq!(plain.true_error_ms, chaos.true_error_ms);
+        assert_eq!(plain.arrivals_per_sec, chaos.arrivals_per_sec);
+        assert_eq!(plain.polls_sent, chaos.polls_sent);
+        assert_eq!(plain.deferrals, chaos.deferrals);
+        assert_eq!(chaos.chaos_dropped_up, 0);
+        assert_eq!(chaos.chaos_dropped_down, 0);
+    }
+
+    fn stormy_plan(clients: u32) -> FleetFaultPlan {
+        use netsim::chaos::{ChaosEvent, ClientRange};
+        use netsim::ServerSet;
+        FleetFaultPlan::new(0xC0FFEE)
+            .window(
+                20.0,
+                50.0,
+                ChaosEvent::RegionalLossStorm {
+                    region: ClientRange::new(0, clients / 2),
+                    loss_prob: 0.5,
+                },
+            )
+            .window(30.0, 60.0, ChaosEvent::ServerOutage { servers: ServerSet::One(0) })
+            .at(40.0, ChaosEvent::FalsetickerOnset { server: 1, error_ms: 150.0 })
+            .window(
+                60.0,
+                80.0,
+                ChaosEvent::ClockStepWave {
+                    region: ClientRange::all(clients),
+                    offset_ms: -40.0,
+                },
+            )
+    }
+
+    /// The chaos runner keeps the fleet contract: any (shards, jobs)
+    /// reproduces the serial run bit for bit, fault plan and all.
+    #[test]
+    fn chaos_run_serial_matches_sharded() {
+        let n = 6usize;
+        let cfg = FleetRunConfig { duration_secs: 120, ..FleetRunConfig::default() };
+        let fingerprint = |shards: usize, jobs: usize| {
+            let (mut c, mut net, mut pool) = small_fleet(n, 41, shards);
+            let groups: Vec<u8> = (0..n).map(|i| u8::from(i < n / 2)).collect();
+            let mut session = ChaosSession::new(stormy_plan(n as u32), &mut net, groups, 2);
+            let run = run_fleet_chaos_on(
+                &Pool::with_jobs(jobs),
+                &mut c,
+                &mut net,
+                &mut pool,
+                &cfg,
+                &mut session,
+            );
+            let err_bits: Vec<Vec<(u64, u64)>> = run
+                .true_error_ms
+                .iter()
+                .map(|s| s.iter().map(|(t, e)| (t.to_bits(), e.to_bits())).collect())
+                .collect();
+            let quant_bits: Vec<Vec<(u64, u64, u64, u64)>> = run
+                .group_quantiles
+                .iter()
+                .map(|s| {
+                    s.iter()
+                        .map(|q| {
+                            (
+                                q.t_secs.to_bits(),
+                                q.p50_ms.to_bits(),
+                                q.p99_ms.to_bits(),
+                                q.max_ms.to_bits(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            (
+                err_bits,
+                quant_bits,
+                run.arrivals_per_sec.clone(),
+                run.polls_sent,
+                run.chaos_dropped_up,
+                run.chaos_dropped_down,
+            )
+        };
+        let reference = fingerprint(1, 1);
+        assert!(reference.4 + reference.5 > 0, "plan never dropped anything — test is vacuous");
+        assert_eq!(fingerprint(3, 1), reference, "3 shards serial diverged");
+        assert_eq!(fingerprint(3, 4), reference, "3 shards x 4 jobs diverged");
+        assert_eq!(fingerprint(6, 2), reference, "one shard per client diverged");
+    }
+
+    /// A timeline run as chained segments (via `start_secs`) replays
+    /// the single uninterrupted run exactly: same world, same latches,
+    /// same samples.
+    #[test]
+    fn chained_segments_match_single_run() {
+        let n = 4usize;
+        let whole_cfg = FleetRunConfig { duration_secs: 120, ..FleetRunConfig::default() };
+        let (mut c1, mut n1, mut p1) = small_fleet(n, 53, 2);
+        let groups: Vec<u8> = vec![0, 0, 1, 1];
+        let mut s1 = ChaosSession::new(stormy_plan(n as u32), &mut n1, groups.clone(), 2);
+        let whole =
+            run_fleet_chaos_on(&Pool::with_jobs(1), &mut c1, &mut n1, &mut p1, &whole_cfg, &mut s1);
+
+        let (mut c2, mut n2, mut p2) = small_fleet(n, 53, 2);
+        let mut s2 = ChaosSession::new(stormy_plan(n as u32), &mut n2, groups, 2);
+        let seg_a = FleetRunConfig { duration_secs: 60, ..FleetRunConfig::default() };
+        let seg_b = FleetRunConfig { start_secs: 60.0, duration_secs: 60, ..FleetRunConfig::default() };
+        let first =
+            run_fleet_chaos_on(&Pool::with_jobs(1), &mut c2, &mut n2, &mut p2, &seg_a, &mut s2);
+        let second =
+            run_fleet_chaos_on(&Pool::with_jobs(1), &mut c2, &mut n2, &mut p2, &seg_b, &mut s2);
+
+        for ci in 0..n {
+            let mut joined = first.true_error_ms[ci].clone();
+            joined.extend(second.true_error_ms[ci].iter().copied());
+            assert_eq!(joined, whole.true_error_ms[ci], "client {ci} series diverged");
+        }
+        for g in 0..2 {
+            let mut joined = first.group_quantiles[g].clone();
+            joined.extend(second.group_quantiles[g].iter().copied());
+            assert_eq!(joined, whole.group_quantiles[g], "group {g} quantiles diverged");
+        }
+        let mut joined_arrivals = vec![0u64; whole.arrivals_per_sec.len()];
+        for (sec, count) in first
+            .arrivals_per_sec
+            .iter()
+            .enumerate()
+            .chain(second.arrivals_per_sec.iter().enumerate())
+        {
+            joined_arrivals[sec] += count;
+        }
+        assert_eq!(joined_arrivals, whole.arrivals_per_sec);
+        assert_eq!(first.polls_sent + second.polls_sent, whole.polls_sent);
+        assert_eq!(
+            first.chaos_dropped_up + second.chaos_dropped_up,
+            whole.chaos_dropped_up,
+            "uplink drop counts diverged across the segment boundary"
+        );
     }
 
     /// Steady-state collection mode: same trial, compact samples.

@@ -41,6 +41,7 @@ pub mod engine;
 pub mod fleet;
 pub mod filter;
 pub mod gate;
+pub mod selection;
 
 pub use autotune::{AutoTuneConfig, AutoTuner};
 pub use config::{ApplyMode, MntpConfig};
@@ -50,6 +51,10 @@ pub use driver::{
     MntpRunRecord, QueryOutcome, RobustConfig,
 };
 pub use engine::{Mntp, MntpAction, Phase, SampleVerdict};
-pub use fleet::{run_fleet, run_fleet_on, FleetClient, FleetRun, FleetRunConfig};
+pub use fleet::{
+    run_fleet, run_fleet_chaos_on, run_fleet_on, ChaosSession, FleetClient, FleetRun,
+    FleetRunConfig, GroupSample,
+};
 pub use filter::{FalseTickerVerdict, TrendFilter};
 pub use gate::HintGate;
+pub use selection::{select_round, RoundSelection};

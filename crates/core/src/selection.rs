@@ -1,0 +1,204 @@
+//! Falseticker-resilient round selection for multi-server MNTP clients.
+//!
+//! The paper's MNTP regular phase trusts one server per round; its only
+//! defence against a lying source is the warmup-phase deviation test
+//! and the trend filter's outlier rejection — both of which a server
+//! that goes bad *mid-run* can defeat (the trend line calmly follows a
+//! slowly wrong source, and a stepped source produces samples the
+//! filter sees as a genuine clock step). The resilient discipline
+//! (see [`crate::discipline::MntpDiscipline::resilient`]) instead
+//! queries a small fan-out of distinct servers each round and runs the
+//! answers through the same intersection + cluster + combine machinery
+//! the ntpd model uses ([`sntp::select`]): a majority clique of
+//! mutually-consistent offsets survives, falsetickers are discarded,
+//! and the survivors' offsets are folded into one combined sample.
+//!
+//! This module is the pure per-round kernel: exchange results in,
+//! verdict out. It is structurally panic-free (it sits on the
+//! `lint.toml` `[panic]` hot-path list).
+
+use sntp::select::{cluster, combine, select_survivors, PeerCandidate};
+
+use crate::discipline::ExchangeResult;
+
+/// Floor on a candidate's root distance, seconds. A round-trip can
+/// simulate arbitrarily small delay; the dispersion floor keeps every
+/// correctness interval wide enough that honest servers with ordinary
+/// network asymmetry still intersect.
+const DISPERSION_FLOOR_SECS: f64 = 0.010;
+
+/// Maximum round-trip delay for a sample to contribute a correctness
+/// interval, seconds. A sample's offset error is bounded by half its
+/// round trip, so a congested-wifi answer (hundreds of ms of queueing)
+/// carries an interval so wide it overlaps *everything* — including a
+/// falseticker a quarter second out — and folding it into the combine
+/// step pulls the round toward whatever junk it covers. Past this
+/// budget an answer still proves the server is alive; it just casts no
+/// vote on what time it is.
+const DELAY_BUDGET_SECS: f64 = 0.100;
+
+/// What one round of fan-out queries distilled to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundSelection {
+    /// The combined (inverse-root-distance-weighted) offset, ms.
+    pub offset_ms: f64,
+    /// Servers whose samples survived intersection + cluster.
+    pub survivors: Vec<usize>,
+    /// Servers that answered but were rejected as falsetickers or
+    /// cluster outliers.
+    pub discarded: Vec<usize>,
+}
+
+/// Run intersection + cluster + combine over one round's completed
+/// exchanges. Failed exchanges and answers over the delay budget are
+/// ignored (the caller accounts for failures via its health tracker);
+/// `None` means no majority clique existed among the remaining answers
+/// — the round yields no sample.
+pub fn select_round(results: &[ExchangeResult]) -> Option<RoundSelection> {
+    let mut cands: Vec<PeerCandidate> = Vec::with_capacity(results.len());
+    let mut answered = 0usize;
+    for r in results {
+        if let Ok(done) = &r.outcome {
+            answered += 1;
+            let delay = done.sample.delay.as_seconds_f64().abs();
+            if delay > DELAY_BUDGET_SECS {
+                continue;
+            }
+            cands.push(PeerCandidate {
+                peer_id: r.server_id,
+                offset: done.sample.offset.as_seconds_f64(),
+                root_distance: delay / 2.0 + DISPERSION_FLOOR_SECS,
+                // The fleet round has one sample per server — no jitter
+                // history; the error bound stands in for it.
+                jitter: delay / 2.0 + DISPERSION_FLOOR_SECS,
+            });
+        }
+    }
+    if cands.is_empty() {
+        return None;
+    }
+    let survivor_ids = select_survivors(&cands);
+    // The clique must be a majority of the servers that *answered*, not
+    // just of those crisp enough to vote. A lone in-budget candidate
+    // among congested answers is uncorroborated — if it happens to be a
+    // falseticker, nothing in this round can contradict it, and one
+    // such accepted sample in slew-mode-with-step-threshold moves the
+    // clock by the full lie. (When the others genuinely failed to
+    // answer, a lone reply is still the round's best evidence and
+    // passes: majority of one.)
+    if survivor_ids.len() * 2 <= answered {
+        return None;
+    }
+    let survivors: Vec<PeerCandidate> =
+        cands.iter().filter(|c| survivor_ids.contains(&c.peer_id)).copied().collect();
+    let clustered = cluster(survivors);
+    let offset = combine(&clustered)?;
+    let kept: Vec<usize> = clustered.iter().map(|c| c.peer_id).collect();
+    let discarded: Vec<usize> =
+        cands.iter().map(|c| c.peer_id).filter(|id| !kept.contains(id)).collect();
+    Some(RoundSelection { offset_ms: offset * 1e3, survivors: kept, discarded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksim::time::{SimDuration, SimTime};
+    use ntp_wire::NtpDuration;
+    use sntp::exchange::CompletedExchange;
+    use sntp::{ExchangeError, OffsetSample};
+
+    fn ok(server_id: usize, offset_ms: f64, delay_ms: f64) -> ExchangeResult {
+        let sample = OffsetSample {
+            offset: NtpDuration::from_seconds_f64(offset_ms / 1e3),
+            delay: NtpDuration::from_seconds_f64(delay_ms / 1e3),
+            t1: ntp_wire::NtpTimestamp::from_parts(0, 0),
+            t4: ntp_wire::NtpTimestamp::from_parts(0, 0),
+            stratum: 2,
+        };
+        ExchangeResult {
+            server_id,
+            outcome: Ok(CompletedExchange {
+                sample,
+                true_fwd: SimDuration::from_millis(10),
+                true_back: SimDuration::from_millis(10),
+                completed_at: SimTime::ZERO,
+                server_id,
+            }),
+        }
+    }
+
+    fn fail(server_id: usize) -> ExchangeResult {
+        ExchangeResult { server_id, outcome: Err(ExchangeError::Blackholed) }
+    }
+
+    #[test]
+    fn agreeing_round_combines_all() {
+        let round = [ok(0, 5.0, 20.0), ok(1, 6.0, 20.0), ok(2, 4.5, 20.0)];
+        let sel = select_round(&round).expect("majority exists");
+        assert_eq!(sel.survivors.len(), 3);
+        assert!(sel.discarded.is_empty());
+        assert!((sel.offset_ms - 5.0).abs() < 1.5, "offset {}", sel.offset_ms);
+    }
+
+    #[test]
+    fn falseticker_discarded_and_does_not_pollute_offset() {
+        let round = [ok(0, 5.0, 20.0), ok(1, 6.0, 20.0), ok(2, 500.0, 20.0)];
+        let sel = select_round(&round).expect("two honest servers outvote one");
+        assert!(!sel.survivors.contains(&2));
+        assert!(sel.discarded.contains(&2));
+        assert!((sel.offset_ms - 5.5).abs() < 1.0, "offset {}", sel.offset_ms);
+    }
+
+    #[test]
+    fn failed_exchanges_are_ignored() {
+        let round = [ok(0, 3.0, 20.0), fail(1), ok(2, 3.5, 20.0)];
+        let sel = select_round(&round).expect("failures don't break the clique");
+        assert_eq!(sel.survivors.len(), 2);
+    }
+
+    #[test]
+    fn all_failed_yields_none() {
+        assert_eq!(select_round(&[fail(0), fail(1)]), None);
+        assert_eq!(select_round(&[]), None);
+    }
+
+    #[test]
+    fn split_vote_yields_none() {
+        // Two pairs half a second apart: no majority clique.
+        let round = [ok(0, 0.0, 5.0), ok(1, 1.0, 5.0), ok(2, 500.0, 5.0), ok(3, 501.0, 5.0)];
+        assert_eq!(select_round(&round), None);
+    }
+
+    #[test]
+    fn over_budget_answers_cast_no_vote() {
+        // A congested answer's interval covers everything; budgeted out,
+        // the two crisp servers decide the round alone.
+        let round = [ok(0, 5.0, 20.0), ok(1, 6.0, 20.0), ok(2, 130.0, 900.0)];
+        let sel = select_round(&round).expect("crisp majority survives");
+        assert!(!sel.survivors.contains(&2));
+        assert!((sel.offset_ms - 5.5).abs() < 1.0, "offset {}", sel.offset_ms);
+        // A round of nothing but congested answers yields no sample.
+        assert_eq!(select_round(&[ok(0, 5.0, 500.0), ok(1, 6.0, 700.0)]), None);
+    }
+
+    #[test]
+    fn single_answer_survives_trivially() {
+        let sel = select_round(&[ok(4, 12.0, 30.0)]).expect("lone answer is the sample");
+        assert_eq!(sel.survivors, vec![4]);
+        assert!((sel.offset_ms - 12.0).abs() < 1e-3);
+        // A lone answer among genuine *failures* still passes: it is
+        // the round's only evidence, not a minority report.
+        let sel = select_round(&[fail(0), ok(4, 12.0, 30.0), fail(2)]).expect("majority of one");
+        assert_eq!(sel.survivors, vec![4]);
+    }
+
+    #[test]
+    fn uncorroborated_lone_vote_among_congested_answers_yields_none() {
+        // Three servers answered, but only one crisply — and it is the
+        // falseticker. The congested pair can't vote, so nothing this
+        // round can contradict the lie; the clique (1) is not a
+        // majority of the answers (3) and the round yields no sample.
+        let round = [ok(0, 255.0, 20.0), ok(1, 3.0, 700.0), ok(2, 2.0, 900.0)];
+        assert_eq!(select_round(&round), None);
+    }
+}

@@ -224,6 +224,7 @@ pub fn fleet_trial(
     let cutoff = duration_secs as f64 / 2.0;
     let steady = n >= STEADY_SAMPLING_MIN_CLIENTS;
     let cfg = FleetRunConfig {
+        start_secs: 0.0,
         duration_secs,
         tick_secs: 1.0,
         sample_period_secs: 30.0,

@@ -25,6 +25,7 @@
 //! | [`faultsweep`] | Beyond-paper: fault-injection survival grid |
 //! | [`fleet`] | Beyond-paper: fleet-scale sweep + simulated server-log analysis |
 //! | [`servercore`] | Beyond-paper: batched server engine under fleet-shaped ingest |
+//! | [`chaosfleet`] | Beyond-paper: regional fault timeline, degradation + recovery |
 //!
 //! Every experiment takes an explicit seed; the default seeds used by
 //! `repro` are fixed so the committed EXPERIMENTS.md numbers regenerate
@@ -34,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaosfleet;
 pub mod extended;
 pub mod faultsweep;
 pub mod fleet;

@@ -123,6 +123,7 @@ pub fn expected_ids(quick: bool) -> Vec<&'static str> {
         "faultsweep",
         "fleet",
         "servercore",
+        "chaosfleet",
     ]);
     ids
 }
@@ -294,6 +295,16 @@ pub fn run(opts: &Options) -> Report {
         tasks.push(Box::new(move || {
             let inner = Pool::with_jobs(1);
             vec![("servercore", servercore::render(&servercore::run_on(&inner, SEED, quick)))]
+        }));
+    }
+
+    if opts.want("chaosfleet") {
+        // Three full-timeline replays (two arms + the serial lockstep
+        // reference); serial inner pool keeps the worker budget at
+        // `jobs` overall, and the result is pool-invariant regardless.
+        tasks.push(Box::new(move || {
+            let inner = Pool::with_jobs(1);
+            vec![("chaosfleet", chaosfleet::render(&chaosfleet::run_on(&inner, SEED, quick)))]
         }));
     }
 

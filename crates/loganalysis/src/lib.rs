@@ -30,6 +30,9 @@
 //!   arrivals.
 //! * [`report`] — assemble Table 1, Figure 1 (min-OWD distributions per
 //!   provider) and Figure 2 (SNTP vs NTP shares).
+//! * [`recovery`] — sustained-threshold time-to-reconvergence and
+//!   peak-error measurement over fleet error series: the ruler the chaos
+//!   experiments apply to each fault phase.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,10 +43,12 @@ pub mod model;
 pub mod owd;
 pub mod pcap_input;
 pub mod protocol;
+pub mod recovery;
 pub mod report;
 pub mod synth;
 
 pub use interarrival::{arrival_rate_per_sec, global_interarrival, per_client_interarrival, InterarrivalSummary};
 pub use model::{ProviderCategory, ProviderProfile, ServerProfile, PROVIDERS, SERVERS};
+pub use recovery::{peak_error, time_to_reconvergence, RecoveryConfig};
 pub use report::{figure1, figure2, generate_all_logs, table1, Figure1Row, Figure2Row, Table1Row};
 pub use synth::{generate_server_log, LogRecord, ServerLog, SynthConfig};

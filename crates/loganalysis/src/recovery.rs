@@ -1,0 +1,157 @@
+//! Time-to-reconvergence over a fleet error series.
+//!
+//! The chaos experiments record per-group error quantiles as a time
+//! series (e.g. `mntp::fleet::GroupSample` p99s) across fault windows:
+//! a regional outage ends, the herd reconnects, and the question the
+//! artifact has to answer is *how long until the population is back in
+//! spec — and how bad did it get in the meantime?* This module is that
+//! ruler: a sustained-threshold reconvergence test plus a peak-error
+//! scan, both pure functions over `(t_secs, error_ms)` pairs so the
+//! caller can feed any quantile it cares about.
+//!
+//! "Sustained" matters: the first post-fault sample under the threshold
+//! is often a lucky quantile while stragglers are still stepping their
+//! clocks. Reconvergence here means the series goes under the threshold
+//! *and stays there* for `sustain_secs` (or to the end of the recorded
+//! series, whichever comes first — a series that ends converged counts).
+
+/// What counts as "recovered".
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// The series is "in spec" when the error metric is at or below this
+    /// many milliseconds.
+    pub threshold_ms: f64,
+    /// How long the series must stay in spec before the first in-spec
+    /// instant is declared the reconvergence point. `0.0` accepts the
+    /// first in-spec sample outright.
+    pub sustain_secs: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { threshold_ms: 10.0, sustain_secs: 30.0 }
+    }
+}
+
+/// Seconds from `fault_end_secs` until the series first goes — and
+/// stays — at or below `cfg.threshold_ms`, or `None` if it never does
+/// within the recorded series.
+///
+/// Only samples at or after `fault_end_secs` are considered. A
+/// candidate recovery instant is rejected if the series pops back above
+/// the threshold within `cfg.sustain_secs` of it; the scan then resumes
+/// after the violation. A series that stays in spec through its final
+/// sample counts as sustained even if less than `sustain_secs` of it
+/// was recorded.
+pub fn time_to_reconvergence(
+    series: &[(f64, f64)],
+    fault_end_secs: f64,
+    cfg: &RecoveryConfig,
+) -> Option<f64> {
+    let tail: Vec<(f64, f64)> = series
+        .iter()
+        .copied()
+        .filter(|(t, _)| *t >= fault_end_secs)
+        .collect();
+    let mut i = 0;
+    while i < tail.len() {
+        let (t0, v0) = tail[i];
+        if v0 > cfg.threshold_ms {
+            i += 1;
+            continue;
+        }
+        // Candidate: scan forward until the sustain window is covered or
+        // the threshold is violated.
+        let mut violated_at = None;
+        for (j, &(t, v)) in tail.iter().enumerate().skip(i) {
+            if v > cfg.threshold_ms {
+                violated_at = Some(j);
+                break;
+            }
+            if t - t0 >= cfg.sustain_secs {
+                break;
+            }
+        }
+        match violated_at {
+            None => return Some(t0 - fault_end_secs),
+            Some(j) => i = j + 1,
+        }
+    }
+    None
+}
+
+/// The worst sample in `[from_secs, to_secs)`: `(t_secs, error_ms)` of
+/// the maximum error, or `None` if the window holds no samples. This is
+/// the degradation half of a recovery story — how far out of spec the
+/// fault pushed the population before the ladder/selection caught it.
+pub fn peak_error(series: &[(f64, f64)], from_secs: f64, to_secs: f64) -> Option<(f64, f64)> {
+    series
+        .iter()
+        .copied()
+        .filter(|(t, _)| *t >= from_secs && *t < to_secs)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold_ms: f64, sustain_secs: f64) -> RecoveryConfig {
+        RecoveryConfig { threshold_ms, sustain_secs }
+    }
+
+    #[test]
+    fn clean_recovery_is_found_at_first_in_spec_sample() {
+        // Fault ends at t=100; errors decay and stay low.
+        let series = [(90.0, 3.0), (100.0, 80.0), (110.0, 40.0), (120.0, 8.0), (130.0, 5.0), (140.0, 4.0), (150.0, 4.0)];
+        let ttr = time_to_reconvergence(&series, 100.0, &cfg(10.0, 20.0));
+        assert_eq!(ttr, Some(20.0)); // t=120 is the first sustained in-spec instant
+    }
+
+    #[test]
+    fn bounce_above_threshold_resets_the_clock() {
+        // Dips in spec at t=110 but pops back out at t=120 — the real
+        // recovery is the second dip at t=130.
+        let series = [(100.0, 50.0), (110.0, 9.0), (120.0, 30.0), (130.0, 6.0), (140.0, 5.0), (150.0, 5.0), (160.0, 4.0)];
+        let ttr = time_to_reconvergence(&series, 100.0, &cfg(10.0, 25.0));
+        assert_eq!(ttr, Some(30.0));
+    }
+
+    #[test]
+    fn never_recovering_yields_none() {
+        let series = [(100.0, 50.0), (120.0, 45.0), (140.0, 60.0)];
+        assert_eq!(time_to_reconvergence(&series, 100.0, &cfg(10.0, 10.0)), None);
+        assert_eq!(time_to_reconvergence(&[], 100.0, &cfg(10.0, 10.0)), None);
+    }
+
+    #[test]
+    fn series_ending_converged_counts_as_sustained() {
+        // Only 5 s of in-spec tail recorded against a 30 s sustain
+        // requirement — but the series *ends* in spec, so it counts.
+        let series = [(100.0, 50.0), (110.0, 8.0), (115.0, 7.0)];
+        let ttr = time_to_reconvergence(&series, 100.0, &cfg(10.0, 30.0));
+        assert_eq!(ttr, Some(10.0));
+    }
+
+    #[test]
+    fn samples_before_the_fault_end_are_ignored() {
+        // In-spec steady state before the fault must not read as an
+        // instant recovery.
+        let series = [(50.0, 2.0), (100.0, 90.0), (130.0, 3.0), (160.0, 3.0)];
+        let ttr = time_to_reconvergence(&series, 100.0, &cfg(10.0, 20.0));
+        assert_eq!(ttr, Some(30.0));
+    }
+
+    #[test]
+    fn zero_sustain_accepts_the_first_dip() {
+        let series = [(100.0, 50.0), (110.0, 9.0), (120.0, 30.0)];
+        assert_eq!(time_to_reconvergence(&series, 100.0, &cfg(10.0, 0.0)), Some(10.0));
+    }
+
+    #[test]
+    fn peak_error_scans_the_window() {
+        let series = [(90.0, 3.0), (100.0, 80.0), (110.0, 95.0), (120.0, 8.0)];
+        assert_eq!(peak_error(&series, 100.0, 120.0), Some((110.0, 95.0)));
+        assert_eq!(peak_error(&series, 200.0, 300.0), None);
+    }
+}

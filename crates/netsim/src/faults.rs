@@ -153,8 +153,13 @@ impl FaultSchedule {
     }
 
     /// Add a windowed fault over `[start_secs, end_secs)` (builder).
+    ///
+    /// Inverted or negative ranges are a caller bug: they debug-assert,
+    /// and in release builds saturate onto the time axis (start clamped
+    /// to ≥ 0, end clamped to ≥ start) instead of silently producing a
+    /// window no instant can ever satisfy.
     pub fn window(mut self, start_secs: f64, end_secs: f64, kind: FaultKind) -> Self {
-        assert!(start_secs <= end_secs, "fault window ends before it starts");
+        let (start_secs, end_secs) = clamp_window(start_secs, end_secs);
         self.windows.push(FaultWindow { start_secs, end_secs, kind });
         self
     }
@@ -169,6 +174,17 @@ impl FaultSchedule {
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
     }
+}
+
+/// Validate-and-saturate a `[start, end)` window onto the time axis:
+/// debug-asserts on inverted or negative input, then clamps `start` to
+/// ≥ 0 and `end` to ≥ `start` so release builds get a well-formed
+/// (possibly empty) window rather than one no instant satisfies.
+/// Shared with the fleet-scale chaos planner in [`crate::chaos`].
+pub(crate) fn clamp_window(start_secs: f64, end_secs: f64) -> (f64, f64) {
+    debug_assert!(start_secs <= end_secs, "fault window ends before it starts");
+    let start = start_secs.max(0.0);
+    (start, end_secs.max(start))
 }
 
 /// What the fault layer decided for one packet.
@@ -527,6 +543,49 @@ mod tests {
         assert!(!inj.fault_active(t(10)));
         assert!(inj.fault_active(t(25)));
         assert!(!inj.fault_active(t(30)));
+    }
+
+    /// Regression: a window reaching before t=0 is clamped onto the
+    /// time axis instead of being accepted verbatim.
+    #[test]
+    fn negative_window_start_is_clamped_to_time_axis() {
+        let sched = FaultSchedule::none().window(
+            -50.0,
+            10.0,
+            FaultKind::ServerOutage { servers: ServerSet::All },
+        );
+        assert_eq!(sched.windows[0].start_secs, 0.0);
+        assert_eq!(sched.windows[0].end_secs, 10.0);
+        let mut inj = FaultInjector::new(sched, 11);
+        assert_eq!(inj.uplink_fate(t(0), 0), PacketFate::Drop);
+        assert_eq!(inj.uplink_fate(t(10), 0), PacketFate::Deliver);
+    }
+
+    /// Regression: an inverted window is a caller bug — it trips the
+    /// debug assertion rather than silently never matching.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_window_panics_in_debug() {
+        let _ = FaultSchedule::none().window(
+            200.0,
+            100.0,
+            FaultKind::ServerOutage { servers: ServerSet::All },
+        );
+    }
+
+    /// Regression: release builds saturate an inverted window to an
+    /// empty one at `start` instead of keeping end < start.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn inverted_window_saturates_in_release() {
+        let sched = FaultSchedule::none().window(
+            200.0,
+            100.0,
+            FaultKind::ServerOutage { servers: ServerSet::All },
+        );
+        assert_eq!(sched.windows[0].start_secs, 200.0);
+        assert_eq!(sched.windows[0].end_secs, 200.0);
     }
 
     /// The determinism contract: identical (schedule, seed) ⇒ identical

@@ -76,6 +76,9 @@ pub struct ServerModelConfig {
     pub overload_min_poll_secs: f64,
     /// Backlog length at which the overload poll floor kicks in.
     pub overload_backlog: usize,
+    /// Optional graceful-degradation ladder (`None` — the default —
+    /// reproduces the two-rung policy above exactly).
+    pub ladder: Option<DegradationConfig>,
 }
 
 impl Default for ServerModelConfig {
@@ -86,7 +89,38 @@ impl Default for ServerModelConfig {
             min_poll_secs: 2.0,
             overload_min_poll_secs: 64.0,
             overload_backlog: 32,
+            ladder: None,
         }
+    }
+}
+
+/// The graceful-degradation ladder: an intermediate *ramp* rung between
+/// the hard floor and the overload floor, plus priority shedding of
+/// abusive pollers once the overload rung is reached.
+///
+/// Rungs, by backlog depth: `[0, ramp_backlog)` → hard floor;
+/// `[ramp_backlog, overload_backlog)` → `ramp_min_poll_secs`;
+/// `[overload_backlog, ..)` → the overload floor, and arrivals from
+/// clients with `shed_strikes` consecutive RATE kisses are *shed*
+/// (silently dropped) before compliant clients lose queue space. A
+/// compliant gap (at or beyond the active floor) clears a client's
+/// strikes. Every rung stays clamped to [`HEALTH_RATE_BAN_SECS`], so
+/// the ban-compliance invariant of the base policy carries over.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradationConfig {
+    /// Backlog length at which the ramp rung engages.
+    pub ramp_backlog: usize,
+    /// Per-client minimum poll spacing on the ramp rung, seconds.
+    /// Clamped into `[min_poll_secs, overload_min_poll_secs]`.
+    pub ramp_min_poll_secs: f64,
+    /// Consecutive RATE kisses after which an arrival is shed instead
+    /// of answered while the overload rung is active.
+    pub shed_strikes: u8,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig { ramp_backlog: 16, ramp_min_poll_secs: 16.0, shed_strikes: 3 }
     }
 }
 
@@ -123,6 +157,11 @@ pub struct ServerModelStats {
     pub kod_sent: u64,
     /// Largest backlog observed at any arrival instant.
     pub peak_backlog: usize,
+    /// Requests shed by the degradation ladder (abusive pollers dropped
+    /// under overload before compliant clients lose queue space).
+    pub shed: u64,
+    /// Times the server restarted (outage recovery).
+    pub restarts: u64,
 }
 
 /// Bounded-queue service model with load-dependent RATE policy.
@@ -148,23 +187,34 @@ pub struct ServerModel {
     /// every client shows up, and arrival admission is the server-side
     /// hot path.
     last_seen: Vec<i64>,
+    /// Consecutive RATE kisses per client id (ladder shedding), grown
+    /// in lockstep with `last_seen`; unused when the ladder is off.
+    strikes: Vec<u8>,
     /// Counters.
     pub stats: ServerModelStats,
 }
 
 impl ServerModel {
     /// Empty model. `overload_min_poll_secs` is clamped into
-    /// `[min_poll_secs, HEALTH_RATE_BAN_SECS]`.
+    /// `[min_poll_secs, HEALTH_RATE_BAN_SECS]`, and the ladder's ramp
+    /// rung into `[min_poll_secs, overload_min_poll_secs]`.
     pub fn new(mut cfg: ServerModelConfig) -> Self {
         cfg.overload_min_poll_secs = cfg
             .overload_min_poll_secs
             .clamp(cfg.min_poll_secs, HEALTH_RATE_BAN_SECS);
+        if let Some(ladder) = &mut cfg.ladder {
+            ladder.ramp_min_poll_secs = ladder
+                .ramp_min_poll_secs
+                .clamp(cfg.min_poll_secs, cfg.overload_min_poll_secs);
+            ladder.ramp_backlog = ladder.ramp_backlog.min(cfg.overload_backlog);
+        }
         ServerModel {
             cfg,
             queue: VecDeque::new(),
             busy_until: SimTime::ZERO,
             horizon: SimTime::ZERO,
             last_seen: Vec::new(),
+            strikes: Vec::new(),
             stats: ServerModelStats::default(),
         }
     }
@@ -194,26 +244,51 @@ impl ServerModel {
         }
         self.stats.peak_backlog = self.stats.peak_backlog.max(self.queue.len());
 
+        let overloaded = self.queue.len() >= self.cfg.overload_backlog;
+        let idx = client as usize;
+
+        // Ladder rung 2, shedding: under overload an arrival from a
+        // client with `shed_strikes` consecutive RATE kisses is dropped
+        // before it can take queue space from a compliant client.
+        if let Some(ladder) = self.cfg.ladder {
+            let strikes = self.strikes.get(idx).copied().unwrap_or(0);
+            if overloaded && strikes >= ladder.shed_strikes {
+                self.stats.shed += 1;
+                return ServiceDecision::Dropped;
+            }
+        }
+
         if self.queue.len() >= self.cfg.queue_capacity {
             self.stats.dropped += 1;
             return ServiceDecision::Dropped;
         }
 
-        // RATE policy: hard floor always; overload floor (≤ the 64 s
-        // health ban) while the backlog is deep.
-        let overloaded = self.queue.len() >= self.cfg.overload_backlog;
-        let idx = client as usize;
+        // RATE policy: hard floor always; with the ladder, the ramp
+        // floor on middling backlog; overload floor (≤ the 64 s health
+        // ban) while the backlog is deep.
+        let ramp_floor = self.cfg.ladder.and_then(|l| {
+            (self.queue.len() >= l.ramp_backlog).then_some(l.ramp_min_poll_secs)
+        });
         let prev = self.last_seen.get(idx).copied().unwrap_or(i64::MIN);
         let kod = prev != i64::MIN && {
             let gap = (at - SimTime(prev)).as_secs_f64();
             gap < self.cfg.min_poll_secs
                 || (overloaded && gap < self.cfg.overload_min_poll_secs)
+                || ramp_floor.is_some_and(|floor| gap < floor)
         };
         if idx >= self.last_seen.len() {
             self.last_seen.resize(idx + 1, i64::MIN);
         }
         if let Some(slot) = self.last_seen.get_mut(idx) {
             *slot = at.as_nanos();
+        }
+        if self.cfg.ladder.is_some() {
+            if idx >= self.strikes.len() {
+                self.strikes.resize(idx + 1, 0);
+            }
+            if let Some(slot) = self.strikes.get_mut(idx) {
+                *slot = if kod { slot.saturating_add(1) } else { 0 };
+            }
         }
 
         let start = self.busy_until.max(at);
@@ -226,6 +301,23 @@ impl ServerModel {
             self.stats.served += 1;
         }
         ServiceDecision::Served { depart, kod }
+    }
+
+    /// Restart the server at `at` (outage recovery): the backlog is
+    /// gone, the process is idle, and the rate table is *cold* — every
+    /// client reads as never-seen, so the recovering herd's first polls
+    /// are answered instead of mass-RATEd, and the table re-warms from
+    /// post-restart behaviour alone. Ban-honoring clients therefore
+    /// stay RATE-free across restarts (property-tested below); abusive
+    /// pollers re-earn their strikes.
+    pub fn restart(&mut self, at: SimTime) {
+        let at = at.max(self.horizon);
+        self.horizon = at;
+        self.busy_until = at;
+        self.queue.clear();
+        self.last_seen.clear();
+        self.strikes.clear();
+        self.stats.restarts += 1;
     }
 }
 
@@ -610,6 +702,108 @@ mod tests {
     }
 
     #[test]
+    fn ladder_ramp_floor_rates_between_rungs() {
+        let cfg = ServerModelConfig {
+            service_time: SimDuration::from_secs_f64(30.0),
+            overload_backlog: 8,
+            ladder: Some(DegradationConfig {
+                ramp_backlog: 2,
+                ramp_min_poll_secs: 16.0,
+                shed_strikes: 200,
+            }),
+            ..ServerModelConfig::default()
+        };
+        let mut m = ServerModel::new(cfg);
+        // Backlog 3 after these (30 s service): ramp rung, not overload.
+        for c in 1..4u32 {
+            m.on_arrival(c, secs(1.0));
+        }
+        m.on_arrival(0, secs(2.0));
+        // 8 s later: beyond the 2 s hard floor but inside the 16 s ramp
+        // floor — RATEd only because the ramp rung is engaged.
+        assert!(matches!(
+            m.on_arrival(0, secs(10.0)),
+            ServiceDecision::Served { kod: true, .. }
+        ));
+        // 20 s later: beyond the ramp floor — served.
+        assert!(matches!(
+            m.on_arrival(0, secs(30.0)),
+            ServiceDecision::Served { kod: false, .. }
+        ));
+    }
+
+    #[test]
+    fn ladder_sheds_striking_pollers_under_overload_only() {
+        let cfg = ServerModelConfig {
+            service_time: SimDuration::from_secs_f64(30.0),
+            overload_backlog: 4,
+            ladder: Some(DegradationConfig {
+                ramp_backlog: 2,
+                ramp_min_poll_secs: 4.0,
+                shed_strikes: 2,
+            }),
+            ..ServerModelConfig::default()
+        };
+        let mut m = ServerModel::new(cfg);
+        // Deep backlog from background clients.
+        for c in 10..16u32 {
+            m.on_arrival(c, secs(1.0));
+        }
+        // Client 0 hammers at 0.5 s spacing: two RATE kisses earn the
+        // strikes, then arrivals are shed while overload persists.
+        m.on_arrival(0, secs(2.0));
+        assert!(matches!(
+            m.on_arrival(0, secs(2.5)),
+            ServiceDecision::Served { kod: true, .. }
+        ));
+        assert!(matches!(
+            m.on_arrival(0, secs(3.0)),
+            ServiceDecision::Served { kod: true, .. }
+        ));
+        let before = m.stats.shed;
+        assert_eq!(m.on_arrival(0, secs(3.5)), ServiceDecision::Dropped);
+        assert_eq!(m.stats.shed, before + 1);
+        // A compliant client at the same instant is still served.
+        assert!(matches!(
+            m.on_arrival(20, secs(3.5)),
+            ServiceDecision::Served { .. }
+        ));
+        // Once the queue drains (no overload), the striker is answered
+        // again — and a ban-length gap clears its strikes.
+        assert!(matches!(
+            m.on_arrival(0, secs(300.0)),
+            ServiceDecision::Served { kod: false, .. }
+        ));
+    }
+
+    #[test]
+    fn restart_clears_backlog_and_rate_state() {
+        let cfg = ServerModelConfig {
+            service_time: SimDuration::from_secs_f64(30.0),
+            ladder: Some(DegradationConfig::default()),
+            ..ServerModelConfig::default()
+        };
+        let mut m = ServerModel::new(cfg);
+        for c in 0..10u32 {
+            m.on_arrival(c, secs(1.0));
+        }
+        // Client 0 just polled at t=1; without the restart a poll at
+        // t=2 would draw a RATE kiss (hard floor 2 s).
+        m.restart(secs(1.5));
+        assert_eq!(m.backlog(), 0);
+        assert_eq!(m.stats.restarts, 1);
+        match m.on_arrival(0, secs(2.0)) {
+            ServiceDecision::Served { depart, kod } => {
+                assert!(!kod, "cold rate table must not RATE the first post-restart poll");
+                // The process restarted idle: service begins at the
+                // arrival, not behind the pre-restart backlog.
+                assert!(depart <= secs(2.0) + SimDuration::from_secs_f64(30.0));
+            }
+            ServiceDecision::Dropped => panic!("restarted server must serve"),
+        }
+    }
+
+    #[test]
     fn lanes_rejects_out_of_range() {
         let cfg = FleetConfig { clients: 2, servers: 1, ..FleetConfig::default() };
         let mut net = FleetNet::new(&cfg, 1);
@@ -699,6 +893,72 @@ mod proptests {
                     prop_assert!(
                         !matches!(d, ServiceDecision::Served { kod: true, .. }),
                         "ban-honoring client RATEd at t={at}"
+                    );
+                }
+            }
+        }
+
+        /// The ladder extension of the invariant above: with every rung
+        /// of the degradation ladder engaged (ramp floor, overload
+        /// floor, strike shedding) *and* restarts injected mid-run, a
+        /// client spaced at or beyond the 64 s ban is still never RATEd
+        /// and never shed — every rung is clamped to the ban, strikes
+        /// require a RATE first, and restarts cold-start the rate table
+        /// instead of mass-RATE-ing the recovering herd.
+        fn ban_honoring_client_survives_ladder_and_restart(
+            load_clients in prop::vecs(prop::ints(1..40), 1..300),
+            load_gaps_ms in prop::vecs(prop::ints(0..300), 1..300),
+            honor_slack_s in prop::vecs(prop::ints(0..30), 5..20),
+            restart_at_s in prop::vecs(prop::ints(1..2000), 0..4),
+            ramp_backlog in prop::ints(0..8),
+            ramp_floor_s in prop::ints(1..200),
+            shed_strikes in prop::ints(1..6),
+        ) {
+            let mut events: Vec<(f64, u32)> = Vec::new();
+            let mut t = 0.0f64;
+            for (c, g) in load_clients.iter().zip(load_gaps_ms.iter()) {
+                t += *g as f64 / 1e3;
+                events.push((t, *c as u32));
+            }
+            let mut th = 0.0f64;
+            for slack in &honor_slack_s {
+                th += HEALTH_RATE_BAN_SECS + *slack as f64;
+                events.push((th, 0));
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // Restarts as sentinel events (client u32::MAX), merged in.
+            let mut restarts: Vec<(f64, u32)> =
+                restart_at_s.iter().map(|s| (*s as f64, u32::MAX)).collect();
+            restarts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let cfg = ServerModelConfig {
+                queue_capacity: 16,
+                service_time: SimDuration::from_secs_f64(0.2),
+                overload_backlog: 2,
+                ladder: Some(DegradationConfig {
+                    ramp_backlog: ramp_backlog as usize,
+                    // Deliberately absurd floors: clamping must save us.
+                    ramp_min_poll_secs: ramp_floor_s as f64,
+                    shed_strikes: shed_strikes as u8,
+                }),
+                ..ServerModelConfig::default()
+            };
+            let mut m = ServerModel::new(cfg);
+            let mut restarts = restarts.into_iter().peekable();
+            for (at, c) in events {
+                while restarts.peek().is_some_and(|(r, _)| *r <= at) {
+                    if let Some((r, _)) = restarts.next() {
+                        m.restart(secs(r));
+                    }
+                }
+                let d = m.on_arrival(c, secs(at));
+                if c == 0 {
+                    prop_assert!(
+                        !matches!(d, ServiceDecision::Served { kod: true, .. }),
+                        "ban-honoring client RATEd at t={at} under the ladder"
+                    );
+                    prop_assert!(
+                        !matches!(d, ServiceDecision::Dropped) || m.backlog() >= 16,
+                        "ban-honoring client shed at t={at}"
                     );
                 }
             }

@@ -22,6 +22,11 @@
 //!   (loss storms, server outages, kiss-o'-death windows, falseticker
 //!   onset, delay-asymmetry spikes, duplicate/corrupt replies, client
 //!   clock steps) layered on top of the channel models.
+//! * [`chaos`] — the population-scale generalization of [`faults`]:
+//!   seed-deterministic fleet fault plans over client-range and server
+//!   domains (regional loss storms and delay spikes, server outages
+//!   with scheduled restarts, falseticker onset, clock-step waves),
+//!   queryable statelessly from any shard.
 //! * [`pcap`] — a libpcap writer: simulated exchanges dump to `.pcap`
 //!   files openable in Wireshark (the paper's pipeline was built on
 //!   tcpdump captures of exactly this traffic).
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cellular;
+pub mod chaos;
 pub mod crosstraffic;
 pub mod faults;
 pub mod fleet;
@@ -52,6 +58,7 @@ pub mod testbed;
 mod wheel;
 pub mod wifi;
 
+pub use chaos::{ChaosEvent, ClientChaosLatch, ClientRange, FleetFaultPlan, ServerChaosLatch};
 pub use faults::{FaultInjector, FaultKind, FaultSchedule, FaultWindow, PacketFate, ServerSet};
 pub use fleet::{FleetConfig, FleetNet, ServerModel, ServerModelConfig, ServiceDecision};
 pub use kernel::{SchedulerKind, Sim};

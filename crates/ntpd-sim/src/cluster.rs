@@ -1,133 +1,7 @@
 //! The cluster and combine algorithms (RFC 5905 §11.2.2–11.2.3).
 //!
-//! The intersection algorithm only guarantees survivors are *truechimers*;
-//! the cluster algorithm then prunes statistical outliers: repeatedly
-//! discard the survivor whose offset deviates most from the others (its
-//! *selection jitter*) until that deviation no longer dominates the
-//! peers' own jitter or a minimum survivor count is reached. The
-//! remaining offsets are combined into the system offset, weighted by
-//! inverse root distance.
+//! The implementation lives in [`sntp::select`] (one shared,
+//! structurally panic-free copy below every client stack); this module
+//! re-exports it under the historical path.
 
-use crate::select::PeerCandidate;
-
-/// Minimum survivors the cluster algorithm will prune down to.
-pub const MIN_SURVIVORS: usize = 3;
-
-/// Selection jitter of candidate `i`: RMS of its offset against every
-/// other candidate.
-fn selection_jitter(cands: &[PeerCandidate], i: usize) -> f64 {
-    if cands.len() < 2 {
-        return 0.0;
-    }
-    let oi = cands[i].offset;
-    let sum: f64 = cands
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| *j != i)
-        .map(|(_, c)| (c.offset - oi).powi(2))
-        .sum();
-    (sum / (cands.len() - 1) as f64).sqrt()
-}
-
-/// Run the cluster algorithm over the intersection survivors. Returns the
-/// pruned candidate list (never empty if the input wasn't).
-pub fn cluster(mut cands: Vec<PeerCandidate>) -> Vec<PeerCandidate> {
-    while cands.len() > MIN_SURVIVORS {
-        // Find max selection jitter and min peer jitter.
-        let (worst_idx, worst_sel) = (0..cands.len())
-            .map(|i| (i, selection_jitter(&cands, i)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN jitter"))
-            .expect("non-empty");
-        let min_peer_jitter = cands
-            .iter()
-            .map(|c| c.jitter)
-            .fold(f64::INFINITY, f64::min);
-        // Stop when discarding no longer helps: the worst selection
-        // jitter is already below the best peer's own jitter.
-        if worst_sel <= min_peer_jitter {
-            break;
-        }
-        cands.remove(worst_idx);
-    }
-    cands
-}
-
-/// Combine survivor offsets into the system offset, weighting each by the
-/// reciprocal of its root distance (RFC 5905 §11.2.3).
-pub fn combine(cands: &[PeerCandidate]) -> Option<f64> {
-    if cands.is_empty() {
-        return None;
-    }
-    let mut num = 0.0;
-    let mut den = 0.0;
-    for c in cands {
-        let w = 1.0 / c.root_distance.max(1e-9);
-        num += w * c.offset;
-        den += w;
-    }
-    Some(num / den)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cand(id: usize, offset: f64, dist: f64, jitter: f64) -> PeerCandidate {
-        PeerCandidate { peer_id: id, offset, root_distance: dist, jitter }
-    }
-
-    #[test]
-    fn outlier_pruned_first() {
-        let cands = vec![
-            cand(0, 0.001, 0.02, 0.0005),
-            cand(1, 0.002, 0.02, 0.0005),
-            cand(2, 0.0015, 0.02, 0.0005),
-            cand(3, 0.040, 0.02, 0.0005), // inside its interval, but noisy
-        ];
-        let out = cluster(cands);
-        assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|c| c.peer_id != 3));
-    }
-
-    #[test]
-    fn never_prunes_below_minimum() {
-        let cands = vec![
-            cand(0, 0.0, 0.02, 0.0001),
-            cand(1, 0.5, 0.02, 0.0001),
-            cand(2, -0.5, 0.02, 0.0001),
-        ];
-        assert_eq!(cluster(cands).len(), 3);
-    }
-
-    #[test]
-    fn stops_when_jitter_dominated() {
-        // All peers noisier than the spread between them: nothing pruned.
-        let cands = vec![
-            cand(0, 0.001, 0.02, 0.050),
-            cand(1, 0.002, 0.02, 0.050),
-            cand(2, 0.003, 0.02, 0.050),
-            cand(3, 0.004, 0.02, 0.050),
-        ];
-        assert_eq!(cluster(cands).len(), 4);
-    }
-
-    #[test]
-    fn combine_weights_by_distance() {
-        // Peer 0 is 10x closer: its offset dominates.
-        let cands = [cand(0, 0.010, 0.01, 0.0), cand(1, 0.110, 0.10, 0.0)];
-        let c = combine(&cands).unwrap();
-        let expected = (100.0 * 0.010 + 10.0 * 0.110) / 110.0;
-        assert!((c - expected).abs() < 1e-12, "c={c}");
-        assert!(c < 0.03, "closer peer should dominate: {c}");
-    }
-
-    #[test]
-    fn combine_empty_is_none() {
-        assert_eq!(combine(&[]), None);
-    }
-
-    #[test]
-    fn combine_single() {
-        assert_eq!(combine(&[cand(0, 0.25, 0.02, 0.0)]), Some(0.25));
-    }
-}
+pub use sntp::select::{cluster, combine, MIN_SURVIVORS};

@@ -1,183 +1,9 @@
 //! The selection (intersection) algorithm — Marzullo's algorithm as
 //! adapted by RFC 5905 §11.2.1.
 //!
-//! Each peer asserts that the true offset lies in its *correctness
-//! interval* `[θ − λ, θ + λ]`, where λ is the peer's root synchronization
-//! distance. The algorithm finds the largest group of peers whose
-//! intervals share a common point; everyone outside the clique is a
-//! *falseticker*. This is the "time-tested filtering" that SNTP lacks and
-//! whose absence the paper's §3.4 blames for mobile clients' poor
-//! synchronization.
+//! The implementation lives in [`sntp::select`] so that every
+//! multi-server client stack (this daemon, the fleet's hardened MNTP
+//! discipline) shares one structurally panic-free copy; this module
+//! re-exports it under the historical path.
 
-/// A peer's candidate offset and its error bound, both in seconds.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct PeerCandidate {
-    /// Identifier the caller uses to map survivors back to peers.
-    pub peer_id: usize,
-    /// Filtered clock offset θ, s.
-    pub offset: f64,
-    /// Root synchronization distance λ (delay/2 + dispersion), s.
-    pub root_distance: f64,
-    /// Peer jitter (for the cluster stage), s.
-    pub jitter: f64,
-}
-
-/// Run the intersection algorithm. Returns the ids of the surviving
-/// (truechimer) peers. At least `2*f+1` of `n` peers must agree, where
-/// `f` is the number tolerated as false — the standard majority-clique
-/// rule; with fewer than half agreeing, the result is empty.
-pub fn select_survivors(candidates: &[PeerCandidate]) -> Vec<usize> {
-    let n = candidates.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    if n == 1 {
-        return vec![candidates[0].peer_id];
-    }
-    // Endpoint list: (value, type) with type −1 = lower, +1 = upper.
-    let mut endpoints: Vec<(f64, i32)> = Vec::with_capacity(2 * n);
-    for c in candidates {
-        endpoints.push((c.offset - c.root_distance, -1));
-        endpoints.push((c.offset + c.root_distance, 1));
-    }
-    endpoints.sort_by(|a, b| a.partial_cmp(b).expect("no NaN offsets"));
-
-    // Find the maximum number of overlapping intervals and the region.
-    // Standard sweep: count +1 at a lower endpoint, −1 at an upper.
-    let mut depth = 0;
-    let mut best_depth = 0;
-    let mut region_lo = f64::NEG_INFINITY;
-    let mut region_hi = f64::INFINITY;
-    for i in 0..endpoints.len() {
-        let (v, kind) = endpoints[i];
-        if kind == -1 {
-            depth += 1;
-            if depth > best_depth {
-                best_depth = depth;
-                region_lo = v;
-                // The matching upper bound is the next endpoint value at
-                // which depth drops below best; recorded below.
-                region_hi = endpoints
-                    .get(i + 1)
-                    .map(|e| e.0)
-                    .unwrap_or(f64::INFINITY);
-            }
-        } else {
-            depth -= 1;
-        }
-    }
-    // Majority rule: the clique must contain more than half the peers
-    // (tolerating f < n/2 falsetickers).
-    if best_depth * 2 <= n {
-        return Vec::new();
-    }
-    // Survivors: peers whose interval covers the intersection region.
-    candidates
-        .iter()
-        .filter(|c| c.offset - c.root_distance <= region_hi && c.offset + c.root_distance >= region_lo)
-        .map(|c| c.peer_id)
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cand(id: usize, offset: f64, dist: f64) -> PeerCandidate {
-        PeerCandidate { peer_id: id, offset, root_distance: dist, jitter: 0.001 }
-    }
-
-    #[test]
-    fn agreeing_peers_all_survive() {
-        let cs = [cand(0, 0.010, 0.020), cand(1, 0.015, 0.020), cand(2, 0.005, 0.020)];
-        let mut got = select_survivors(&cs);
-        got.sort();
-        assert_eq!(got, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn falseticker_excluded() {
-        let cs = [
-            cand(0, 0.010, 0.015),
-            cand(1, 0.012, 0.015),
-            cand(2, 0.008, 0.015),
-            cand(3, 0.500, 0.015), // half a second off
-        ];
-        let mut got = select_survivors(&cs);
-        got.sort();
-        assert_eq!(got, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn no_majority_returns_empty() {
-        // Two far-apart pairs: no clique has > n/2 members.
-        let cs = [
-            cand(0, 0.0, 0.01),
-            cand(1, 0.0, 0.01),
-            cand(2, 1.0, 0.01),
-            cand(3, 1.0, 0.01),
-        ];
-        assert!(select_survivors(&cs).is_empty());
-    }
-
-    #[test]
-    fn single_peer_survives_trivially() {
-        assert_eq!(select_survivors(&[cand(7, 0.3, 0.01)]), vec![7]);
-    }
-
-    #[test]
-    fn empty_input_empty_output() {
-        assert!(select_survivors(&[]).is_empty());
-    }
-
-    #[test]
-    fn wide_interval_peer_can_join_clique() {
-        // A peer with a big error bound still overlaps the tight clique.
-        let cs = [
-            cand(0, 0.000, 0.005),
-            cand(1, 0.002, 0.005),
-            cand(2, 0.100, 0.200), // wide but covering
-        ];
-        let mut got = select_survivors(&cs);
-        got.sort();
-        assert_eq!(got, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn two_against_one() {
-        let cs = [cand(0, 0.0, 0.01), cand(1, 0.001, 0.01), cand(2, 5.0, 0.01)];
-        let mut got = select_survivors(&cs);
-        got.sort();
-        assert_eq!(got, vec![0, 1]);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use devtools::prop;
-    use devtools::{prop_assert, props};
-
-    props! {
-        /// With a majority of peers within ±b of zero and the rest far
-        /// away, the far peers never survive.
-        fn distant_minority_never_survives(
-            good in prop::vecs(prop::floats(-0.005..0.005), 3..6),
-            bad in prop::vecs(prop::floats(2.0..10.0), 1..2),
-        ) {
-            let mut cs = Vec::new();
-            for (i, &o) in good.iter().enumerate() {
-                cs.push(PeerCandidate { peer_id: i, offset: o, root_distance: 0.02, jitter: 0.0 });
-            }
-            let base = good.len();
-            for (i, &o) in bad.iter().enumerate() {
-                cs.push(PeerCandidate { peer_id: base + i, offset: o, root_distance: 0.02, jitter: 0.0 });
-            }
-            let got = select_survivors(&cs);
-            for id in &got {
-                prop_assert!(*id < base, "falseticker {id} survived");
-            }
-            prop_assert!(got.len() >= good.len(), "some truechimer was dropped: {got:?}");
-        }
-    }
-}
+pub use sntp::select::{select_survivors, PeerCandidate};

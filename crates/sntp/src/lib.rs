@@ -25,6 +25,10 @@
 //!   ramp and tail costs.
 //! * [`retry`] — capped exponential backoff with deterministic jitter,
 //!   the pacing policy hardened clients use after failures.
+//! * [`select`] — Marzullo-style intersection plus the RFC 5905 §11.2
+//!   cluster/combine refinement: the falseticker-resilient selection
+//!   every multi-server client stack (ntpd-sim, the fleet's hardened
+//!   MNTP discipline) runs over its per-server candidates.
 //! * [`server_core`] — the batched byte-level server engine: arena-backed
 //!   zero-copy parse → classify → sharded rate-limit → in-place reply
 //!   emission, behaviorally pinned to [`server::SimServer`].
@@ -43,6 +47,7 @@ pub mod exchange;
 pub mod fleet;
 pub mod pool;
 pub mod retry;
+pub mod select;
 pub mod server;
 pub mod server_core;
 pub mod vendor;
@@ -61,5 +66,8 @@ pub use pool::{
     HealthConfig, HealthTracker, PickLane, PoolConfig, ServerHealth, ServerPool, ServerSelect,
 };
 pub use retry::{Backoff, BackoffConfig};
+pub use select::{cluster, combine, select_survivors, PeerCandidate, MIN_SURVIVORS};
 pub use server::SimServer;
-pub use server_core::{CoreConfig, CoreStats, RateTable, ReplyRing, RequestRing, ServerCore};
+pub use server_core::{
+    CoreConfig, CoreDegradation, CoreStats, RateTable, ReplyRing, RequestRing, ServerCore,
+};

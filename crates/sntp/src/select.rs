@@ -1,0 +1,336 @@
+//! Falseticker-resilient server selection: Marzullo's intersection
+//! algorithm plus the cluster/combine refinement of RFC 5905 §11.2.
+//!
+//! Each peer asserts that the true offset lies in its *correctness
+//! interval* `[θ − λ, θ + λ]`, where λ is the peer's root
+//! synchronization distance. [`select_survivors`] finds the largest
+//! group of peers whose intervals share a common point; everyone
+//! outside the clique is a *falseticker*. [`cluster`] then prunes
+//! statistical outliers among the survivors — repeatedly discarding the
+//! peer whose offset deviates most from the others (its *selection
+//! jitter*) until that deviation no longer dominates the peers' own
+//! jitter or [`MIN_SURVIVORS`] is reached — and [`combine`] folds the
+//! remainder into one system offset, weighted by inverse root distance.
+//!
+//! This is the "time-tested filtering" that SNTP lacks and whose
+//! absence the paper's §3.4 blames for mobile clients' poor
+//! synchronization. It grew up in `ntpd_sim` (which still re-exports
+//! it); it lives here — below every client stack — so the fleet's
+//! multi-server MNTP discipline can run the same mitigation without a
+//! dependency cycle. The whole module is structurally panic-free: it
+//! sits on the `lint.toml` `[panic]` hot-path list.
+
+/// A peer's candidate offset and its error bound, both in seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeerCandidate {
+    /// Identifier the caller uses to map survivors back to peers.
+    pub peer_id: usize,
+    /// Filtered clock offset θ, s.
+    pub offset: f64,
+    /// Root synchronization distance λ (delay/2 + dispersion), s.
+    pub root_distance: f64,
+    /// Peer jitter (for the cluster stage), s.
+    pub jitter: f64,
+}
+
+/// Run the intersection algorithm. Returns the ids of the surviving
+/// (truechimer) peers. At least `2*f+1` of `n` peers must agree, where
+/// `f` is the number tolerated as false — the standard majority-clique
+/// rule; with fewer than half agreeing, the result is empty.
+pub fn select_survivors(candidates: &[PeerCandidate]) -> Vec<usize> {
+    let n = candidates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return candidates.iter().map(|c| c.peer_id).collect();
+    }
+    // Map each float endpoint to an integer whose natural order matches
+    // `total_cmp` (the sign-magnitude → two's-complement bit trick; an
+    // involution, so `ord_key` also maps keys back to float bits). The
+    // transform runs once per endpoint at construction, so the sort
+    // compares plain machine words instead of re-deriving keys — or
+    // branching on NaN — in the comparator.
+    fn ord_key(b: i64) -> i64 {
+        b ^ (((b >> 63) as u64) >> 1) as i64
+    }
+    fn key_val(k: i64) -> f64 {
+        f64::from_bits(ord_key(k) as u64)
+    }
+    // Endpoint list: (key, type) with type −1 = lower, +1 = upper; lower
+    // endpoints sort before upper at equal values, as before. Equal
+    // (key, type) pairs are interchangeable to the sweep, so an unstable
+    // sort is deterministic here.
+    let mut endpoints: Vec<(i64, i32)> = Vec::with_capacity(2 * n);
+    for c in candidates {
+        endpoints.push((ord_key((c.offset - c.root_distance).to_bits() as i64), -1));
+        endpoints.push((ord_key((c.offset + c.root_distance).to_bits() as i64), 1));
+    }
+    endpoints.sort_unstable();
+
+    // Find the maximum number of overlapping intervals and the region.
+    // Standard sweep: count +1 at a lower endpoint, −1 at an upper.
+    let mut depth = 0;
+    let mut best_depth = 0;
+    let mut region_lo = f64::NEG_INFINITY;
+    let mut region_hi = f64::INFINITY;
+    for (i, &(k, kind)) in endpoints.iter().enumerate() {
+        if kind == -1 {
+            depth += 1;
+            if depth > best_depth {
+                best_depth = depth;
+                region_lo = key_val(k);
+                // The matching upper bound is the next endpoint value at
+                // which depth drops below best; recorded below.
+                region_hi = endpoints
+                    .get(i + 1)
+                    .map(|e| key_val(e.0))
+                    .unwrap_or(f64::INFINITY);
+            }
+        } else {
+            depth -= 1;
+        }
+    }
+    // Majority rule: the clique must contain more than half the peers
+    // (tolerating f < n/2 falsetickers).
+    if best_depth * 2 <= n {
+        return Vec::new();
+    }
+    // Survivors: peers whose interval covers the intersection region.
+    candidates
+        .iter()
+        .filter(|c| {
+            c.offset - c.root_distance <= region_hi && c.offset + c.root_distance >= region_lo
+        })
+        .map(|c| c.peer_id)
+        .collect()
+}
+
+/// Minimum survivors the cluster algorithm will prune down to.
+pub const MIN_SURVIVORS: usize = 3;
+
+/// Selection jitter of candidate `i`: RMS of its offset against every
+/// other candidate.
+fn selection_jitter(cands: &[PeerCandidate], i: usize) -> f64 {
+    if cands.len() < 2 {
+        return 0.0;
+    }
+    let Some(ci) = cands.get(i) else {
+        return 0.0;
+    };
+    let oi = ci.offset;
+    let sum: f64 = cands
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, c)| (c.offset - oi).powi(2))
+        .sum();
+    (sum / (cands.len() - 1) as f64).sqrt()
+}
+
+/// Run the cluster algorithm over the intersection survivors. Returns
+/// the pruned candidate list (never empty if the input wasn't).
+pub fn cluster(mut cands: Vec<PeerCandidate>) -> Vec<PeerCandidate> {
+    while cands.len() > MIN_SURVIVORS {
+        // Find max selection jitter (last max on ties, matching the old
+        // `max_by` behaviour) and min peer jitter.
+        let mut worst_idx = 0usize;
+        let mut worst_sel = f64::NEG_INFINITY;
+        for i in 0..cands.len() {
+            let sj = selection_jitter(&cands, i);
+            if sj >= worst_sel {
+                worst_sel = sj;
+                worst_idx = i;
+            }
+        }
+        let min_peer_jitter = cands
+            .iter()
+            .map(|c| c.jitter)
+            .fold(f64::INFINITY, f64::min);
+        // Stop when discarding no longer helps: the worst selection
+        // jitter is already below the best peer's own jitter.
+        if worst_sel <= min_peer_jitter || worst_idx >= cands.len() {
+            break;
+        }
+        cands.remove(worst_idx);
+    }
+    cands
+}
+
+/// Combine survivor offsets into the system offset, weighting each by
+/// the reciprocal of its root distance (RFC 5905 §11.2.3).
+pub fn combine(cands: &[PeerCandidate]) -> Option<f64> {
+    if cands.is_empty() {
+        return None;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for c in cands {
+        let w = 1.0 / c.root_distance.max(1e-9);
+        num += w * c.offset;
+        den += w;
+    }
+    Some(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: usize, offset: f64, dist: f64) -> PeerCandidate {
+        PeerCandidate { peer_id: id, offset, root_distance: dist, jitter: 0.001 }
+    }
+
+    fn candj(id: usize, offset: f64, dist: f64, jitter: f64) -> PeerCandidate {
+        PeerCandidate { peer_id: id, offset, root_distance: dist, jitter }
+    }
+
+    #[test]
+    fn agreeing_peers_all_survive() {
+        let cs = [cand(0, 0.010, 0.020), cand(1, 0.015, 0.020), cand(2, 0.005, 0.020)];
+        let mut got = select_survivors(&cs);
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn falseticker_excluded() {
+        let cs = [
+            cand(0, 0.010, 0.015),
+            cand(1, 0.012, 0.015),
+            cand(2, 0.008, 0.015),
+            cand(3, 0.500, 0.015), // half a second off
+        ];
+        let mut got = select_survivors(&cs);
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn no_majority_returns_empty() {
+        // Two far-apart pairs: no clique has > n/2 members.
+        let cs = [
+            cand(0, 0.0, 0.01),
+            cand(1, 0.0, 0.01),
+            cand(2, 1.0, 0.01),
+            cand(3, 1.0, 0.01),
+        ];
+        assert!(select_survivors(&cs).is_empty());
+    }
+
+    #[test]
+    fn single_peer_survives_trivially() {
+        assert_eq!(select_survivors(&[cand(7, 0.3, 0.01)]), vec![7]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(select_survivors(&[]).is_empty());
+    }
+
+    #[test]
+    fn wide_interval_peer_can_join_clique() {
+        // A peer with a big error bound still overlaps the tight clique.
+        let cs = [
+            cand(0, 0.000, 0.005),
+            cand(1, 0.002, 0.005),
+            cand(2, 0.100, 0.200), // wide but covering
+        ];
+        let mut got = select_survivors(&cs);
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_against_one() {
+        let cs = [cand(0, 0.0, 0.01), cand(1, 0.001, 0.01), cand(2, 5.0, 0.01)];
+        let mut got = select_survivors(&cs);
+        got.sort();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn outlier_pruned_first() {
+        let cands = vec![
+            candj(0, 0.001, 0.02, 0.0005),
+            candj(1, 0.002, 0.02, 0.0005),
+            candj(2, 0.0015, 0.02, 0.0005),
+            candj(3, 0.040, 0.02, 0.0005), // inside its interval, but noisy
+        ];
+        let out = cluster(cands);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|c| c.peer_id != 3));
+    }
+
+    #[test]
+    fn never_prunes_below_minimum() {
+        let cands = vec![
+            candj(0, 0.0, 0.02, 0.0001),
+            candj(1, 0.5, 0.02, 0.0001),
+            candj(2, -0.5, 0.02, 0.0001),
+        ];
+        assert_eq!(cluster(cands).len(), 3);
+    }
+
+    #[test]
+    fn stops_when_jitter_dominated() {
+        // All peers noisier than the spread between them: nothing pruned.
+        let cands = vec![
+            candj(0, 0.001, 0.02, 0.050),
+            candj(1, 0.002, 0.02, 0.050),
+            candj(2, 0.003, 0.02, 0.050),
+            candj(3, 0.004, 0.02, 0.050),
+        ];
+        assert_eq!(cluster(cands).len(), 4);
+    }
+
+    #[test]
+    fn combine_weights_by_distance() {
+        // Peer 0 is 10x closer: its offset dominates.
+        let cands = [candj(0, 0.010, 0.01, 0.0), candj(1, 0.110, 0.10, 0.0)];
+        let c = combine(&cands).unwrap();
+        let expected = (100.0 * 0.010 + 10.0 * 0.110) / 110.0;
+        assert!((c - expected).abs() < 1e-12, "c={c}");
+        assert!(c < 0.03, "closer peer should dominate: {c}");
+    }
+
+    #[test]
+    fn combine_empty_is_none() {
+        assert_eq!(combine(&[]), None);
+    }
+
+    #[test]
+    fn combine_single() {
+        assert_eq!(combine(&[candj(0, 0.25, 0.02, 0.0)]), Some(0.25));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use devtools::prop;
+    use devtools::{prop_assert, props};
+
+    props! {
+        /// With a majority of peers within ±b of zero and the rest far
+        /// away, the far peers never survive.
+        fn distant_minority_never_survives(
+            good in prop::vecs(prop::floats(-0.005..0.005), 3..6),
+            bad in prop::vecs(prop::floats(2.0..10.0), 1..2),
+        ) {
+            let mut cs = Vec::new();
+            for (i, &o) in good.iter().enumerate() {
+                cs.push(PeerCandidate { peer_id: i, offset: o, root_distance: 0.02, jitter: 0.0 });
+            }
+            let base = good.len();
+            for (i, &o) in bad.iter().enumerate() {
+                cs.push(PeerCandidate { peer_id: base + i, offset: o, root_distance: 0.02, jitter: 0.0 });
+            }
+            let got = select_survivors(&cs);
+            for id in &got {
+                prop_assert!(*id < base, "falseticker {id} survived");
+            }
+            prop_assert!(got.len() >= good.len(), "some truechimer was dropped: {got:?}");
+        }
+    }
+}

@@ -28,5 +28,5 @@ pub mod pipeline;
 pub mod table;
 
 pub use arena::{Fate, ReplyRing, RequestMeta, RequestRing, SLOT};
-pub use pipeline::{CoreConfig, CoreStats, ServerCore};
+pub use pipeline::{CoreConfig, CoreDegradation, CoreStats, ServerCore};
 pub use table::{shard_of, RateTable};

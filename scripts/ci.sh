@@ -41,6 +41,9 @@ MNTP_SMOKE=1 cargo test -q --release --offline --test repro_smoke
 echo "== fleet is jobs-invariant (artifact + sharded trial) =="
 cargo test -q --release --offline --test parallel_equivalence fleet
 
+echo "== chaos fleet: fault timeline is jobs-invariant, lockstep replay =="
+cargo test -q --release --offline --test parallel_equivalence chaos
+
 echo "== server core: pinned to SimServer, (shards, jobs)-invariant =="
 cargo test -q --release --offline --test server_core_equivalence
 cargo test -q --release --offline --test parallel_equivalence servercore

@@ -203,3 +203,40 @@ fn fleet_trial_identical_serial_vs_sharded_parallel() {
     assert_eq!(fingerprint(4), serial, "jobs=4 diverged from the serial trial");
     assert_eq!(fingerprint(8), serial, "jobs=8 diverged from the serial trial");
 }
+
+/// The chaos fleet replays a deterministic fault timeline (loss storm,
+/// server blackhole, falseticker, clock-step wave) over a shared world;
+/// the artifact — which embeds its own serial-vs-sharded lockstep
+/// verdict — must be byte-identical at any worker count.
+#[test]
+fn chaos_artifact_identical_serial_vs_parallel() {
+    let ids = ["chaosfleet"];
+    let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
+        let out_dir = std::env::temp_dir().join(format!("mntp_equiv_chaos_{tag}"));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let opts = repro::Options {
+            quick: true,
+            selected: ids.iter().map(|s| s.to_string()).collect(),
+            out_dir: out_dir.clone(),
+            jobs: Some(jobs),
+            print: false,
+        };
+        let report = repro::run(&opts);
+        assert!(report.write_failures.is_empty(), "write failures: {:?}", report.write_failures);
+        let arts = read_artifacts(&out_dir, &ids);
+        let _ = std::fs::remove_dir_all(&out_dir);
+        arts
+    };
+    let serial = run_with(1, "serial");
+    let parallel = run_with(8, "parallel");
+    assert_eq!(
+        serial[0].1, parallel[0].1,
+        "chaosfleet.txt differs between jobs=1 and jobs=8"
+    );
+    let body = String::from_utf8_lossy(&serial[0].1).into_owned();
+    assert!(
+        body.contains("matches sharded run: yes"),
+        "in-artifact serial replay check failed:\n{body}"
+    );
+}
