@@ -450,6 +450,52 @@ fn bench_server_core(s: &mut Suite) {
     });
 }
 
+fn bench_lint(s: &mut Suite) {
+    use devtools::lint;
+    use std::path::Path;
+
+    // The workspace sources are loaded once up front so both benches
+    // measure pure analysis over in-memory text, not disk I/O. The
+    // token-only pass (tokenize + per-line rules, what lint v1 did) is
+    // the reference; the interprocedural pass runs the whole pipeline —
+    // tokenize, item extraction, call-graph assembly, reachability and
+    // taint — and is budgeted at < 2x the token pass in review.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives at crates/bench");
+    let cfg = lint::load_config(root).expect("lint.toml parses");
+    let files = lint::walk::rust_files(root, &cfg).expect("workspace walk");
+    let sources: Vec<(String, String)> = files
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel)).expect("read workspace source");
+            (rel, src)
+        })
+        .collect();
+    let crates = lint::crate_name_map(root);
+
+    s.bench("lint_workspace_tokens", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for (rel, src) in &sources {
+                let toks = lint::tokens::tokenize(src);
+                let scan = lint::rules::scan_tokens(&toks, |l| {
+                    cfg.lint_enabled(l.name, l.class == lint::Class::Panic, rel)
+                });
+                findings += scan.findings.len();
+            }
+            findings
+        })
+    });
+    s.bench("lint_workspace_interproc", |b| {
+        b.iter(|| {
+            let a = lint::analyze_sources(black_box(&sources), &cfg, &crates);
+            (a.outcome.findings.len(), a.graph.nodes.len())
+        })
+    });
+}
+
 fn main() {
     let mut s = Suite::from_args("micro");
     bench_packet_codec(&mut s);
@@ -466,5 +512,6 @@ fn main() {
     bench_fleet_kernel(&mut s);
     bench_chaos_fleet(&mut s);
     bench_server_core(&mut s);
+    bench_lint(&mut s);
     s.finish().expect("write bench report");
 }

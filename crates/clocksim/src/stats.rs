@@ -34,7 +34,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     percentile_sorted(&sorted, p)
 }
 
@@ -48,11 +48,14 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let (Some(&xlo), Some(&xhi)) = (sorted.get(lo), sorted.get(hi)) else {
+        return 0.0; // unreachable: rank <= len - 1 by construction
+    };
     if lo == hi {
-        sorted[lo]
+        xlo
     } else {
         let w = rank - lo as f64;
-        sorted[lo] * (1.0 - w) + sorted[hi] * w
+        xlo * (1.0 - w) + xhi * w
     }
 }
 
@@ -91,17 +94,17 @@ impl Summary {
             return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, p25: 0.0, median: 0.0, p75: 0.0, p95: 0.0, max: 0.0 };
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Summary {
             n: xs.len(),
             mean: mean(xs),
             std: stddev(xs),
-            min: sorted[0],
+            min: sorted.first().copied().unwrap_or(0.0),
             p25: percentile_sorted(&sorted, 25.0),
             median: percentile_sorted(&sorted, 50.0),
             p75: percentile_sorted(&sorted, 75.0),
             p95: percentile_sorted(&sorted, 95.0),
-            max: *sorted.last().unwrap(),
+            max: sorted.last().copied().unwrap_or(0.0),
         }
     }
 
@@ -116,7 +119,7 @@ impl Summary {
 /// sample, suitable for rendering the paper's CDF figures.
 pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = sorted.len() as f64;
     sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }

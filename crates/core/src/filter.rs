@@ -203,7 +203,7 @@ impl TrendFilter {
 
     fn window(&self) -> &[(f64, f64)] {
         let start = self.points.len().saturating_sub(self.fit_window);
-        &self.points[start..]
+        self.points.get(start..).unwrap_or(&[])
     }
 
     /// Re-fit the trend from the most recent `fit_window` points (the
@@ -223,7 +223,7 @@ impl TrendFilter {
     pub fn offer(&mut self, t_secs: f64, offset_ms: f64) -> bool {
         const BOOTSTRAP_LEN: usize = 5;
         const BOOTSTRAP_TOLERANCE_MS: f64 = 20.0;
-        if self.fit.is_none() {
+        let Some(f) = self.fit else {
             self.bootstrap.push((t_secs, offset_ms));
             let med = {
                 let vals: Vec<f64> = self.bootstrap.iter().map(|p| p.1).collect();
@@ -255,8 +255,7 @@ impl TrendFilter {
                 }
             }
             return verdict;
-        }
-        let f = self.fit.expect("checked above");
+        };
         let err = offset_ms - f.predict(t_secs);
         let sq = err * err;
         // Accept band: mean + sigma_mult * std of past squared errors —

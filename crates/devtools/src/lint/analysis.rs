@@ -1,0 +1,349 @@
+//! Interprocedural analyses over the workspace call graph.
+//!
+//! Three passes (DESIGN.md §8):
+//!
+//! - **panic-reachability** — token-level panic sites (`panic!`,
+//!   `.unwrap()`, slice indexing, …) anywhere in the workspace seed a
+//!   "may panic" set; the set propagates backwards over call edges
+//!   (exact *and* approximate — conservative), and every `[panic]`-path
+//!   entry point that can transitively reach a seed is reported with
+//!   its full call chain. Pragma'd seed sites are audited invariants
+//!   and do not seed.
+//! - **map-order-taint** — `HashMap`/`HashSet` mentions seed an
+//!   "unordered" set (pragma'd or not — a pragma justifies local use,
+//!   not downstream artifact stability); functions on artifact-emitting
+//!   paths (`[interproc] artifact_paths`) that can reach a seed are
+//!   reported with the chain.
+//! - **wallclock-taint** — `SystemTime`/`Instant` mentions seed a
+//!   wall-clock set, except in `[skip] no-wallclock` files (audited
+//!   sink boundaries — the bench harness); taint propagates within a
+//!   crate, and any cross-crate call into a tainted function is
+//!   reported at the call site.
+//!
+//! Plus the purely local **par-captured-rng** check, whose input (draws
+//! on captured receivers inside `devtools::par` closures) the item
+//! extractor collects per function.
+//!
+//! Test nodes are invisible to all four analyses.
+
+use super::config::{path_has_prefix, Config};
+use super::graph::{EdgeKind, Graph};
+use super::Finding;
+
+/// A token-level site seeding an analysis, with the lint that found it.
+#[derive(Clone, Debug)]
+pub struct SeedSite {
+    /// Root-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The token lint that matched (`no-unwrap`, `no-unordered-map`, …).
+    pub lint: &'static str,
+}
+
+/// All seeds collected during the token pass.
+#[derive(Clone, Debug, Default)]
+pub struct Seeds {
+    /// Unsuppressed panic-pattern sites outside test regions, any file.
+    pub panic: Vec<SeedSite>,
+    /// `HashMap`/`HashSet` sites (including pragma-suppressed ones).
+    pub unordered: Vec<SeedSite>,
+    /// Wall-clock sites outside `[skip] no-wallclock` files.
+    pub wallclock: Vec<SeedSite>,
+}
+
+/// Run every interprocedural analysis; returns findings (unsorted —
+/// the caller merges and sorts with the token findings).
+pub fn run(graph: &Graph, seeds: &Seeds, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    panic_reachability(graph, &seeds.panic, cfg, &mut out);
+    par_captured_rng(graph, &mut out);
+    reach_taint(
+        graph,
+        &seeds.unordered,
+        &cfg.artifact_paths,
+        "map-order-taint",
+        "artifact-emitting entry point can reach hasher-ordered iteration",
+        &mut out,
+    );
+    wallclock_taint(graph, &seeds.wallclock, &mut out);
+    out
+}
+
+/// Attach each seed to the innermost function containing it. Seeds
+/// outside any function body (module-level consts) cannot be reached by
+/// a call and are dropped here by construction.
+fn attach(graph: &Graph, seeds: &[SeedSite]) -> Vec<Vec<&'static str>> {
+    let mut per_node: Vec<Vec<(u32, u32, &'static str)>> = vec![Vec::new(); graph.nodes.len()];
+    for s in seeds {
+        if let Some(i) = graph.node_at(&s.file, s.line) {
+            if !graph.nodes[i].is_test {
+                per_node[i].push((s.line, s.col, s.lint));
+            }
+        }
+    }
+    // Keep deterministic first-site-per-node info via sorted order.
+    per_node
+        .into_iter()
+        .map(|mut v| {
+            v.sort();
+            v.into_iter().map(|(_, _, l)| l).collect()
+        })
+        .collect()
+}
+
+/// First seed site (line, col, lint) attached to a node, for chain tails.
+fn first_seed<'a>(graph: &Graph, node: usize, seeds: &'a [SeedSite]) -> Option<&'a SeedSite> {
+    let n = &graph.nodes[node];
+    seeds
+        .iter()
+        .filter(|s| s.file == n.file && s.line >= n.body.0 && s.line <= n.body.1)
+        .min_by_key(|s| (s.line, s.col))
+}
+
+/// Backwards fixpoint: `reaches[n]` = n is seeded or calls (transitively,
+/// over exact + approx edges, skipping test nodes) a seeded function.
+fn can_reach(graph: &Graph, seeded: &[bool]) -> Vec<bool> {
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); graph.nodes.len()];
+    for (from, edges) in graph.edges.iter().enumerate() {
+        if graph.nodes[from].is_test {
+            continue;
+        }
+        for e in edges {
+            if !graph.nodes[e.to].is_test {
+                radj[e.to].push(from);
+            }
+        }
+    }
+    let mut reach = seeded.to_vec();
+    let mut work: Vec<usize> = (0..graph.nodes.len()).filter(|&i| reach[i]).collect();
+    while let Some(n) = work.pop() {
+        for &caller in &radj[n] {
+            if !reach[caller] {
+                reach[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+    reach
+}
+
+/// BFS the shortest call chain from `entry` to any seeded node, moving
+/// only through nodes that can reach a seed. Returns node indices
+/// `entry → … → seeded`.
+fn shortest_chain(
+    graph: &Graph,
+    entry: usize,
+    reach: &[bool],
+    seeded: &[bool],
+) -> Option<Vec<usize>> {
+    let mut prev: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut visited = vec![false; graph.nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[entry] = true;
+    queue.push_back(entry);
+    while let Some(n) = queue.pop_front() {
+        if seeded[n] && n != entry {
+            let mut chain = vec![n];
+            let mut cur = n;
+            while let Some(p) = prev[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            return Some(chain);
+        }
+        for e in &graph.edges[n] {
+            if !visited[e.to] && reach[e.to] && !graph.nodes[e.to].is_test {
+                visited[e.to] = true;
+                prev[e.to] = Some(n);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    None
+}
+
+/// Render `a → b → c` with the seed site appended.
+fn chain_text(graph: &Graph, chain: &[usize], seed: Option<&SeedSite>) -> String {
+    let mut s = String::new();
+    for (i, &n) in chain.iter().enumerate() {
+        if i > 0 {
+            s.push_str(" -> ");
+        }
+        let node = &graph.nodes[n];
+        s.push_str(&node.display());
+        s.push_str(&format!(" ({}:{})", node.file, node.line));
+    }
+    if let Some(seed) = seed {
+        s.push_str(&format!(" ; {} site at {}:{}", seed.lint, seed.file, seed.line));
+    }
+    s
+}
+
+/// Is this node an entry point for the given path-prefix policy set?
+fn is_entry(graph: &Graph, n: usize, paths: &[String]) -> bool {
+    !graph.nodes[n].is_test
+        && paths.iter().any(|p| path_has_prefix(&graph.nodes[n].file, p))
+}
+
+fn panic_reachability(graph: &Graph, seeds: &[SeedSite], cfg: &Config, out: &mut Vec<Finding>) {
+    if seeds.is_empty() || cfg.panic_paths.is_empty() {
+        return;
+    }
+    let attached = attach(graph, seeds);
+    let seeded: Vec<bool> = attached.iter().map(|v| !v.is_empty()).collect();
+    let reach = can_reach(graph, &seeded);
+    for n in 0..graph.nodes.len() {
+        if !is_entry(graph, n, &cfg.panic_paths) {
+            continue;
+        }
+        if seeded[n] {
+            continue; // entry-local sites are the token lints' findings
+        }
+        if !reach[n] {
+            continue;
+        }
+        let Some(chain) = shortest_chain(graph, n, &reach, &seeded) else { continue };
+        let tail = *chain.last().unwrap_or(&n);
+        let seed = first_seed(graph, tail, seeds);
+        let node = &graph.nodes[n];
+        out.push(Finding {
+            file: node.file.clone(),
+            line: node.line,
+            col: node.col,
+            lint: "panic-reachability".to_string(),
+            message: format!(
+                "hot entry point `{}` can transitively reach a panic: {}",
+                node.display(),
+                chain_text(graph, &chain, seed),
+            ),
+        });
+    }
+}
+
+fn par_captured_rng(graph: &Graph, out: &mut Vec<Finding>) {
+    for n in &graph.nodes {
+        if n.is_test {
+            continue;
+        }
+        for c in &n.rng_captures {
+            out.push(Finding {
+                file: n.file.clone(),
+                line: c.line,
+                col: c.col,
+                lint: "par-captured-rng".to_string(),
+                message: format!(
+                    "`{}.{}()` draws from a captured RNG inside a closure passed to `{}`; \
+                     fork one RNG per item outside the parallel region",
+                    c.receiver, c.method, c.par_call,
+                ),
+            });
+        }
+    }
+}
+
+/// Shared shape of map-order taint: entry points under `entry_paths`
+/// that can transitively reach a seeded function.
+fn reach_taint(
+    graph: &Graph,
+    seeds: &[SeedSite],
+    entry_paths: &[String],
+    lint: &str,
+    what: &str,
+    out: &mut Vec<Finding>,
+) {
+    if seeds.is_empty() || entry_paths.is_empty() {
+        return;
+    }
+    let attached = attach(graph, seeds);
+    let seeded: Vec<bool> = attached.iter().map(|v| !v.is_empty()).collect();
+    let reach = can_reach(graph, &seeded);
+    for n in 0..graph.nodes.len() {
+        if !is_entry(graph, n, entry_paths) || seeded[n] || !reach[n] {
+            continue;
+        }
+        let Some(chain) = shortest_chain(graph, n, &reach, &seeded) else { continue };
+        let tail = *chain.last().unwrap_or(&n);
+        let seed = first_seed(graph, tail, seeds);
+        let node = &graph.nodes[n];
+        out.push(Finding {
+            file: node.file.clone(),
+            line: node.line,
+            col: node.col,
+            lint: lint.to_string(),
+            message: format!("{what}: {}", chain_text(graph, &chain, seed)),
+        });
+    }
+}
+
+fn wallclock_taint(graph: &Graph, seeds: &[SeedSite], out: &mut Vec<Finding>) {
+    if seeds.is_empty() {
+        return;
+    }
+    let attached = attach(graph, seeds);
+    let seeded: Vec<bool> = attached.iter().map(|v| !v.is_empty()).collect();
+
+    // Propagate only within a crate: taint stops at crate boundaries,
+    // where the crossing itself is the finding.
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); graph.nodes.len()];
+    for (from, edges) in graph.edges.iter().enumerate() {
+        if graph.nodes[from].is_test {
+            continue;
+        }
+        for e in edges {
+            if !graph.nodes[e.to].is_test && graph.nodes[from].krate == graph.nodes[e.to].krate {
+                radj[e.to].push(from);
+            }
+        }
+    }
+    let mut taint = seeded.clone();
+    let mut work: Vec<usize> = (0..graph.nodes.len()).filter(|&i| taint[i]).collect();
+    while let Some(n) = work.pop() {
+        for &caller in &radj[n] {
+            if !taint[caller] {
+                taint[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+
+    let mut sites = std::collections::BTreeSet::new();
+    for (from, edges) in graph.edges.iter().enumerate() {
+        let caller = &graph.nodes[from];
+        if caller.is_test {
+            continue;
+        }
+        for e in edges {
+            let callee = &graph.nodes[e.to];
+            if callee.is_test || caller.krate == callee.krate || !taint[e.to] {
+                continue;
+            }
+            // Approximate edges are too weak to convict a cross-crate
+            // boundary on their own; exact edges carry the finding.
+            if e.kind != EdgeKind::Exact {
+                continue;
+            }
+            if !sites.insert((caller.file.clone(), e.line, e.col, e.to)) {
+                continue;
+            }
+            let seed = first_seed(graph, e.to, seeds)
+                .map(|s| format!(" ({} site at {}:{})", s.lint, s.file, s.line))
+                .unwrap_or_default();
+            out.push(Finding {
+                file: caller.file.clone(),
+                line: e.line,
+                col: e.col,
+                lint: "wallclock-taint".to_string(),
+                message: format!(
+                    "cross-crate call into `{}` reaches a wall-clock read{}; \
+                     pass timestamps in rather than reading clocks downstream",
+                    callee.display(),
+                    seed,
+                ),
+            });
+        }
+    }
+}

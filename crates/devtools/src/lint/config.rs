@@ -35,6 +35,9 @@ pub struct Config {
     pub skip: BTreeMap<String, Vec<String>>,
     /// Path prefixes where the panic-policy class applies.
     pub panic_paths: Vec<String>,
+    /// Path prefixes whose functions are artifact-emitting entry points
+    /// for the map-order-taint analysis (`[interproc] artifact_paths`).
+    pub artifact_paths: Vec<String>,
 }
 
 impl Config {
@@ -73,11 +76,17 @@ pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
             && path.as_bytes()[prefix.len()] == b'/')
 }
 
-/// Parse the config text. Unknown sections and keys are ignored (they
-/// may belong to a newer linter); malformed lines are errors.
+/// Sections the policy file may contain.
+const SECTIONS: &[&str] = &["workspace", "skip", "panic", "interproc"];
+
+/// Parse the config text. The parser is strict: unknown section names,
+/// unknown keys, duplicate keys, and `[skip]` entries naming no known
+/// lint are all line-numbered errors — a typo'd policy must fail loud,
+/// not silently lint less.
 pub fn parse(text: &str) -> Result<Config, String> {
     let mut cfg = Config::default();
     let mut section = String::new();
+    let mut seen: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
     let mut lines = text.lines().enumerate();
     while let Some((lineno, raw)) = lines.next() {
         let line = strip_comment(raw).trim().to_string();
@@ -89,12 +98,29 @@ pub fn parse(text: &str) -> Result<Config, String> {
                 return Err(format!("lint.toml:{}: unterminated section header", lineno + 1));
             };
             section = name.trim().to_string();
+            if !SECTIONS.contains(&section.as_str()) {
+                return Err(format!(
+                    "lint.toml:{}: unknown section `[{}]` (expected one of: {})",
+                    lineno + 1,
+                    section,
+                    SECTIONS.join(", "),
+                ));
+            }
             continue;
         }
         let Some(eq) = line.find('=') else {
             return Err(format!("lint.toml:{}: expected `key = [..]`", lineno + 1));
         };
         let key = line[..eq].trim().to_string();
+        if section.is_empty() {
+            return Err(format!("lint.toml:{}: `{key}` appears before any [section]", lineno + 1));
+        }
+        if !seen.insert((section.clone(), key.clone())) {
+            return Err(format!(
+                "lint.toml:{}: duplicate key `{key}` in section `[{section}]`",
+                lineno + 1,
+            ));
+        }
         let mut value = line[eq + 1..].trim().to_string();
         // Multi-line arrays: keep consuming until the bracket closes.
         while !value.contains(']') {
@@ -110,10 +136,19 @@ pub fn parse(text: &str) -> Result<Config, String> {
             ("workspace", "roots") => cfg.roots = items,
             ("workspace", "exclude") => cfg.exclude = items,
             ("panic", "paths") => cfg.panic_paths = items,
+            ("interproc", "artifact_paths") => cfg.artifact_paths = items,
             ("skip", lint) => {
+                if super::rules::lint_by_name(lint).is_none() {
+                    return Err(format!(
+                        "lint.toml:{}: `[skip]` key `{lint}` names no known lint",
+                        lineno + 1,
+                    ));
+                }
                 cfg.skip.insert(lint.to_string(), items);
             }
-            _ => {} // forward compatibility
+            (s, k) => {
+                return Err(format!("lint.toml:{}: unknown key `{k}` in section `[{s}]`", lineno + 1));
+            }
         }
     }
     if cfg.roots.is_empty() {

@@ -1,0 +1,854 @@
+//! Item extraction for the interprocedural pass.
+//!
+//! Walks one file's token stream and recovers the items the call-graph
+//! builder needs: `fn` definitions (with their enclosing `impl`/`mod`
+//! context, parameter-type hints, and brace-matched body extents), `use`
+//! declarations (aliases, renames, groups, globs), and the call sites
+//! inside every body. This is deliberately *not* a parser — it is a
+//! single forward scan with a scope stack, exact about the few
+//! boundaries that matter (brace matching, signature extents) and
+//! honest about everything it approximates (see DESIGN.md §8: exact /
+//! name-approximate / unresolved).
+//!
+//! Approximations made here, by construction:
+//! - Parameter and `let`-binding type hints keep only the first type
+//!   ident after `:` (so `&mut Vec<Foo>` hints `Vec`), or the `Type` of
+//!   a `let x = Type::new(..)` / `Type { .. }` initializer.
+//! - Turbofish call sites (`f::<T>()`) and `<T as Trait>::f()` are not
+//!   recognized as calls (they end up neither exact nor unresolved —
+//!   the token before `(` is `>`); every other `path(` / `.method(`
+//!   site is recorded.
+//! - Closure bodies are scanned as part of their enclosing function.
+
+use super::tokens::{Token, TokenKind};
+
+/// One `use` declaration, flattened: `use a::{b, c as d};` yields two
+/// entries with aliases `b` and `d`.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// The name this import binds in the file's scope.
+    pub alias: String,
+    /// Path segments as written (leading `crate`/`self`/`super` kept).
+    pub path: Vec<String>,
+}
+
+/// How a call site names its callee.
+#[derive(Clone, Debug)]
+pub enum CallKind {
+    /// `a::b::c(..)` or bare `c(..)` — segments as written.
+    Path(Vec<String>),
+    /// `recv.name(..)` — with a receiver type hint when one binding or
+    /// parameter annotation supplies it (`None` for chained receivers).
+    Method { name: String, recv_type: Option<String> },
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Shape and name of the callee.
+    pub kind: CallKind,
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based column of the callee name token.
+    pub col: u32,
+}
+
+/// A randomness draw on a receiver *captured* by a closure passed to one
+/// of the `devtools::par` entry points — the determinism-taint smell.
+#[derive(Clone, Debug)]
+pub struct RngCapture {
+    /// The captured receiver identifier.
+    pub receiver: String,
+    /// The draw method called on it (`gauss`, `fork`, …).
+    pub method: String,
+    /// The par entry point the closure was passed to (`par_map`, …).
+    pub par_call: String,
+    /// 1-based line of the draw.
+    pub line: u32,
+    /// 1-based column of the draw.
+    pub col: u32,
+}
+
+/// One extracted function definition.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Inline-`mod` path inside the file (the file's own module path is
+    /// prepended by the graph builder).
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub impl_type: Option<String>,
+    /// Trait being implemented (`impl Trait for Type`) or declared
+    /// (`trait Trait { fn with_default_body() {..} }`) — used to index
+    /// methods under the trait name for dynamic-dispatch edges.
+    pub impl_trait: Option<String>,
+    /// 1-based position of the `fn` name token.
+    pub line: u32,
+    /// Column of the `fn` name token.
+    pub col: u32,
+    /// Inclusive line extent of the whole definition (signature + body).
+    pub body_lines: (u32, u32),
+    /// True when the definition sits inside a `#[cfg(test)]`/`#[test]`
+    /// region — excluded from every interprocedural analysis.
+    pub is_test: bool,
+    /// Call sites found in the body.
+    pub calls: Vec<CallSite>,
+    /// Captured-RNG draws inside par closures.
+    pub rng_captures: Vec<RngCapture>,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// `use` declarations (file scope — inline-mod uses are lumped in).
+    pub uses: Vec<UseDecl>,
+    /// Glob imports: the path before `::*`.
+    pub globs: Vec<Vec<String>>,
+    /// Function definitions.
+    pub fns: Vec<FnItem>,
+}
+
+/// Methods of `clocksim::rng::SimRng` that consume generator state. A
+/// draw on a *captured* receiver inside a par closure makes output
+/// depend on scheduling; `fork` is included because forking per item
+/// inside the closure still advances the shared parent stream.
+pub const RNG_DRAW_METHODS: &[&str] = &[
+    "next_u64",
+    "uniform",
+    "uniform_range",
+    "below",
+    "int_range",
+    "chance",
+    "gauss",
+    "normal",
+    "lognormal",
+    "exponential",
+    "pareto",
+    "index",
+    "shuffle",
+    "fork",
+];
+
+/// The `devtools::par` entry points whose closure arguments run on pool
+/// workers. `Pool::map` is matched only through a pool-typed receiver
+/// hint (plain `.map(` is Option/Iterator noise).
+const PAR_ENTRY_POINTS: &[&str] = &["par_map", "map_ref", "invoke", "join"];
+
+/// Rust keywords that can directly precede `(` without being calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "else"
+            | "let"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "mut"
+            | "pub"
+            | "where"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "extern"
+            | "crate"
+            | "self"
+            | "Self"
+            | "super"
+            | "await"
+            | "async"
+    )
+}
+
+/// Obvious std constructors whose `Name(` sites are never workspace
+/// calls; dropping them keeps the unresolved lists readable without
+/// hiding anything a human would call an edge.
+fn is_std_constructor(s: &str) -> bool {
+    matches!(s, "Some" | "None" | "Ok" | "Err")
+}
+
+struct Scope {
+    kind: ScopeKind,
+}
+
+enum ScopeKind {
+    /// `mod name {`.
+    Mod,
+    /// `impl Type {` / `trait Name {` — the type-name context.
+    Impl,
+    /// A function body: index into `out.fns`.
+    Fn(usize),
+    /// Any other `{` (blocks, match arms, struct literals…).
+    Other,
+}
+
+/// Per-function binding table: variable name → first type ident hint.
+type Bindings = std::collections::BTreeMap<String, String>;
+
+/// Extract items from a file's tokens. `in_test` answers whether a line
+/// sits inside a `#[cfg(test)]`/`#[test]` region (the caller owns that
+/// computation — `rules::test_regions` already does it).
+pub fn extract(tokens: &[Token], in_test: impl Fn(u32) -> bool) -> FileItems {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let mut out = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut mod_path: Vec<String> = Vec::new();
+    let mut impl_stack: Vec<(String, Option<String>)> = Vec::new();
+    // Active function scopes (innermost last) with their binding tables.
+    let mut fn_stack: Vec<(usize, Bindings)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+        match t.text.as_str() {
+            "use" if t.kind == TokenKind::Ident => {
+                i = parse_use(&sig, i, &mut out);
+                continue;
+            }
+            "mod" if t.kind == TokenKind::Ident => {
+                // `mod name {` opens an inline module; `mod name;` is a
+                // file-module declaration (path handled by the walker).
+                if let (Some(name), Some(next)) = (sig.get(i + 1), sig.get(i + 2)) {
+                    if name.kind == TokenKind::Ident && next.text == "{" {
+                        mod_path.push(name.text.clone());
+                        scopes.push(Scope { kind: ScopeKind::Mod });
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            "impl" | "trait" if t.kind == TokenKind::Ident => {
+                if let Some((type_name, trait_name, brace)) =
+                    parse_impl_header(&sig, i, t.text == "trait")
+                {
+                    impl_stack.push((type_name, trait_name));
+                    scopes.push(Scope { kind: ScopeKind::Impl });
+                    i = brace + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            "fn" if t.kind == TokenKind::Ident => {
+                if let Some(parsed) = parse_fn(&sig, i) {
+                    let ParsedFn { name, name_line, name_col, bindings, body_open } = parsed;
+                    match body_open {
+                        Some(open) => {
+                            let item = FnItem {
+                                name,
+                                module: mod_path.clone(),
+                                impl_type: impl_stack.last().map(|x| x.0.clone()),
+                                impl_trait: impl_stack.last().and_then(|x| x.1.clone()),
+                                line: name_line,
+                                col: name_col,
+                                body_lines: (t.line, t.line), // end patched at pop
+                                is_test: in_test(name_line),
+                                calls: Vec::new(),
+                                rng_captures: Vec::new(),
+                            };
+                            out.fns.push(item);
+                            let idx = out.fns.len() - 1;
+                            scopes.push(Scope { kind: ScopeKind::Fn(idx) });
+                            fn_stack.push((idx, bindings));
+                            i = open + 1;
+                        }
+                        None => {
+                            // Trait method declaration (`fn f(..);`) —
+                            // no body, no node.
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            "let" if t.kind == TokenKind::Ident => {
+                if let Some((idx, bindings)) = fn_stack.last_mut() {
+                    let _ = idx;
+                    record_let_hint(&sig, i, bindings);
+                }
+                i += 1;
+                continue;
+            }
+            "{" => {
+                scopes.push(Scope { kind: ScopeKind::Other });
+                i += 1;
+                continue;
+            }
+            "}" => {
+                if let Some(s) = scopes.pop() {
+                    match s.kind {
+                        ScopeKind::Mod => {
+                            mod_path.pop();
+                        }
+                        ScopeKind::Impl => {
+                            impl_stack.pop();
+                        }
+                        ScopeKind::Fn(idx) => {
+                            if let Some(f) = out.fns.get_mut(idx) {
+                                f.body_lines.1 = t.line;
+                            }
+                            fn_stack.pop();
+                        }
+                        ScopeKind::Other => {}
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // Call-site detection, only inside a function body.
+        if let Some((fn_idx, _)) = fn_stack.last() {
+            let fn_idx = *fn_idx;
+            if t.kind == TokenKind::Ident
+                && sig.get(i + 1).is_some_and(|n| n.text == "(")
+                && !is_keyword(&t.text)
+                && !is_std_constructor(&t.text)
+            {
+                let prev = i.checked_sub(1).map(|p| sig[p].text.as_str());
+                if prev == Some(".") {
+                    // `recv.name(` — method call.
+                    let recv = i.checked_sub(2).map(|p| sig[p]);
+                    let (recv_ident, recv_type) = receiver_hint(recv, &fn_stack, &impl_stack);
+                    let name = t.text.clone();
+                    // Par entry point? Scan its closure arguments for
+                    // captured-RNG draws.
+                    let par_hit = PAR_ENTRY_POINTS.contains(&name.as_str())
+                        || (name == "map"
+                            && (recv_type.as_deref() == Some("Pool")
+                                || recv_ident.as_deref().is_some_and(|r| r.contains("pool"))));
+                    if par_hit {
+                        scan_par_closures(&sig, i + 1, &name, &fn_stack, &mut out, fn_idx);
+                    }
+                    if let Some(f) = out.fns.get_mut(fn_idx) {
+                        f.calls.push(CallSite {
+                            kind: CallKind::Method { name, recv_type },
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                } else if prev != Some("fn") && prev != Some("!") {
+                    // Path call: walk the `::`-joined segments backwards.
+                    let mut segs = vec![t.text.clone()];
+                    let mut j = i;
+                    while j >= 2 && sig[j - 1].text == "::" && sig[j - 2].kind == TokenKind::Ident {
+                        segs.insert(0, sig[j - 2].text.clone());
+                        j -= 2;
+                    }
+                    // A macro path (`path::macro!(..)`) never reaches
+                    // here (the `!` sits before `(`, not after an ident).
+                    let free_par = segs.len() >= 2
+                        && segs[segs.len() - 2] == "par"
+                        && segs[segs.len() - 1] == "par_map"
+                        || (segs.len() == 1 && segs[0] == "par_map");
+                    if free_par {
+                        scan_par_closures(&sig, i + 1, "par_map", &fn_stack, &mut out, fn_idx);
+                    }
+                    if let Some(f) = out.fns.get_mut(fn_idx) {
+                        f.calls.push(CallSite { kind: CallKind::Path(segs), line: t.line, col: t.col });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+struct ParsedFn {
+    name: String,
+    name_line: u32,
+    name_col: u32,
+    bindings: Bindings,
+    /// Significant-token index of the body's `{`, or None for `fn f(..);`.
+    body_open: Option<usize>,
+}
+
+/// Parse a `fn` signature starting at the `fn` token index. Returns the
+/// name, parameter-type hints, and the body-brace index.
+fn parse_fn(sig: &[&Token], at: usize) -> Option<ParsedFn> {
+    let name_tok = sig.get(at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Find the parameter list's `(` (skipping generics `<...>`).
+    let mut i = at + 2;
+    if sig.get(i).is_some_and(|t| t.text == "<") {
+        let mut depth = 0usize;
+        while i < sig.len() {
+            match sig[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    if !sig.get(i).is_some_and(|t| t.text == "(") {
+        return None;
+    }
+    // Walk the parameter list, collecting `name: Type` hints.
+    let mut bindings = Bindings::new();
+    let open = i;
+    let mut depth = 0usize;
+    let mut piece_start = open + 1;
+    i = open;
+    while i < sig.len() {
+        match sig[i].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && sig[i].text == ")" {
+                    record_param_hint(&sig[piece_start..i], &mut bindings);
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                record_param_hint(&sig[piece_start..i], &mut bindings);
+                piece_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // After the params: return type / where clause, then `{` or `;`.
+    let mut depth = 0usize;
+    while i < sig.len() {
+        match sig[i].text.as_str() {
+            "{" if depth == 0 => {
+                return Some(ParsedFn {
+                    name: name_tok.text.clone(),
+                    name_line: name_tok.line,
+                    name_col: name_tok.col,
+                    bindings,
+                    body_open: Some(i),
+                });
+            }
+            ";" if depth == 0 => {
+                return Some(ParsedFn {
+                    name: name_tok.text.clone(),
+                    name_line: name_tok.line,
+                    name_col: name_tok.col,
+                    bindings,
+                    body_open: None,
+                });
+            }
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth = depth.saturating_sub(1),
+            // `-> impl Fn(..)` never contains a stray top-level `{`.
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `name: &mut Type<..>` → `name ↦ Type` (first type ident after `:`,
+/// skipping reference/mutability/dyn/impl noise).
+fn record_param_hint(piece: &[&Token], bindings: &mut Bindings) {
+    let name = piece
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref"));
+    let colon = piece.iter().position(|t| t.text == ":");
+    if let (Some(name), Some(colon)) = (name, colon) {
+        let ty = piece[colon + 1..].iter().find(|t| {
+            t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn" | "impl")
+        });
+        if let Some(ty) = ty {
+            bindings.insert(name.text.clone(), ty.text.clone());
+        }
+    }
+}
+
+/// `let [mut] name: Type = ..` or `let [mut] name = Type::new(..)` /
+/// `Type { .. }` → binding hint. Anything fancier is left unhinted.
+fn record_let_hint(sig: &[&Token], at: usize, bindings: &mut Bindings) {
+    let mut i = at + 1;
+    if sig.get(i).is_some_and(|t| t.text == "mut") {
+        i += 1;
+    }
+    let Some(name) = sig.get(i).filter(|t| t.kind == TokenKind::Ident) else { return };
+    match sig.get(i + 1).map(|t| t.text.as_str()) {
+        Some(":") => {
+            if let Some(ty) = sig[i + 2..].iter().take(6).find(|t| {
+                t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn" | "impl")
+            }) {
+                bindings.insert(name.text.clone(), ty.text.clone());
+            }
+        }
+        Some("=") => {
+            let init = sig.get(i + 2);
+            let follow = sig.get(i + 3).map(|t| t.text.as_str());
+            if let Some(init) = init {
+                let looks_type = init.kind == TokenKind::Ident
+                    && init.text.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                if looks_type && matches!(follow, Some("::") | Some("{")) {
+                    bindings.insert(name.text.clone(), init.text.clone());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parse an `impl`/`trait` header; returns the implemented type's name
+/// (for `impl Trait for Type`, the `Type`), the trait name when there is
+/// one (for a `trait` declaration, the trait itself), and the `{` index.
+fn parse_impl_header(
+    sig: &[&Token],
+    at: usize,
+    is_trait_decl: bool,
+) -> Option<(String, Option<String>, usize)> {
+    let mut i = at + 1;
+    let mut depth = 0usize;
+    let mut last_ident_at_top: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut saw_where = false;
+    // `trait Name: Bound {` — bounds after `:` are not the name.
+    let mut saw_colon = false;
+    while i < sig.len() {
+        let tx = sig[i].text.as_str();
+        match tx {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                let name = after_for.clone().or(last_ident_at_top.clone())?;
+                let trait_name = if is_trait_decl {
+                    Some(name.clone())
+                } else if saw_for {
+                    last_ident_at_top
+                } else {
+                    None
+                };
+                return Some((name, trait_name, i));
+            }
+            ";" if depth == 0 => return None, // `trait Foo: Bar;`-ish — no body
+            "for" if depth == 0 => saw_for = true,
+            "where" if depth == 0 => saw_where = true,
+            ":" if depth == 0 && is_trait_decl => saw_colon = true,
+            _ if depth == 0
+                && !saw_where
+                && !saw_colon
+                && sig[i].kind == TokenKind::Ident
+                && !is_keyword(tx) =>
+            {
+                if saw_for {
+                    // Idents after `for` — later path segments overwrite
+                    // (the last one is the type name).
+                    after_for = Some(tx.to_string());
+                } else {
+                    last_ident_at_top = Some(tx.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `use …;` starting at the `use` token; returns the index after
+/// the terminating `;`.
+fn parse_use(sig: &[&Token], at: usize, out: &mut FileItems) -> usize {
+    let mut end = at + 1;
+    let mut depth = 0usize;
+    while end < sig.len() {
+        match sig[end].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth = depth.saturating_sub(1),
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let body = &sig[at + 1..end.min(sig.len())];
+    flatten_use(body, &mut Vec::new(), out);
+    end + 1
+}
+
+/// Recursively flatten a use tree: `a::{b, c::d as e, f::*}`.
+fn flatten_use(toks: &[&Token], prefix: &mut Vec<String>, out: &mut FileItems) {
+    // Split the top level on commas.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut pieces: Vec<&[&Token]> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                pieces.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pieces.push(&toks[start..]);
+
+    for piece in pieces {
+        if piece.is_empty() {
+            continue;
+        }
+        // Walk segments until `{`, `*`, or `as`.
+        let mut segs: Vec<String> = Vec::new();
+        let mut i = 0usize;
+        let mut handled = false;
+        while i < piece.len() {
+            let tx = piece[i].text.as_str();
+            match tx {
+                "::" => {}
+                "{" => {
+                    // Group: recurse with prefix + segs over the inner
+                    // tokens (up to the matching `}`).
+                    let mut d = 1usize;
+                    let inner_start = i + 1;
+                    let mut j = inner_start;
+                    while j < piece.len() && d > 0 {
+                        match piece[j].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let inner_end = j.saturating_sub(1);
+                    let mut p = prefix.clone();
+                    p.extend(segs.iter().cloned());
+                    flatten_use(&piece[inner_start..inner_end], &mut p, out);
+                    handled = true;
+                    break;
+                }
+                "*" => {
+                    let mut p = prefix.clone();
+                    p.extend(segs.iter().cloned());
+                    out.globs.push(p);
+                    handled = true;
+                    break;
+                }
+                "as" => {
+                    if let Some(alias) = piece.get(i + 1) {
+                        let mut p = prefix.clone();
+                        p.extend(segs.iter().cloned());
+                        out.uses.push(UseDecl { alias: alias.text.clone(), path: p });
+                    }
+                    handled = true;
+                    break;
+                }
+                _ if piece[i].kind == TokenKind::Ident => segs.push(tx.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        if !handled && !segs.is_empty() {
+            let mut p = prefix.clone();
+            p.extend(segs.iter().cloned());
+            let alias = segs.last().cloned().unwrap_or_default();
+            out.uses.push(UseDecl { alias, path: p });
+        }
+    }
+}
+
+/// Receiver hint for `recv.name(` given the token before the dot: the
+/// receiver identifier (if simple) and a type hint from bindings or the
+/// enclosing impl (`self`).
+fn receiver_hint(
+    recv: Option<&Token>,
+    fn_stack: &[(usize, Bindings)],
+    impl_stack: &[(String, Option<String>)],
+) -> (Option<String>, Option<String>) {
+    let Some(r) = recv else { return (None, None) };
+    if r.kind != TokenKind::Ident {
+        return (None, None); // chained `)`/`]` receiver — no hint
+    }
+    if r.text == "self" {
+        return (Some("self".to_string()), impl_stack.last().map(|x| x.0.clone()));
+    }
+    let ty = fn_stack
+        .iter()
+        .rev()
+        .find_map(|(_, bindings)| bindings.get(&r.text))
+        .cloned();
+    (Some(r.text.clone()), ty)
+}
+
+/// Scan the argument list of a par entry-point call (starting at the
+/// `(` token index) for closures drawing from captured RNGs.
+fn scan_par_closures(
+    sig: &[&Token],
+    open: usize,
+    par_call: &str,
+    fn_stack: &[(usize, Bindings)],
+    out: &mut FileItems,
+    fn_idx: usize,
+) {
+    debug_assert!(sig.get(open).is_some_and(|t| t.text == "("));
+    // Find the matching `)` of the argument list.
+    let mut depth = 0usize;
+    let mut close = open;
+    while close < sig.len() {
+        match sig[close].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        close += 1;
+    }
+    let args = &sig[open + 1..close.min(sig.len())];
+
+    // Find closures: `|params| …` where `|` follows `(`, `,`, or `move`.
+    let mut i = 0usize;
+    while i < args.len() {
+        let starts_closure = args[i].text == "|"
+            && (i == 0
+                || matches!(args[i - 1].text.as_str(), "(" | "," | "move" | "{" | "&" | "=>"));
+        if !starts_closure {
+            i += 1;
+            continue;
+        }
+        // Parameter list up to the closing `|` (may be empty: `||`).
+        let mut bound: Vec<String> = Vec::new();
+        let mut j = i + 1;
+        while j < args.len() && args[j].text != "|" {
+            if args[j].kind == TokenKind::Ident && !matches!(args[j].text.as_str(), "mut" | "ref") {
+                // `|a, (b, c)|` — every ident in the pattern binds.
+                bound.push(args[j].text.clone());
+            }
+            j += 1;
+        }
+        if j >= args.len() {
+            break;
+        }
+        // Closure body extent: a `{ .. }` block, or the expression up to
+        // the next top-level `,` / end of args.
+        let body_start = j + 1;
+        let mut body_end = body_start;
+        if args.get(body_start).is_some_and(|t| t.text == "{") {
+            let mut d = 0usize;
+            while body_end < args.len() {
+                match args[body_end].text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => {
+                        d = d.saturating_sub(1);
+                        if d == 0 {
+                            body_end += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                body_end += 1;
+            }
+        } else {
+            let mut d = 0usize;
+            while body_end < args.len() {
+                match args[body_end].text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => {
+                        if d == 0 {
+                            break;
+                        }
+                        d -= 1;
+                    }
+                    "," if d == 0 => break,
+                    _ => {}
+                }
+                body_end += 1;
+            }
+        }
+        let body = &args[body_start..body_end.min(args.len())];
+
+        // `let` bindings inside the closure body also bind locally.
+        let mut local = bound.clone();
+        for (k, w) in body.iter().enumerate() {
+            if w.text == "let" {
+                let mut m = k + 1;
+                if body.get(m).is_some_and(|t| t.text == "mut") {
+                    m += 1;
+                }
+                if let Some(n) = body.get(m).filter(|t| t.kind == TokenKind::Ident) {
+                    local.push(n.text.clone());
+                }
+            }
+        }
+
+        // Draw sites: `ident . draw (` with a receiver not bound here.
+        for k in 0..body.len() {
+            let is_draw = body[k].kind == TokenKind::Ident
+                && RNG_DRAW_METHODS.contains(&body[k].text.as_str())
+                && body.get(k + 1).is_some_and(|t| t.text == "(")
+                && k >= 1
+                && body[k - 1].text == ".";
+            if !is_draw {
+                continue;
+            }
+            let Some(recv) = (k >= 2).then(|| body[k - 2]).filter(|t| t.kind == TokenKind::Ident)
+            else {
+                continue;
+            };
+            if local.iter().any(|b| b == &recv.text) {
+                continue; // per-item RNG bound inside the closure — fine
+            }
+            // Weak names need corroboration: `index`/`shuffle` on a
+            // receiver with no RNG-ish evidence stays quiet.
+            let hint = fn_stack
+                .iter()
+                .rev()
+                .find_map(|(_, bindings)| bindings.get(&recv.text))
+                .cloned();
+            let weak = matches!(body[k].text.as_str(), "index");
+            let rngish = hint.as_deref() == Some("SimRng")
+                || recv.text.to_ascii_lowercase().contains("rng")
+                || !weak;
+            if hint.is_some() && hint.as_deref() != Some("SimRng") {
+                continue; // typed receiver that is not an RNG
+            }
+            if !rngish {
+                continue;
+            }
+            if let Some(f) = out.fns.get_mut(fn_idx) {
+                f.rng_captures.push(RngCapture {
+                    receiver: recv.text.clone(),
+                    method: body[k].text.clone(),
+                    par_call: par_call.to_string(),
+                    line: body[k].line,
+                    col: body[k].col,
+                });
+            }
+        }
+        i = body_end.max(i + 1);
+    }
+}

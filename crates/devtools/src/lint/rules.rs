@@ -123,6 +123,33 @@ pub const LINTS: &[Lint] = &[
             &["std", "::", "net", "::"],
         ],
     },
+    // ---- interprocedural lints (findings produced by lint::analysis
+    // over the workspace call graph; listed here so pragmas validate,
+    // config `[skip]` keys resolve, and the report can classify them).
+    Lint {
+        name: "panic-reachability",
+        class: Class::Panic,
+        message: "hot entry point can transitively reach a panic through the call graph",
+        patterns: &[], // interprocedural; see lint::analysis
+    },
+    Lint {
+        name: "par-captured-rng",
+        class: Class::Determinism,
+        message: "SimRng draw inside a par closure captures shared generator state",
+        patterns: &[], // interprocedural; see lint::analysis
+    },
+    Lint {
+        name: "map-order-taint",
+        class: Class::Determinism,
+        message: "artifact-emitting path can reach hasher-ordered iteration",
+        patterns: &[], // interprocedural; see lint::analysis
+    },
+    Lint {
+        name: "wallclock-taint",
+        class: Class::Determinism,
+        message: "wall-clock read leaks across a crate boundary",
+        patterns: &[], // interprocedural; see lint::analysis
+    },
 ];
 
 /// Look up a lint by name (pragma validation).
@@ -158,12 +185,51 @@ pub struct Pragma {
     pub used: bool,
 }
 
+/// A site that seeds an interprocedural analysis (`lint::analysis`),
+/// collected even where the lint itself is not reported.
+#[derive(Clone, Debug)]
+pub struct SeedRec {
+    /// The token lint whose pattern matched.
+    pub lint: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
 /// Everything the matcher extracts from one file.
 pub struct FileScan {
     /// Unsuppressed findings (pragma application already done).
     pub findings: Vec<RawFinding>,
-    /// All pragmas, with `used` resolved.
+    /// All pragmas, with `used` resolved for token findings and seeds
+    /// (interprocedural findings resolve theirs in `lint::analyze`).
     pub pragmas: Vec<Pragma>,
+    /// Interprocedural seeds (outside test regions; panic-class seeds
+    /// have pragma suppression already applied).
+    pub seeds: Vec<SeedRec>,
+    /// `#[cfg(test)]`/`#[test]` line ranges, for item extraction.
+    pub test_lines: Vec<(u32, u32)>,
+}
+
+/// How a lint's raw sites feed the interprocedural analyses.
+enum SeedPolicy {
+    /// Seeds panic-reachability. Collected even where the lint is
+    /// disabled (non-hot files); a pragma removes the seed (the site is
+    /// an audited invariant).
+    Panic,
+    /// Seeds a determinism-taint analysis. Collected only where the
+    /// lint is enabled (`[skip]` paths are audited boundaries); a
+    /// pragma keeps the seed — it justifies local use, not downstream
+    /// artifact stability.
+    Taint,
+}
+
+fn seed_policy(name: &str) -> Option<SeedPolicy> {
+    match name {
+        "no-panic" | "no-unwrap" | "no-slice-index" => Some(SeedPolicy::Panic),
+        "no-unordered-map" | "no-wallclock" => Some(SeedPolicy::Taint),
+        _ => None,
+    }
 }
 
 /// Inclusive line ranges covered by `#[cfg(test)]` items or `#[test]`
@@ -271,7 +337,8 @@ fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
     regions
 }
 
-fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+/// Is `line` inside any of the (inclusive) regions?
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
@@ -334,43 +401,61 @@ fn find_slice_indexing(sig: &[&Token]) -> Vec<(u32, u32)> {
     out
 }
 
-/// Match every lint against one file's source.
+/// Match every lint against one file's source (tokenizes internally;
+/// the workspace pass uses [`scan_tokens`] to share the token stream
+/// with item extraction).
+pub fn scan_file(src: &str, enabled: impl Fn(&'static Lint) -> bool) -> FileScan {
+    scan_tokens(&tokenize(src), enabled)
+}
+
+/// Match every lint against one file's token stream.
 ///
 /// `enabled` decides per-lint applicability (path-based skips and the
 /// hot-path scoping for panic lints are resolved by the caller).
-pub fn scan_file(src: &str, enabled: impl Fn(&'static Lint) -> bool) -> FileScan {
-    let tokens = tokenize(src);
-    let mut pragmas = extract_pragmas(&tokens);
+/// Panic-class patterns are scanned even where disabled — their sites
+/// seed the panic-reachability analysis.
+pub fn scan_tokens(tokens: &[Token], enabled: impl Fn(&'static Lint) -> bool) -> FileScan {
+    let mut pragmas = extract_pragmas(tokens);
     let sig: Vec<&Token> = tokens.iter().filter(|t| t.is_significant()).collect();
-    let tests = test_regions(&tokens);
+    let tests = test_regions(tokens);
 
     let mut raw: Vec<RawFinding> = Vec::new();
+    let mut seeds: Vec<SeedRec> = Vec::new();
     for lint in LINTS {
-        if !enabled(lint) {
+        let on = enabled(lint);
+        let policy = seed_policy(lint.name);
+        let scan_off = matches!(policy, Some(SeedPolicy::Panic));
+        if !on && !scan_off {
             continue;
         }
         let skip_tests = lint.class == Class::Panic;
-        if lint.name == "no-slice-index" {
-            for (line, col) in find_slice_indexing(&sig) {
-                if skip_tests && in_regions(&tests, line) {
-                    continue;
+        let sites: Vec<(u32, u32)> = if lint.name == "no-slice-index" {
+            find_slice_indexing(&sig)
+        } else {
+            let mut v = Vec::new();
+            for pat in lint.patterns {
+                for start in 0..sig.len() {
+                    if start + pat.len() > sig.len() {
+                        break;
+                    }
+                    if pat.iter().zip(&sig[start..]).all(|(p, t)| *p == t.text) {
+                        v.push((sig[start].line, sig[start].col));
+                    }
                 }
+            }
+            v
+        };
+        for (line, col) in sites {
+            if skip_tests && in_regions(&tests, line) {
+                continue;
+            }
+            if on {
                 raw.push(RawFinding { lint: lint.name, message: lint.message, line, col });
             }
-            continue;
-        }
-        for pat in lint.patterns {
-            for start in 0..sig.len() {
-                if start + pat.len() > sig.len() {
-                    break;
-                }
-                if pat.iter().zip(&sig[start..]).all(|(p, t)| *p == t.text) {
-                    let t = sig[start];
-                    if skip_tests && in_regions(&tests, t.line) {
-                        continue;
-                    }
-                    raw.push(RawFinding { lint: lint.name, message: lint.message, line: t.line, col: t.col });
-                }
+            // Seeds never come from test regions (test nodes are
+            // invisible to the analyses anyway).
+            if policy.is_some() && !in_regions(&tests, line) {
+                seeds.push(SeedRec { lint: lint.name, line, col });
             }
         }
     }
@@ -399,7 +484,24 @@ pub fn scan_file(src: &str, enabled: impl Fn(&'static Lint) -> bool) -> FileScan
         }
         !suppressed
     });
+    // Pragmas apply to seeds too: a pragma'd panic site is an audited
+    // invariant and stops seeding; a pragma'd taint site keeps seeding
+    // (the pragma justifies the local use, not what flows downstream).
+    // Either way the pragma counts as used.
+    seeds.retain(|s| {
+        let mut drop = false;
+        for p in pragmas.iter_mut() {
+            if p.lint == s.lint && covered(p.line, s.line) {
+                p.used = true;
+                if matches!(seed_policy(s.lint), Some(SeedPolicy::Panic)) {
+                    drop = true;
+                }
+            }
+        }
+        !drop
+    });
 
     raw.sort_by_key(|f| (f.line, f.col));
-    FileScan { findings: raw, pragmas }
+    seeds.sort_by_key(|s| (s.line, s.col));
+    FileScan { findings: raw, pragmas, seeds, test_lines: tests }
 }

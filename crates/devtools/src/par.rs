@@ -33,7 +33,26 @@
 //! the equivalence tests compare against.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Recover a guard even when another worker panicked while holding the
+/// lock: every mutex in this module protects plain index/item storage
+/// that stays structurally valid across a poisoned lock, and the
+/// worker's own panic still propagates through [`Pool::execute`]'s join.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The pool's single panic site: index bookkeeping broke. `execute`
+/// hands out each index in `0..n` exactly once, so the checked
+/// accessors that funnel here are unreachable unless the dispatch
+/// logic itself is wrong.
+#[cold]
+#[inline(never)]
+fn pool_invariant(what: &str) -> ! {
+    // lint:allow(no-panic) — the pool's one audited invariant failure: execute() hands out each index in 0..n exactly once, so the checked accessors funneling here are unreachable
+    panic!("devtools::par invariant violated: {what}")
+}
 
 /// A work-stealing pool handle: just a worker count plus the dispatch
 /// machinery. Workers are scoped `std::thread`s spawned per call (the
@@ -76,8 +95,10 @@ impl Pool {
         }
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         self.execute(n, |i| {
-            let item = slots[i].lock().expect("item lock").take().expect("item taken once");
-            f(item)
+            match slots.get(i).and_then(|s| lock_clean(s).take()) {
+                Some(item) => f(item),
+                None => pool_invariant("map: slot out of bounds or taken twice"),
+            }
         })
     }
 
@@ -91,7 +112,10 @@ impl Pool {
         if self.jobs == 1 || items.len() <= 1 {
             return items.iter().map(f).collect();
         }
-        self.execute(items.len(), |i| f(&items[i]))
+        self.execute(items.len(), |i| match items.get(i) {
+            Some(item) => f(item),
+            None => pool_invariant("map_ref: index out of bounds"),
+        })
     }
 
     /// Run a set of *heterogeneous* one-shot tasks (each its own boxed
@@ -109,8 +133,10 @@ impl Pool {
         let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> R + Send + 'scope>>>> =
             tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         self.execute(n, |i| {
-            let task = slots[i].lock().expect("task lock").take().expect("task taken once");
-            task()
+            match slots.get(i).and_then(|s| lock_clean(s).take()) {
+                Some(task) => task(),
+                None => pool_invariant("invoke: slot out of bounds or taken twice"),
+            }
         })
     }
 
@@ -128,8 +154,10 @@ impl Pool {
         std::thread::scope(|s| {
             let hb = s.spawn(fb);
             let a = fa();
-            let b = hb.join().expect("join: second task panicked");
-            (a, b)
+            match hb.join() {
+                Ok(b) => (a, b),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     }
 
@@ -159,15 +187,18 @@ impl Pool {
                 .map(|w| {
                     s.spawn(move || {
                         let mut out: Vec<(usize, R)> = Vec::new();
+                        let Some(own) = deques.get(w) else {
+                            pool_invariant("execute: worker id out of range")
+                        };
                         loop {
                             // 1. Own deque, front (ascending-index locality).
-                            let mine = deques[w].lock().expect("own deque").pop_front();
+                            let mine = lock_clean(own).pop_front();
                             if let Some(i) = mine {
                                 out.push((i, task(i)));
                                 continue;
                             }
                             // 2. Global injector.
-                            let injected = injector.lock().expect("injector").pop_front();
+                            let injected = lock_clean(injector).pop_front();
                             if let Some(i) = injected {
                                 out.push((i, task(i)));
                                 continue;
@@ -176,8 +207,10 @@ impl Pool {
                             // scanning a fixed rotation from our own id.
                             let mut stolen: Option<usize> = None;
                             for v in 1..workers {
-                                let victim = (w + v) % workers;
-                                let mut vd = deques[victim].lock().expect("victim deque");
+                                let Some(vm) = deques.get((w + v) % workers) else {
+                                    pool_invariant("execute: victim id out of range")
+                                };
+                                let mut vd = lock_clean(vm);
                                 let take = vd.len().div_ceil(2);
                                 if take == 0 {
                                     continue;
@@ -187,7 +220,7 @@ impl Pool {
                                 drop(vd);
                                 stolen = Some(batch.remove(0));
                                 if !batch.is_empty() {
-                                    deques[w].lock().expect("own deque").extend(batch);
+                                    lock_clean(own).extend(batch);
                                 }
                                 break;
                             }
@@ -202,7 +235,15 @@ impl Pool {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(bucket) => bucket,
+                    // Re-raise the worker's own payload so callers see
+                    // the original panic, not a pool-flavored wrapper.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
         });
 
         // Reassemble in input order: output is independent of which
@@ -210,11 +251,16 @@ impl Pool {
         let mut assembled: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for bucket in per_worker.drain(..) {
             for (i, r) in bucket {
-                debug_assert!(assembled[i].is_none(), "index {i} computed twice");
-                assembled[i] = Some(r);
+                match assembled.get_mut(i) {
+                    Some(slot @ None) => *slot = Some(r),
+                    _ => pool_invariant("execute: index out of range or computed twice"),
+                }
             }
         }
-        assembled.into_iter().map(|r| r.expect("every index computed")).collect()
+        assembled
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| pool_invariant("execute: index never computed")))
+            .collect()
     }
 }
 
@@ -340,7 +386,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pool worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let pool = Pool::with_jobs(2);
         pool.map((0..10u32).collect(), |i| {

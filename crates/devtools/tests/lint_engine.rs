@@ -4,10 +4,12 @@
 //! deliberately-dirty file asserting every lint fires exactly where
 //! expected and pragmas suppress it).
 
+use std::collections::BTreeMap;
+
 use devtools::lint::config::{self, Config};
 use devtools::lint::rules::scan_file;
 use devtools::lint::tokens::{tokenize, TokenKind};
-use devtools::lint::{lint_source, Outcome};
+use devtools::lint::{analyze_sources, lint_source, Outcome};
 
 // ---------------------------------------------------------------- tokenizer
 
@@ -380,4 +382,147 @@ fn report_is_sorted_and_counts_suppressions() {
     let a = rep.find("a.rs:1: no-wallclock — a").expect("a.rs line");
     let b = rep.find("b.rs:1: no-unordered-map — b").expect("b.rs line");
     assert!(a < b, "sorted by file");
+}
+
+// ------------------------------------------------------- config strictness
+
+#[test]
+fn config_rejects_unknown_section_with_line_number() {
+    let err = config::parse("[workspace]\nroots = [\"crates\"]\n\n[typo]\nx = []\n").unwrap_err();
+    assert!(err.contains("lint.toml:4"), "{err}");
+    assert!(err.contains("unknown section `[typo]`"), "{err}");
+}
+
+#[test]
+fn config_rejects_duplicate_keys_with_line_number() {
+    let err = config::parse("[workspace]\nroots = [\"a\"]\nroots = [\"b\"]\n").unwrap_err();
+    assert!(err.contains("lint.toml:3"), "{err}");
+    assert!(err.contains("duplicate key `roots`"), "{err}");
+}
+
+#[test]
+fn config_rejects_unknown_keys_and_key_before_section() {
+    let err = config::parse("[workspace]\nrots = [\"a\"]\n").unwrap_err();
+    assert!(err.contains("lint.toml:2") && err.contains("unknown key `rots`"), "{err}");
+    let err = config::parse("roots = [\"a\"]\n").unwrap_err();
+    assert!(err.contains("lint.toml:1") && err.contains("before any [section]"), "{err}");
+}
+
+#[test]
+fn config_rejects_skip_keys_naming_no_lint() {
+    let err = config::parse("[skip]\nno-typo = [\"src\"]\n").unwrap_err();
+    assert!(err.contains("lint.toml:2") && err.contains("names no known lint"), "{err}");
+}
+
+#[test]
+fn config_parses_interproc_artifact_paths() {
+    let cfg = config::parse("[interproc]\nartifact_paths = [\"crates/experiments/src\"]\n")
+        .expect("parses");
+    assert_eq!(cfg.artifact_paths, vec!["crates/experiments/src"]);
+}
+
+// ------------------------------------------------------------- call graph
+
+fn cg_sources(names: &[(&str, &str)]) -> Vec<(String, String)> {
+    names
+        .iter()
+        .map(|(rel, file)| ((*rel).to_string(), fixture(&format!("callgraph/{file}"))))
+        .collect()
+}
+
+#[test]
+fn callgraph_cross_module_panic_chain_is_reported_with_full_chain() {
+    let mut cfg = Config::fallback();
+    cfg.panic_paths = vec!["fxchain/chain_entry.rs".into()];
+    let sources = cg_sources(&[
+        ("fxchain/chain_entry.rs", "chain_entry.rs"),
+        ("fxchain/chain_mid.rs", "chain_mid.rs"),
+        ("fxchain/chain_deep.rs", "chain_deep.rs"),
+    ]);
+    let a = analyze_sources(&sources, &cfg, &BTreeMap::new());
+    let hits: Vec<_> =
+        a.outcome.findings.iter().filter(|f| f.lint == "panic-reachability").collect();
+    assert_eq!(hits.len(), 1, "{:?}", a.outcome.findings);
+    let f = hits[0];
+    assert_eq!((f.file.as_str(), f.line, f.col), ("fxchain/chain_entry.rs", 6, 8));
+    assert!(
+        f.message.contains("fxchain::chain_entry::poll_once (fxchain/chain_entry.rs:6)"),
+        "{}",
+        f.message
+    );
+    assert!(
+        f.message.contains("-> fxchain::chain_mid::advance (fxchain/chain_mid.rs:4)"),
+        "{}",
+        f.message
+    );
+    assert!(
+        f.message.contains("-> fxchain::chain_deep::commit (fxchain/chain_deep.rs:4)"),
+        "{}",
+        f.message
+    );
+    assert!(f.message.contains("no-slice-index site at fxchain/chain_deep.rs:5"), "{}", f.message);
+    // The seed file is outside the hot set, so the reachability finding
+    // is the only finding, and both chain hops are exact edges.
+    assert_eq!(a.outcome.findings.len(), 1, "{:?}", a.outcome.findings);
+    let (exact, approx, _) = a.graph.edge_counts();
+    assert_eq!((exact, approx), (2, 0));
+}
+
+#[test]
+fn callgraph_par_captured_rng_fires_only_on_captured_draw() {
+    let sources = cg_sources(&[("fxpar/par_rng.rs", "par_rng.rs")]);
+    let a = analyze_sources(&sources, &Config::fallback(), &BTreeMap::new());
+    let hits: Vec<_> = a.outcome.findings.iter().filter(|f| f.lint == "par-captured-rng").collect();
+    assert_eq!(hits.len(), 1, "{:?}", a.outcome.findings);
+    let f = hits[0];
+    assert_eq!((f.file.as_str(), f.line), ("fxpar/par_rng.rs", 5));
+    assert!(f.message.contains("`rng.next_u64()`"), "{}", f.message);
+    assert!(f.message.contains("par_map"), "{}", f.message);
+    // The per-item forked variant stays silent.
+    assert_eq!(a.outcome.findings.len(), 1, "{:?}", a.outcome.findings);
+}
+
+#[test]
+fn callgraph_map_iteration_taints_artifact_entry_point() {
+    let mut cfg = Config::fallback();
+    cfg.artifact_paths = vec!["fxart/taint_emit.rs".into()];
+    let sources = cg_sources(&[
+        ("fxart/taint_emit.rs", "taint_emit.rs"),
+        ("fxart/taint_maps.rs", "taint_maps.rs"),
+    ]);
+    let a = analyze_sources(&sources, &cfg, &BTreeMap::new());
+    let hits: Vec<_> = a.outcome.findings.iter().filter(|f| f.lint == "map-order-taint").collect();
+    assert_eq!(hits.len(), 1, "{:?}", a.outcome.findings);
+    let f = hits[0];
+    assert_eq!((f.file.as_str(), f.line, f.col), ("fxart/taint_emit.rs", 4, 8));
+    assert!(f.message.contains("fxart::taint_maps::render_rows"), "{}", f.message);
+    assert!(f.message.contains("no-unordered-map site at fxart/taint_maps.rs:4"), "{}", f.message);
+    // The local token lint fires too — a pragma there would justify the
+    // local use but must not silence the artifact-path taint.
+    assert_eq!(lines_of(&a.outcome, "no-unordered-map"), vec![4]);
+}
+
+#[test]
+fn callgraph_wallclock_taint_fires_on_exact_cross_crate_edge() {
+    let mut crates = BTreeMap::new();
+    crates.insert("fxwa".to_string(), "fxwa".to_string());
+    crates.insert("fxwb".to_string(), "fxwb".to_string());
+    let sources =
+        cg_sources(&[("fxwa/wall_a.rs", "wall_a.rs"), ("fxwb/wall_b.rs", "wall_b.rs")]);
+    let a = analyze_sources(&sources, &Config::fallback(), &crates);
+    let hits: Vec<_> = a.outcome.findings.iter().filter(|f| f.lint == "wallclock-taint").collect();
+    assert_eq!(hits.len(), 1, "{:?}", a.outcome.findings);
+    let f = hits[0];
+    assert_eq!((f.file.as_str(), f.line), ("fxwa/wall_a.rs", 6));
+    assert!(f.message.contains("fxwb::wall_b::now_epoch_ms"), "{}", f.message);
+    assert!(f.message.contains("no-wallclock site at fxwb/wall_b.rs:4"), "{}", f.message);
+    // The reader's own token finding still fires inside its crate.
+    assert_eq!(lines_of(&a.outcome, "no-wallclock"), vec![4]);
+
+    // Skip-listing the reader makes it an audited boundary (like the
+    // bench harness): no token finding, no seed, no taint.
+    let mut cfg = Config::fallback();
+    cfg.skip.insert("no-wallclock".into(), vec!["fxwb/wall_b.rs".into()]);
+    let a2 = analyze_sources(&sources, &cfg, &crates);
+    assert!(a2.outcome.findings.is_empty(), "{:?}", a2.outcome.findings);
 }

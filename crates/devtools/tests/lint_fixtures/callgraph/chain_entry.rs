@@ -1,0 +1,8 @@
+//! Interprocedural fixture: the hot entry point. Fed to the engine as
+//! `fxchain/chain_entry.rs` with `[panic] paths` naming this file; the
+//! panic it reaches lives two modules away (chain_mid → chain_deep).
+
+/// Entry point: itself panic-free — the finding anchors here anyway.
+pub fn poll_once(samples: &[f64]) -> f64 {
+    crate::chain_mid::advance(samples)
+}

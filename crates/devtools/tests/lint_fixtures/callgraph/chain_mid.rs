@@ -1,0 +1,6 @@
+//! Middle hop of the cross-module panic chain.
+
+/// Forwards into the deep module; carries no panic of its own.
+pub fn advance(samples: &[f64]) -> f64 {
+    crate::chain_deep::commit(samples)
+}

@@ -1,0 +1,11 @@
+//! Par-closure fixture: one captured-RNG draw (the finding, line 5) and
+//! one correctly forked per-item stream (must stay silent).
+
+pub fn jitter_all(rng: &mut SimRng, xs: Vec<u64>) -> Vec<u64> {
+    par_map(xs, |x| x.wrapping_add(rng.next_u64()))
+}
+
+pub fn forked_ok(rng: &mut SimRng, xs: Vec<u64>) -> Vec<u64> {
+    let streams: Vec<SimRng> = xs.iter().map(|&x| rng.fork(x)).collect();
+    par_map(streams, |mut r| r.next_u64())
+}

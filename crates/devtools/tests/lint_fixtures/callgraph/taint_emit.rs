@@ -1,0 +1,6 @@
+//! Artifact-emitting entry point for the map-order-taint fixture: fed
+//! as `fxart/taint_emit.rs` with `artifact_paths` naming this file.
+
+pub fn write_summary_csv(names: &[String]) -> String {
+    crate::taint_maps::render_rows(names)
+}

@@ -1,0 +1,16 @@
+//! Hasher-ordered iteration reachable from the artifact entry point.
+
+pub fn render_rows(names: &[String]) -> String {
+    let mut counts = std::collections::HashMap::new();
+    for n in names {
+        *counts.entry(n.clone()).or_insert(0usize) += 1;
+    }
+    let mut out = String::new();
+    for (k, v) in &counts {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Cross-crate wall-clock caller: fed as `fxwa/wall_a.rs`. The callee
+//! crate (`fxwb`) reads the wall clock, so the exact cross-crate edge
+//! on line 6 is the finding site.
+
+pub fn sample_offset() -> f64 {
+    fxwb::wall_b::now_epoch_ms() as f64
+}

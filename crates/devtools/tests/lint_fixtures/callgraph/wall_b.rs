@@ -1,0 +1,8 @@
+//! Wall-clock reader in its own crate (fed as `fxwb/wall_b.rs`).
+
+pub fn now_epoch_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

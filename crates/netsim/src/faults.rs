@@ -350,13 +350,13 @@ impl FaultInjector {
     /// scheduled event. Returns the step in milliseconds.
     pub fn take_falseticker_onset(&mut self, t: SimTime, server: usize) -> Option<f64> {
         let s = t.as_secs_f64();
-        for (i, w) in self.schedule.windows.iter().enumerate() {
-            if self.fired[i] {
+        for (fired, w) in self.fired.iter_mut().zip(&self.schedule.windows) {
+            if *fired {
                 continue;
             }
             if let FaultKind::FalsetickerOnset { server: sv, error_ms } = w.kind {
                 if sv == server && w.start_secs <= s {
-                    self.fired[i] = true;
+                    *fired = true;
                     self.stats.falseticker_onsets += 1;
                     return Some(error_ms);
                 }
@@ -370,13 +370,13 @@ impl FaultInjector {
     pub fn take_clock_steps(&mut self, t: SimTime) -> Vec<f64> {
         let s = t.as_secs_f64();
         let mut due = Vec::new();
-        for (i, w) in self.schedule.windows.iter().enumerate() {
-            if self.fired[i] {
+        for (fired, w) in self.fired.iter_mut().zip(&self.schedule.windows) {
+            if *fired {
                 continue;
             }
             if let FaultKind::ClockStep { offset_ms } = w.kind {
                 if w.start_secs <= s {
-                    self.fired[i] = true;
+                    *fired = true;
                     self.stats.clock_steps += 1;
                     due.push(offset_ms);
                 }

@@ -47,7 +47,8 @@ impl RefId {
     /// interpretation RFC 5905 gives refids arriving with stratum 0).
     pub fn as_kiss_code(self) -> Option<[u8; 4]> {
         let b = self.octets();
-        if b.iter().all(|&c| c == 0 || c.is_ascii_uppercase()) && b[0] != 0 {
+        let [first, ..] = b;
+        if b.iter().all(|&c| c == 0 || c.is_ascii_uppercase()) && first != 0 {
             Some(b)
         } else {
             None
@@ -62,7 +63,8 @@ impl fmt::Debug for RefId {
             let s: String = code.iter().filter(|&&c| c != 0).map(|&c| c as char).collect();
             write!(f, "RefId({s})")
         } else {
-            write!(f, "RefId({}.{}.{}.{})", b[0], b[1], b[2], b[3])
+            let [o0, o1, o2, o3] = b;
+            write!(f, "RefId({o0}.{o1}.{o2}.{o3})")
         }
     }
 }

@@ -68,7 +68,7 @@ impl ClockFilter {
         let best = *self
             .samples
             .iter()
-            .min_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN delays"))?;
+            .min_by(|a, b| a.delay.partial_cmp(&b.delay).unwrap_or(std::cmp::Ordering::Equal))?;
         if let Some(last) = self.last_used_at {
             if best.at_secs <= last {
                 return None;
@@ -86,7 +86,7 @@ impl ClockFilter {
     pub fn peek_best(&self) -> Option<&FilterSample> {
         self.samples
             .iter()
-            .min_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN delays"))
+            .min_by(|a, b| a.delay.partial_cmp(&b.delay).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Peer jitter: RMS difference of stored offsets against the best
@@ -109,7 +109,7 @@ impl ClockFilter {
     /// delay-sorted register).
     pub fn dispersion(&self, now_secs: f64) -> f64 {
         let mut sorted: Vec<&FilterSample> = self.samples.iter().collect();
-        sorted.sort_by(|a, b| a.delay.partial_cmp(&b.delay).expect("no NaN"));
+        sorted.sort_by(|a, b| a.delay.partial_cmp(&b.delay).unwrap_or(std::cmp::Ordering::Equal));
         sorted
             .iter()
             .enumerate()

@@ -17,6 +17,40 @@ use netsim::link::{DelayModel, Link, LossModel};
 
 use crate::server::SimServer;
 
+/// The module's single panic site: a server id that this pool or tracker
+/// never issued. Ids are handles handed out by `pick`/`pick_distinct`,
+/// so an out-of-range id is a caller bug reported loudly here instead of
+/// via scattered indexing sites.
+#[cold]
+#[inline(never)]
+fn foreign_id(who: &'static str, id: usize, len: usize) -> ! {
+    // lint:allow(no-panic) — the pool's one audited panic: ids are handles issued by pick()/pick_distinct(), so an out-of-range id is a caller bug worth a loud, attributable failure
+    panic!("{who}: foreign server id {id} (pool of {len})")
+}
+
+/// A server handle as the accessors see it: just the vector index, but
+/// every conversion back to a slot goes through the bounds-checked
+/// `resolve` pair below, keeping [`foreign_id`] the only panic path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ServerId(usize);
+
+impl ServerId {
+    fn resolve<'a, T>(self, slots: &'a [T], who: &'static str) -> &'a T {
+        match slots.get(self.0) {
+            Some(s) => s,
+            None => foreign_id(who, self.0, slots.len()),
+        }
+    }
+
+    fn resolve_mut<'a, T>(self, slots: &'a mut [T], who: &'static str) -> &'a mut T {
+        let len = slots.len();
+        match slots.get_mut(self.0) {
+            Some(s) => s,
+            None => foreign_id(who, self.0, len),
+        }
+    }
+}
+
 /// Pool population parameters.
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
@@ -111,16 +145,15 @@ impl ServerPool {
         ids
     }
 
-    /// Access a server by index.
+    /// Access a server by index. Panics (via [`foreign_id`]) on an id
+    /// this pool never issued.
     pub fn server_mut(&mut self, id: usize) -> &mut SimServer {
-        // lint:allow(no-slice-index) — `id` is a handle this pool handed out via pick(); panicking on a foreign id is the accessor's contract
-        &mut self.servers[id]
+        ServerId(id).resolve_mut(&mut self.servers, "ServerPool::server_mut")
     }
 
     /// Immutable access (tests/diagnostics).
     pub fn server(&self, id: usize) -> &SimServer {
-        // lint:allow(no-slice-index) — `id` is a handle this pool handed out via pick(); panicking on a foreign id is the accessor's contract
-        &self.servers[id]
+        ServerId(id).resolve(&self.servers, "ServerPool::server")
     }
 
     /// Ground truth: indices of servers whose clock error exceeds
@@ -298,14 +331,12 @@ impl HealthTracker {
 
     /// Health of server `id`.
     pub fn health(&self, id: usize) -> &ServerHealth {
-        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
-        &self.servers[id]
+        ServerId(id).resolve(&self.servers, "HealthTracker::health")
     }
 
     /// Record a successful exchange with `id` at time `t`.
     pub fn on_success(&mut self, id: usize, _t_secs: f64) {
-        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
-        let h = &mut self.servers[id];
+        let h = ServerId(id).resolve_mut(&mut self.servers, "HealthTracker::on_success");
         h.reach = (h.reach << 1) | 1;
         h.consecutive_failures = 0;
         // Decay: good behaviour halves the demotion memory, so an old
@@ -316,8 +347,7 @@ impl HealthTracker {
     /// Record a failed exchange (loss, timeout, corrupt reply) with `id`.
     pub fn on_failure(&mut self, id: usize, t_secs: f64) {
         let cfg = self.cfg;
-        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
-        let h = &mut self.servers[id];
+        let h = ServerId(id).resolve_mut(&mut self.servers, "HealthTracker::on_failure");
         h.reach <<= 1;
         h.consecutive_failures += 1;
         if h.consecutive_failures >= cfg.demote_after {
@@ -332,8 +362,7 @@ impl HealthTracker {
     /// Record a kiss-o'-death from `id`; the code decides the sanction.
     pub fn on_kod(&mut self, id: usize, code: [u8; 4], t_secs: f64) {
         let cfg = self.cfg;
-        // lint:allow(no-slice-index) — `id` is a tracker-issued server index; a foreign id is a caller bug worth a loud panic
-        let h = &mut self.servers[id];
+        let h = ServerId(id).resolve_mut(&mut self.servers, "HealthTracker::on_kod");
         h.kod_received += 1;
         let ban = match &code {
             b"DENY" | b"RSTR" => cfg.deny_secs,
@@ -355,17 +384,19 @@ impl HealthTracker {
             .map(|(i, _)| i)
             .collect();
         if eligible.is_empty() {
+            // A tracker is always constructed over a non-empty pool; an
+            // empty one degenerates to id 0 (which the accessors will
+            // then report as foreign, attributably).
             return self
                 .servers
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| a.banned_until_secs.total_cmp(&b.banned_until_secs))
                 .map(|(i, _)| i)
-                // lint:allow(no-unwrap) — a HealthTracker is always constructed over a non-empty server pool
-                .expect("tracker over empty pool");
+                .unwrap_or_default();
         }
-        // lint:allow(no-slice-index) — `eligible` is non-empty here and `index(len)` returns a value < len
-        eligible[self.rng.index(eligible.len())]
+        let k = self.rng.index(eligible.len());
+        eligible.get(k).copied().unwrap_or_default()
     }
 
     /// Pick up to `n` distinct servers, eligible ones first (shuffled),

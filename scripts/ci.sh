@@ -24,6 +24,13 @@ cargo run --release --offline -p devtools --bin lint -- --report \
          echo "  cargo run --release -p devtools --bin lint -- --report > results/lint_allowlist.txt"; \
          exit 1; }
 
+echo "== lint call-graph artifact is fresh =="
+cargo run --release --offline -p devtools --bin lint -- --graph \
+    | diff -u results/lint_callgraph.txt - \
+    || { echo "results/lint_callgraph.txt is stale — regenerate with:"; \
+         echo "  cargo run --release -p devtools --bin lint -- --graph > results/lint_callgraph.txt"; \
+         exit 1; }
+
 echo "== test suite (offline) =="
 cargo test -q --offline
 

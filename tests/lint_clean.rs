@@ -62,6 +62,46 @@ fn lint_fixture(out: &mut lint::Outcome, rel: &str, src: &str, cfg: &lint::Confi
 }
 
 #[test]
+fn workspace_panic_clean_from_every_entry_point() {
+    let a = lint::analyze(repo_root()).expect("lint walk succeeds");
+    let cfg = lint::load_config(repo_root()).expect("lint.toml parses");
+    // Non-vacuity: the graph must actually contain entry points in the
+    // `[panic]`-path files, or "no findings" would prove nothing.
+    let entries = a
+        .graph
+        .nodes
+        .iter()
+        .filter(|n| {
+            !n.is_test
+                && cfg.panic_paths.iter().any(|p| lint::config::path_has_prefix(&n.file, p))
+        })
+        .count();
+    assert!(entries > 100, "only {entries} entry points under [panic] paths");
+    let bad: Vec<String> = a
+        .outcome
+        .findings
+        .iter()
+        .filter(|f| f.lint == "panic-reachability")
+        .map(|f| f.to_string())
+        .collect();
+    assert!(bad.is_empty(), "panic-reachable entry points:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn committed_callgraph_artifact_is_fresh() {
+    let a = lint::analyze(repo_root()).expect("lint walk succeeds");
+    let want = lint::graph::render(&a.graph);
+    let path = repo_root().join("results/lint_callgraph.txt");
+    let got = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "results/lint_callgraph.txt is stale — regenerate with \
+         `cargo run --release -p devtools --bin lint -- --graph > results/lint_callgraph.txt`"
+    );
+}
+
+#[test]
 fn committed_allowlist_audit_is_fresh() {
     let out = lint::run(repo_root()).expect("lint walk succeeds");
     let want = lint::report(&out);
