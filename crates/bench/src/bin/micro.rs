@@ -496,6 +496,65 @@ fn bench_lint(s: &mut Suite) {
     });
 }
 
+fn bench_streaming_analytics(s: &mut Suite) {
+    use loganalysis::model::SERVERS;
+    use loganalysis::owd::{extract_owds, OwdFilter};
+    use loganalysis::stream::ChunkSummary;
+    use loganalysis::synth::{
+        chunk_plan, generate_server_log, stream_chunk, StreamSynthConfig, SynthConfig,
+    };
+
+    // Equal-N throughput pair: one iteration generates AND analyzes the
+    // same Table 1 slice (AG1 at 1/610 scale ≈ 16.4k records) through
+    // each path. The streaming path never materializes a log; the batch
+    // path builds the ServerLog and runs the legacy whole-log analyzers.
+    // mean_ns / N is the ns-per-record figure EXPERIMENTS.md quotes.
+    let ag1 = SERVERS.iter().find(|sv| sv.id == "AG1").expect("AG1 in Table 1");
+    let scale = 610;
+    let scfg = StreamSynthConfig { scale, duration_secs: 86_400, chunk_records: 1 << 14 };
+    let n = chunk_plan(ag1, &scfg).total_records;
+    s.bench("fullscale_records_per_sec", |b| {
+        let filter = OwdFilter::default();
+        b.iter(|| {
+            let plan = chunk_plan(ag1, &scfg);
+            let mut sum = ChunkSummary::default();
+            for c in 0..plan.chunks {
+                let mut s = ChunkSummary::default();
+                stream_chunk(ag1, 0, &scfg, 2016, c, &mut |r| s.push(r, &filter));
+                sum.merge_adjacent(&s);
+            }
+            assert_eq!(sum.records, n);
+            sum.records
+        })
+    });
+    // Analysis seam alone (generation factored out): the same records
+    // pushed through the composite sink from a pre-built log.
+    s.bench("stream_sink_push_records_per_sec", |b| {
+        let filter = OwdFilter::default();
+        let log = generate_server_log(ag1, &SynthConfig { scale, duration_secs: 86_400 }, 2016);
+        b.iter(|| {
+            let mut sum = ChunkSummary::default();
+            for r in &log.records {
+                sum.push(r, &filter);
+            }
+            sum.records
+        })
+    });
+    s.bench("fullscale_batch_records_per_sec", |b| {
+        let filter = OwdFilter::default();
+        let cfg = SynthConfig { scale, duration_secs: 86_400 };
+        b.iter(|| {
+            let log = generate_server_log(ag1, &cfg, 2016);
+            let owds = extract_owds(&log, &filter);
+            let kept: usize = owds.values().map(|c| c.samples_ms.len()).sum();
+            let inter = loganalysis::global_interarrival(&log);
+            let share = loganalysis::protocol::sntp_share(&log);
+            black_box((kept, inter, share));
+            log.records.len()
+        })
+    });
+}
+
 fn main() {
     let mut s = Suite::from_args("micro");
     bench_packet_codec(&mut s);
@@ -512,6 +571,7 @@ fn main() {
     bench_fleet_kernel(&mut s);
     bench_chaos_fleet(&mut s);
     bench_server_core(&mut s);
+    bench_streaming_analytics(&mut s);
     bench_lint(&mut s);
     s.finish().expect("write bench report");
 }

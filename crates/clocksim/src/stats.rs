@@ -29,6 +29,13 @@ pub fn rms(xs: &[f64]) -> f64 {
 
 /// Linear-interpolated percentile `p` in `[0, 100]` of an unsorted slice.
 /// Returns 0.0 for empty input.
+///
+/// Rank convention: this is the *interpolated* estimator used by the
+/// simulator's summary tables. The analysis pipelines use the shared
+/// *nearest-rank* estimator (`devtools::sketch::percentile_nearest_rank`,
+/// `sorted[round(q·(n−1))]`) instead — the two deliberately coexist
+/// because `devtools` sits above `clocksim` in the dependency order and
+/// committed artifacts pin each convention's exact digits.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;

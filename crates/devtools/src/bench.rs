@@ -91,7 +91,7 @@ impl Stats {
         let n = ns.len();
         let mean = ns.iter().sum::<f64>() / n as f64;
         let var = ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        let pct = |p: f64| ns[(((p / 100.0) * (n - 1) as f64).round() as usize).min(n - 1)];
+        let pct = |p: f64| crate::sketch::percentile_nearest_rank(&ns, p / 100.0);
         Stats {
             mean_ns: mean,
             p50_ns: pct(50.0),

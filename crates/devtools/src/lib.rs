@@ -14,6 +14,11 @@
 //!   for `rayon`): per-worker deques plus a global injector over scoped
 //!   `std::thread`s, exposing an order-preserving [`par::Pool::map`]
 //!   whose output is bit-identical to the serial loop.
+//! - [`sketch`] — deterministic mergeable one-pass summaries (the
+//!   workspace's replacement for a streaming-quantiles crate): a
+//!   Munro–Paterson-style quantile sketch with bounded rank error plus
+//!   exact streaming moments, and the shared nearest-rank percentile
+//!   convention used by every exact report path.
 //! - [`lint`] — the determinism & panic-policy linter (the workspace's
 //!   replacement for clippy plugins): a Rust tokenizer plus path-pattern
 //!   matcher enforcing the invariants of DESIGN.md §8, exposed as the
@@ -27,6 +32,8 @@ pub mod bench;
 pub mod lint;
 pub mod par;
 pub mod prop;
+pub mod sketch;
 
 pub use par::{par_map, Pool};
 pub use prop::{Config, Counterexample, Gen, PropFail, PropResult};
+pub use sketch::{percentile_nearest_rank, Moments, QuantileSketch};

@@ -191,14 +191,6 @@ fn build_clients(n: usize, seed: u64) -> Vec<FleetClient> {
         .collect()
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted.get(idx).copied().unwrap_or(0.0)
-}
-
 /// Run one fleet trial, ticking its kernel shards over `jobs` worker
 /// threads (the output is identical at any job count). Returns the
 /// summary row plus the raw arrival log when `collect_log` is set (the
@@ -263,9 +255,9 @@ pub fn fleet_trial(
         arms.push(FleetArmStats {
             name: stack.name(),
             clients: members,
-            p50_ms: percentile(&errs, 0.50),
-            p90_ms: percentile(&errs, 0.90),
-            p99_ms: percentile(&errs, 0.99),
+            p50_ms: devtools::sketch::percentile_nearest_rank(&errs, 0.50),
+            p90_ms: devtools::sketch::percentile_nearest_rank(&errs, 0.90),
+            p99_ms: devtools::sketch::percentile_nearest_rank(&errs, 0.99),
             max_ms: errs.last().copied().unwrap_or(0.0),
         });
     }

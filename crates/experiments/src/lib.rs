@@ -24,6 +24,7 @@
 //! | [`validation`] | Beyond-paper: estimator checks against ground truth |
 //! | [`faultsweep`] | Beyond-paper: fault-injection survival grid |
 //! | [`fleet`] | Beyond-paper: fleet-scale sweep + simulated server-log analysis |
+//! | [`fullscale`] | Beyond-paper: the full 209M-record Table 1 regime, streamed in constant memory |
 //! | [`servercore`] | Beyond-paper: batched server engine under fleet-shaped ingest |
 //! | [`chaosfleet`] | Beyond-paper: regional fault timeline, degradation + recovery |
 //!
@@ -49,6 +50,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9and10;
+pub mod fullscale;
 pub mod harness;
 pub mod render;
 pub mod repro;

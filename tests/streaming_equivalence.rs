@@ -1,0 +1,147 @@
+//! Streaming-vs-batch equivalence, end to end: the incremental sinks
+//! introduced for the full-scale regime must reproduce the legacy batch
+//! analyzers *exactly* on the same records — not approximately, not
+//! statistically: the rendered report of a scaled run through both
+//! paths is compared as one string.
+//!
+//! This is the contract that lets the committed `results/` artifacts
+//! stay pinned while the pipeline underneath them is rebuilt: every
+//! batch function is a thin adapter over its sink, and this test would
+//! catch any drift between the two (CI runs it in the
+//! streaming-vs-batch step of `scripts/ci.sh`).
+
+use loganalysis::model::SERVERS;
+use loganalysis::owd::{extract_owds, OwdFilter};
+use loganalysis::protocol::{classify_clients, Protocol, ShapeTally};
+use loganalysis::stream::ChunkSummary;
+use loganalysis::synth::{generate_server_log, ServerLog, SynthConfig};
+use loganalysis::{global_interarrival, GapSink};
+use ntp_wire::NtpPacket;
+
+fn scaled_logs() -> Vec<ServerLog> {
+    let cfg = SynthConfig { scale: 20_000, duration_secs: 86_400 };
+    SERVERS
+        .iter()
+        .enumerate()
+        .map(|(i, s)| generate_server_log(s, &cfg, 2016_u64.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// The legacy path: whole-log batch functions.
+fn batch_report(logs: &[ServerLog]) -> String {
+    let filter = OwdFilter::default();
+    let mut out = String::new();
+    for log in logs {
+        let sntp_requests = log
+            .records
+            .iter()
+            .filter(|r| {
+                NtpPacket::parse(&r.request).map(|p| p.is_sntp_client_shape()).unwrap_or(false)
+            })
+            .count() as u64;
+        let owds = extract_owds(log, &filter);
+        let kept: usize = owds.values().map(|c| c.samples_ms.len()).sum();
+        let sntp_clients = classify_clients(log)
+            .values()
+            .filter(|p| **p == Protocol::Sntp)
+            .count();
+        let inter = global_interarrival(log);
+        out.push_str(&format!(
+            "{} records={} sntp_req={} sntp_clients={} owd_kept={} inter={:?}\n",
+            log.server.id,
+            log.records.len(),
+            sntp_requests,
+            sntp_clients,
+            kept,
+            inter
+        ));
+    }
+    out
+}
+
+/// The streaming path: the same records pushed one at a time through
+/// the incremental sinks, chunked and merged as the full-scale pipeline
+/// would (time-contiguous chunks, in-order stitch).
+fn streaming_report(logs: &[ServerLog], n_chunks: usize) -> String {
+    let filter = OwdFilter::default();
+    let mut out = String::new();
+    for log in logs {
+        let chunk = log.records.len().div_ceil(n_chunks).max(1);
+        let mut shapes = ShapeTally::new();
+        let mut owd = loganalysis::owd::OwdSink::new();
+        let mut votes = loganalysis::protocol::ProtocolSink::new();
+        let mut gaps: Option<GapSink> = None;
+        for records in log.records.chunks(chunk) {
+            let mut shard_shapes = ShapeTally::new();
+            let mut shard_owd = loganalysis::owd::OwdSink::new();
+            let mut shard_votes = loganalysis::protocol::ProtocolSink::new();
+            let mut shard_gaps = GapSink::new();
+            for r in records {
+                shard_shapes.push(r);
+                shard_owd.push(r, &filter);
+                shard_votes.push(r);
+                shard_gaps.push_arrival(r.received_at_secs);
+            }
+            shapes.merge(&shard_shapes);
+            owd.merge(&shard_owd);
+            votes.merge(&shard_votes);
+            match &mut gaps {
+                None => gaps = Some(shard_gaps),
+                Some(g) => g.merge_adjacent(&shard_gaps),
+            }
+        }
+        let kept: usize = owd.finish().values().map(|c| c.samples_ms.len()).sum();
+        let sntp_clients =
+            votes.finish().values().filter(|p| **p == Protocol::Sntp).count();
+        out.push_str(&format!(
+            "{} records={} sntp_req={} sntp_clients={} owd_kept={} inter={:?}\n",
+            log.server.id,
+            log.records.len(),
+            shapes.sntp,
+            sntp_clients,
+            kept,
+            gaps.map(GapSink::finish).unwrap_or(None)
+        ));
+    }
+    out
+}
+
+/// One pass vs chunked-and-merged vs legacy batch: all three reports
+/// must be the same string, for every Table 1 server.
+#[test]
+fn batch_and_streaming_reports_are_identical() {
+    let logs = scaled_logs();
+    let batch = batch_report(&logs);
+    assert_eq!(batch, streaming_report(&logs, 1), "single-chunk streaming diverged");
+    assert_eq!(batch, streaming_report(&logs, 8), "8-chunk stitched streaming diverged");
+    // Sanity: the report actually covers the population.
+    assert_eq!(batch.lines().count(), SERVERS.len());
+    assert!(batch.contains("MW2"));
+}
+
+/// The composite full-scale summary, fed the *same* records as the
+/// batch path, agrees on every exact (non-sketched) statistic.
+#[test]
+fn composite_summary_matches_batch_on_exact_stats() {
+    let filter = OwdFilter::default();
+    for log in scaled_logs().iter().take(4) {
+        let mut s = ChunkSummary::default();
+        for r in &log.records {
+            s.push(r, &filter);
+        }
+        assert_eq!(s.records, log.records.len() as u64);
+        let owds = extract_owds(log, &filter);
+        let kept: usize = owds.values().map(|c| c.samples_ms.len()).sum();
+        assert_eq!(s.owd_kept as usize, kept, "server {}", log.server.id);
+        let inter = global_interarrival(log);
+        let sketched = s.gaps.finish();
+        match (inter, sketched) {
+            (Some(e), Some(a)) => {
+                assert_eq!(e.gaps, a.gaps);
+                assert!((e.sub_ms_share - a.sub_ms_share).abs() < 1e-12);
+                assert!((e.mean_ms - a.mean_ms).abs() < 1e-6);
+            }
+            (e, a) => panic!("summary presence diverged: {e:?} vs {a:?}"),
+        }
+    }
+}
